@@ -1,0 +1,61 @@
+"""Ablation — SCOAP guidance in PODEM (substrate design choice).
+
+DESIGN.md calls out the ATPG substrate's use of SCOAP testability to
+steer backtrace and D-frontier selection.  This bench quantifies it:
+guided PODEM must dominate unguided on backtracks and never lose a
+detection, on the same fault lists.
+Timed kernel: 100 guided PODEM runs on g256.
+"""
+
+from repro.analysis import Table
+from repro.atpg.podem import Podem
+from repro.circuits import collapsed_faults, load_circuit
+
+SAMPLE = 250
+
+
+def kernel():
+    circuit = load_circuit("g256")
+    podem = Podem(circuit, guided=True)
+    faults = collapsed_faults(circuit)[:100]
+    return sum(podem.generate(f).backtracks for f in faults)
+
+
+def test_ablation_atpg_guidance(benchmark):
+    benchmark.pedantic(kernel, rounds=2, iterations=1)
+
+    table = Table(
+        ["circuit", "mode", "detected", "untestable", "aborted",
+         "backtracks", "decisions"],
+        title=f"ablation — SCOAP-guided vs unguided PODEM "
+              f"(first {SAMPLE} collapsed faults)",
+    )
+    for name in ("g64", "g256"):
+        circuit = load_circuit(name)
+        faults = collapsed_faults(circuit)[:SAMPLE]
+        stats = {}
+        for guided in (False, True):
+            podem = Podem(circuit, backtrack_limit=200, guided=guided)
+            detected = aborted = untestable = backtracks = decisions = 0
+            detected_set = set()
+            for fault in faults:
+                result = podem.generate(fault)
+                backtracks += result.backtracks
+                decisions += result.decisions
+                if result.status == "detected":
+                    detected += 1
+                    detected_set.add(fault)
+                elif result.status == "aborted":
+                    aborted += 1
+                else:
+                    untestable += 1
+            stats[guided] = (detected, untestable, aborted, backtracks,
+                             decisions, detected_set)
+            table.add_row(name, "guided" if guided else "unguided",
+                          detected, untestable, aborted, backtracks,
+                          decisions)
+        # guidance must not lose detections and must not add backtracks
+        assert stats[True][0] >= stats[False][0], name
+        assert stats[True][3] <= stats[False][3], name
+        assert stats[False][5] <= stats[True][5], name
+    table.print()

@@ -1,0 +1,64 @@
+"""Ablation — why nine codewords (paper §II's design-choice argument).
+
+"We acknowledge that more uniform K-bit blocks can be added ... this may
+slightly improve the compression ratio but results in a more complicated
+and expensive decoder.  We focus on having nine codes since it provides
+the best tradeoff between compression and decoder cost."
+
+We sweep the generalized segment-split coder: 1 segment (3 codewords),
+2 segments (9C's 9), 4 segments (up to 81) and 8 segments, with
+per-circuit optimal codeword lengths, and check:
+* 2 segments strictly beats 1 everywhere (uniform halves matter);
+* finer splits change CR only slightly at the paper's operating K while
+  multiplying the codeword count (decoder cost proxy).
+Timed kernel: a 4-segment measurement of s5378 at K=16.
+"""
+
+from repro.analysis import Table
+from repro.core import GeneralizedEncoder
+
+from conftest import CIRCUITS, stream_of
+
+K = 16
+SEGMENTS = (1, 2, 4, 8)
+
+
+def kernel():
+    return GeneralizedEncoder(K, 4).measure(stream_of("s5378")).compressed_size
+
+
+def test_ablation_codeword_count(benchmark, circuit_streams):
+    benchmark.pedantic(kernel, rounds=3, iterations=1)
+
+    table = Table(
+        ["circuit"] + [f"s={s} CR%" for s in SEGMENTS]
+        + [f"s={s} #cw" for s in SEGMENTS],
+        title=f"ablation — segment count vs CR and codeword count (K={K})",
+    )
+    crs = {s: [] for s in SEGMENTS}
+    codewords = {s: [] for s in SEGMENTS}
+    for name in CIRCUITS:
+        stream = circuit_streams[name]
+        row_cr = []
+        row_cw = []
+        for s in SEGMENTS:
+            m = GeneralizedEncoder(K, s).measure(stream)
+            crs[s].append(m.compression_ratio)
+            codewords[s].append(m.num_codewords)
+            row_cr.append(m.compression_ratio)
+            row_cw.append(m.num_codewords)
+        table.add_row(name, *row_cr, *row_cw)
+    avg_cr = {s: sum(v) / len(v) for s, v in crs.items()}
+    max_cw = {s: max(v) for s, v in codewords.items()}
+    table.add_row("Avg/Max", *[avg_cr[s] for s in SEGMENTS],
+                  *[max_cw[s] for s in SEGMENTS])
+    table.print()
+
+    # the half-split is the big win over no split
+    assert avg_cr[2] > avg_cr[1] + 5.0
+    # finer splits: small CR delta, large decoder blow-up
+    assert abs(avg_cr[4] - avg_cr[2]) < 10.0
+    assert max_cw[4] > 4 * max_cw[2]
+    assert max_cw[8] > max_cw[4]
+    # nine cases at s=2 (all observed on real-size streams)
+    assert max_cw[2] <= 9

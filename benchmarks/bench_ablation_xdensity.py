@@ -1,0 +1,59 @@
+"""Ablation — how don't-care density drives the optimal block size.
+
+Connects Table II (ISCAS sets, 68-93 % X, optimal K = 8..16) to
+Table VIII (industrial sets, ~98 % X, optimal K = 32..48): sweeping the
+generator's X density at fixed structure, the best K must move
+monotonically (weakly) to the right and peak CR must rise.
+Timed kernel: one sweep point (x=0.90, K=16).
+"""
+
+from repro.analysis import Table
+from repro.core import NineCEncoder
+from repro.testdata import BenchmarkProfile, generate_stream
+
+X_DENSITIES = (0.60, 0.70, 0.80, 0.90, 0.95, 0.98)
+KS = (4, 8, 12, 16, 24, 32, 48, 64)
+
+_cache = {}
+
+
+def stream_at(x_density):
+    if x_density not in _cache:
+        profile = BenchmarkProfile(
+            f"sweep{x_density}", num_cells=500, num_patterns=200,
+            x_density=x_density, zero_bias=0.62, seed=4242,
+        )
+        _cache[x_density] = generate_stream(profile)
+    return _cache[x_density]
+
+
+def kernel():
+    return NineCEncoder(16).measure(stream_at(0.90)).compression_ratio
+
+
+def test_ablation_x_density(benchmark):
+    benchmark(kernel)
+
+    table = Table(
+        ["X density"] + [f"K={k}" for k in KS] + ["best K", "peak CR%"],
+        title="ablation — X density vs optimal block size "
+              "(bridges Tables II and VIII)",
+    )
+    best_ks = []
+    peaks = []
+    for x_density in X_DENSITIES:
+        stream = stream_at(x_density)
+        crs = {k: NineCEncoder(k).measure(stream).compression_ratio
+               for k in KS}
+        best = max(crs, key=crs.get)
+        best_ks.append(best)
+        peaks.append(crs[best])
+        table.add_row(f"{x_density:.2f}", *[crs[k] for k in KS],
+                      best, crs[best])
+    table.print()
+
+    # optimal K moves (weakly) right as X density grows
+    assert best_ks == sorted(best_ks)
+    assert best_ks[0] <= 16 and best_ks[-1] >= 32
+    # peak CR rises with X density
+    assert peaks == sorted(peaks)

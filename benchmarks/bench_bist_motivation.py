@@ -1,0 +1,53 @@
+"""Section I motivation — BIST vs deterministic compressed test data.
+
+"In practice, BIST cannot replace other test methods ... due to the long
+time needed to detect random pattern resistant faults.  To overcome
+these difficulties, deterministic test patterns need to be transferred
+from the ATE to the SoC."  We quantify that trade on the generated
+circuits: pseudo-random BIST's coverage curve vs the ATPG cube set, and
+the storage the 9C-compressed deterministic set actually needs.
+Timed kernel: a 512-pattern BIST session on g64.
+"""
+
+from repro.analysis import Table
+from repro.atpg import generate_test_cubes
+from repro.bist import run_bist
+from repro.circuits import load_circuit
+from repro.core import NineCEncoder
+
+BUDGET = 2048
+
+
+def kernel():
+    return run_bist(load_circuit("g64"), max_patterns=512,
+                    batch_size=128).fault_coverage
+
+
+def test_bist_vs_deterministic(benchmark):
+    benchmark.pedantic(kernel, rounds=2, iterations=1)
+
+    table = Table(
+        ["circuit", "ATPG patterns", "ATPG cov %", "9C bits",
+         f"BIST cov % @{BUDGET}", "BIST patterns to match", "resistant"],
+        title="Section I motivation — pseudo-random BIST vs "
+              "deterministic + 9C",
+    )
+    for name in ("s27", "g64", "g256"):
+        circuit = load_circuit(name)
+        atpg = generate_test_cubes(circuit)
+        encoding = NineCEncoder(8).encode(atpg.test_set.to_stream())
+        bist = run_bist(circuit, max_patterns=BUDGET, batch_size=128)
+        needed = bist.patterns_to_reach(atpg.fault_coverage)
+        table.add_row(
+            name, len(atpg.test_set), atpg.fault_coverage,
+            encoding.compressed_size, bist.fault_coverage,
+            needed if needed is not None else f">{BUDGET}",
+            len(bist.resistant),
+        )
+        # deterministic quality: ATPG coverage is never below BIST's
+        # achievable coverage on the same collapsed fault list...
+        assert atpg.fault_coverage >= bist.fault_coverage - 5.0, name
+        # ...and BIST needs far more patterns (or never gets there)
+        if needed is not None:
+            assert needed > len(atpg.test_set), name
+    table.print()

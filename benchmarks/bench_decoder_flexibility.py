@@ -1,0 +1,73 @@
+"""Section V comparison — decoder flexibility and test-set independence.
+
+"The 9C technique's decoder is totally independent of the circuit under
+test and precomputed test set ... this feature makes our 9C technique
+superior in terms of cost, flexibility and design reuse."  We quantify
+the axes: per-test-set decoder configuration bits (0 for 9C), worst-case
+codeword window, and number of codewords the control FSM recognizes.
+Timed kernel: one complexity analysis sweep on s5378.
+"""
+
+from repro.analysis import Table
+from repro.codes import (
+    DictionaryCode,
+    FDRCode,
+    GolombCode,
+    NineCCode,
+    SelectiveHuffmanCode,
+    VIHCCode,
+)
+from repro.codes.complexity import decoder_complexity
+
+from conftest import CIRCUITS, stream_of
+
+CODES = [
+    NineCCode(8),
+    GolombCode(4),
+    FDRCode(),
+    VIHCCode(8),
+    SelectiveHuffmanCode(b=8, n=16),
+    DictionaryCode(b=16, d=64),
+]
+
+
+def kernel():
+    stream = stream_of("s5378")
+    return [decoder_complexity(code, stream).table_bits for code in CODES]
+
+
+def test_decoder_flexibility(benchmark, circuit_streams):
+    benchmark.pedantic(kernel, rounds=3, iterations=1)
+
+    table = Table(
+        ["code", "codewords", "max cw bits (worst circuit)",
+         "table bits (worst circuit)", "test-set independent"],
+        title="Section V — decoder flexibility comparison",
+    )
+    for code in CODES:
+        worst_window = 0
+        worst_table = 0
+        independent = True
+        for name in CIRCUITS:
+            profile = decoder_complexity(code, circuit_streams[name])
+            worst_window = max(worst_window, profile.max_codeword_bits)
+            worst_table = max(worst_table, profile.table_bits)
+            independent &= profile.test_set_independent
+        table.add_row(code.name, profile.codewords, worst_window,
+                      worst_table, independent)
+        if isinstance(code, NineCCode):
+            ninec = (worst_window, worst_table, independent)
+    table.print()
+
+    # The paper's §V claims, as assertions:
+    window, table_bits, independent = ninec
+    assert independent and table_bits == 0
+    assert window == 5  # fixed 5-bit worst case regardless of data
+    for code in CODES:
+        if isinstance(code, NineCCode):
+            continue
+        for name in CIRCUITS:
+            profile = decoder_complexity(code, circuit_streams[name])
+            # every rival needs a larger receive window or on-chip tables
+            assert profile.max_codeword_bits > window \
+                or profile.table_bits > 0, (code.name, name)

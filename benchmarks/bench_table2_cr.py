@@ -1,0 +1,53 @@
+"""Table II — compression ratio CR% for K in {4..32} on six circuits.
+
+Shape claims checked (paper Section IV):
+* CR peaks at K=8 or K=16 for every circuit, then declines;
+* K=32 is the worst sweep point;
+* K=8 has the best average CR across the benchmarks.
+Timed kernel: one vectorized measure() of s5378 at K=8.
+"""
+
+from repro.analysis import Table
+from repro.core import NineCEncoder
+from repro.testdata import TABLE2_BLOCK_SIZES
+
+from conftest import CIRCUITS, stream_of
+
+
+def kernel():
+    return NineCEncoder(8).measure(stream_of("s5378")).compression_ratio
+
+
+def test_table2_compression_ratio(benchmark, circuit_streams):
+    benchmark(kernel)
+
+    results = {
+        name: {
+            k: NineCEncoder(k).measure(stream).compression_ratio
+            for k in TABLE2_BLOCK_SIZES
+        }
+        for name, stream in circuit_streams.items()
+    }
+
+    table = Table(
+        ["circuit", "|T_D|"] + [f"K={k}" for k in TABLE2_BLOCK_SIZES],
+        title="Table II — CR% for different K",
+    )
+    for name in CIRCUITS:
+        table.add_row(name, len(circuit_streams[name]),
+                      *[results[name][k] for k in TABLE2_BLOCK_SIZES])
+    averages = [
+        sum(results[name][k] for name in CIRCUITS) / len(CIRCUITS)
+        for k in TABLE2_BLOCK_SIZES
+    ]
+    table.add_row("Avg", "", *averages)
+    table.print()
+
+    for name in CIRCUITS:
+        row = results[name]
+        best = max(row, key=row.get)
+        assert best in (8, 12, 16, 20, 24), (name, best)
+        assert row[32] < row[best], name
+    by_k = dict(zip(TABLE2_BLOCK_SIZES, averages))
+    assert max(by_k, key=by_k.get) == 8, "paper: K=8 wins on average"
+    assert by_k[32] == min(by_k.values()), "paper: K=32 compresses least"

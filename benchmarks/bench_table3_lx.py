@@ -1,0 +1,55 @@
+"""Table III — leftover don't-cares LX% for K in {4..32}.
+
+Shape claims (paper Section IV):
+* LX% grows monotonically with K for every circuit (max at K=32);
+* at K=4 essentially no X survives (2-bit halves must be expanded);
+* LX% never exceeds the circuit's original X%.
+Timed kernel: leftover-X measurement of s13207 at K=16.
+"""
+
+from repro.analysis import Table
+from repro.core import NineCEncoder
+from repro.testdata import ISCAS89_PROFILES, TABLE2_BLOCK_SIZES
+
+from conftest import CIRCUITS, stream_of
+
+
+def kernel():
+    return NineCEncoder(16).measure(stream_of("s13207")).leftover_x_percent
+
+
+def test_table3_leftover_x(benchmark, circuit_streams):
+    benchmark(kernel)
+
+    results = {
+        name: {
+            k: NineCEncoder(k).measure(stream).leftover_x_percent
+            for k in TABLE2_BLOCK_SIZES
+        }
+        for name, stream in circuit_streams.items()
+    }
+
+    table = Table(
+        ["circuit", "X%"] + [f"K={k}" for k in TABLE2_BLOCK_SIZES],
+        title="Table III — leftover don't-cares (LX%) for different K",
+    )
+    for name in CIRCUITS:
+        stream = circuit_streams[name]
+        table.add_row(name, stream.x_density * 100,
+                      *[results[name][k] for k in TABLE2_BLOCK_SIZES])
+    averages = [
+        sum(results[name][k] for name in CIRCUITS) / len(CIRCUITS)
+        for k in TABLE2_BLOCK_SIZES
+    ]
+    table.add_row("Avg", "", *averages)
+    table.print()
+
+    for name in CIRCUITS:
+        row = [results[name][k] for k in TABLE2_BLOCK_SIZES]
+        assert row == sorted(row), f"{name}: LX must grow with K"
+        assert row[0] < 1.0, f"{name}: K=4 leaves almost no X"
+        x_percent = circuit_streams[name].x_density * 100
+        assert all(v <= x_percent for v in row), name
+    # Paper conclusion: leftover X is a usable 10-25%-scale fraction at
+    # moderate-to-large K.
+    assert max(averages) > 10.0

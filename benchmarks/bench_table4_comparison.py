@@ -1,0 +1,57 @@
+"""Table IV — 9C vs FDR, VIHC, MTC and selective Huffman (+ extras).
+
+Every code runs at its per-circuit best parameterization (as the
+literature reports them).  Shape claim: 9C's *average* CR tops the
+compared field (the paper's last-row claim); per-circuit wins may vary.
+Timed kernel: FDR compression of s5378.
+"""
+
+from repro.analysis import Table
+from repro.codes import FDRCode, table4_codes
+from repro.core import NineCEncoder
+
+from conftest import CIRCUITS, stream_of
+
+#: Codes in the paper's Table IV plus the extra baselines we implement.
+PAPER_CODES = ("9c", "fdr", "vihc", "mtc", "selhuff")
+EXTRA_CODES = ("efdr", "arl", "golomb", "dict")
+
+
+def kernel():
+    return FDRCode().compress(stream_of("s5378")).compressed_size
+
+
+def test_table4_comparison(benchmark, circuit_streams):
+    benchmark(kernel)
+
+    all_codes = PAPER_CODES + EXTRA_CODES
+    results = {}
+    best_k = {}
+    for name, stream in circuit_streams.items():
+        codes = table4_codes(stream)
+        best_k[name] = codes["9c"].k
+        results[name] = {
+            code_name: codes[code_name].compression_ratio(stream)
+            for code_name in all_codes
+        }
+
+    table = Table(["circuit", "K"] + list(all_codes),
+                  title="Table IV — CR% comparison between techniques "
+                        "(paper columns first)")
+    for name in CIRCUITS:
+        table.add_row(name, best_k[name],
+                      *[results[name][c] for c in all_codes])
+    averages = {
+        c: sum(results[name][c] for name in CIRCUITS) / len(CIRCUITS)
+        for c in all_codes
+    }
+    table.add_row("Avg", "", *[averages[c] for c in all_codes])
+    table.print()
+
+    # Paper's claim: the 9C average beats the compared techniques.
+    for rival in PAPER_CODES[1:]:
+        assert averages["9c"] > averages[rival], rival
+    # And 9C at best-K matches the standalone encoder's number.
+    for name in CIRCUITS:
+        check = NineCEncoder(best_k[name]).measure(circuit_streams[name])
+        assert abs(check.compression_ratio - results[name]["9c"]) < 1e-9

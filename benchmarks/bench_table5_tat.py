@@ -1,0 +1,72 @@
+"""Table V — test application time reduction TAT% vs p = f_scan/f_ate.
+
+Shape claims (paper Section III-C / IV):
+* TAT% is bounded above by CR% and approaches it as p grows;
+* TAT% increases monotonically with p;
+* the analytic model agrees cycle-for-cycle with the cycle-accurate
+  single-scan decompressor.
+Timed kernel: analytic TAT of s5378 at K=8, p=8.
+"""
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    analyze,
+    compressed_time_ate_cycles,
+    trace_time_ate_cycles,
+)
+from repro.codes import best_ninec
+from repro.core import NineCEncoder
+from repro.decompressor import SingleScanDecompressor
+
+from conftest import CIRCUITS, stream_of
+
+P_VALUES = (2, 4, 8, 16)
+
+
+def kernel():
+    return analyze(stream_of("s5378"), 8, 8).tat_percent
+
+
+def test_table5_tat(benchmark, circuit_streams):
+    benchmark(kernel)
+
+    table = Table(
+        ["circuit", "K", "CR%"] + [f"TAT% p={p}" for p in P_VALUES],
+        title="Table V — test application time reduction (TAT%)",
+    )
+    rows = {}
+    ks = {}
+    for name in CIRCUITS:
+        stream = circuit_streams[name]
+        k = best_ninec(stream).k
+        ks[name] = k
+        reports = {p: analyze(stream, k, p) for p in P_VALUES}
+        rows[name] = reports
+        table.add_row(name, k, reports[P_VALUES[0]].compression_ratio,
+                      *[reports[p].tat_percent for p in P_VALUES])
+    averages = [
+        sum(rows[name][p].tat_percent for name in CIRCUITS) / len(CIRCUITS)
+        for p in P_VALUES
+    ]
+    table.add_row("Avg", "", "", *averages)
+    table.print()
+
+    for name in CIRCUITS:
+        reports = rows[name]
+        tats = [reports[p].tat_percent for p in P_VALUES]
+        cr = reports[P_VALUES[0]].compression_ratio
+        assert tats == sorted(tats), f"{name}: TAT must grow with p"
+        assert all(t <= cr for t in tats), f"{name}: TAT bounded by CR"
+
+    # Cross-validate the analytic model against the cycle-accurate
+    # architecture on one circuit at every p.
+    stream = circuit_streams["s5378"]
+    encoding = NineCEncoder(ks["s5378"]).encode(stream)
+    for p in P_VALUES:
+        trace = SingleScanDecompressor(ks["s5378"], p=p).run_encoding(encoding)
+        analytic = compressed_time_ate_cycles(
+            encoding.case_counts, ks["s5378"], p
+        )
+        assert trace_time_ate_cycles(trace, p) == pytest.approx(analytic)

@@ -1,0 +1,60 @@
+"""Table VIII — compression of two large (IBM-like) industrial test sets.
+
+The paper's CKT1/CKT2 are proprietary multi-million-gate circuits with
+Mbit-scale, ~98%-X test sets; per DESIGN.md §4 we use calibrated
+surrogates of the same scale.  Shape claims:
+* CR keeps improving well past the ISCAS-optimal K=8/16;
+* the CKT1-like set (higher X) peaks at a larger K than the CKT2-like
+  set (paper: K=48 vs K=32);
+* CR at the peak exceeds 90% (very sparse industrial cubes).
+Timed kernel: vectorized measure() of the CKT2 surrogate at K=32.
+"""
+
+from repro.analysis import Table
+from repro.core import NineCEncoder
+from repro.testdata import IBM_PROFILES, TABLE8_BLOCK_SIZES, load_benchmark
+
+_cache = {}
+
+
+def ibm_stream(name):
+    if name not in _cache:
+        _cache[name] = load_benchmark(name).to_stream()
+    return _cache[name]
+
+
+def kernel():
+    return NineCEncoder(32).measure(ibm_stream("ckt2")).compression_ratio
+
+
+def test_table8_ibm(benchmark):
+    benchmark(kernel)
+
+    results = {}
+    table = Table(
+        ["circuit", "X%", "|T_D|"] + [f"K={k}" for k in TABLE8_BLOCK_SIZES],
+        title="Table VIII — CR% for two large industrial-scale test sets",
+    )
+    for name, profile in IBM_PROFILES.items():
+        stream = ibm_stream(name)
+        row = {
+            k: NineCEncoder(k).measure(stream).compression_ratio
+            for k in TABLE8_BLOCK_SIZES
+        }
+        results[name] = row
+        table.add_row(name, profile.x_density * 100, len(stream),
+                      *[row[k] for k in TABLE8_BLOCK_SIZES])
+    table.print()
+
+    peak1 = max(results["ckt1"], key=results["ckt1"].get)
+    peak2 = max(results["ckt2"], key=results["ckt2"].get)
+    assert peak1 > 16 and peak2 > 16, "large sparse sets favour large K"
+    assert peak1 >= peak2, \
+        "higher X density pushes the optimum to larger K (paper: 48 vs 32)"
+    assert results["ckt1"][peak1] > 90.0
+    assert results["ckt2"][peak2] > 90.0
+    # Monotone rise up to the peak for both circuits.
+    for name in IBM_PROFILES:
+        row = [results[name][k] for k in TABLE8_BLOCK_SIZES]
+        peak_index = row.index(max(row))
+        assert row[: peak_index + 1] == sorted(row[: peak_index + 1]), name

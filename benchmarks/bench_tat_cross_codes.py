@@ -1,0 +1,57 @@
+"""Extension — TAT% across the whole Table IV field.
+
+The paper gives TAT only for 9C (Table V); the same two-domain clock
+model (`repro.codes.timing`) prices every baseline, so the comparison
+extends to test *time*, not just test *volume*.  Shape claims: each
+code's TAT% is bounded by its CR%; 9C has the best average TAT at the
+realistic p=8, mirroring its Table IV CR win.
+Timed kernel: a timing report for FDR on s5378.
+"""
+
+from repro.analysis import Table
+from repro.codes import FDRCode, GolombCode, MTCCode, NineCCode, VIHCCode
+from repro.codes import best_ninec
+from repro.codes.timing import timing_report
+
+from conftest import CIRCUITS, stream_of
+
+P = 8
+
+
+def kernel():
+    return timing_report(FDRCode(), stream_of("s5378"), p=P).tat_percent
+
+
+def test_tat_across_codes(benchmark, circuit_streams):
+    benchmark(kernel)
+
+    table = Table(
+        ["circuit", "9c", "fdr", "golomb", "vihc", "mtc"],
+        title=f"extension — TAT% across codes at p={P} "
+              "(two-domain clock model)",
+    )
+    sums = {}
+    for name in CIRCUITS:
+        stream = circuit_streams[name]
+        codes = {
+            "9c": best_ninec(stream),
+            "fdr": FDRCode(),
+            "golomb": GolombCode(4),
+            "vihc": VIHCCode(8),
+            "mtc": MTCCode(8),
+        }
+        row = {}
+        for label, code in codes.items():
+            report = timing_report(code, stream, p=P)
+            assert report.tat_percent <= report.compression_ratio + 1e-9
+            row[label] = report.tat_percent
+            sums[label] = sums.get(label, 0.0) + report.tat_percent
+        table.add_row(name, row["9c"], row["fdr"], row["golomb"],
+                      row["vihc"], row["mtc"])
+    averages = {label: value / len(CIRCUITS) for label, value in sums.items()}
+    table.add_row("Avg", averages["9c"], averages["fdr"],
+                  averages["golomb"], averages["vihc"], averages["mtc"])
+    table.print()
+
+    for rival in ("fdr", "golomb", "vihc", "mtc"):
+        assert averages["9c"] > averages[rival], rival

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures: the timed
+kernel (pytest-benchmark) is a representative operation, and the full
+table is computed once, printed in the paper's layout, and checked
+against the paper's qualitative shape claims.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import pytest
+
+from repro.core.bitvec import TernaryVector
+from repro.testdata import ISCAS89_PROFILES, load_benchmark
+
+#: Circuit order used by all per-circuit tables (the paper's row order).
+CIRCUITS = tuple(ISCAS89_PROFILES)
+
+_streams: Dict[str, TernaryVector] = {}
+
+
+def stream_of(name: str) -> TernaryVector:
+    """Cached concatenated test stream of one benchmark profile."""
+    if name not in _streams:
+        _streams[name] = load_benchmark(name).to_stream()
+    return _streams[name]
+
+
+@pytest.fixture(scope="session")
+def circuit_streams() -> Dict[str, TernaryVector]:
+    """All six ISCAS'89 streams, generated once per session."""
+    return {name: stream_of(name) for name in CIRCUITS}

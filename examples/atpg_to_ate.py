@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""End-to-end DFT flow on a generated full-scan circuit.
+
+circuit -> collapsed stuck-at faults -> PODEM test cubes -> static
+compaction -> 9C compression -> cycle-accurate on-chip decompression ->
+random X-fill -> fault simulation.  The closing assertion is the whole
+point of leftover-X compression: coverage after the compressed round
+trip equals coverage of the raw cubes.
+
+Run:  python examples/atpg_to_ate.py
+"""
+
+import os
+
+from repro.analysis import Table, leftover_x_coverage_experiment
+from repro.atpg import generate_test_cubes
+from repro.circuits import fault_simulate, load_circuit
+from repro.core import NineCEncoder
+from repro.decompressor import SingleScanDecompressor
+from repro.testdata import TestSet, fill_test_set
+
+# ATPG_CIRCUIT=g64 gives a fast run (used by the example smoke tests).
+CIRCUIT = os.environ.get("ATPG_CIRCUIT", "g256")
+K = 8
+
+
+def main() -> None:
+    circuit = load_circuit(CIRCUIT)
+    print(f"circuit: {circuit!r}")
+
+    # 1. ATPG
+    atpg = generate_test_cubes(circuit)
+    cubes = atpg.test_set
+    print(f"ATPG: {atpg.statistics['collapsed_faults']} collapsed faults, "
+          f"coverage {atpg.fault_coverage:.1f}%, "
+          f"efficiency {atpg.test_efficiency:.1f}%, "
+          f"{len(cubes)} cubes, X density {cubes.x_density * 100:.1f}%")
+
+    # 2. Compress
+    stream = cubes.to_stream()
+    encoding = NineCEncoder(K).encode(stream)
+    print(f"9C @ K={K}: |T_D|={encoding.original_length} -> "
+          f"|T_E|={encoding.compressed_size} "
+          f"(CR {encoding.compression_ratio:.1f}%, "
+          f"leftover X {encoding.leftover_x_percent:.1f}%)")
+
+    # 3. Decompress through the cycle-accurate single-scan architecture
+    decompressor = SingleScanDecompressor(
+        K, p=8, scan_length=circuit.scan_length
+    )
+    trace = decompressor.run_encoding(encoding)
+    decoded = TestSet.from_stream(
+        trace.output[: cubes.total_bits], circuit.scan_length
+    )
+    assert decoded.covers(cubes), "decompressed data must cover the cubes"
+    print(f"decompression: {trace.soc_cycles} SoC cycles, "
+          f"{trace.ate_cycles} ATE cycles, "
+          f"{len(trace.patterns)} patterns delivered")
+
+    # 4. Fill the leftover X randomly and fault-simulate
+    applied = fill_test_set(decoded, "random", seed=42)
+    graded = fault_simulate(circuit, applied, atpg.detected)
+    assert not graded.undetected, "compression must not lose coverage"
+    print(f"after round trip + random fill: "
+          f"{len(graded.detected)}/{len(atpg.detected)} targeted faults "
+          f"still detected")
+
+    # 5. Leftover-X bonus: random fill vs constant fills on extra faults
+    reports = leftover_x_coverage_experiment(atpg, k=K, seed=7)
+    table = Table(["fill", "bonus faults detected", "coverage %"],
+                  title="non-modeled-fault proxy (faults beyond ATPG targets)")
+    for strategy, report in sorted(reports.items()):
+        table.add_row(strategy, report.bonus_detected,
+                      report.coverage_percent)
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: compress a scan test set with 9C and get it back.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import NineCDecoder, NineCEncoder, TernaryVector, coding_table
+from repro.analysis import Table
+from repro.testdata import TestSet, load_benchmark
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The nine-codeword code itself (paper Table I, K=8)
+    # ------------------------------------------------------------------
+    table = Table(["case", "input block", "codeword", "size (bits)"],
+                  title="9C coding table for K=8")
+    for row in coding_table(8):
+        table.add_row(row.case.name, row.input_block, row.codeword,
+                      row.size_bits)
+    print(table.render())
+
+    # ------------------------------------------------------------------
+    # 2. Compress a tiny hand-made test set
+    # ------------------------------------------------------------------
+    cubes = TestSet.from_strings(
+        ["00000000" "0000X01X",
+         "1X1X111X" "00001111",
+         "XXXXXXXX" "01XX10XX"],
+        name="demo",
+    )
+    stream = cubes.to_stream()
+    encoder = NineCEncoder(k=8)
+    encoding = encoder.encode(stream)
+    print(f"\n|T_D| = {encoding.original_length} bits, "
+          f"|T_E| = {encoding.compressed_size} bits, "
+          f"CR = {encoding.compression_ratio:.1f}%, "
+          f"leftover X = {encoding.leftover_x}")
+
+    decoded = NineCDecoder(k=8).decode(encoding)
+    assert decoded.covers(stream), "decode must preserve every specified bit"
+    print(f"decoded stream covers the original cubes: "
+          f"{decoded.covers(stream)}")
+
+    # ------------------------------------------------------------------
+    # 3. A real benchmark profile (MinTest-calibrated surrogate)
+    # ------------------------------------------------------------------
+    bench = load_benchmark("s5378")
+    result = encoder.encode(bench.to_stream())
+    print(f"\ns5378: |T_D| = {result.original_length}, "
+          f"CR @ K=8 = {result.compression_ratio:.2f}%, "
+          f"LX = {result.leftover_x_percent:.2f}% of T_D")
+    stats = ", ".join(f"N{case.value}={count}"
+                      for case, count in result.case_counts.items())
+    print(f"codeword statistics: {stats}")
+
+
+if __name__ == "__main__":
+    main()

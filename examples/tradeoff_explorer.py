@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Explore the 9C trade-off space on one benchmark.
+
+The paper's Section IV argues 9C lets the DFT engineer trade off
+compression ratio, leftover don't-cares (for non-modeled-fault fill),
+test application time and scan-in power by choosing K.  This example
+walks all four axes for one circuit.
+
+Run:  python examples/tradeoff_explorer.py [benchmark]
+"""
+
+import sys
+
+from repro.analysis import Table, choose_k, compare_fills, pareto_front, sweep_p
+from repro.core import NineCDecoder, NineCEncoder
+from repro.testdata import TABLE2_BLOCK_SIZES, TestSet, load_benchmark
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "s15850"
+    bench = load_benchmark(name)
+    stream = bench.to_stream()
+    print(f"{name}: {bench.total_bits} bits, "
+          f"{bench.x_density * 100:.1f}% don't-cares")
+
+    # --- CR / LX sweep (Tables II + III in one) ------------------------
+    table = Table(["K", "CR%", "LX%", "TAT% (p=8)"],
+                  title="block-size sweep")
+    for k in TABLE2_BLOCK_SIZES:
+        enc = NineCEncoder(k).measure(stream)
+        tat = sweep_p(stream, k, ps=(8,))[8]
+        table.add_row(k, enc.compression_ratio, enc.leftover_x_percent,
+                      tat.tat_percent)
+    table.print()
+
+    # --- Pareto front ---------------------------------------------------
+    front = pareto_front(stream)
+    print("\nPareto-optimal K values (CR% vs LX%):",
+          ", ".join(str(k) for k in sorted(front)))
+
+    # --- constrained choice ----------------------------------------------
+    for floor in (0.0, 10.0, 20.0):
+        choice = choose_k(stream, min_leftover_x_percent=floor)
+        print(f"LX >= {floor:4.1f}%  ->  K={choice.k:2d}  "
+              f"CR={choice.compression_ratio:5.2f}%  "
+              f"LX={choice.leftover_x_percent:5.2f}%")
+
+    # --- power of the leftover-X fills -----------------------------------
+    choice = choose_k(stream, min_leftover_x_percent=10.0)
+    encoding = NineCEncoder(choice.k).encode(stream)
+    decoded = NineCDecoder(choice.k).decode(encoding)
+    decoded_set = TestSet.from_stream(decoded, bench.num_cells)
+    report = compare_fills(decoded_set)
+    table = Table(["fill", "total WTM", "peak WTM", "vs random"],
+                  title=f"scan-in power of leftover-X fills (K={choice.k})")
+    for strategy in ("random", "zero", "one", "mt"):
+        table.add_row(strategy, report.total[strategy],
+                      report.peak[strategy],
+                      f"{report.reduction_vs_random(strategy):+.1f}%")
+    table.print()
+    print("\nMT-fill of the surviving don't-cares cuts scan power; random "
+          "fill buys non-modeled-fault coverage — the user picks.")
+
+
+if __name__ == "__main__":
+    main()

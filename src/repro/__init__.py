@@ -1,0 +1,57 @@
+"""repro — reproduction of the 9C nine-coded test-data compression technique.
+
+Reference: M. Tehranipoor, M. Nourani, K. Chakrabarty, "Nine-Coded
+Compression Technique with Application to Reduced Pin-Count Testing and
+Flexible On-Chip Decompression", DATE 2004.
+
+Package map
+-----------
+``repro.core``
+    The 9C code itself: ternary vectors, the nine-codeword codebook,
+    encoder/decoder, metrics and frequency-directed re-assignment.
+``repro.codes``
+    Baseline test-data compression codes used in the paper's Table IV
+    comparison (Golomb, FDR, EFDR, alternating run-length, VIHC,
+    selective Huffman, MTC approximation, fixed-index dictionary).
+``repro.circuits`` / ``repro.atpg``
+    Gate-level full-scan circuit substrate: .bench netlists, logic and
+    fault simulation, PODEM ATPG and test compaction — used to generate
+    genuine test cubes end-to-end.
+``repro.testdata``
+    Test-set model, calibrated MinTest-like benchmark profiles and X-fill
+    strategies.
+``repro.decompressor``
+    Cycle-accurate models of the on-chip decompression architectures
+    (Figures 1-4): FSM, single-scan, multi-scan single-pin and parallel
+    multi-decoder organizations, plus decoder gate-cost estimation.
+``repro.analysis``
+    Test-application-time model (Section III-C), scan-power analysis,
+    CR/LX trade-off selection and reporting helpers.
+"""
+
+from .core import (
+    BlockCase,
+    Codebook,
+    Encoding,
+    NineCDecoder,
+    NineCEncoder,
+    TernaryVector,
+    coding_table,
+    frequency_directed,
+    verify_roundtrip,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TernaryVector",
+    "BlockCase",
+    "Codebook",
+    "NineCEncoder",
+    "NineCDecoder",
+    "Encoding",
+    "coding_table",
+    "frequency_directed",
+    "verify_roundtrip",
+    "__version__",
+]

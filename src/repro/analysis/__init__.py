@@ -1,0 +1,83 @@
+"""Analyses over the 9C flow: timing, power, trade-offs, coverage."""
+
+from .ate_resources import (
+    ATEConfig,
+    ResourceReport,
+    parallel_resources,
+    single_pin_resources,
+)
+from .coverage import (
+    FillCoverage,
+    fill_coverage,
+    leftover_x_coverage_experiment,
+)
+from .entropy import (
+    EfficiencyReport,
+    case_entropy_bits,
+    coding_efficiency,
+    huffman_optimal_bits,
+)
+from .ordering import (
+    greedy_order,
+    hamming_distance,
+    ordering_gain,
+    reorder_for_power,
+    sequence_dissimilarity,
+)
+from .power import PowerReport, compare_fills, peak_wtm, test_set_wtm, wtm
+from .report import Table, format_cell
+from .statistics import (
+    TestDataStatistics,
+    analyze_stream,
+    analyze_test_set,
+    mt_run_profile,
+)
+from .tat import (
+    TATReport,
+    analyze,
+    codeword_time_ate_cycles,
+    compressed_time_ate_cycles,
+    sweep_p,
+    trace_time_ate_cycles,
+)
+from .tradeoff import DEFAULT_KS, TradeoffChoice, choose_k, pareto_front
+
+__all__ = [
+    "TATReport",
+    "analyze",
+    "sweep_p",
+    "codeword_time_ate_cycles",
+    "compressed_time_ate_cycles",
+    "trace_time_ate_cycles",
+    "wtm",
+    "test_set_wtm",
+    "peak_wtm",
+    "PowerReport",
+    "compare_fills",
+    "TradeoffChoice",
+    "choose_k",
+    "pareto_front",
+    "DEFAULT_KS",
+    "FillCoverage",
+    "fill_coverage",
+    "leftover_x_coverage_experiment",
+    "Table",
+    "format_cell",
+    "EfficiencyReport",
+    "coding_efficiency",
+    "case_entropy_bits",
+    "huffman_optimal_bits",
+    "hamming_distance",
+    "greedy_order",
+    "reorder_for_power",
+    "sequence_dissimilarity",
+    "ordering_gain",
+    "TestDataStatistics",
+    "analyze_stream",
+    "analyze_test_set",
+    "mt_run_profile",
+    "ATEConfig",
+    "ResourceReport",
+    "single_pin_resources",
+    "parallel_resources",
+]

@@ -1,0 +1,100 @@
+"""ATE resource modeling — memory depth, channels, bandwidth.
+
+The paper's opening problem statement: SoC test is limited by ATE
+memory, ATE bandwidth and pin availability.  This module quantifies
+what 9C buys on each axis for a given tester configuration: vector
+memory utilization before/after compression, the channel (pin) count
+each Figure-4 architecture needs, and the effective stimulus bandwidth
+amplification (scan bits delivered per ATE cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.encoder import Encoding
+
+
+@dataclass(frozen=True)
+class ATEConfig:
+    """One tester: per-channel vector memory and channel count."""
+
+    vector_memory_bits_per_channel: int = 16 * 2**20  # 16 Mbit, a small ATE
+    num_channels: int = 8
+    f_ate_hz: float = 50e6
+
+    def __post_init__(self):
+        if self.vector_memory_bits_per_channel < 1:
+            raise ValueError("vector memory must be positive")
+        if self.num_channels < 1:
+            raise ValueError("need at least one channel")
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Memory/bandwidth accounting for one compressed test."""
+
+    uncompressed_bits: int
+    compressed_bits: int
+    channels_used: int
+    memory_per_channel_bits: int
+    soc_bits_delivered: int
+    ate_cycles: float
+
+    @property
+    def memory_saving_percent(self) -> float:
+        """Vector-memory reduction vs storing T_D raw."""
+        if self.uncompressed_bits == 0:
+            return 0.0
+        return (
+            (self.uncompressed_bits - self.compressed_bits)
+            / self.uncompressed_bits * 100.0
+        )
+
+    @property
+    def bandwidth_amplification(self) -> float:
+        """Scan bits delivered per ATE cycle per used channel (>1 is the
+        win: the on-chip decoder expands what the pin carries)."""
+        if self.ate_cycles == 0:
+            return 0.0
+        return self.soc_bits_delivered / (self.ate_cycles
+                                          * self.channels_used)
+
+    def fits(self, config: ATEConfig) -> bool:
+        """Does the compressed test fit the tester's vector memory?"""
+        return (
+            self.channels_used <= config.num_channels
+            and self.memory_per_channel_bits
+            <= config.vector_memory_bits_per_channel
+        )
+
+
+def single_pin_resources(encoding: Encoding) -> ResourceReport:
+    """Resource report for the Figure 1/3 single-pin architectures."""
+    return ResourceReport(
+        uncompressed_bits=encoding.original_length,
+        compressed_bits=encoding.compressed_size,
+        channels_used=1,
+        memory_per_channel_bits=encoding.compressed_size,
+        soc_bits_delivered=encoding.original_length,
+        ate_cycles=float(encoding.compressed_size),
+    )
+
+
+def parallel_resources(encodings) -> ResourceReport:
+    """Resource report for the Figure 4c multi-decoder architecture.
+
+    Each group has its own channel; test ends when the slowest group
+    finishes, and per-channel memory is the largest group stream.
+    """
+    encodings = list(encodings)
+    if not encodings:
+        raise ValueError("need at least one group encoding")
+    return ResourceReport(
+        uncompressed_bits=sum(e.original_length for e in encodings),
+        compressed_bits=sum(e.compressed_size for e in encodings),
+        channels_used=len(encodings),
+        memory_per_channel_bits=max(e.compressed_size for e in encodings),
+        soc_bits_delivered=sum(e.original_length for e in encodings),
+        ate_cycles=float(max(e.compressed_size for e in encodings)),
+    )

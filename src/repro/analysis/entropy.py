@@ -1,0 +1,102 @@
+"""Coding-efficiency analysis.
+
+The paper argues its codeword statistics "indicate the coding
+efficiency" of the fixed Table-I assignment.  This module quantifies
+that: given the observed case distribution, the entropy bound is the
+best any prefix code over the nine cases could do (payload bits for
+mismatch halves are incompressible under the scheme and identical for
+every assignment), so
+
+    efficiency = ideal codeword bits / actual codeword bits
+
+measures how close the fixed {1,2,4,5...} lengths come to the per-data
+optimum.  The Table-VI claim translates to efficiency near 1.0 on test
+data whose statistics follow the designed ordering.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.bitvec import TernaryVector
+from ..core.codewords import BlockCase, Codebook
+from ..core.encoder import NineCEncoder
+
+
+def case_entropy_bits(case_counts: Dict[BlockCase, int]) -> float:
+    """Shannon entropy (bits/block) of the case distribution."""
+    total = sum(case_counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in case_counts.values():
+        if count:
+            p = count / total
+            entropy -= p * math.log2(p)
+    return entropy
+
+
+def huffman_optimal_bits(case_counts: Dict[BlockCase, int]) -> int:
+    """Total codeword bits of the per-data optimal prefix code."""
+    from ..codes.huffman import huffman_code_lengths
+
+    lengths = huffman_code_lengths(
+        {case: count for case, count in case_counts.items() if count}
+    )
+    return sum(lengths[case] * count
+               for case, count in case_counts.items() if count)
+
+
+@dataclass(frozen=True)
+class EfficiencyReport:
+    """How close 9C's fixed lengths come to the information bound."""
+
+    k: int
+    blocks: int
+    actual_codeword_bits: int
+    huffman_codeword_bits: int
+    entropy_bits_per_block: float
+    payload_bits: int
+
+    @property
+    def entropy_bound_bits(self) -> float:
+        """Information-theoretic floor for the codeword part."""
+        return self.entropy_bits_per_block * self.blocks
+
+    @property
+    def efficiency_vs_huffman(self) -> float:
+        """Optimal prefix-code bits / actual bits (1.0 = optimal)."""
+        if self.actual_codeword_bits == 0:
+            return 1.0
+        return self.huffman_codeword_bits / self.actual_codeword_bits
+
+    @property
+    def efficiency_vs_entropy(self) -> float:
+        """Entropy bound / actual bits (<= efficiency_vs_huffman)."""
+        if self.actual_codeword_bits == 0:
+            return 1.0
+        return self.entropy_bound_bits / self.actual_codeword_bits
+
+
+def coding_efficiency(
+    data: TernaryVector,
+    k: int,
+    codebook: Optional[Codebook] = None,
+) -> EfficiencyReport:
+    """Efficiency of the (possibly re-assigned) 9C lengths on ``data``."""
+    codebook = codebook or Codebook.default()
+    measurement = NineCEncoder(k, codebook).measure(data)
+    counts = measurement.case_counts
+    actual = sum(codebook.length(case) * count
+                 for case, count in counts.items())
+    payload = measurement.compressed_size - actual
+    return EfficiencyReport(
+        k=k,
+        blocks=sum(counts.values()),
+        actual_codeword_bits=actual,
+        huffman_codeword_bits=huffman_optimal_bits(counts),
+        entropy_bits_per_block=case_entropy_bits(counts),
+        payload_bits=payload,
+    )

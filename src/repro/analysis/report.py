@@ -1,0 +1,83 @@
+"""Fixed-width table rendering used by every benchmark harness.
+
+Benches print the same rows/columns the paper's tables report; this
+module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    """Numbers get fixed precision; everything else is str()'d."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+class Table:
+    """A minimal monospace table builder."""
+
+    def __init__(self, headers: Sequence[str], precision: int = 2,
+                 title: str = ""):
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+        self.precision = precision
+        self.title = title
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row (must match the header width)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append([format_cell(c, self.precision) for c in cells])
+
+    def render(self) -> str:
+        """Render the table with column-wise alignment."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Iterable[str]) -> str:
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        parts = []
+        if self.title:
+            parts.append(self.title)
+        parts.append(line(self.headers))
+        parts.append("  ".join("-" * w for w in widths))
+        parts.extend(line(row) for row in self.rows)
+        return "\n".join(parts)
+
+    def print(self) -> None:
+        """Print with a leading newline so pytest-benchmark output reads."""
+        print("\n" + self.render())
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        parts = []
+        if self.title:
+            parts.append(f"**{self.title}**")
+            parts.append("")
+        parts.append("| " + " | ".join(self.headers) + " |")
+        parts.append("|" + "|".join("---" for _ in self.headers) + "|")
+        parts.extend("| " + " | ".join(row) + " |" for row in self.rows)
+        return "\n".join(parts)
+
+    def to_csv(self) -> str:
+        """Render as CSV (quoted where needed)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()

@@ -1,0 +1,124 @@
+"""Test application time analysis (paper Section III-C, Table V).
+
+All times are expressed in ATE clock cycles (multiply by ``1/f_ate`` for
+seconds).  With the SoC scan clock ``p`` times faster than the ATE:
+
+* codeword bits arrive serially: |C_i| ATE cycles;
+* a uniform half is generated on-chip: (K/2) SoC cycles = K/(2p) ATE;
+* a mismatch half streams from the ATE: K/2 ATE cycles.
+
+This reproduces the paper's per-codeword terms, e.g. t1 = N1 (1 + K/p)
+and t9 = N9 (4 + K), and is cross-validated cycle-for-cycle against the
+:class:`~repro.decompressor.single_scan.SingleScanDecompressor` trace.
+The uncompressed baseline streams |T_D| raw bits at ATE speed:
+t_nocomp = |T_D| ATE cycles, so TAT% -> CR% as p grows (the paper's
+"TAT is bounded by CR").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..core.bitvec import TernaryVector
+from ..core.codewords import BlockCase, Codebook, HalfKind
+from ..core.encoder import NineCEncoder
+
+
+def codeword_time_ate_cycles(
+    case: BlockCase, k: int, p: int, codebook: Optional[Codebook] = None
+) -> float:
+    """ATE cycles to receive + apply one block of the given case."""
+    codebook = codebook or Codebook.default()
+    cycles = float(codebook.length(case))
+    for kind in case.halves:
+        if kind is HalfKind.MISMATCH:
+            cycles += k / 2
+        else:
+            cycles += k / (2 * p)
+    return cycles
+
+
+def compressed_time_ate_cycles(
+    case_counts: Dict[BlockCase, int],
+    k: int,
+    p: int,
+    codebook: Optional[Codebook] = None,
+) -> float:
+    """t_comp in ATE cycles for a whole encoding."""
+    return sum(
+        count * codeword_time_ate_cycles(case, k, p, codebook)
+        for case, count in case_counts.items()
+    )
+
+
+@dataclass(frozen=True)
+class TATReport:
+    """TAT analysis of one test set at one (K, p) point."""
+
+    k: int
+    p: int
+    original_bits: int
+    compressed_bits: int
+    t_nocomp_ate_cycles: float
+    t_comp_ate_cycles: float
+
+    @property
+    def compression_ratio(self) -> float:
+        """CR% of the underlying encoding."""
+        if self.original_bits == 0:
+            return 0.0
+        return (
+            (self.original_bits - self.compressed_bits)
+            / self.original_bits * 100.0
+        )
+
+    @property
+    def tat_percent(self) -> float:
+        """TAT% = (t_nocomp - t_comp) / t_nocomp * 100."""
+        if self.t_nocomp_ate_cycles == 0:
+            return 0.0
+        return (
+            (self.t_nocomp_ate_cycles - self.t_comp_ate_cycles)
+            / self.t_nocomp_ate_cycles * 100.0
+        )
+
+
+def analyze(
+    data: TernaryVector,
+    k: int,
+    p: int,
+    codebook: Optional[Codebook] = None,
+) -> TATReport:
+    """TAT report for compressing ``data`` with block size ``k`` at ratio p."""
+    measurement = NineCEncoder(k, codebook).measure(data)
+    return TATReport(
+        k=k,
+        p=p,
+        original_bits=measurement.original_length,
+        compressed_bits=measurement.compressed_size,
+        t_nocomp_ate_cycles=float(measurement.original_length),
+        t_comp_ate_cycles=compressed_time_ate_cycles(
+            measurement.case_counts, k, p, codebook
+        ),
+    )
+
+
+def sweep_p(
+    data: TernaryVector,
+    k: int,
+    ps: Iterable[int] = (2, 4, 8, 16),
+    codebook: Optional[Codebook] = None,
+) -> Dict[int, TATReport]:
+    """One Table V row: TAT% across scan-to-ATE frequency ratios."""
+    return {p: analyze(data, k, p, codebook) for p in ps}
+
+
+def trace_time_ate_cycles(trace, p: int) -> float:
+    """Convert a decompressor trace's SoC cycle count to ATE cycles.
+
+    The cycle-accurate simulator counts in SoC cycles with one ATE cycle
+    = p SoC cycles, so dividing by p lands in ATE cycles and must agree
+    exactly with :func:`compressed_time_ate_cycles`.
+    """
+    return trace.soc_cycles / p

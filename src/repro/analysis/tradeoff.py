@@ -1,0 +1,81 @@
+"""CR / leftover-X trade-off selection (paper Section IV).
+
+"Based on Tables II and III, we are able to trade off between the
+leftover don't-cares (LX) and compression ratio.  If the user asks for a
+specific amount of don't-cares [...] K is obtained from Table III and
+the compression ratio is obtained from Table II."  This module is that
+lookup, as an API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from ..core.bitvec import TernaryVector
+from ..core.metrics import CompressionReport, sweep_block_sizes
+
+DEFAULT_KS: Tuple[int, ...] = (4, 8, 12, 16, 20, 24, 28, 32)
+
+
+@dataclass(frozen=True)
+class TradeoffChoice:
+    """The selected operating point."""
+
+    k: int
+    report: CompressionReport
+    sweep: Dict[int, CompressionReport]
+
+    @property
+    def compression_ratio(self) -> float:
+        """CR% at the chosen K."""
+        return self.report.compression_ratio
+
+    @property
+    def leftover_x_percent(self) -> float:
+        """LX% at the chosen K."""
+        return self.report.leftover_x_percent
+
+
+def choose_k(
+    data: TernaryVector,
+    min_leftover_x_percent: float = 0.0,
+    ks: Iterable[int] = DEFAULT_KS,
+) -> TradeoffChoice:
+    """Pick the K with the best CR among those meeting the LX floor.
+
+    ``min_leftover_x_percent`` is the user's requirement for don't-cares
+    kept available (for random fill against non-modeled faults).  When no
+    K meets the floor, the K with the highest LX is returned (the closest
+    achievable point), matching a best-effort reading of the paper.
+    """
+    sweep = sweep_block_sizes(data, ks)
+    eligible = {
+        k: r for k, r in sweep.items()
+        if r.leftover_x_percent >= min_leftover_x_percent
+    }
+    if eligible:
+        best = max(eligible, key=lambda k: eligible[k].compression_ratio)
+    else:
+        best = max(sweep, key=lambda k: sweep[k].leftover_x_percent)
+    return TradeoffChoice(k=best, report=sweep[best], sweep=sweep)
+
+
+def pareto_front(
+    data: TernaryVector,
+    ks: Iterable[int] = DEFAULT_KS,
+) -> Dict[int, CompressionReport]:
+    """K values not dominated in (CR%, LX%) — the trade-off curve."""
+    sweep = sweep_block_sizes(data, ks)
+    front: Dict[int, CompressionReport] = {}
+    for k, report in sweep.items():
+        dominated = any(
+            other.compression_ratio >= report.compression_ratio
+            and other.leftover_x_percent >= report.leftover_x_percent
+            and (other.compression_ratio > report.compression_ratio
+                 or other.leftover_x_percent > report.leftover_x_percent)
+            for ok, other in sweep.items() if ok != k
+        )
+        if not dominated:
+            front[k] = report
+    return front

@@ -1,0 +1,14 @@
+"""Automatic test pattern generation: PODEM, compaction, full flow."""
+
+from .compaction import reverse_order_compact, static_compact
+from .flow import AtpgResult, generate_test_cubes
+from .podem import Podem, PodemResult
+
+__all__ = [
+    "Podem",
+    "PodemResult",
+    "AtpgResult",
+    "generate_test_cubes",
+    "static_compact",
+    "reverse_order_compact",
+]

@@ -1,0 +1,72 @@
+"""Test-set compaction.
+
+*Static compaction* greedily merges compatible cubes (no conflicting
+specified bits), shrinking the pattern count without touching coverage —
+the step that gives MinTest-style sets their high don't-care density.
+
+*Reverse-order compaction* fault-simulates the set backwards with fault
+dropping and keeps only patterns that first-detect some fault (classic
+reverse-order pattern elimination).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.bitvec import TernaryVector
+from ..circuits.fault_sim import fault_simulate_cubes
+from ..circuits.faults import Fault
+from ..circuits.netlist import Netlist
+from ..testdata.testset import TestSet
+
+
+def static_compact(test_set: TestSet, strategy: str = "first_fit") -> TestSet:
+    """Greedy merge of compatible cubes.
+
+    ``first_fit`` merges each cube into the first compatible slot;
+    ``best_fit`` picks the compatible slot sharing the most specified
+    positions (denser packing, fewer final patterns on correlated sets).
+    Both preserve guaranteed detection: a merged cube is a refinement of
+    each constituent, and refining a cube can only *add*
+    guaranteed-detected faults (more specified outputs).
+    """
+    if strategy not in ("first_fit", "best_fit"):
+        raise ValueError(f"unknown compaction strategy {strategy!r}")
+    merged: List[TernaryVector] = []
+    for cube in test_set:
+        candidates = [
+            (index, existing) for index, existing in enumerate(merged)
+            if existing.compatible(cube)
+        ]
+        if not candidates:
+            merged.append(cube)
+            continue
+        if strategy == "first_fit":
+            index, existing = candidates[0]
+        else:
+            import numpy as np
+
+            from ..core.bitvec import X
+
+            def overlap(pair):
+                _i, other = pair
+                return int(np.count_nonzero(
+                    (other.data != X) & (cube.data != X)
+                ))
+
+            index, existing = max(candidates, key=overlap)
+        merged[index] = existing.merge(cube)
+    return TestSet(merged, name=test_set.name)
+
+
+def reverse_order_compact(
+    netlist: Netlist,
+    test_set: TestSet,
+    faults: Sequence[Fault],
+) -> TestSet:
+    """Drop patterns that detect no fault first in reverse order."""
+    reversed_set = TestSet(list(test_set)[::-1], name=test_set.name)
+    result = fault_simulate_cubes(netlist, reversed_set, faults)
+    keep = set(result.essential_patterns())
+    kept = [p for i, p in enumerate(reversed_set) if i in keep]
+    return TestSet(kept[::-1], name=test_set.name)

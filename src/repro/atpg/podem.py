@@ -1,0 +1,312 @@
+"""PODEM automatic test pattern generation.
+
+Classic PODEM (Goel 1981) over the full-scan combinational core, using a
+dual three-valued simulation (good circuit + faulty circuit with the
+fault injected) instead of an explicit five-valued D-algebra: a net
+carries "D" when its good and faulty values are both specified and
+differ.  Decisions are made only at the scan inputs, so the search is
+complete up to the backtrack limit; the result of a successful run is a
+*test cube* — scan-input assignments with every undecided input left X.
+
+The dual simulation is *incremental*: each PI (un)assignment propagates
+event-driven through the fanout cone only, which is what makes PODEM
+practical on thousands of faults.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.bitvec import X, TernaryVector
+from ..circuits.faults import Fault
+from ..circuits.netlist import GateType, Netlist
+from ..circuits.simulator import eval_gate3
+
+#: Gate types whose output inverts the backtraced objective value.
+_INVERTING = {GateType.NAND, GateType.NOR, GateType.NOT, GateType.XNOR}
+
+#: Controlling input value per gate type (None: no controlling value).
+_CONTROLLING = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+
+@dataclass
+class PodemResult:
+    """Outcome of one PODEM run."""
+
+    fault: Fault
+    status: str  # "detected" | "untestable" | "aborted"
+    cube: Optional[TernaryVector]
+    backtracks: int
+    decisions: int
+
+    @property
+    def detected(self) -> bool:
+        """True when a test cube was found."""
+        return self.status == "detected"
+
+
+class _IncrementalDualSim:
+    """Event-driven three-valued simulation of good + faulty circuits."""
+
+    def __init__(self, netlist: Netlist, fault: Fault):
+        self.netlist = netlist
+        self.fault = fault
+        self._order = netlist.topological_order()
+        self._position = {name: i for i, name in enumerate(self._order)}
+        self._fanouts = netlist.fanouts()
+        self.good: Dict[str, int] = {}
+        self.faulty: Dict[str, int] = {}
+        for net in netlist.scan_inputs:
+            self.good[net] = X
+            self.faulty[net] = X
+        if fault.pin is None and fault.net in self.good:
+            self.faulty[fault.net] = fault.stuck_at
+        for name in self._order:
+            self._evaluate(name)
+        # Nets where good and faulty values can ever differ: the fault
+        # site plus its transitive fanout, in topological order.  The
+        # D-frontier scan is restricted to this cone.
+        cone = set(netlist.transitive_fanout(fault.net))
+        if fault.net in self._position or fault.pin is not None:
+            cone.add(fault.net)
+        self.cone: List[str] = sorted(
+            (n for n in cone if n in self._position),
+            key=self._position.__getitem__,
+        )
+
+    # ------------------------------------------------------------------
+    def set_input(self, net: str, value: int) -> None:
+        """Assign (or with ``value == X`` un-assign) one scan input."""
+        self.good[net] = value
+        if self.fault.pin is None and self.fault.net == net:
+            self.faulty[net] = self.fault.stuck_at
+        else:
+            self.faulty[net] = value
+        self._propagate(net)
+
+    def _evaluate(self, name: str) -> Tuple[int, int]:
+        gate = self.netlist.gates[name]
+        fault = self.fault
+        good_in = [self.good[f] for f in gate.fanins]
+        faulty_in = [self.faulty[f] for f in gate.fanins]
+        if fault.pin is not None and name == fault.net:
+            faulty_in[fault.pin] = fault.stuck_at
+        good_out = eval_gate3(gate.gate_type, good_in)
+        faulty_out = eval_gate3(gate.gate_type, faulty_in)
+        if fault.pin is None and name == fault.net:
+            faulty_out = fault.stuck_at
+        self.good[name] = good_out
+        self.faulty[name] = faulty_out
+        return good_out, faulty_out
+
+    def _propagate(self, start_net: str) -> None:
+        heap: List[int] = []
+        queued = set()
+        for successor in self._fanouts.get(start_net, []):
+            position = self._position.get(successor)
+            if position is not None and successor not in queued:
+                heapq.heappush(heap, position)
+                queued.add(successor)
+        while heap:
+            position = heapq.heappop(heap)
+            name = self._order[position]
+            queued.discard(name)
+            before = (self.good[name], self.faulty[name])
+            after = self._evaluate(name)
+            if after == before:
+                continue
+            for successor in self._fanouts.get(name, []):
+                successor_position = self._position.get(successor)
+                if successor_position is not None and successor not in queued:
+                    heapq.heappush(heap, successor_position)
+                    queued.add(successor)
+
+
+class Podem:
+    """PODEM test generator bound to one netlist.
+
+    ``guided=True`` (default) computes SCOAP testability once and uses
+    it to pick the cheapest backtrace input and the most observable
+    D-frontier gate; ``guided=False`` falls back to first-X selection
+    (the guidance ablation bench compares the two).
+    """
+
+    def __init__(self, netlist: Netlist, backtrack_limit: int = 200,
+                 guided: bool = True):
+        self.netlist = netlist
+        self.backtrack_limit = backtrack_limit
+        self._input_index = {net: i for i, net in enumerate(netlist.scan_inputs)}
+        self._input_set = set(netlist.scan_inputs)
+        self.testability = None
+        if guided:
+            from ..circuits.scoap import compute_testability
+
+            self.testability = compute_testability(netlist)
+
+    # ------------------------------------------------------------------
+    def generate(self, fault: Fault) -> PodemResult:
+        """Search for a test cube detecting ``fault``."""
+        sim = _IncrementalDualSim(self.netlist, fault)
+        assignment: Dict[str, int] = {}
+        # decision stack: (input net, value, already tried both?)
+        stack: List[Tuple[str, int, bool]] = []
+        backtracks = 0
+        decisions = 0
+
+        while True:
+            if self._detected(sim):
+                return PodemResult(
+                    fault, "detected", self._cube(assignment),
+                    backtracks, decisions,
+                )
+            objective = self._objective(fault, sim)
+            target = None
+            if objective is not None:
+                target = self._backtrace(objective, sim.good)
+            if target is None:
+                # conflict (no objective or backtrace dead-ends): backtrack
+                flipped = False
+                while stack:
+                    net, value, tried_both = stack.pop()
+                    del assignment[net]
+                    if not tried_both:
+                        backtracks += 1
+                        if backtracks > self.backtrack_limit:
+                            sim.set_input(net, X)
+                            return PodemResult(
+                                fault, "aborted", None, backtracks, decisions
+                            )
+                        assignment[net] = 1 - value
+                        sim.set_input(net, 1 - value)
+                        stack.append((net, 1 - value, True))
+                        flipped = True
+                        break
+                    sim.set_input(net, X)
+                if not flipped:
+                    return PodemResult(
+                        fault, "untestable", None, backtracks, decisions
+                    )
+                continue
+            net, value = target
+            assignment[net] = value
+            sim.set_input(net, value)
+            stack.append((net, value, False))
+            decisions += 1
+
+    # ------------------------------------------------------------------
+    def _pattern(self, assignment: Dict[str, int]) -> TernaryVector:
+        values = [X] * self.netlist.scan_length
+        for net, value in assignment.items():
+            values[self._input_index[net]] = value
+        return TernaryVector(values)
+
+    def _cube(self, assignment: Dict[str, int]) -> TernaryVector:
+        return self._pattern(assignment)
+
+    def _detected(self, sim: _IncrementalDualSim) -> bool:
+        good, faulty = sim.good, sim.faulty
+        for net in self.netlist.scan_outputs:
+            g, f = good[net], faulty[net]
+            if g != X and f != X and g != f:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _excitation_net(self, fault: Fault) -> str:
+        """Net whose good value must be the complement of the stuck value."""
+        if fault.pin is None:
+            return fault.net
+        return self.netlist.gates[fault.net].fanins[fault.pin]
+
+    def _objective(self, fault: Fault,
+                   sim: _IncrementalDualSim) -> Optional[Tuple[str, int]]:
+        good, faulty = sim.good, sim.faulty
+        site = self._excitation_net(fault)
+        good_at_site = good[site]
+        if good_at_site == X:
+            return (site, 1 - fault.stuck_at)  # excite the fault
+        if good_at_site == fault.stuck_at:
+            return None  # excitation impossible under current assignment
+        if fault.pin is not None:
+            # Pin fault: the faulted gate never shows up in the D-frontier
+            # (its fanin nets carry no D), so sensitize it explicitly while
+            # its output is still undetermined on either side.
+            gate = self.netlist.gates[fault.net]
+            if good[fault.net] == X or faulty[fault.net] == X:
+                for index, fanin in enumerate(gate.fanins):
+                    if index == fault.pin:
+                        continue
+                    if good[fanin] == X:
+                        control = _CONTROLLING.get(gate.gate_type)
+                        value = 1 - control if control is not None else 0
+                        return (fanin, value)
+                return None  # side inputs exhausted but output still X
+        # Fault is excited: advance the D-frontier (most observable first
+        # when SCOAP guidance is on).
+        frontier = self._d_frontier(sim)
+        if self.testability is not None:
+            frontier.sort(key=lambda name: self.testability.co[name])
+        for gate_name in frontier:
+            gate = self.netlist.gates[gate_name]
+            for fanin in gate.fanins:
+                if good[fanin] == X:
+                    control = _CONTROLLING.get(gate.gate_type)
+                    value = 1 - control if control is not None else 0
+                    return (fanin, value)
+        return None  # D-frontier empty or saturated: dead end
+
+    def _d_frontier(self, sim: _IncrementalDualSim) -> List[str]:
+        good, faulty = sim.good, sim.faulty
+        frontier = []
+        for name in sim.cone:
+            if good[name] != X and faulty[name] != X:
+                continue
+            gate = self.netlist.gates[name]
+            has_d_input = any(
+                good[f] != X and faulty[f] != X and good[f] != faulty[f]
+                for f in gate.fanins
+            )
+            if has_d_input:
+                frontier.append(name)
+        return frontier
+
+    def _backtrace(self, objective: Tuple[str, int],
+                   good) -> Optional[Tuple[str, int]]:
+        net, value = objective
+        guard = 0
+        limit = len(self.netlist.gates) + 1
+        while net not in self._input_set:
+            guard += 1
+            if guard > limit:
+                return None
+            gate = self.netlist.gates[net]
+            if gate.gate_type in _INVERTING:
+                value = 1 - value
+            chosen = None
+            if self.testability is None:
+                for fanin in gate.fanins:
+                    if good[fanin] == X:
+                        chosen = fanin
+                        break
+            else:
+                candidates = [f for f in gate.fanins if good[f] == X]
+                if candidates:
+                    chosen = min(
+                        candidates,
+                        key=lambda f: self.testability.controllability(
+                            f, value
+                        ),
+                    )
+            if chosen is None:
+                return None
+            net = chosen
+        if good[net] != X:
+            return None
+        return (net, value)

@@ -1,0 +1,16 @@
+"""Pseudo-random BIST substrate (the paper's §I comparison point)."""
+
+from .session import (
+    BISTResult,
+    random_pattern_resistant_faults,
+    run_bist,
+)
+from .tpg import PseudoRandomTPG, weighted_random_patterns
+
+__all__ = [
+    "PseudoRandomTPG",
+    "weighted_random_patterns",
+    "BISTResult",
+    "run_bist",
+    "random_pattern_resistant_faults",
+]

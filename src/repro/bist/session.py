@@ -1,0 +1,91 @@
+"""BIST coverage simulation (the paper's §I motivation experiment).
+
+Applies pseudo-random patterns in batches with fault dropping and
+records the coverage curve.  The quantity of interest is the knee: how
+many random patterns it takes to match a deterministic (ATPG) set, and
+which faults stay undetected — the *random-pattern-resistant* faults
+that make pure BIST insufficient and deterministic test-data
+compression (9C) necessary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..circuits.fault_sim import fault_simulate
+from ..circuits.faults import Fault, collapsed_faults, coverage
+from ..circuits.netlist import Netlist
+from ..testdata.testset import TestSet
+from .tpg import PseudoRandomTPG
+
+
+@dataclass
+class BISTResult:
+    """Outcome of one pseudo-random BIST session."""
+
+    patterns_applied: int
+    detected: List[Fault]
+    resistant: List[Fault]
+    #: (patterns applied, coverage %) after each batch
+    coverage_curve: List[Tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def total_faults(self) -> int:
+        """Faults targeted in the session."""
+        return len(self.detected) + len(self.resistant)
+
+    @property
+    def fault_coverage(self) -> float:
+        """Final coverage percentage."""
+        return coverage(len(self.detected), self.total_faults)
+
+    def patterns_to_reach(self, target_coverage: float) -> Optional[int]:
+        """First batch boundary reaching ``target_coverage`` (or None)."""
+        for applied, achieved in self.coverage_curve:
+            if achieved >= target_coverage:
+                return applied
+        return None
+
+
+def run_bist(
+    netlist: Netlist,
+    max_patterns: int = 1024,
+    batch_size: int = 64,
+    faults: Optional[Sequence[Fault]] = None,
+    seed: int = 1,
+) -> BISTResult:
+    """Simulate a pseudo-random BIST session with fault dropping."""
+    if max_patterns < 1 or batch_size < 1:
+        raise ValueError("max_patterns and batch_size must be >= 1")
+    fault_list = list(faults) if faults is not None \
+        else collapsed_faults(netlist)
+    tpg = PseudoRandomTPG(netlist.scan_length, seed=seed)
+
+    remaining = list(fault_list)
+    detected: List[Fault] = []
+    curve: List[Tuple[int, float]] = []
+    applied = 0
+    while applied < max_patterns and remaining:
+        batch = min(batch_size, max_patterns - applied)
+        patterns = TestSet(list(tpg.patterns(batch)), name="bist-batch")
+        result = fault_simulate(netlist, patterns, remaining)
+        detected.extend(result.detected)
+        remaining = result.undetected
+        applied += batch
+        curve.append((applied, coverage(len(detected), len(fault_list))))
+    if applied and (not curve or curve[-1][0] != applied):
+        curve.append((applied, coverage(len(detected), len(fault_list))))
+    return BISTResult(
+        patterns_applied=applied,
+        detected=detected,
+        resistant=remaining,
+        coverage_curve=curve,
+    )
+
+
+def random_pattern_resistant_faults(
+    netlist: Netlist, budget: int = 1024, seed: int = 1
+) -> List[Fault]:
+    """Faults still undetected after ``budget`` pseudo-random patterns."""
+    return run_bist(netlist, max_patterns=budget, seed=seed).resistant

@@ -1,0 +1,62 @@
+"""Pseudo-random test pattern generation (BIST stimulus side).
+
+The paper's introduction positions 9C against BIST: on-chip LFSRs apply
+pseudo-random patterns, which take a long time to reach the coverage a
+deterministic set achieves because of random-pattern-resistant faults.
+This module is that generator — an LFSR clocked ``scan_length`` times
+per pattern — so the motivation experiment can be run quantitatively.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..core.bitvec import TernaryVector
+from ..decompressor.misr import LFSR, default_taps
+from ..testdata.testset import TestSet
+
+
+class PseudoRandomTPG:
+    """LFSR-based test pattern generator for a given scan length."""
+
+    def __init__(self, scan_length: int, width: int = 32,
+                 taps: Optional[Sequence[int]] = None, seed: int = 1):
+        if scan_length < 1:
+            raise ValueError("scan length must be >= 1")
+        self.scan_length = scan_length
+        self.lfsr = LFSR(width, taps=taps or default_taps(width), seed=seed)
+
+    def next_pattern(self) -> TernaryVector:
+        """One fully-specified pseudo-random scan pattern."""
+        return TernaryVector(
+            np.array(self.lfsr.bits(self.scan_length), dtype=np.uint8)
+        )
+
+    def patterns(self, count: int) -> Iterator[TernaryVector]:
+        """Stream ``count`` patterns."""
+        for _ in range(count):
+            yield self.next_pattern()
+
+    def test_set(self, count: int, name: str = "bist") -> TestSet:
+        """Materialize ``count`` patterns as a :class:`TestSet`."""
+        return TestSet(list(self.patterns(count)), name=name)
+
+
+def weighted_random_patterns(
+    scan_length: int, count: int, one_probability: float = 0.5,
+    seed: int = 0,
+) -> TestSet:
+    """Weighted-random patterns (the classic fix for resistant faults).
+
+    Biasing the bit probability toward the circuit's hard-to-excite
+    values recovers some resistant faults at the cost of per-circuit
+    weight computation — one of the BIST workarounds the intro cites.
+    """
+    if not 0.0 < one_probability < 1.0:
+        raise ValueError("one_probability must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    matrix = (rng.random((count, scan_length)) < one_probability) \
+        .astype(np.uint8)
+    return TestSet.from_matrix(matrix, name=f"wrp{one_probability}")

@@ -1,0 +1,74 @@
+"""Gate-level circuit substrate: netlists, simulation, faults."""
+
+from .bench import load_bench, parse_bench, save_bench, write_bench
+from .faults import (
+    Fault,
+    all_faults,
+    collapse_map,
+    collapsed_faults,
+    coverage,
+)
+from .fault_sim import (
+    FaultSimResult,
+    detects,
+    fault_simulate,
+    fault_simulate_cubes,
+)
+from .generator import GeneratorConfig, generate_circuit
+from .scoap import INFINITY, Testability, compute_testability
+from .scan import (
+    CycleResult,
+    ScanTestResult,
+    SequentialSimulator,
+    apply_scan_test,
+    combinational_prediction,
+)
+from .library import available_circuits, load_circuit
+from .netlist import Gate, GateType, Netlist
+from .simulator import (
+    Injection,
+    PackedSimulator,
+    eval_gate3,
+    eval_gate3_vec,
+    output_values,
+    simulate,
+    simulate_patterns,
+)
+
+__all__ = [
+    "Gate",
+    "GateType",
+    "Netlist",
+    "parse_bench",
+    "load_bench",
+    "write_bench",
+    "save_bench",
+    "available_circuits",
+    "load_circuit",
+    "GeneratorConfig",
+    "generate_circuit",
+    "Injection",
+    "simulate",
+    "simulate_patterns",
+    "output_values",
+    "eval_gate3",
+    "eval_gate3_vec",
+    "PackedSimulator",
+    "Fault",
+    "all_faults",
+    "collapsed_faults",
+    "collapse_map",
+    "coverage",
+    "FaultSimResult",
+    "fault_simulate",
+    "fault_simulate_cubes",
+    "detects",
+    "SequentialSimulator",
+    "CycleResult",
+    "ScanTestResult",
+    "apply_scan_test",
+    "combinational_prediction",
+    "Testability",
+    "compute_testability",
+    "INFINITY",
+]

@@ -1,0 +1,84 @@
+"""Reader/writer for the ISCAS'89 ``.bench`` netlist format.
+
+Format example (s27)::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = DFF(G14)
+    G14 = NOT(G0)
+    G17 = NAND(G10, G14)
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Union
+
+from .netlist import Gate, GateType, Netlist
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<name>[\w.\[\]$]+)\s*=\s*(?P<type>\w+)\s*\((?P<fanins>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\((?P<name>[\w.\[\]$]+)\)\s*$")
+
+
+def parse_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` source text into a :class:`Netlist`."""
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Gate] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            if io_match.group("kind") == "INPUT":
+                inputs.append(io_match.group("name"))
+            else:
+                outputs.append(io_match.group("name"))
+            continue
+        gate_match = _LINE_RE.match(line)
+        if not gate_match:
+            raise ValueError(f"line {line_number}: cannot parse {raw!r}")
+        type_name = gate_match.group("type").upper()
+        try:
+            gate_type = GateType[type_name]
+        except KeyError:
+            raise ValueError(
+                f"line {line_number}: unknown gate type {type_name!r}"
+            ) from None
+        if gate_type is GateType.INPUT:
+            raise ValueError(f"line {line_number}: INPUT used as a gate")
+        fanins = tuple(
+            token.strip() for token in gate_match.group("fanins").split(",")
+            if token.strip()
+        )
+        gates.append(Gate(gate_match.group("name"), gate_type, fanins))
+    return Netlist(name, inputs, outputs, gates)
+
+
+def load_bench(path: Union[str, Path]) -> Netlist:
+    """Load a ``.bench`` file; the netlist name is the file stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Render a netlist back to ``.bench`` source text."""
+    lines = [f"# {netlist.name}"]
+    lines.extend(f"INPUT({pi})" for pi in netlist.inputs)
+    lines.extend(f"OUTPUT({po})" for po in netlist.outputs)
+    for gate in netlist.gates.values():
+        if gate.gate_type is GateType.INPUT:
+            continue
+        fanins = ", ".join(gate.fanins)
+        lines.append(f"{gate.name} = {gate.gate_type.value}({fanins})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(netlist: Netlist, path: Union[str, Path]) -> None:
+    """Write a netlist to a ``.bench`` file."""
+    Path(path).write_text(write_bench(netlist))

@@ -1,0 +1,143 @@
+"""Single stuck-at fault model with equivalence collapsing.
+
+Faults live on gate output stems (``pin=None``) and on gate input pins
+(fanout branches).  :func:`collapsed_faults` applies the classical local
+equivalence rules so the ATPG/fault-sim loop targets a reduced list:
+
+* NOT/BUF/DFF input faults are equivalent to output faults;
+* AND: input s-a-0 ≡ output s-a-0 (NAND: ≡ output s-a-1);
+* OR: input s-a-1 ≡ output s-a-1 (NOR: ≡ output s-a-0);
+* input-pin faults on fanout-free connections are equivalent to the
+  driver's stem fault of the same polarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .netlist import GateType, Netlist
+from .simulator import Injection
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """A single stuck-at fault.
+
+    ``net`` is the gate (or PI/FF) whose output is stuck when ``pin`` is
+    None, otherwise the gate whose input pin ``pin`` is stuck.
+    """
+
+    net: str
+    stuck_at: int
+    pin: Optional[int] = None
+
+    def __post_init__(self):
+        if self.stuck_at not in (0, 1):
+            raise ValueError("stuck_at must be 0 or 1")
+
+    @property
+    def injection(self) -> Injection:
+        """The simulator injection realizing this fault."""
+        return Injection(self.net, self.stuck_at, self.pin)
+
+    def __str__(self) -> str:
+        location = self.net if self.pin is None else f"{self.net}.in{self.pin}"
+        return f"{location}/sa{self.stuck_at}"
+
+
+def all_faults(netlist: Netlist) -> List[Fault]:
+    """The uncollapsed fault list: both polarities on every stem and pin.
+
+    DFFs contribute their *output* (Q) stem faults — those nets are
+    pseudo primary inputs of the scan model and fully simulatable.  DFF
+    *input* pin faults are not listed: the data net is a pseudo primary
+    output, so its stem fault covers the fanout-free case, and the
+    multi-fanout branch into the capture path is outside the
+    combinational fault model (standard full-scan practice).
+    """
+    faults: List[Fault] = []
+    for name, gate in netlist.gates.items():
+        for value in (0, 1):
+            faults.append(Fault(name, value))
+        if gate.gate_type is GateType.DFF:
+            continue
+        for pin in range(len(gate.fanins)):
+            for value in (0, 1):
+                faults.append(Fault(name, value, pin))
+    return faults
+
+
+def collapsed_faults(netlist: Netlist) -> List[Fault]:
+    """Equivalence-collapsed fault list (see :func:`all_faults`)."""
+    fanouts = netlist.fanouts()
+    faults: List[Fault] = []
+    for name, gate in netlist.gates.items():
+        for value in (0, 1):
+            faults.append(Fault(name, value))
+        if gate.gate_type is GateType.DFF:
+            continue
+        for pin, fanin in enumerate(gate.fanins):
+            for value in (0, 1):
+                if _pin_fault_collapses(gate.gate_type, value,
+                                        len(fanouts[fanin])):
+                    continue
+                faults.append(Fault(name, value, pin))
+    return faults
+
+
+def collapse_map(netlist: Netlist) -> dict:
+    """dropped pin fault -> its equivalent retained fault.
+
+    Makes the collapsing argument checkable: each dropped fault has the
+    *same faulty function* as its representative (fanout-free pin faults
+    equal the driver's stem fault; controlling-value pin faults equal the
+    gate's output fault, inverted through inverting gates), so their
+    detection sets must be identical under simulation — a property test
+    verifies exactly that.
+    """
+    fanouts = netlist.fanouts()
+    mapping = {}
+    for name, gate in netlist.gates.items():
+        if gate.gate_type is GateType.DFF:
+            continue
+        for pin, fanin in enumerate(gate.fanins):
+            for value in (0, 1):
+                fault = Fault(name, value, pin)
+                if len(fanouts[fanin]) == 1:
+                    mapping[fault] = Fault(fanin, value)
+                    continue
+                if gate.gate_type is GateType.BUF:
+                    mapping[fault] = Fault(name, value)
+                elif gate.gate_type is GateType.NOT:
+                    mapping[fault] = Fault(name, 1 - value)
+                elif gate.gate_type in (GateType.AND,) and value == 0:
+                    mapping[fault] = Fault(name, 0)
+                elif gate.gate_type in (GateType.NAND,) and value == 0:
+                    mapping[fault] = Fault(name, 1)
+                elif gate.gate_type in (GateType.OR,) and value == 1:
+                    mapping[fault] = Fault(name, 1)
+                elif gate.gate_type in (GateType.NOR,) and value == 1:
+                    mapping[fault] = Fault(name, 0)
+    return mapping
+
+
+def _pin_fault_collapses(gate_type: GateType, value: int,
+                         driver_fanout: int) -> bool:
+    """True when an input-pin fault is equivalent to an existing fault."""
+    if driver_fanout == 1:
+        # Fanout-free connection: the pin fault equals the driver's stem
+        # fault, which is already in the list.
+        return True
+    if gate_type in (GateType.NOT, GateType.BUF, GateType.DFF):
+        return True  # equivalent to the (inverted) output fault
+    if gate_type in (GateType.AND, GateType.NAND) and value == 0:
+        return True  # controlling value: equivalent to output fault
+    if gate_type in (GateType.OR, GateType.NOR) and value == 1:
+        return True
+    return False
+
+
+def coverage(detected: int, total: int) -> float:
+    """Fault coverage percentage."""
+    return 100.0 * detected / total if total else 100.0

@@ -1,0 +1,120 @@
+"""Seeded random full-scan circuit generator.
+
+Builds ISCAS'89-shaped netlists for end-to-end flows: a combinational
+cloud of 1-3 input gates over the primary inputs and flip-flop outputs,
+with locality-biased fanin selection (random logic with realistic depth),
+flip-flop data inputs and primary outputs tapped from the cloud.  The
+same config + seed always yields the identical circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .netlist import Gate, GateType, Netlist
+
+#: Gate types drawn for the combinational cloud and their weights
+#: (NAND/NOR-heavy like standard-cell mapped random logic).
+_CLOUD_TYPES = [
+    (GateType.NAND, 0.28),
+    (GateType.NOR, 0.22),
+    (GateType.AND, 0.14),
+    (GateType.OR, 0.14),
+    (GateType.NOT, 0.10),
+    (GateType.XOR, 0.06),
+    (GateType.XNOR, 0.03),
+    (GateType.BUF, 0.03),
+]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters of one synthetic circuit."""
+
+    name: str
+    num_inputs: int = 8
+    num_outputs: int = 8
+    num_flip_flops: int = 16
+    num_gates: int = 128
+    seed: int = 0
+    locality: float = 0.35  # probability a fanin comes from the recent window
+    window: int = 24        # size of the recent-net window
+
+    def __post_init__(self):
+        if self.num_inputs < 1 or self.num_gates < 1:
+            raise ValueError("need at least one input and one gate")
+        if self.num_outputs < 1:
+            raise ValueError("need at least one output")
+
+
+def generate_circuit(config: GeneratorConfig) -> Netlist:
+    """Generate the deterministic circuit described by ``config``."""
+    rng = np.random.default_rng(config.seed)
+    inputs = [f"pi{i}" for i in range(config.num_inputs)]
+    ff_names = [f"ff{i}" for i in range(config.num_flip_flops)]
+    nets: List[str] = inputs + ff_names
+
+    types = [t for t, _w in _CLOUD_TYPES]
+    weights = np.array([w for _t, w in _CLOUD_TYPES])
+    weights = weights / weights.sum()
+
+    gates: List[Gate] = []
+    gate_outputs: List[str] = []
+    for index in range(config.num_gates):
+        gate_type = types[int(rng.choice(len(types), p=weights))]
+        if gate_type in (GateType.NOT, GateType.BUF):
+            fanin_count = 1
+        elif gate_type in (GateType.XOR, GateType.XNOR):
+            fanin_count = 2
+        else:
+            fanin_count = int(rng.integers(2, 4))  # 2 or 3
+        fanins = []
+        for _ in range(fanin_count):
+            if len(nets) > config.window and rng.random() < config.locality:
+                pool = nets[-config.window:]
+            else:
+                pool = nets
+            choice = pool[int(rng.integers(len(pool)))]
+            while choice in fanins and len(set(pool)) > len(fanins):
+                choice = pool[int(rng.integers(len(pool)))]
+            fanins.append(choice)
+        name = f"n{index}"
+        gates.append(Gate(name, gate_type, tuple(fanins)))
+        gate_outputs.append(name)
+        nets.append(name)
+
+    # Flip-flop data inputs and primary outputs tap late cloud nets so the
+    # whole cloud is (mostly) observable.
+    taps = gate_outputs if gate_outputs else inputs
+    for ff in ff_names:
+        data = taps[int(rng.integers(max(1, len(taps) // 2), len(taps)))]
+        gates.append(Gate(ff, GateType.DFF, (data,)))
+    outputs = []
+    for i in range(config.num_outputs):
+        outputs.append(taps[int(rng.integers(max(1, len(taps) // 2), len(taps)))])
+    # De-duplicate outputs while preserving order (bench format allows
+    # repeated OUTPUT lines but one is enough).
+    seen = set()
+    outputs = [o for o in outputs if not (o in seen or seen.add(o))]
+
+    # Observe dangling logic: any cloud net with no fanout and no PO/FF tap
+    # would make all faults in its cone untestable, which real circuits
+    # avoid.  Fold the dangling nets into an XOR observation tree (a
+    # space-compactor-like structure) driving one extra primary output.
+    used = {f for g in gates for f in g.fanins} | set(outputs)
+    dangling = [n for n in gate_outputs if n not in used]
+    observer_index = 0
+    while len(dangling) > 1:
+        a = dangling.pop(0)
+        b = dangling.pop(0)
+        name = f"obs{observer_index}"
+        observer_index += 1
+        gates.append(Gate(name, GateType.XOR, (a, b)))
+        dangling.append(name)
+    if dangling:
+        outputs.append(dangling[0])
+
+    return Netlist(config.name, inputs, outputs, gates)

@@ -1,0 +1,93 @@
+"""Embedded benchmark circuits.
+
+Only small, well-known netlists are embedded verbatim (s27 from ISCAS'89,
+c17 from ISCAS'85); larger circuits for end-to-end ATPG flows come from
+the seeded :mod:`repro.circuits.generator`, registered here under stable
+names so tests and examples can request them reproducibly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .bench import parse_bench
+from .generator import GeneratorConfig, generate_circuit
+from .netlist import Netlist
+
+S27_BENCH = """
+# s27 (ISCAS'89): 4 PI, 1 PO, 3 DFF, 10 gates
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+C17_BENCH = """
+# c17 (ISCAS'85): 5 PI, 2 PO, 6 NAND gates
+INPUT(N1)
+INPUT(N2)
+INPUT(N3)
+INPUT(N6)
+INPUT(N7)
+OUTPUT(N22)
+OUTPUT(N23)
+N10 = NAND(N1, N3)
+N11 = NAND(N3, N6)
+N16 = NAND(N2, N11)
+N19 = NAND(N11, N7)
+N22 = NAND(N10, N16)
+N23 = NAND(N16, N19)
+"""
+
+_BUILDERS: Dict[str, Callable[[], Netlist]] = {
+    "s27": lambda: parse_bench(S27_BENCH, name="s27"),
+    "c17": lambda: parse_bench(C17_BENCH, name="c17"),
+    # Seeded synthetic full-scan circuits for end-to-end flows; sizes are
+    # chosen so ATPG + fault simulation run in seconds.
+    "g64": lambda: generate_circuit(
+        GeneratorConfig("g64", num_inputs=8, num_outputs=6, num_flip_flops=12,
+                        num_gates=64, seed=64)
+    ),
+    "g256": lambda: generate_circuit(
+        GeneratorConfig("g256", num_inputs=12, num_outputs=10,
+                        num_flip_flops=32, num_gates=256, seed=256)
+    ),
+    "g1k": lambda: generate_circuit(
+        GeneratorConfig("g1k", num_inputs=16, num_outputs=14,
+                        num_flip_flops=64, num_gates=1024, seed=1024)
+    ),
+}
+
+_CACHE: Dict[str, Netlist] = {}
+
+
+def available_circuits() -> list[str]:
+    """Names accepted by :func:`load_circuit`."""
+    return sorted(_BUILDERS)
+
+
+def load_circuit(name: str) -> Netlist:
+    """Load (and cache) an embedded or seeded-synthetic circuit."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown circuit {name!r}; choose from {available_circuits()}"
+        ) from None
+    if name not in _CACHE:
+        _CACHE[name] = builder()
+    return _CACHE[name]

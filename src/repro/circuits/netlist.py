@@ -1,0 +1,237 @@
+"""Gate-level netlist model for full-scan ISCAS'89-style circuits.
+
+A :class:`Netlist` is a named directed graph of primitive gates.  D
+flip-flops make the circuit sequential; under the *full-scan* assumption
+(which the paper and the whole MinTest flow rely on) each DFF's output is
+a pseudo primary input and each DFF's data input is a pseudo primary
+output, so test generation and fault simulation run on the combinational
+core.  A scan test pattern is therefore one value per PI plus one per
+flip-flop — exactly the vectors the 9C codec compresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+
+class GateType(Enum):
+    """Primitive gate types of the .bench format."""
+
+    INPUT = "INPUT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    DFF = "DFF"
+
+
+#: Gate types with exactly one fanin.
+UNARY_TYPES = {GateType.NOT, GateType.BUF, GateType.DFF}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One named gate: its type and ordered fanin net names."""
+
+    name: str
+    gate_type: GateType
+    fanins: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.gate_type is GateType.INPUT and self.fanins:
+            raise ValueError(f"INPUT {self.name} cannot have fanins")
+        if self.gate_type in UNARY_TYPES and len(self.fanins) != 1:
+            raise ValueError(
+                f"{self.gate_type.value} {self.name} needs exactly one fanin"
+            )
+        if (
+            self.gate_type not in UNARY_TYPES
+            and self.gate_type is not GateType.INPUT
+            and len(self.fanins) < 1
+        ):
+            raise ValueError(f"{self.gate_type.value} {self.name} needs fanins")
+
+
+class Netlist:
+    """A gate-level circuit with primary inputs, outputs and flip-flops."""
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        gates: Iterable[Gate],
+    ):
+        self.name = name
+        self.inputs: List[str] = list(inputs)
+        self.outputs: List[str] = list(outputs)
+        self.gates: Dict[str, Gate] = {}
+        for pi in self.inputs:
+            self.gates[pi] = Gate(pi, GateType.INPUT)
+        for gate in gates:
+            if gate.name in self.gates:
+                raise ValueError(f"duplicate gate name: {gate.name}")
+            self.gates[gate.name] = gate
+        self._validate()
+        self._topo: List[str] | None = None
+        # Netlists are immutable by convention, so derived structure is
+        # cached (these properties sit on simulation hot paths).
+        self._flip_flops: List[str] | None = None
+        self._scan_inputs: List[str] | None = None
+        self._scan_outputs: List[str] | None = None
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for gate in self.gates.values():
+            for fanin in gate.fanins:
+                if fanin not in self.gates:
+                    raise ValueError(
+                        f"gate {gate.name} references undefined net {fanin}"
+                    )
+        for po in self.outputs:
+            if po not in self.gates:
+                raise ValueError(f"undefined primary output {po}")
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    @property
+    def flip_flops(self) -> List[str]:
+        """Names of all DFF gates, in insertion order."""
+        if self._flip_flops is None:
+            self._flip_flops = [g.name for g in self.gates.values()
+                                if g.gate_type is GateType.DFF]
+        return self._flip_flops
+
+    @property
+    def num_gates(self) -> int:
+        """Number of logic gates (excluding INPUTs and DFFs)."""
+        return sum(
+            1 for g in self.gates.values()
+            if g.gate_type not in (GateType.INPUT, GateType.DFF)
+        )
+
+    @property
+    def scan_inputs(self) -> List[str]:
+        """Combinational-core inputs: PIs then flip-flop outputs.
+
+        This ordering defines the scan pattern layout used everywhere:
+        pattern[i] drives ``scan_inputs[i]``.
+        """
+        if self._scan_inputs is None:
+            self._scan_inputs = self.inputs + self.flip_flops
+        return self._scan_inputs
+
+    @property
+    def scan_outputs(self) -> List[str]:
+        """Combinational-core outputs: POs then flip-flop data inputs."""
+        if self._scan_outputs is None:
+            self._scan_outputs = self.outputs + [
+                self.gates[ff].fanins[0] for ff in self.flip_flops
+            ]
+        return self._scan_outputs
+
+    @property
+    def scan_length(self) -> int:
+        """Bits per scan test pattern (|PI| + |FF|)."""
+        return len(self.scan_inputs)
+
+    def fanouts(self) -> Dict[str, List[str]]:
+        """net name -> names of gates it feeds."""
+        out: Dict[str, List[str]] = {name: [] for name in self.gates}
+        for gate in self.gates.values():
+            for fanin in gate.fanins:
+                out[fanin].append(gate.name)
+        return out
+
+    # ------------------------------------------------------------------
+    # combinational view
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[str]:
+        """Gates of the combinational core in evaluation order.
+
+        DFF outputs are treated as sources (pseudo inputs); DFFs
+        themselves are excluded.  Raises on combinational loops.
+        """
+        if self._topo is not None:
+            return self._topo
+        sources: Set[str] = set(self.inputs) | set(self.flip_flops)
+        order: List[str] = []
+        state: Dict[str, int] = {}  # 0 unvisited, 1 in stack, 2 done
+
+        for root in self.gates:
+            if root in sources or state.get(root) == 2:
+                continue
+            stack = [(root, 0)]
+            while stack:
+                node, child_index = stack.pop()
+                if child_index == 0:
+                    if state.get(node) == 2:
+                        continue
+                    if state.get(node) == 1:
+                        raise ValueError(f"combinational loop through {node}")
+                    state[node] = 1
+                gate = self.gates[node]
+                fanins = [f for f in gate.fanins if f not in sources]
+                if child_index < len(fanins):
+                    stack.append((node, child_index + 1))
+                    child = fanins[child_index]
+                    if state.get(child) == 1:
+                        raise ValueError(f"combinational loop through {child}")
+                    if state.get(child) != 2:
+                        stack.append((child, 0))
+                else:
+                    state[node] = 2
+                    order.append(node)
+        self._topo = order
+        return order
+
+    def levels(self) -> Dict[str, int]:
+        """Logic depth of every net (sources at level 0)."""
+        level: Dict[str, int] = {name: 0 for name in self.scan_inputs}
+        for name in self.topological_order():
+            gate = self.gates[name]
+            level[name] = 1 + max(
+                (level.get(f, 0) for f in gate.fanins), default=0
+            )
+        return level
+
+    def transitive_fanout(self, net: str) -> Set[str]:
+        """All combinational-core gates reachable from ``net``."""
+        fanouts = self.fanouts()
+        sources = set(self.inputs) | set(self.flip_flops)
+        seen: Set[str] = set()
+        frontier = [net]
+        while frontier:
+            current = frontier.pop()
+            for successor in fanouts.get(current, []):
+                if successor in seen:
+                    continue
+                if self.gates[successor].gate_type is GateType.DFF:
+                    continue  # sequential boundary
+                seen.add(successor)
+                frontier.append(successor)
+        return seen
+
+    def stats(self) -> Dict[str, int]:
+        """Size summary (used by reports and the generator's self-check)."""
+        return {
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "flip_flops": len(self.flip_flops),
+            "gates": self.num_gates,
+            "scan_length": self.scan_length,
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"Netlist({self.name!r}, pi={s['inputs']}, po={s['outputs']}, "
+            f"ff={s['flip_flops']}, gates={s['gates']})"
+        )

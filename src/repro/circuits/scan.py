@@ -1,0 +1,166 @@
+"""Scan-chain insertion and sequential (cycle-by-cycle) simulation.
+
+Everything else in the library leans on the *full-scan abstraction*:
+flip-flop outputs are pseudo inputs, flip-flop data inputs are pseudo
+outputs, and a test pattern is one combinational-core input vector.
+This module validates that abstraction against real sequential
+operation: :class:`SequentialSimulator` clocks the circuit cycle by
+cycle with a stitched scan chain (shift / capture), and
+:func:`apply_scan_test` performs the textbook scan protocol —
+
+    shift in state || apply PIs || capture one cycle || shift out
+
+— asserting that what the flip-flops capture is exactly what the
+combinational model predicts.  This is the bridge between the paper's
+"patterns go into the scan chain" and a netlist that actually clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.bitvec import X, TernaryVector
+from .netlist import Netlist
+from .simulator import eval_gate3
+
+
+@dataclass
+class CycleResult:
+    """Observable values after one clock edge."""
+
+    po_values: Dict[str, int]
+    scan_out: int
+
+
+class SequentialSimulator:
+    """Cycle-accurate simulation of a full-scan netlist.
+
+    The scan chain is stitched in flip-flop declaration order:
+    ``scan_in -> ff[0] -> ff[1] -> ... -> ff[-1] -> scan_out``.
+    State starts all-X (power-on), as real silicon would.
+    """
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.chain: List[str] = netlist.flip_flops
+        self.state: Dict[str, int] = {ff: X for ff in self.chain}
+        self._order = netlist.topological_order()
+
+    def _evaluate_core(self, pi_values: Dict[str, int]) -> Dict[str, int]:
+        values: Dict[str, int] = {}
+        for pi in self.netlist.inputs:
+            values[pi] = pi_values.get(pi, X)
+        for ff in self.chain:
+            values[ff] = self.state[ff]
+        for name in self._order:
+            gate = self.netlist.gates[name]
+            values[name] = eval_gate3(
+                gate.gate_type, [values[f] for f in gate.fanins]
+            )
+        return values
+
+    def clock(
+        self,
+        pi_values: Optional[Dict[str, int]] = None,
+        scan_en: bool = False,
+        scan_in: int = 0,
+    ) -> CycleResult:
+        """Apply one clock edge; returns POs (pre-edge) and scan_out.
+
+        ``scan_out`` is the last flip-flop's value *before* the edge —
+        the bit the tester samples while shifting.
+        """
+        values = self._evaluate_core(pi_values or {})
+        scan_out = self.state[self.chain[-1]] if self.chain else X
+        po_values = {po: values[po] for po in self.netlist.outputs}
+        if scan_en:
+            previous = scan_in
+            for ff in self.chain:
+                self.state[ff], previous = previous, self.state[ff]
+        else:
+            for ff in self.chain:
+                data_net = self.netlist.gates[ff].fanins[0]
+                self.state[ff] = values[data_net]
+        return CycleResult(po_values=po_values, scan_out=scan_out)
+
+    def load_state(self, bits: TernaryVector) -> None:
+        """Directly set the flip-flop state (test shortcut)."""
+        if len(bits) != len(self.chain):
+            raise ValueError("state width mismatch")
+        for ff, bit in zip(self.chain, bits):
+            self.state[ff] = bit
+
+    def chain_contents(self) -> TernaryVector:
+        """Current flip-flop state in chain order."""
+        return TernaryVector([self.state[ff] for ff in self.chain])
+
+
+@dataclass
+class ScanTestResult:
+    """Responses observed while applying one scan pattern."""
+
+    po_values: Dict[str, int]
+    captured_state: TernaryVector
+    shifted_out: TernaryVector
+
+
+def apply_scan_test(
+    simulator: SequentialSimulator,
+    pattern: TernaryVector,
+) -> ScanTestResult:
+    """Apply one full-scan test pattern through the scan protocol.
+
+    ``pattern`` is laid out as the library's scan patterns everywhere:
+    PI values first, then flip-flop values in chain order.  Returns the
+    primary outputs observed during the capture cycle, the state the
+    flip-flops captured, and the response subsequently shifted out.
+    """
+    netlist = simulator.netlist
+    num_pi = len(netlist.inputs)
+    if len(pattern) != netlist.scan_length:
+        raise ValueError(
+            f"pattern length {len(pattern)} != scan length "
+            f"{netlist.scan_length}"
+        )
+    pi_bits = pattern[:num_pi]
+    state_bits = pattern[num_pi:]
+
+    # 1. shift the state in, last chain bit first
+    for bit in reversed(list(state_bits)):
+        simulator.clock(scan_en=True, scan_in=bit)
+
+    # 2. apply PIs and capture one functional cycle
+    pi_values = {pi: bit for pi, bit in zip(netlist.inputs, pi_bits)}
+    capture = simulator.clock(pi_values=pi_values, scan_en=False)
+    captured_state = simulator.chain_contents()
+
+    # 3. shift the response out (next pattern's state could overlap here)
+    shifted: List[int] = []
+    for _ in simulator.chain:
+        result = simulator.clock(scan_en=True, scan_in=0)
+        shifted.append(result.scan_out)
+    return ScanTestResult(
+        po_values=capture.po_values,
+        captured_state=captured_state,
+        shifted_out=TernaryVector(shifted),
+    )
+
+
+def combinational_prediction(
+    netlist: Netlist, pattern: TernaryVector
+) -> Tuple[Dict[str, int], TernaryVector]:
+    """What the full-scan abstraction predicts for one pattern.
+
+    Returns (PO values, next flip-flop state) from a single
+    combinational evaluation — the reference :func:`apply_scan_test`
+    must match.
+    """
+    from .simulator import simulate
+
+    values = simulate(netlist, pattern)
+    po_values = {po: values[po] for po in netlist.outputs}
+    next_state = TernaryVector(
+        [values[netlist.gates[ff].fanins[0]] for ff in netlist.flip_flops]
+    )
+    return po_values, next_state

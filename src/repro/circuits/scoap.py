@@ -1,0 +1,115 @@
+"""SCOAP testability measures (Goldstein 1979).
+
+Combinational controllability CC0/CC1 (how hard it is to set a net to
+0/1) and observability CO (how hard to propagate a net to an output),
+computed over the full-scan combinational core.  PODEM uses them to pick
+the *cheapest* input during backtrace and the most observable D-frontier
+gate, which measurably reduces backtracks/aborts on random logic — the
+guidance ablation in the ATPG benches.
+
+Conventions: scan inputs cost 1 to control; scan outputs cost 0 to
+observe; a gate's output controllability adds 1 per level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .netlist import GateType, Netlist
+
+#: A large-but-finite cost for uncomputable paths (keeps ordering sane).
+INFINITY = 10**9
+
+
+@dataclass(frozen=True)
+class Testability:
+    """SCOAP numbers for one netlist."""
+
+    cc0: Dict[str, int]
+    cc1: Dict[str, int]
+    co: Dict[str, int]
+
+    def controllability(self, net: str, value: int) -> int:
+        """CC0 or CC1 of a net."""
+        return self.cc0[net] if value == 0 else self.cc1[net]
+
+    def hardest_nets(self, count: int = 10) -> list:
+        """Nets ranked by total testability cost (diagnostic aid)."""
+        def cost(net):
+            return min(self.cc0[net], self.cc1[net]) + self.co[net]
+
+        return sorted(self.cc0, key=cost, reverse=True)[:count]
+
+
+def _gate_controllability(gate_type: GateType, fanin_cc: list) -> Tuple[int, int]:
+    """(CC0, CC1) of a gate output from fanin (CC0, CC1) pairs."""
+    cc0s = [c[0] for c in fanin_cc]
+    cc1s = [c[1] for c in fanin_cc]
+    if gate_type is GateType.AND:
+        return min(cc0s) + 1, sum(cc1s) + 1
+    if gate_type is GateType.NAND:
+        return sum(cc1s) + 1, min(cc0s) + 1
+    if gate_type is GateType.OR:
+        return sum(cc0s) + 1, min(cc1s) + 1
+    if gate_type is GateType.NOR:
+        return min(cc1s) + 1, sum(cc0s) + 1
+    if gate_type is GateType.NOT:
+        return cc1s[0] + 1, cc0s[0] + 1
+    if gate_type in (GateType.BUF, GateType.DFF):
+        return cc0s[0] + 1, cc1s[0] + 1
+    if gate_type is GateType.XOR:
+        # 0: equal inputs; 1: differing inputs (2-input form, folded)
+        c00 = sum(c[0] for c in fanin_cc)
+        c11 = sum(c[1] for c in fanin_cc)
+        mixed = min(
+            fanin_cc[0][0] + fanin_cc[1][1],
+            fanin_cc[0][1] + fanin_cc[1][0],
+        ) if len(fanin_cc) == 2 else min(c00, c11)
+        return min(c00, c11) + 1, mixed + 1
+    if gate_type is GateType.XNOR:
+        cc0, cc1 = _gate_controllability(GateType.XOR, fanin_cc)
+        return cc1, cc0
+    raise ValueError(f"no SCOAP rule for {gate_type}")
+
+
+def compute_testability(netlist: Netlist) -> Testability:
+    """SCOAP CC0/CC1/CO for every net of the combinational core."""
+    cc0: Dict[str, int] = {}
+    cc1: Dict[str, int] = {}
+    for net in netlist.scan_inputs:
+        cc0[net] = 1
+        cc1[net] = 1
+    for name in netlist.topological_order():
+        gate = netlist.gates[name]
+        fanin_cc = [(cc0[f], cc1[f]) for f in gate.fanins]
+        cc0[name], cc1[name] = _gate_controllability(gate.gate_type, fanin_cc)
+
+    co: Dict[str, int] = {net: INFINITY for net in cc0}
+    for net in netlist.scan_outputs:
+        co[net] = 0
+    for name in reversed(netlist.topological_order()):
+        gate = netlist.gates[name]
+        if co[name] >= INFINITY:
+            continue
+        for pin, fanin in enumerate(gate.fanins):
+            cost = co[name] + _propagation_cost(gate, pin, cc0, cc1)
+            if cost < co[fanin]:
+                co[fanin] = cost
+    return Testability(cc0=cc0, cc1=cc1, co=co)
+
+
+def _propagation_cost(gate, pin: int, cc0: Dict[str, int],
+                      cc1: Dict[str, int]) -> int:
+    """Cost of sensitizing ``pin`` through ``gate`` (side inputs set)."""
+    side = [f for i, f in enumerate(gate.fanins) if i != pin]
+    gate_type = gate.gate_type
+    if gate_type in (GateType.AND, GateType.NAND):
+        return sum(cc1[f] for f in side) + 1
+    if gate_type in (GateType.OR, GateType.NOR):
+        return sum(cc0[f] for f in side) + 1
+    if gate_type in (GateType.NOT, GateType.BUF, GateType.DFF):
+        return 1
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        return sum(min(cc0[f], cc1[f]) for f in side) + 1
+    raise ValueError(f"no SCOAP rule for {gate_type}")

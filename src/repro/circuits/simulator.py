@@ -1,0 +1,329 @@
+"""Logic simulation of the full-scan combinational core.
+
+Three engines, all driven by the netlist's topological order:
+
+* :func:`simulate` — scalar three-valued {0, 1, X} simulation of one
+  pattern; the workhorse of PODEM's implication step.
+* :func:`simulate_patterns` — numpy pattern-parallel three-valued
+  simulation (one array slot per pattern), used by cube fault grading.
+* :class:`PackedSimulator` — two-valued bit-parallel simulation packing
+  one pattern per bit of a Python int, used for fast fault simulation of
+  fully-specified patterns.
+
+All engines accept an optional *fault injection* so the fault simulator
+and PODEM can reuse the same evaluation code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.bitvec import ONE, X, ZERO, TernaryVector
+from .netlist import GateType, Netlist
+
+
+@dataclass(frozen=True)
+class Injection:
+    """Force a value at a fault site during simulation.
+
+    ``pin`` is None for a stem (gate output) fault; otherwise the index of
+    the gate input pin whose *perceived* value is forced (a fanout-branch
+    fault: only this gate sees the stuck value).
+    """
+
+    net: str
+    value: int  # 0 or 1
+    pin: Optional[int] = None
+
+
+# ----------------------------------------------------------------------
+# three-valued scalar evaluation
+# ----------------------------------------------------------------------
+
+def _and3(values) -> int:
+    saw_x = False
+    for v in values:
+        if v == ZERO:
+            return ZERO
+        if v == X:
+            saw_x = True
+    return X if saw_x else ONE
+
+
+def _or3(values) -> int:
+    saw_x = False
+    for v in values:
+        if v == ONE:
+            return ONE
+        if v == X:
+            saw_x = True
+    return X if saw_x else ZERO
+
+
+def _xor3(values) -> int:
+    out = 0
+    for v in values:
+        if v == X:
+            return X
+        out ^= v
+    return out
+
+
+def _not3(v: int) -> int:
+    if v == X:
+        return X
+    return 1 - v
+
+
+def eval_gate3(gate_type: GateType, values) -> int:
+    """Three-valued evaluation of one gate from its fanin values."""
+    if gate_type is GateType.AND:
+        return _and3(values)
+    if gate_type is GateType.NAND:
+        return _not3(_and3(values))
+    if gate_type is GateType.OR:
+        return _or3(values)
+    if gate_type is GateType.NOR:
+        return _not3(_or3(values))
+    if gate_type is GateType.XOR:
+        return _xor3(values)
+    if gate_type is GateType.XNOR:
+        return _not3(_xor3(values))
+    if gate_type in (GateType.NOT,):
+        return _not3(values[0])
+    if gate_type in (GateType.BUF, GateType.DFF):
+        return values[0]
+    raise ValueError(f"cannot evaluate gate type {gate_type}")
+
+
+def simulate(
+    netlist: Netlist,
+    pattern: TernaryVector,
+    injection: Optional[Injection] = None,
+) -> Dict[str, int]:
+    """Three-valued simulation of one scan pattern.
+
+    ``pattern`` drives ``netlist.scan_inputs`` positionally.  Returns the
+    value of every combinational-core net.
+    """
+    if len(pattern) != netlist.scan_length:
+        raise ValueError(
+            f"pattern length {len(pattern)} != scan length {netlist.scan_length}"
+        )
+    values: Dict[str, int] = {
+        net: int(pattern[i]) for i, net in enumerate(netlist.scan_inputs)
+    }
+    if injection is not None and injection.pin is None and injection.net in values:
+        values[injection.net] = injection.value
+    for name in netlist.topological_order():
+        gate = netlist.gates[name]
+        fanin_values = [values[f] for f in gate.fanins]
+        if injection is not None and injection.pin is not None \
+                and name == injection.net:
+            fanin_values[injection.pin] = injection.value
+        out = eval_gate3(gate.gate_type, fanin_values)
+        if injection is not None and injection.pin is None \
+                and name == injection.net:
+            out = injection.value
+        values[name] = out
+    return values
+
+
+def output_values(netlist: Netlist, values: Dict[str, int]) -> TernaryVector:
+    """Extract the scan-output response from a simulation value map."""
+    return TernaryVector([values[net] for net in netlist.scan_outputs])
+
+
+# ----------------------------------------------------------------------
+# three-valued pattern-parallel evaluation (numpy)
+# ----------------------------------------------------------------------
+
+def _and3_vec(columns: np.ndarray) -> np.ndarray:
+    any0 = np.any(columns == ZERO, axis=0)
+    anyx = np.any(columns == X, axis=0)
+    return np.where(any0, ZERO, np.where(anyx, X, ONE)).astype(np.uint8)
+
+
+def _or3_vec(columns: np.ndarray) -> np.ndarray:
+    any1 = np.any(columns == ONE, axis=0)
+    anyx = np.any(columns == X, axis=0)
+    return np.where(any1, ONE, np.where(anyx, X, ZERO)).astype(np.uint8)
+
+
+def _xor3_vec(columns: np.ndarray) -> np.ndarray:
+    anyx = np.any(columns == X, axis=0)
+    parity = np.bitwise_xor.reduce(np.where(columns == X, 0, columns), axis=0)
+    return np.where(anyx, X, parity).astype(np.uint8)
+
+
+def _not3_vec(column: np.ndarray) -> np.ndarray:
+    return np.where(column == X, X, 1 - column).astype(np.uint8)
+
+
+def eval_gate3_vec(gate_type: GateType, columns: np.ndarray) -> np.ndarray:
+    """Pattern-parallel three-valued gate evaluation.
+
+    ``columns`` has shape (fanins, patterns).
+    """
+    if gate_type is GateType.AND:
+        return _and3_vec(columns)
+    if gate_type is GateType.NAND:
+        return _not3_vec(_and3_vec(columns))
+    if gate_type is GateType.OR:
+        return _or3_vec(columns)
+    if gate_type is GateType.NOR:
+        return _not3_vec(_or3_vec(columns))
+    if gate_type is GateType.XOR:
+        return _xor3_vec(columns)
+    if gate_type is GateType.XNOR:
+        return _not3_vec(_xor3_vec(columns))
+    if gate_type is GateType.NOT:
+        return _not3_vec(columns[0])
+    if gate_type in (GateType.BUF, GateType.DFF):
+        return columns[0].astype(np.uint8)
+    raise ValueError(f"cannot evaluate gate type {gate_type}")
+
+
+def simulate_patterns(
+    netlist: Netlist,
+    patterns: np.ndarray,
+    injection: Optional[Injection] = None,
+) -> Dict[str, np.ndarray]:
+    """Three-valued simulation of many patterns at once.
+
+    ``patterns`` is a (num_patterns, scan_length) uint8 matrix of
+    {0, 1, 2} codes.  Returns net -> (num_patterns,) value arrays.
+    """
+    if patterns.ndim != 2 or patterns.shape[1] != netlist.scan_length:
+        raise ValueError("patterns must be (n, scan_length)")
+    values: Dict[str, np.ndarray] = {
+        net: patterns[:, i].astype(np.uint8)
+        for i, net in enumerate(netlist.scan_inputs)
+    }
+    n = patterns.shape[0]
+    if injection is not None and injection.pin is None and injection.net in values:
+        values[injection.net] = np.full(n, injection.value, dtype=np.uint8)
+    for name in netlist.topological_order():
+        gate = netlist.gates[name]
+        columns = np.stack([values[f] for f in gate.fanins])
+        if injection is not None and injection.pin is not None \
+                and name == injection.net:
+            columns = columns.copy()
+            columns[injection.pin] = injection.value
+        out = eval_gate3_vec(gate.gate_type, columns)
+        if injection is not None and injection.pin is None \
+                and name == injection.net:
+            out = np.full(n, injection.value, dtype=np.uint8)
+        values[name] = out
+    return values
+
+
+# ----------------------------------------------------------------------
+# two-valued bit-parallel evaluation (Python ints as bitsets)
+# ----------------------------------------------------------------------
+
+class PackedSimulator:
+    """Bit-parallel two-valued simulator (one pattern per bit).
+
+    Patterns must be fully specified.  Used for fast stuck-at fault
+    simulation of filled test sets.
+    """
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self._order = netlist.topological_order()
+
+    @staticmethod
+    def pack(patterns: np.ndarray) -> Dict[int, int]:
+        """Pack a fully-specified (n, width) 0/1 matrix column-wise.
+
+        Returns column index -> int whose bit p is pattern p's value.
+        """
+        if np.any(patterns > 1):
+            raise ValueError("packed simulation requires fully specified patterns")
+        packed: Dict[int, int] = {}
+        for column in range(patterns.shape[1]):
+            word = 0
+            for p in np.flatnonzero(patterns[:, column]):
+                word |= 1 << int(p)
+            packed[column] = word
+        return packed
+
+    def run(
+        self,
+        patterns: np.ndarray,
+        injection: Optional[Injection] = None,
+    ) -> Dict[str, int]:
+        """Simulate all patterns; returns net -> packed value word."""
+        return self.run_packed(
+            self.pack(patterns), patterns.shape[0], injection
+        )
+
+    def run_packed(
+        self,
+        column_words: Dict[int, int],
+        n: int,
+        injection: Optional[Injection] = None,
+    ) -> Dict[str, int]:
+        """Like :meth:`run` but on pre-packed columns (fault-sim hot path)."""
+        mask = (1 << n) - 1
+        values: Dict[str, int] = {
+            net: column_words[i]
+            for i, net in enumerate(self.netlist.scan_inputs)
+        }
+        stuck_word = mask if (injection and injection.value == 1) else 0
+        if injection is not None and injection.pin is None \
+                and injection.net in values:
+            values[injection.net] = stuck_word
+        for name in self._order:
+            gate = self.netlist.gates[name]
+            fanin_words = [values[f] for f in gate.fanins]
+            if injection is not None and injection.pin is not None \
+                    and name == injection.net:
+                fanin_words[injection.pin] = stuck_word
+            values[name] = self._eval(gate.gate_type, fanin_words, mask)
+            if injection is not None and injection.pin is None \
+                    and name == injection.net:
+                values[name] = stuck_word
+        return values
+
+    @staticmethod
+    def _eval(gate_type: GateType, words, mask: int) -> int:
+        if gate_type is GateType.AND:
+            out = mask
+            for w in words:
+                out &= w
+            return out
+        if gate_type is GateType.NAND:
+            out = mask
+            for w in words:
+                out &= w
+            return out ^ mask
+        if gate_type is GateType.OR:
+            out = 0
+            for w in words:
+                out |= w
+            return out
+        if gate_type is GateType.NOR:
+            out = 0
+            for w in words:
+                out |= w
+            return out ^ mask
+        if gate_type is GateType.XOR:
+            out = 0
+            for w in words:
+                out ^= w
+            return out
+        if gate_type is GateType.XNOR:
+            out = 0
+            for w in words:
+                out ^= w
+            return out ^ mask
+        if gate_type is GateType.NOT:
+            return words[0] ^ mask
+        if gate_type in (GateType.BUF, GateType.DFF):
+            return words[0]
+        raise ValueError(f"cannot evaluate gate type {gate_type}")

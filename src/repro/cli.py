@@ -1,0 +1,401 @@
+"""Command-line interface: ``repro-9c``.
+
+Subcommands mirror the paper's artifacts:
+
+* ``coding-table`` — print Table I for a chosen K;
+* ``compress`` / ``decompress`` — run 9C on a test-set file;
+* ``sweep`` — CR%/LX% across block sizes (Tables II/III row);
+* ``compare`` — 9C vs the baseline codes (Table IV row);
+* ``tat`` — test-application-time analysis (Table V row);
+* ``atpg`` — generate test cubes for an embedded circuit and
+  optionally compress them end-to-end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.report import Table
+from .analysis.tat import sweep_p
+from .codes import table4_codes
+from .core.codewords import coding_table
+from .core.decoder import NineCDecoder
+from .core.encoder import NineCEncoder
+from .core.metrics import sweep_block_sizes
+from .testdata.mintest import ALL_PROFILES, TABLE2_BLOCK_SIZES, load_benchmark
+from .testdata.testset import TestSet
+
+
+def _load_data(args) -> TestSet:
+    if getattr(args, "benchmark", None):
+        return load_benchmark(args.benchmark)
+    if getattr(args, "input", None):
+        return TestSet.load(args.input)
+    raise SystemExit("provide --benchmark or an input file")
+
+
+def cmd_coding_table(args) -> int:
+    table = Table(
+        ["case", "input block", "symbol", "codeword", "decoder input",
+         "size (bits)"],
+        title=f"9C coding for K={args.k} (paper Table I)",
+    )
+    for row in coding_table(args.k):
+        table.add_row(row.case.name, row.input_block, row.symbol,
+                      row.codeword, row.decoder_input, row.size_bits)
+    print(table.render())
+    return 0
+
+
+def cmd_compress(args) -> int:
+    test_set = _load_data(args)
+    encoding = NineCEncoder(args.k).encode(test_set.to_stream())
+    print(f"test set      : {test_set.name or args.input}")
+    print(f"|T_D|         : {encoding.original_length} bits")
+    print(f"|T_E|         : {encoding.compressed_size} bits")
+    print(f"CR%           : {encoding.compression_ratio:.2f}")
+    print(f"leftover X    : {encoding.leftover_x} "
+          f"({encoding.leftover_x_percent:.2f}% of T_D)")
+    if args.output:
+        TestSet([encoding.stream], name="compressed").save(args.output)
+        print(f"stream written: {args.output}")
+    return 0
+
+
+def cmd_decompress(args) -> int:
+    stream_set = TestSet.load(args.input)
+    stream = stream_set.to_stream()
+    decoded = NineCDecoder(args.k).decode_stream(
+        stream, output_length=args.length
+    )
+    out = TestSet.from_stream(decoded, args.cells, name="decompressed")
+    out.save(args.output)
+    print(f"decoded {len(decoded)} bits into {out.num_patterns} patterns "
+          f"-> {args.output}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    test_set = _load_data(args)
+    data = test_set.to_stream()
+    reports = sweep_block_sizes(data, TABLE2_BLOCK_SIZES)
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "name": test_set.name,
+            "td_bits": len(data),
+            "sweep": {
+                str(k): {
+                    "cr_percent": report.compression_ratio,
+                    "lx_percent": report.leftover_x_percent,
+                    "te_bits": report.compressed_size,
+                }
+                for k, report in sorted(reports.items())
+            },
+        }, indent=2))
+        return 0
+    table = Table(["K", "CR%", "LX%", "|T_E|"],
+                  title=f"{test_set.name}: block-size sweep (Tables II/III)")
+    for k, report in sorted(reports.items()):
+        table.add_row(k, report.compression_ratio,
+                      report.leftover_x_percent, report.compressed_size)
+    print(table.render())
+    return 0
+
+
+def cmd_compare(args) -> int:
+    test_set = _load_data(args)
+    data = test_set.to_stream()
+    results = {
+        name: {"code": code.name, "cr_percent": code.compression_ratio(data)}
+        for name, code in table4_codes(data).items()
+    }
+    if args.json:
+        import json
+
+        print(json.dumps({"name": test_set.name, "codes": results},
+                         indent=2))
+        return 0
+    table = Table(["code", "CR%"],
+                  title=f"{test_set.name}: code comparison (Table IV)")
+    for name, entry in results.items():
+        table.add_row(f"{name} [{entry['code']}]", entry["cr_percent"])
+    print(table.render())
+    return 0
+
+
+def cmd_tat(args) -> int:
+    test_set = _load_data(args)
+    data = test_set.to_stream()
+    reports = sweep_p(data, args.k, ps=tuple(args.p))
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "name": test_set.name,
+            "k": args.k,
+            "tat": {
+                str(p): {"tat_percent": report.tat_percent,
+                         "cr_percent": report.compression_ratio}
+                for p, report in sorted(reports.items())
+            },
+        }, indent=2))
+        return 0
+    table = Table(["p (f_scan/f_ate)", "TAT%", "CR%"],
+                  title=f"{test_set.name}: TAT analysis at K={args.k} (Table V)")
+    for p, report in sorted(reports.items()):
+        table.add_row(p, report.tat_percent, report.compression_ratio)
+    print(table.render())
+    return 0
+
+
+def cmd_atpg(args) -> int:
+    from .atpg.flow import generate_test_cubes
+    from .circuits.library import available_circuits, load_circuit
+
+    if args.circuit not in available_circuits():
+        raise SystemExit(
+            f"unknown circuit {args.circuit!r}; available: "
+            f"{', '.join(available_circuits())}"
+        )
+    circuit = load_circuit(args.circuit)
+    result = generate_test_cubes(circuit, backtrack_limit=args.backtrack_limit)
+    print(f"circuit        : {circuit!r}")
+    print(f"collapsed fault: {result.statistics['collapsed_faults']}")
+    print(f"fault coverage : {result.fault_coverage:.2f}%")
+    print(f"test efficiency: {result.test_efficiency:.2f}%")
+    print(f"patterns       : {len(result.test_set)} "
+          f"(X density {result.test_set.x_density * 100:.1f}%)")
+    if args.output:
+        result.test_set.save(args.output)
+        print(f"cubes written  : {args.output}")
+    if args.k:
+        encoding = NineCEncoder(args.k).encode(result.test_set.to_stream())
+        print(f"9C @ K={args.k}     : CR {encoding.compression_ratio:.2f}%, "
+              f"LX {encoding.leftover_x_percent:.2f}%")
+    return 0
+
+
+def cmd_freq(args) -> int:
+    from .core.frequency import frequency_directed
+
+    test_set = _load_data(args)
+    data = test_set.to_stream()
+    table = Table(["K", "CR% default", "CR% reassigned", "gain (pp)"],
+                  precision=3,
+                  title=f"{test_set.name}: frequency-directed re-assignment "
+                        "(Table VII)")
+    for k in (4, 8, 12, 16, 20, 24, 28, 32):
+        result = frequency_directed(data, k)
+        table.add_row(k, result.baseline.compression_ratio,
+                      result.final.compression_ratio, result.improvement)
+    print(table.render())
+    return 0
+
+
+def cmd_efficiency(args) -> int:
+    from .analysis.entropy import coding_efficiency
+
+    test_set = _load_data(args)
+    report = coding_efficiency(test_set.to_stream(), args.k)
+    print(f"test set            : {test_set.name or args.input}")
+    print(f"blocks              : {report.blocks}")
+    print(f"codeword bits       : {report.actual_codeword_bits}")
+    print(f"huffman-optimal bits: {report.huffman_codeword_bits}")
+    print(f"entropy bound bits  : {report.entropy_bound_bits:.1f}")
+    print(f"efficiency (huffman): {report.efficiency_vs_huffman:.4f}")
+    print(f"efficiency (entropy): {report.efficiency_vs_entropy:.4f}")
+    return 0
+
+
+def cmd_rtl(args) -> int:
+    from pathlib import Path
+
+    from .decompressor.verilog import (
+        generate_decoder_verilog,
+        generate_multiscan_verilog,
+    )
+
+    if args.chains > 1:
+        rtl = generate_multiscan_verilog(args.k, args.chains)
+    else:
+        rtl = generate_decoder_verilog(args.k)
+    if args.output:
+        Path(args.output).write_text(rtl)
+        print(f"RTL written: {args.output}")
+    else:
+        print(rtl)
+    return 0
+
+
+def cmd_adaptive(args) -> int:
+    from .core.adaptive import AdaptiveNineCEncoder
+
+    test_set = _load_data(args)
+    data = test_set.to_stream()
+    codec = AdaptiveNineCEncoder(window_bits=args.window)
+    encoding = codec.encode(data)
+    fixed = {
+        k: NineCEncoder(k).measure(data).compression_ratio
+        for k in codec.menu
+    }
+    best_k = max(fixed, key=fixed.get)
+    table = Table(["scheme", "CR%"],
+                  title=f"{test_set.name}: adaptive-K vs fixed K "
+                        f"(window {args.window} bits)")
+    for k in codec.menu:
+        table.add_row(f"fixed K={k}", fixed[k])
+    table.add_row("adaptive", encoding.compression_ratio)
+    print(table.render())
+    from collections import Counter
+
+    counts = Counter(encoding.window_ks)
+    print("window choices:",
+          ", ".join(f"K={k}: {n}" for k, n in sorted(counts.items())))
+    print(f"best fixed: K={best_k} at {fixed[best_k]:.2f}%")
+    return 0
+
+
+def cmd_system(args) -> int:
+    from .circuits.library import available_circuits, load_circuit
+    from .system import TestSession
+
+    if args.circuit not in available_circuits():
+        raise SystemExit(
+            f"unknown circuit {args.circuit!r}; available: "
+            f"{', '.join(available_circuits())}"
+        )
+    circuit = load_circuit(args.circuit)
+    session = TestSession(circuit, k=args.k, p=args.p,
+                          misr_width=args.misr_width).prepare()
+    golden = session.run()
+    print(f"circuit          : {circuit!r}")
+    print(f"patterns         : {golden.patterns_applied}")
+    print(f"CR%              : {golden.compression_ratio:.2f}")
+    print(f"SoC cycles       : {golden.soc_cycles}")
+    print(f"golden signature : 0x{golden.signature:0{args.misr_width // 4}x}")
+    sample = session.atpg_result.detected[: args.screen]
+    if sample:
+        results = session.screen(sample)
+        caught = sum(results.values())
+        print(f"defect screening : {caught}/{len(sample)} injected faults "
+              f"caught by the signature")
+    return 0
+
+
+def cmd_benchmarks(_args) -> int:
+    table = Table(["name", "cells", "patterns", "|T_D|", "X%"],
+                  title="available benchmark profiles")
+    for name, profile in sorted(ALL_PROFILES.items()):
+        table.add_row(name, profile.num_cells, profile.num_patterns,
+                      profile.total_bits, profile.x_density * 100)
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-9c",
+        description="9C test-data compression (DATE 2004) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("coding-table", help="print Table I for a given K")
+    p.add_argument("--k", type=int, default=8)
+    p.set_defaults(func=cmd_coding_table)
+
+    p = sub.add_parser("compress", help="9C-compress a test set")
+    p.add_argument("input", nargs="?", help="test-set file (.test)")
+    p.add_argument("--benchmark", choices=sorted(ALL_PROFILES))
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_compress)
+
+    p = sub.add_parser("decompress", help="decode a 9C stream file")
+    p.add_argument("input")
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--cells", type=int, required=True)
+    p.add_argument("--length", type=int, default=None)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_decompress)
+
+    p = sub.add_parser("sweep", help="CR/LX across block sizes")
+    p.add_argument("input", nargs="?")
+    p.add_argument("--benchmark", choices=sorted(ALL_PROFILES))
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("compare", help="compare 9C with baseline codes")
+    p.add_argument("input", nargs="?")
+    p.add_argument("--benchmark", choices=sorted(ALL_PROFILES))
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("tat", help="test-application-time analysis")
+    p.add_argument("input", nargs="?")
+    p.add_argument("--benchmark", choices=sorted(ALL_PROFILES))
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--p", type=int, nargs="+", default=[2, 4, 8, 16])
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.set_defaults(func=cmd_tat)
+
+    p = sub.add_parser("atpg", help="generate test cubes for a circuit")
+    p.add_argument("--circuit", default="s27")
+    p.add_argument("--backtrack-limit", type=int, default=500)
+    p.add_argument("--k", type=int, default=0,
+                   help="also compress the cubes at this block size")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_atpg)
+
+    p = sub.add_parser("freq", help="frequency-directed re-assignment sweep")
+    p.add_argument("input", nargs="?")
+    p.add_argument("--benchmark", choices=sorted(ALL_PROFILES))
+    p.set_defaults(func=cmd_freq)
+
+    p = sub.add_parser("efficiency", help="coding-efficiency analysis")
+    p.add_argument("input", nargs="?")
+    p.add_argument("--benchmark", choices=sorted(ALL_PROFILES))
+    p.add_argument("--k", type=int, default=8)
+    p.set_defaults(func=cmd_efficiency)
+
+    p = sub.add_parser("rtl", help="emit decompressor Verilog")
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--chains", type=int, default=1,
+                   help="> 1 emits the Figure-3 multi-scan wrapper")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_rtl)
+
+    p = sub.add_parser("adaptive", help="adaptive-K vs fixed-K comparison")
+    p.add_argument("input", nargs="?")
+    p.add_argument("--benchmark", choices=sorted(ALL_PROFILES))
+    p.add_argument("--window", type=int, default=2048)
+    p.set_defaults(func=cmd_adaptive)
+
+    p = sub.add_parser("system", help="run the full TestSession flow")
+    p.add_argument("--circuit", default="s27")
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--p", type=int, default=8)
+    p.add_argument("--misr-width", type=int, default=16)
+    p.add_argument("--screen", type=int, default=8,
+                   help="number of detected faults to screen")
+    p.set_defaults(func=cmd_system)
+
+    p = sub.add_parser("benchmarks", help="list benchmark profiles")
+    p.set_defaults(func=cmd_benchmarks)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Baseline test-data compression codes (the paper's Table IV field).
+
+All codes share the :class:`~repro.codes.base.CompressionCode` interface;
+:func:`table4_codes` builds the per-circuit best-parameterized line-up the
+comparison bench uses.
+"""
+
+from typing import Dict
+
+from ..core.bitvec import TernaryVector
+from .arl import AlternatingRunLengthCode
+from .base import CompressedData, CompressionCode, roundtrip_ok
+from .dictionary import DictionaryCode
+from .efdr import EFDRCode
+from .fdr import FDRCode, fdr_codeword, fdr_codeword_length, fdr_group, read_fdr_run
+from .golomb import GolombCode, best_golomb
+from .huffman import HuffmanCode, canonical_codes, huffman_code_lengths
+from .lz import LZ77Code, LZWCode
+from .mtc import MTCCode, best_mtc
+from .ninec import NineCCode, best_ninec
+from .runlength import maximal_runs, terminated_segments, zero_runs
+from .selective_huffman import SelectiveHuffmanCode, best_selective_huffman
+from .vihc import VIHCCode, best_vihc
+
+
+def table4_codes(data: TernaryVector) -> Dict[str, CompressionCode]:
+    """Best-parameterized instance of every compared code for ``data``.
+
+    Mirrors how the literature reports each technique at its favourable
+    configuration (per-circuit Golomb m, VIHC mh, 9C K, ...).
+    """
+    return {
+        "9c": best_ninec(data),
+        "fdr": FDRCode(),
+        "efdr": EFDRCode(),
+        "arl": AlternatingRunLengthCode(),
+        "golomb": best_golomb(data),
+        "vihc": best_vihc(data),
+        "selhuff": best_selective_huffman(data),
+        "mtc": best_mtc(data),
+        "dict": DictionaryCode(),
+    }
+
+
+__all__ = [
+    "CompressionCode",
+    "CompressedData",
+    "roundtrip_ok",
+    "GolombCode",
+    "best_golomb",
+    "FDRCode",
+    "fdr_group",
+    "fdr_codeword",
+    "fdr_codeword_length",
+    "read_fdr_run",
+    "EFDRCode",
+    "AlternatingRunLengthCode",
+    "VIHCCode",
+    "best_vihc",
+    "SelectiveHuffmanCode",
+    "best_selective_huffman",
+    "MTCCode",
+    "best_mtc",
+    "DictionaryCode",
+    "NineCCode",
+    "best_ninec",
+    "LZ77Code",
+    "LZWCode",
+    "HuffmanCode",
+    "huffman_code_lengths",
+    "canonical_codes",
+    "zero_runs",
+    "maximal_runs",
+    "terminated_segments",
+    "table4_codes",
+]

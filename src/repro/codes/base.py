@@ -1,0 +1,85 @@
+"""Common interface for all test-data compression codes.
+
+Every baseline of the paper's Table IV (and 9C itself, via an adapter)
+implements :class:`CompressionCode`: compress a ternary test stream into a
+bit stream, decompress it back into something that *covers* the original
+cubes.  Codes are free to fill don't-cares during compression (run-length
+codes zero-fill; EFDR/ARL use minimum-transition fill; 9C keeps many X) —
+the covering invariant is what guarantees the decompressed data still
+detects every fault the original cubes targeted.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from ..core.bitvec import TernaryVector
+
+
+@dataclass(frozen=True)
+class CompressedData:
+    """A compressed test stream plus the metadata needed to decode it.
+
+    ``metadata`` carries decoder configuration that the literature assumes
+    lives in the on-chip decompressor hardware, not in the ATE stream
+    (e.g. the Huffman table of selective-Huffman/VIHC, the dictionary of
+    dictionary codes).  It is deliberately *not* counted in
+    ``compressed_size``, matching how all the compared papers report CR%.
+    """
+
+    code_name: str
+    payload: TernaryVector
+    original_length: int
+    metadata: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def compressed_size(self) -> int:
+        """|T_E| in bits (leftover X count as one stored bit each)."""
+        return len(self.payload)
+
+    @property
+    def compression_ratio(self) -> float:
+        """CR% = (|T_D| - |T_E|) / |T_D| * 100."""
+        if self.original_length == 0:
+            return 0.0
+        return (
+            (self.original_length - self.compressed_size)
+            / self.original_length
+            * 100.0
+        )
+
+
+class CompressionCode(ABC):
+    """Abstract test-data compression code."""
+
+    #: Short identifier used in reports (e.g. ``"fdr"``).
+    name: str = "abstract"
+
+    @abstractmethod
+    def compress(self, data: TernaryVector) -> CompressedData:
+        """Compress a ternary stream."""
+
+    @abstractmethod
+    def decompress(self, compressed: CompressedData) -> TernaryVector:
+        """Invert :meth:`compress`; result must cover the original data."""
+
+    def compression_ratio(self, data: TernaryVector) -> float:
+        """Convenience: CR% of compressing ``data``."""
+        return self.compress(data).compression_ratio
+
+    def _check_owned(self, compressed: CompressedData) -> None:
+        if compressed.code_name != self.name:
+            raise ValueError(
+                f"{self.name} cannot decode a {compressed.code_name!r} stream"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def roundtrip_ok(code: CompressionCode, data: TernaryVector) -> bool:
+    """Check the covering invariant ``decompress(compress(x)).covers(x)``."""
+    decompressed = code.decompress(code.compress(data))
+    return decompressed.covers(data)

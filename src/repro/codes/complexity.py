@@ -1,0 +1,136 @@
+"""Decoder-complexity metrics across compression codes (paper §V).
+
+The paper's closing comparison is qualitative: custom-table decoders
+(statistical/selective-Huffman, dictionaries) depend on the precomputed
+test set; variable-length run codes (Golomb/FDR/VIHC) need large
+worst-case machinery; 9C's decoder is tiny, fixed and test-set
+independent.  This module turns those axes into numbers so the
+flexibility bench can assert the ordering:
+
+* ``table_bits`` — decoder configuration that changes per test set
+  (Huffman tables, dictionary contents); 0 = test-set independent;
+* ``max_codeword_bits`` — worst-case receive window the decoder must
+  handle (unbounded for pure run-length codes, reported on the data);
+* ``codewords`` — distinct codewords the control FSM must recognize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..core.bitvec import TernaryVector, ZERO
+from .base import CompressionCode
+from .dictionary import DictionaryCode
+from .fdr import FDRCode, fdr_codeword_length
+from .golomb import GolombCode
+from .ninec import NineCCode
+from .runlength import zero_runs
+from .selective_huffman import SelectiveHuffmanCode
+from .vihc import VIHCCode
+
+
+@dataclass(frozen=True)
+class DecoderComplexity:
+    """Complexity profile of one code's on-chip decoder."""
+
+    code_name: str
+    codewords: int
+    max_codeword_bits: int
+    table_bits: int
+
+    @property
+    def test_set_independent(self) -> bool:
+        """True when the decoder needs no per-circuit configuration."""
+        return self.table_bits == 0
+
+
+def _max_run(data: TernaryVector) -> int:
+    runs, _open = zero_runs(data.filled(ZERO))
+    return max(runs, default=0)
+
+
+def ninec_complexity(code: NineCCode, _data: TernaryVector) -> DecoderComplexity:
+    """9C: nine fixed codewords, five-bit window, no tables."""
+    return DecoderComplexity(code.name, 9, code.codebook.max_length, 0)
+
+
+def golomb_complexity(code: GolombCode, data: TernaryVector) -> DecoderComplexity:
+    """Golomb: unary prefix grows with the longest run on this data."""
+    longest = _max_run(data)
+    return DecoderComplexity(
+        code.name,
+        codewords=code.m + 1,  # m tails + the unary continuation
+        max_codeword_bits=longest // code.m + 1 + code.log_m,
+        table_bits=0,
+    )
+
+
+def fdr_complexity(code: FDRCode, data: TernaryVector) -> DecoderComplexity:
+    """FDR: codeword length grows with the longest run's group."""
+    longest = _max_run(data)
+    groups = fdr_codeword_length(longest) // 2
+    return DecoderComplexity(
+        code.name,
+        codewords=sum(2**j for j in range(1, groups + 1)),
+        max_codeword_bits=fdr_codeword_length(longest),
+        table_bits=0,
+    )
+
+
+def vihc_complexity(code: VIHCCode, data: TernaryVector) -> DecoderComplexity:
+    """VIHC: mh+1 Huffman codewords whose table is data-derived."""
+    compressed = code.compress(data)
+    lengths = compressed.metadata["lengths"]
+    return DecoderComplexity(
+        code.name,
+        codewords=len(lengths),
+        max_codeword_bits=max(lengths.values(), default=0),
+        table_bits=sum(lengths.values()),
+    )
+
+
+def selhuff_complexity(code: SelectiveHuffmanCode,
+                       data: TernaryVector) -> DecoderComplexity:
+    """Selective Huffman: coded patterns + table stored on chip."""
+    compressed = code.compress(data)
+    lengths = compressed.metadata["lengths"]
+    patterns = compressed.metadata["patterns"]
+    return DecoderComplexity(
+        code.name,
+        codewords=len(lengths),
+        max_codeword_bits=max(lengths.values(), default=0),
+        table_bits=sum(lengths.values()) + len(patterns) * code.b,
+    )
+
+
+def dictionary_complexity(code: DictionaryCode,
+                          data: TernaryVector) -> DecoderComplexity:
+    """Dictionary: d entries of b bits live in the decoder."""
+    compressed = code.compress(data)
+    entries = compressed.metadata["entries"]
+    return DecoderComplexity(
+        code.name,
+        codewords=2,  # hit / miss flag
+        max_codeword_bits=1 + max(code.index_bits, code.b),
+        table_bits=len(entries) * code.b,
+    )
+
+
+_ANALYZERS: Dict[type, Callable] = {
+    NineCCode: ninec_complexity,
+    GolombCode: golomb_complexity,
+    FDRCode: fdr_complexity,
+    VIHCCode: vihc_complexity,
+    SelectiveHuffmanCode: selhuff_complexity,
+    DictionaryCode: dictionary_complexity,
+}
+
+
+def decoder_complexity(code: CompressionCode,
+                       data: TernaryVector) -> DecoderComplexity:
+    """Complexity profile of ``code`` when decoding ``data``."""
+    for klass, analyzer in _ANALYZERS.items():
+        if isinstance(code, klass):
+            return analyzer(code, data)
+    raise ValueError(f"no complexity model for {code.name}")

@@ -1,0 +1,93 @@
+"""Dictionary coding with fixed-length indices (Li & Chakrabarty, VTS 2003).
+
+The stream is cut into fixed ``b``-bit blocks and a dictionary of the
+``d`` most frequent (zero-filled) block patterns is selected; don't-cares
+let further blocks map onto dictionary entries by compatibility.  Each
+block is transmitted as:
+
+* ``1`` + index — ``log2(d)``-bit index of a compatible dictionary entry;
+* ``0`` + block — raw zero-filled block.
+
+The dictionary itself is on-chip decoder configuration and travels in
+``CompressedData.metadata`` (uncounted, as in the original paper where it
+is synthesized into the decompressor).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.bitstream import TernaryStreamReader, TernaryStreamWriter
+from ..core.bitvec import X, ZERO, TernaryVector
+from .base import CompressedData, CompressionCode
+
+
+class DictionaryCode(CompressionCode):
+    """Fixed-length-index dictionary code (``d`` entries of ``b`` bits)."""
+
+    def __init__(self, b: int = 16, d: int = 64):
+        if b < 1:
+            raise ValueError("block size b must be >= 1")
+        if d < 2 or d & (d - 1):
+            raise ValueError("dictionary size d must be a power of two >= 2")
+        self.b = b
+        self.d = d
+        self.index_bits = d.bit_length() - 1
+        self.name = f"dict(b={b},d={d})"
+
+    def _blocks(self, data: TernaryVector) -> List[TernaryVector]:
+        padded_length = ((len(data) + self.b - 1) // self.b) * self.b
+        padded = data.padded(max(padded_length, self.b), X)
+        return [padded[i : i + self.b] for i in range(0, len(padded), self.b)]
+
+    def _match(self, block: TernaryVector, entries: List[str]) -> Optional[int]:
+        arr = block.data
+        specified = arr != X
+        for index, entry in enumerate(entries):
+            want = np.frombuffer(entry.encode(), dtype=np.uint8) - ord("0")
+            if bool(np.array_equal(arr[specified], want[specified])):
+                return index
+        return None
+
+    def compress(self, data: TernaryVector) -> CompressedData:
+        if len(data) == 0:
+            return CompressedData(self.name, TernaryVector(""), 0,
+                                  metadata={"entries": []})
+        blocks = self._blocks(data)
+        frequencies = Counter(b.filled(ZERO).to_string() for b in blocks)
+        entries = [p for p, _n in frequencies.most_common(self.d)]
+        writer = TernaryStreamWriter()
+        for block in blocks:
+            index = self._match(block, entries)
+            if index is None:
+                writer.write_bit(0)
+                writer.write_vector(block.filled(ZERO))
+            else:
+                writer.write_bit(1)
+                writer.write_uint(index, self.index_bits)
+        return CompressedData(
+            self.name, writer.to_vector(), len(data),
+            metadata={"entries": entries},
+        )
+
+    def decompress(self, compressed: CompressedData) -> TernaryVector:
+        self._check_owned(compressed)
+        entries = compressed.metadata["entries"]
+        reader = TernaryStreamReader(compressed.payload)
+        writer = TernaryStreamWriter()
+        while len(writer) < compressed.original_length and not reader.at_end():
+            flag = reader.read_bit()
+            if flag == 1:
+                index = reader.read_uint(self.index_bits)
+                writer.write_vector(TernaryVector(entries[index]))
+            elif flag == 0:
+                writer.write_vector(reader.read_vector(self.b))
+            else:
+                raise ValueError("X symbol in dictionary flag position")
+        out = writer.to_vector()
+        if len(out) < compressed.original_length:
+            raise ValueError("compressed stream too short for original length")
+        return out[: compressed.original_length]

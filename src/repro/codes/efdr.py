@@ -1,0 +1,49 @@
+"""Extended FDR (EFDR) coding (El-Maleh & Al-Abaji, ICECS 2002).
+
+EFDR extends FDR to runs of *both* symbols: the stream is parsed into
+segments ``s^L s̄`` (a run of L >= 1 copies of s closed by one complement
+bit); each segment is encoded as a type bit (s) followed by the FDR
+codeword of L - 1.  Don't-cares are filled with the minimum-transition
+fill, which maximally extends whichever run is in progress — the fill
+EFDR-style codes rely on.
+"""
+
+from __future__ import annotations
+
+from ..core.bitstream import TernaryStreamReader, TernaryStreamWriter
+from ..core.bitvec import TernaryVector
+from ..testdata.fill import mt_fill
+from .base import CompressedData, CompressionCode
+from .fdr import fdr_codeword, read_fdr_run
+from .runlength import terminated_segments
+
+
+class EFDRCode(CompressionCode):
+    """Extended FDR: FDR over runs of 0s *and* 1s, one type bit each."""
+
+    name = "efdr"
+
+    def compress(self, data: TernaryVector) -> CompressedData:
+        filled = mt_fill(data)
+        segments, _ends_open = terminated_segments(filled)
+        writer = TernaryStreamWriter()
+        for symbol, run in segments:
+            writer.write_bit(symbol)
+            writer.write_bits(fdr_codeword(run - 1))
+        return CompressedData(self.name, writer.to_vector(), len(data))
+
+    def decompress(self, compressed: CompressedData) -> TernaryVector:
+        self._check_owned(compressed)
+        reader = TernaryStreamReader(compressed.payload)
+        writer = TernaryStreamWriter()
+        while len(writer) < compressed.original_length and not reader.at_end():
+            symbol = reader.read_bit()
+            if symbol not in (0, 1):
+                raise ValueError("X symbol in EFDR stream")
+            run = read_fdr_run(reader.read_bit) + 1
+            writer.write_bits([symbol] * run)
+            writer.write_bit(1 - symbol)
+        out = writer.to_vector()
+        if len(out) < compressed.original_length:
+            raise ValueError("compressed stream too short for original length")
+        return out[: compressed.original_length]

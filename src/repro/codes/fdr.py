@@ -1,0 +1,77 @@
+"""Frequency-Directed Run-length (FDR) coding (Chandra & Chakrabarty).
+
+Runs of 0s terminated by a 1 (after zero-filling don't-cares) are encoded
+with the FDR code: run lengths are partitioned into groups A_j, where
+group j covers the 2^j lengths starting at 2^j - 2 and is encoded as a
+j-bit prefix (j-1 ones then a 0) followed by a j-bit tail.  Short runs —
+by far the most frequent in scan test data — get the shortest codewords
+(run 0 -> ``00``, run 1 -> ``01``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.bitstream import TernaryStreamReader, TernaryStreamWriter
+from ..core.bitvec import ZERO, TernaryVector
+from .base import CompressedData, CompressionCode
+from .runlength import zero_runs
+
+
+def fdr_group(run_length: int) -> int:
+    """Group index j such that 2^j - 2 <= run_length < 2^(j+1) - 2."""
+    if run_length < 0:
+        raise ValueError("run length must be non-negative")
+    return (run_length + 2).bit_length() - 1
+
+
+def fdr_codeword(run_length: int) -> List[int]:
+    """FDR codeword bits for one run length (prefix then tail)."""
+    group = fdr_group(run_length)
+    offset = run_length - (2**group - 2)
+    prefix = [1] * (group - 1) + [0]
+    tail = [(offset >> (group - 1 - i)) & 1 for i in range(group)]
+    return prefix + tail
+
+
+def fdr_codeword_length(run_length: int) -> int:
+    """Length in bits of the FDR codeword for a run (2 * group index)."""
+    return 2 * fdr_group(run_length)
+
+
+def read_fdr_run(read_bit) -> int:
+    """Inverse of :func:`fdr_codeword`, reading bits via ``read_bit()``."""
+    group = 1
+    while read_bit() == 1:
+        group += 1
+    offset = 0
+    for _ in range(group):
+        offset = (offset << 1) | read_bit()
+    return (2**group - 2) + offset
+
+
+class FDRCode(CompressionCode):
+    """FDR run-length code on zero-filled test data."""
+
+    name = "fdr"
+
+    def compress(self, data: TernaryVector) -> CompressedData:
+        filled = data.filled(ZERO)
+        runs, _ends_open = zero_runs(filled)
+        writer = TernaryStreamWriter()
+        for run in runs:
+            writer.write_bits(fdr_codeword(run))
+        return CompressedData(self.name, writer.to_vector(), len(data))
+
+    def decompress(self, compressed: CompressedData) -> TernaryVector:
+        self._check_owned(compressed)
+        reader = TernaryStreamReader(compressed.payload)
+        writer = TernaryStreamWriter()
+        while len(writer) < compressed.original_length and not reader.at_end():
+            run = read_fdr_run(reader.read_bit)
+            writer.write_bits([0] * run)
+            writer.write_bit(1)
+        out = writer.to_vector()
+        if len(out) < compressed.original_length:
+            raise ValueError("compressed stream too short for original length")
+        return out[: compressed.original_length]

@@ -1,0 +1,62 @@
+"""Golomb coding for test data (Chandra & Chakrabarty, TCAD 2001).
+
+Don't-cares are filled with 0 (maximizing 0-run lengths), the stream is
+parsed into runs of 0s terminated by a 1, and each run length L is Golomb
+coded with group size m (a power of two): quotient ``L // m`` in unary
+(that many 1s and a closing 0) followed by the remainder ``L % m`` in
+``log2(m)`` binary bits.
+"""
+
+from __future__ import annotations
+
+from ..core.bitstream import TernaryStreamReader, TernaryStreamWriter
+from ..core.bitvec import ZERO, TernaryVector
+from .base import CompressedData, CompressionCode
+from .runlength import zero_runs
+
+
+class GolombCode(CompressionCode):
+    """Golomb run-length code with power-of-two group size ``m``."""
+
+    def __init__(self, m: int = 4):
+        if m < 2 or m & (m - 1):
+            raise ValueError("group size m must be a power of two >= 2")
+        self.m = m
+        self.log_m = m.bit_length() - 1
+        self.name = f"golomb(m={m})"
+
+    def compress(self, data: TernaryVector) -> CompressedData:
+        filled = data.filled(ZERO)
+        runs, _ends_open = zero_runs(filled)
+        writer = TernaryStreamWriter()
+        for run in runs:
+            quotient, remainder = divmod(run, self.m)
+            writer.write_bits([1] * quotient)
+            writer.write_bit(0)
+            writer.write_uint(remainder, self.log_m)
+        return CompressedData(self.name, writer.to_vector(), len(data))
+
+    def decompress(self, compressed: CompressedData) -> TernaryVector:
+        self._check_owned(compressed)
+        reader = TernaryStreamReader(compressed.payload)
+        writer = TernaryStreamWriter()
+        while len(writer) < compressed.original_length and not reader.at_end():
+            quotient = 0
+            while reader.read_bit() == 1:
+                quotient += 1
+            remainder = reader.read_uint(self.log_m)
+            run = quotient * self.m + remainder
+            writer.write_bits([0] * run)
+            writer.write_bit(1)
+        out = writer.to_vector()
+        if len(out) < compressed.original_length:
+            raise ValueError("compressed stream too short for original length")
+        return out[: compressed.original_length]
+
+
+def best_golomb(data: TernaryVector, group_sizes=(2, 4, 8, 16, 32)) -> GolombCode:
+    """The Golomb code with the highest CR% on ``data`` (per-circuit m)."""
+    return max(
+        (GolombCode(m) for m in group_sizes),
+        key=lambda code: code.compression_ratio(data),
+    )

@@ -1,0 +1,129 @@
+"""Canonical Huffman coding substrate.
+
+Used by the selective-Huffman and VIHC baselines.  Codes are built from
+symbol frequencies, converted to canonical form (so a code is fully
+described by its symbol-to-length map) and decoded with a binary trie.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+Symbol = Hashable
+
+
+def huffman_code_lengths(frequencies: Mapping[Symbol, int]) -> Dict[Symbol, int]:
+    """Optimal prefix-code lengths for the given symbol frequencies.
+
+    Zero-frequency symbols are excluded.  A single-symbol alphabet gets a
+    1-bit code (a real decoder still needs to clock something).
+    """
+    items = [(freq, i, [sym]) for i, (sym, freq) in
+             enumerate(sorted(frequencies.items(), key=lambda kv: repr(kv[0])))
+             if freq > 0]
+    if not items:
+        return {}
+    if len(items) == 1:
+        return {items[0][2][0]: 1}
+    lengths: Dict[Symbol, int] = {sym: 0 for _, _, syms in items for sym in syms}
+    heap: List[Tuple[int, int, List[Symbol]]] = items
+    heapq.heapify(heap)
+    counter = len(items)
+    while len(heap) > 1:
+        fa, _, syms_a = heapq.heappop(heap)
+        fb, _, syms_b = heapq.heappop(heap)
+        for sym in syms_a + syms_b:
+            lengths[sym] += 1
+        heapq.heappush(heap, (fa + fb, counter, syms_a + syms_b))
+        counter += 1
+    return lengths
+
+
+def canonical_codes(lengths: Mapping[Symbol, int]) -> Dict[Symbol, Tuple[int, ...]]:
+    """Canonical prefix-free codewords for a Kraft-feasible length map."""
+    kraft = sum(2.0 ** -l for l in lengths.values())
+    if kraft > 1.0 + 1e-9:
+        raise ValueError(f"lengths violate Kraft inequality (sum={kraft})")
+    ordered = sorted(lengths, key=lambda s: (lengths[s], repr(s)))
+    out: Dict[Symbol, Tuple[int, ...]] = {}
+    code = 0
+    prev = 0
+    for sym in ordered:
+        length = lengths[sym]
+        code <<= length - prev
+        out[sym] = tuple((code >> (length - 1 - i)) & 1 for i in range(length))
+        code += 1
+        prev = length
+    return out
+
+
+@dataclass(frozen=True)
+class HuffmanCode:
+    """An immutable canonical Huffman code over an arbitrary alphabet."""
+
+    codewords: Mapping[Symbol, Tuple[int, ...]]
+
+    @classmethod
+    def from_frequencies(cls, frequencies: Mapping[Symbol, int]) -> "HuffmanCode":
+        """Build the optimal canonical code for observed frequencies."""
+        return cls(canonical_codes(huffman_code_lengths(frequencies)))
+
+    def __post_init__(self):
+        trie: dict = {}
+        for sym, bits in self.codewords.items():
+            if not bits:
+                raise ValueError(f"empty codeword for {sym!r}")
+            node = trie
+            for bit in bits[:-1]:
+                node = node.setdefault(bit, {})
+                if not isinstance(node, dict):
+                    raise ValueError("code is not prefix-free")
+            if bits[-1] in node:
+                raise ValueError("code is not prefix-free")
+            node[bits[-1]] = ("leaf", sym)
+        object.__setattr__(self, "_trie", trie)
+
+    def encode_symbol(self, symbol: Symbol) -> Tuple[int, ...]:
+        """Codeword bits for one symbol."""
+        return self.codewords[symbol]
+
+    def encode(self, symbols: Iterable[Symbol]) -> List[int]:
+        """Concatenate codewords for a symbol sequence."""
+        out: List[int] = []
+        for symbol in symbols:
+            out.extend(self.codewords[symbol])
+        return out
+
+    def decode_symbol(self, read_bit) -> Symbol:
+        """Consume bits via ``read_bit()`` until one symbol resolves."""
+        node = self._trie
+        while True:
+            bit = read_bit()
+            entry = node.get(bit)
+            if entry is None:
+                raise ValueError("bit sequence is not a valid codeword")
+            if isinstance(entry, tuple):
+                return entry[1]
+            node = entry
+
+    def decode(self, bits: Sequence[int], count: int) -> List[Symbol]:
+        """Decode exactly ``count`` symbols from a bit sequence."""
+        iterator = iter(bits)
+
+        def read_bit():
+            return next(iterator)
+
+        return [self.decode_symbol(read_bit) for _ in range(count)]
+
+    def expected_length(self, frequencies: Mapping[Symbol, int]) -> float:
+        """Average codeword length weighted by the given frequencies."""
+        total = sum(frequencies.get(s, 0) for s in self.codewords)
+        if total == 0:
+            return 0.0
+        return (
+            sum(len(self.codewords[s]) * frequencies.get(s, 0)
+                for s in self.codewords)
+            / total
+        )

@@ -1,0 +1,145 @@
+"""LZ-family baselines (paper related work [24] LZ77, [25] LZW).
+
+Bit-level variants of the two dictionary-window codes the paper cites:
+
+* :class:`LZ77Code` — sliding-window match coding.  Tokens are either
+  ``1 + offset + length`` (a window match) or ``0 + literal``.
+* :class:`LZWCode` — classic LZW over the binary alphabet with
+  fixed-width codes and a capped dictionary.
+
+Both operate on zero-filled data (like the run-length codes) and exist
+as comparison points; test data is repetitive enough that they compress,
+but the specialized DFT codes beat them — the reason the field moved to
+codes like 9C.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.bitstream import TernaryStreamReader, TernaryStreamWriter
+from ..core.bitvec import ZERO, TernaryVector
+from .base import CompressedData, CompressionCode
+
+
+class LZ77Code(CompressionCode):
+    """Bit-level LZ77 with ``window`` and ``lookahead`` (powers of two)."""
+
+    def __init__(self, window: int = 256, lookahead: int = 32):
+        for value, name in ((window, "window"), (lookahead, "lookahead")):
+            if value < 2 or value & (value - 1):
+                raise ValueError(f"{name} must be a power of two >= 2")
+        self.window = window
+        self.lookahead = lookahead
+        self.offset_bits = window.bit_length() - 1
+        self.length_bits = lookahead.bit_length() - 1
+        #: shortest match worth a token (token cost vs literal cost)
+        self.min_match = 1 + (
+            (1 + self.offset_bits + self.length_bits) // 2
+        )
+        self.name = f"lz77(w={window},l={lookahead})"
+
+    def compress(self, data: TernaryVector) -> CompressedData:
+        bits = data.filled(ZERO).data.tolist()
+        writer = TernaryStreamWriter()
+        position = 0
+        n = len(bits)
+        while position < n:
+            best_length = 0
+            best_offset = 0
+            window_start = max(0, position - self.window)
+            max_length = min(self.lookahead - 1, n - position)
+            for start in range(window_start, position):
+                length = 0
+                while (length < max_length
+                       and bits[start + length] == bits[position + length]):
+                    length += 1
+                    if start + length >= position:
+                        # overlapping matches allowed (classic LZ77)
+                        pass
+                if length > best_length:
+                    best_length = length
+                    best_offset = position - start
+            if best_length >= self.min_match:
+                writer.write_bit(1)
+                writer.write_uint(best_offset - 1, self.offset_bits)
+                writer.write_uint(best_length, self.length_bits)
+                position += best_length
+            else:
+                writer.write_bit(0)
+                writer.write_bit(bits[position])
+                position += 1
+        return CompressedData(self.name, writer.to_vector(), len(data))
+
+    def decompress(self, compressed: CompressedData) -> TernaryVector:
+        self._check_owned(compressed)
+        reader = TernaryStreamReader(compressed.payload)
+        out: List[int] = []
+        while len(out) < compressed.original_length and not reader.at_end():
+            flag = reader.read_bit()
+            if flag == 0:
+                out.append(reader.read_bit())
+            elif flag == 1:
+                offset = reader.read_uint(self.offset_bits) + 1
+                length = reader.read_uint(self.length_bits)
+                start = len(out) - offset
+                if start < 0:
+                    raise ValueError("LZ77 offset before stream start")
+                for i in range(length):
+                    out.append(out[start + i])
+            else:
+                raise ValueError("X symbol in LZ77 flag position")
+        if len(out) < compressed.original_length:
+            raise ValueError("compressed stream too short for original length")
+        return TernaryVector(out[: compressed.original_length])
+
+
+class LZWCode(CompressionCode):
+    """Classic binary LZW with fixed ``code_bits``-wide output codes."""
+
+    def __init__(self, code_bits: int = 12):
+        if code_bits < 2:
+            raise ValueError("code_bits must be >= 2")
+        self.code_bits = code_bits
+        self.max_entries = 1 << code_bits
+        self.name = f"lzw(b={code_bits})"
+
+    def compress(self, data: TernaryVector) -> CompressedData:
+        bits = data.filled(ZERO).data.tolist()
+        writer = TernaryStreamWriter()
+        dictionary: Dict[Tuple[int, ...], int] = {(0,): 0, (1,): 1}
+        current: Tuple[int, ...] = ()
+        for bit in bits:
+            candidate = current + (bit,)
+            if candidate in dictionary:
+                current = candidate
+                continue
+            writer.write_uint(dictionary[current], self.code_bits)
+            if len(dictionary) < self.max_entries:
+                dictionary[candidate] = len(dictionary)
+            current = (bit,)
+        if current:
+            writer.write_uint(dictionary[current], self.code_bits)
+        return CompressedData(self.name, writer.to_vector(), len(data))
+
+    def decompress(self, compressed: CompressedData) -> TernaryVector:
+        self._check_owned(compressed)
+        reader = TernaryStreamReader(compressed.payload)
+        entries: List[Tuple[int, ...]] = [(0,), (1,)]
+        out: List[int] = []
+        previous: Tuple[int, ...] = ()
+        while len(out) < compressed.original_length and not reader.at_end():
+            code = reader.read_uint(self.code_bits)
+            if code < len(entries):
+                entry = entries[code]
+            elif code == len(entries) and previous:
+                entry = previous + (previous[0],)  # the KwKwK case
+            else:
+                raise ValueError(f"invalid LZW code {code}")
+            out.extend(entry)
+            if previous and len(entries) < self.max_entries:
+                entries.append(previous + (entry[0],))
+            previous = entry
+        if len(out) < compressed.original_length:
+            raise ValueError("compressed stream too short for original length")
+        return TernaryVector(out[: compressed.original_length])

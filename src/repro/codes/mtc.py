@@ -1,0 +1,88 @@
+"""MTC baseline — match-to-previous block coding (approximation).
+
+The 9C paper's Table IV compares against "MTC" (its reference [12],
+Rosinger et al., Electronics Letters 2001), whose exact construction is
+not recoverable from the 9C paper alone.  Per DESIGN.md §4 we implement a
+faithful-in-spirit *compatibility run-length* code that exploits the same
+redundancy: consecutive scan blocks are highly correlated, and don't-cares
+let a block repeat its predecessor.
+
+Encoding over fixed ``b``-bit blocks:
+
+* ``0``          — the block is compatible with the previously decoded
+  block; the decoder repeats it (don't-cares inherit its bits).
+* ``1`` + block — raw transmission of the zero-filled block.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.bitstream import TernaryStreamReader, TernaryStreamWriter
+from ..core.bitvec import X, ZERO, TernaryVector
+from .base import CompressedData, CompressionCode
+
+
+class MTCCode(CompressionCode):
+    """Match-to-previous compatibility coding with block size ``b``."""
+
+    def __init__(self, b: int = 8):
+        if b < 1:
+            raise ValueError("block size b must be >= 1")
+        self.b = b
+        self.name = f"mtc(b={b})"
+
+    def compress(self, data: TernaryVector) -> CompressedData:
+        if len(data) == 0:
+            return CompressedData(self.name, TernaryVector(""), 0)
+        padded_length = ((len(data) + self.b - 1) // self.b) * self.b
+        padded = data.padded(padded_length, X)
+        writer = TernaryStreamWriter()
+        previous: np.ndarray | None = None
+        for start in range(0, len(padded), self.b):
+            block = padded.data[start : start + self.b]
+            specified = block != X
+            if previous is not None and bool(
+                np.array_equal(block[specified], previous[specified])
+            ):
+                writer.write_bit(0)
+                # decoder repeats `previous` verbatim
+            else:
+                writer.write_bit(1)
+                decoded = block.copy()
+                decoded[decoded == X] = ZERO
+                writer.write_bits(decoded.tolist())
+                previous = decoded
+        return CompressedData(self.name, writer.to_vector(), len(data))
+
+    def decompress(self, compressed: CompressedData) -> TernaryVector:
+        self._check_owned(compressed)
+        reader = TernaryStreamReader(compressed.payload)
+        writer = TernaryStreamWriter()
+        previous: List[int] | None = None
+        while len(writer) < compressed.original_length and not reader.at_end():
+            flag = reader.read_bit()
+            if flag == 0:
+                if previous is None:
+                    raise ValueError("repeat flag before any raw block")
+                writer.write_bits(previous)
+            elif flag == 1:
+                block = [reader.read_bit() for _ in range(self.b)]
+                writer.write_bits(block)
+                previous = block
+            else:
+                raise ValueError("X symbol in MTC flag position")
+        out = writer.to_vector()
+        if len(out) < compressed.original_length:
+            raise ValueError("compressed stream too short for original length")
+        return out[: compressed.original_length]
+
+
+def best_mtc(data: TernaryVector, block_sizes=(4, 8, 16, 32)) -> MTCCode:
+    """The MTC block size with the highest CR% on ``data``."""
+    return max(
+        (MTCCode(b) for b in block_sizes),
+        key=lambda code: code.compression_ratio(data),
+    )

@@ -1,0 +1,43 @@
+"""Adapter exposing 9C through the common :class:`CompressionCode` API.
+
+Lets the Table IV harness treat 9C and every baseline uniformly.  Leftover
+don't-cares in the 9C stream count as stored bits (the ATE must hold
+*something* in each position), exactly as the paper computes |T_E|.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.bitvec import TernaryVector
+from ..core.codewords import Codebook
+from ..core.decoder import NineCDecoder
+from ..core.encoder import NineCEncoder
+from .base import CompressedData, CompressionCode
+
+
+class NineCCode(CompressionCode):
+    """The paper's 9C code with block size ``k`` as a CompressionCode."""
+
+    def __init__(self, k: int = 8, codebook: Optional[Codebook] = None):
+        self.k = k
+        self.codebook = codebook or Codebook.default()
+        self.name = f"9c(k={k})"
+
+    def compress(self, data: TernaryVector) -> CompressedData:
+        encoding = NineCEncoder(self.k, self.codebook).encode(data)
+        return CompressedData(self.name, encoding.stream, len(data))
+
+    def decompress(self, compressed: CompressedData) -> TernaryVector:
+        self._check_owned(compressed)
+        return NineCDecoder(self.k, self.codebook).decode_stream(
+            compressed.payload, compressed.original_length
+        )
+
+
+def best_ninec(data: TernaryVector, ks=(4, 8, 12, 16, 20, 24, 28, 32)) -> NineCCode:
+    """The 9C block size with the highest CR% on ``data`` (Table IV's K)."""
+    encoder_best = max(
+        ks, key=lambda k: NineCEncoder(k).measure(data).compression_ratio
+    )
+    return NineCCode(encoder_best)

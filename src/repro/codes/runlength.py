@@ -1,0 +1,79 @@
+"""Run-length parsing helpers shared by the run-length based baselines."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.bitvec import ONE, TernaryVector
+
+
+def zero_runs(data: TernaryVector) -> Tuple[List[int], bool]:
+    """Lengths of 0-runs, each terminated by a 1, over fully-specified data.
+
+    Returns ``(runs, ends_open)``: one entry per 1 in the stream (the
+    number of 0s since the previous 1) plus, when the stream ends in 0s
+    (or is empty after the last 1), a final *open* run with
+    ``ends_open=True``.  ``encode -> decode -> truncate`` round-trips
+    because an open run decodes to its zeros plus one surplus terminator
+    that falls past ``original_length``.
+    """
+    arr = data.data
+    if np.any(arr > ONE):
+        raise ValueError("run-length codes require fully specified data")
+    runs: List[int] = []
+    previous = -1
+    for position in np.flatnonzero(arr == ONE):
+        runs.append(int(position) - previous - 1)
+        previous = int(position)
+    trailing = len(arr) - previous - 1
+    if trailing > 0:
+        runs.append(trailing)
+        return runs, True
+    return runs, False
+
+
+def maximal_runs(data: TernaryVector) -> List[Tuple[int, int]]:
+    """Maximal (symbol, length) runs of a fully-specified stream."""
+    arr = data.data
+    if np.any(arr > ONE):
+        raise ValueError("run-length codes require fully specified data")
+    if arr.size == 0:
+        return []
+    change = np.flatnonzero(arr[1:] != arr[:-1]) + 1
+    boundaries = np.concatenate(([0], change, [arr.size]))
+    return [
+        (int(arr[boundaries[i]]), int(boundaries[i + 1] - boundaries[i]))
+        for i in range(len(boundaries) - 1)
+    ]
+
+
+def terminated_segments(data: TernaryVector) -> Tuple[List[Tuple[int, int]], bool]:
+    """Parse into EFDR-style segments ``symbol^L complement``.
+
+    Greedy left-to-right: read a maximal run of the current symbol
+    (length L >= 1), then consume one complementary terminator bit.  The
+    final segment may lack its terminator when the stream ends inside a
+    run; that is flagged by ``ends_open=True``.
+    """
+    arr = data.data
+    if np.any(arr > ONE):
+        raise ValueError("run-length codes require fully specified data")
+    segments: List[Tuple[int, int]] = []
+    position = 0
+    n = arr.size
+    while position < n:
+        symbol = int(arr[position])
+        run = 1
+        position += 1
+        while position < n and int(arr[position]) == symbol:
+            run += 1
+            position += 1
+        if position < n:
+            position += 1  # consume the complement terminator
+            segments.append((symbol, run))
+        else:
+            segments.append((symbol, run))
+            return segments, True
+    return segments, False

@@ -1,0 +1,116 @@
+"""Selective Huffman coding (Jas, Ghosh-Dastidar, Ng, Touba, TCAD 2003).
+
+The stream is cut into fixed ``b``-bit blocks.  Only the ``n`` most
+frequent block patterns receive Huffman codewords; every other block is
+sent raw behind an *escape* codeword, which keeps the on-chip decoder
+small.  Don't-care bits let a block match an already-frequent pattern:
+each cube block is mapped to the most frequent *compatible* dictionary
+pattern before falling back to its zero-fill.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Tuple
+
+from ..core.bitstream import TernaryStreamReader, TernaryStreamWriter
+from ..core.bitvec import X, ZERO, TernaryVector
+from .base import CompressedData, CompressionCode
+from .huffman import HuffmanCode, canonical_codes
+
+#: Escape symbol for blocks outside the coded dictionary.
+ESCAPE = "esc"
+
+
+def _blocks(data: TernaryVector, b: int) -> List[TernaryVector]:
+    padded_length = ((len(data) + b - 1) // b) * b
+    padded = data.padded(max(padded_length, b), X)
+    return [padded[i : i + b] for i in range(0, len(padded), b)]
+
+
+def _compatible(block: TernaryVector, pattern: str) -> bool:
+    return all(bit == X or str(bit) == want
+               for bit, want in zip(block.data, pattern))
+
+
+class SelectiveHuffmanCode(CompressionCode):
+    """Selective Huffman with block size ``b`` and ``n`` coded patterns."""
+
+    def __init__(self, b: int = 8, n: int = 16):
+        if b < 1:
+            raise ValueError("block size b must be >= 1")
+        if n < 1:
+            raise ValueError("number of coded patterns n must be >= 1")
+        self.b = b
+        self.n = n
+        self.name = f"selhuff(b={b},n={n})"
+
+    def _choose_patterns(self, blocks: List[TernaryVector]) -> List[str]:
+        frequencies = Counter(
+            block.filled(ZERO).to_string() for block in blocks
+        )
+        return [pattern for pattern, _count in frequencies.most_common(self.n)]
+
+    def _map_block(self, block: TernaryVector,
+                   patterns: List[str]) -> Optional[str]:
+        for pattern in patterns:
+            if _compatible(block, pattern):
+                return pattern
+        return None
+
+    def compress(self, data: TernaryVector) -> CompressedData:
+        if len(data) == 0:
+            return CompressedData(self.name, TernaryVector(""), 0,
+                                  metadata={"lengths": {}, "patterns": []})
+        blocks = _blocks(data, self.b)
+        patterns = self._choose_patterns(blocks)
+        mapped = [self._map_block(block, patterns) for block in blocks]
+        frequencies = Counter(
+            symbol if symbol is not None else ESCAPE for symbol in mapped
+        )
+        code = HuffmanCode.from_frequencies(frequencies)
+        writer = TernaryStreamWriter()
+        for block, symbol in zip(blocks, mapped):
+            if symbol is None:
+                writer.write_bits(code.encode_symbol(ESCAPE))
+                writer.write_vector(block.filled(ZERO))
+            else:
+                writer.write_bits(code.encode_symbol(symbol))
+        lengths = {sym: len(bits) for sym, bits in code.codewords.items()}
+        return CompressedData(
+            self.name, writer.to_vector(), len(data),
+            metadata={"lengths": lengths, "patterns": patterns},
+        )
+
+    def decompress(self, compressed: CompressedData) -> TernaryVector:
+        self._check_owned(compressed)
+        lengths = compressed.metadata["lengths"]
+        if not lengths:
+            if compressed.original_length:
+                raise ValueError("empty code table for non-empty data")
+            return TernaryVector("")
+        code = HuffmanCode(canonical_codes(lengths))
+        reader = TernaryStreamReader(compressed.payload)
+        writer = TernaryStreamWriter()
+        while len(writer) < compressed.original_length and not reader.at_end():
+            symbol = code.decode_symbol(reader.read_bit)
+            if symbol == ESCAPE:
+                writer.write_vector(reader.read_vector(self.b))
+            else:
+                writer.write_vector(TernaryVector(symbol))
+        out = writer.to_vector()
+        if len(out) < compressed.original_length:
+            raise ValueError("compressed stream too short for original length")
+        return out[: compressed.original_length]
+
+
+def best_selective_huffman(
+    data: TernaryVector,
+    block_sizes: Tuple[int, ...] = (8, 12, 16),
+    n: int = 16,
+) -> SelectiveHuffmanCode:
+    """The block size with the highest CR% on ``data``."""
+    return max(
+        (SelectiveHuffmanCode(b, n) for b in block_sizes),
+        key=lambda code: code.compression_ratio(data),
+    )

@@ -1,0 +1,133 @@
+"""Test-application-time models across compression codes.
+
+Section III-C analyzes 9C's time in two clock domains; the same
+two-domain accounting extends to every baseline, letting the TAT
+comparison run across the whole Table IV field:
+
+* every bit of ``T_E`` crosses the ATE pin: |T_E| ATE cycles;
+* bits the decoder *generates* on-chip (run expansions, dictionary
+  pattern bodies, Huffman-decoded blocks) shift at the SoC clock:
+  ``generated / p`` ATE cycles;
+* bits the decoder merely *forwards* (raw payloads such as 9C mismatch
+  halves, escape blocks, LZ literals) are already paid for by their ATE
+  cycle — the shift overlaps reception.
+
+So ``t_comp = |T_E| + (|T_D| - forwarded) / p`` ATE cycles, where
+``forwarded`` counts output bits transported verbatim inside T_E.  For
+9C this reduces to the paper's per-codeword terms up to the final pad
+block (the exact model charges the padded block, this one charges
+|T_D|; the delta is < K/p cycles — asserted within one block in the
+tests); for pure run-length codes ``forwarded = 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.bitvec import TernaryVector
+from ..core.encoder import NineCEncoder
+from .base import CompressionCode
+from .dictionary import DictionaryCode
+from .mtc import MTCCode
+from .ninec import NineCCode
+from .selective_huffman import SelectiveHuffmanCode
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Two-domain time accounting for one code on one test set."""
+
+    code_name: str
+    original_bits: int
+    compressed_bits: int
+    forwarded_bits: int
+    p: int
+
+    @property
+    def t_comp_ate_cycles(self) -> float:
+        """Compressed test application time in ATE cycles."""
+        generated = self.original_bits - self.forwarded_bits
+        return self.compressed_bits + generated / self.p
+
+    @property
+    def t_nocomp_ate_cycles(self) -> float:
+        """Uncompressed baseline: |T_D| raw bits at ATE speed."""
+        return float(self.original_bits)
+
+    @property
+    def tat_percent(self) -> float:
+        """TAT% = (t_nocomp - t_comp) / t_nocomp * 100."""
+        if self.original_bits == 0:
+            return 0.0
+        return (
+            (self.t_nocomp_ate_cycles - self.t_comp_ate_cycles)
+            / self.t_nocomp_ate_cycles * 100.0
+        )
+
+    @property
+    def compression_ratio(self) -> float:
+        """CR% of the same run (the p -> inf limit of TAT%)."""
+        if self.original_bits == 0:
+            return 0.0
+        return (
+            (self.original_bits - self.compressed_bits)
+            / self.original_bits * 100.0
+        )
+
+
+def _forwarded_bits(code: CompressionCode, data: TernaryVector) -> int:
+    """Output bits transported verbatim in T_E for this code/data."""
+    if isinstance(code, NineCCode):
+        measurement = NineCEncoder(code.k, code.codebook).measure(data)
+        half = code.k // 2
+        return sum(
+            count * case.num_mismatch_halves * half
+            for case, count in measurement.case_counts.items()
+        )
+    if isinstance(code, (SelectiveHuffmanCode, DictionaryCode, MTCCode)):
+        # escape/raw blocks carry b verbatim bits each; recover the raw
+        # count from the size equation: |T_E| = coded bits + raw * b.
+        compressed = code.compress(data)
+        if isinstance(code, MTCCode):
+            # each raw block contributes 1 flag + b bits; repeats 1 bit
+            blocks = -(-len(data) // code.b) if len(data) else 0
+            raw_blocks = (compressed.compressed_size - blocks) // code.b
+            return raw_blocks * code.b
+        b = code.b
+        # both codes store patterns/tables off-stream; a raw block's b
+        # bits appear verbatim in the payload.
+        # selective Huffman: escapes counted during compression
+        raw_bits = 0
+        # conservative recovery: decode the stream structure
+        from ..core.bitstream import TernaryStreamReader
+
+        if isinstance(code, DictionaryCode):
+            reader = TernaryStreamReader(compressed.payload)
+            produced = 0
+            while produced < compressed.original_length \
+                    and not reader.at_end():
+                if reader.read_bit() == 1:
+                    reader.read_uint(code.index_bits)
+                else:
+                    reader.read_vector(b)
+                    raw_bits += b
+                produced += b
+            return raw_bits
+        return 0  # selective Huffman: treat escapes as generated (floor)
+    # run-length / Huffman / LZ codes regenerate everything on-chip
+    return 0
+
+
+def timing_report(code: CompressionCode, data: TernaryVector,
+                  p: int = 8) -> TimingReport:
+    """Two-domain timing of one code on one test stream."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    compressed = code.compress(data)
+    return TimingReport(
+        code_name=code.name,
+        original_bits=len(data),
+        compressed_bits=compressed.compressed_size,
+        forwarded_bits=_forwarded_bits(code, data),
+        p=p,
+    )

@@ -1,0 +1,90 @@
+"""Variable-length Input Huffman Coding — VIHC (Gonciari et al., DATE 2002).
+
+The zero-filled stream is parsed into the mh+1 variable-length input
+patterns ``0^L 1`` (0 <= L < mh) and ``0^mh`` (a saturated run with no
+terminator); the resulting symbol stream is Huffman coded with frequencies
+measured on the data.  The Huffman table is circuit-specific decoder
+configuration and travels in :attr:`CompressedData.metadata` (see
+``base.py`` for why it is not charged to |T_E|).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from ..core.bitstream import TernaryStreamReader, TernaryStreamWriter
+from ..core.bitvec import ZERO, TernaryVector
+from .base import CompressedData, CompressionCode
+from .huffman import HuffmanCode, canonical_codes
+from .runlength import zero_runs
+
+#: Symbol for the saturated pattern 0^mh (no terminating 1).
+SATURATED = "mh"
+
+
+def vihc_symbols(data: TernaryVector, mh: int) -> List[int | str]:
+    """Parse zero-filled data into the VIHC symbol stream."""
+    runs, _ends_open = zero_runs(data.filled(ZERO))
+    symbols: List[int | str] = []
+    for run in runs:
+        while run >= mh:
+            symbols.append(SATURATED)
+            run -= mh
+        symbols.append(run)
+    return symbols
+
+
+class VIHCCode(CompressionCode):
+    """VIHC with maximum run-length parameter ``mh``."""
+
+    def __init__(self, mh: int = 8):
+        if mh < 1:
+            raise ValueError("mh must be >= 1")
+        self.mh = mh
+        self.name = f"vihc(mh={mh})"
+
+    def compress(self, data: TernaryVector) -> CompressedData:
+        symbols = vihc_symbols(data, self.mh)
+        frequencies = Counter(symbols)
+        if not frequencies:
+            return CompressedData(self.name, TernaryVector(""), len(data),
+                                  metadata={"lengths": {}})
+        code = HuffmanCode.from_frequencies(frequencies)
+        writer = TernaryStreamWriter()
+        writer.write_bits(code.encode(symbols))
+        lengths = {sym: len(bits) for sym, bits in code.codewords.items()}
+        return CompressedData(
+            self.name, writer.to_vector(), len(data),
+            metadata={"lengths": lengths},
+        )
+
+    def decompress(self, compressed: CompressedData) -> TernaryVector:
+        self._check_owned(compressed)
+        lengths = compressed.metadata["lengths"]
+        if not lengths:
+            if compressed.original_length:
+                raise ValueError("empty code table for non-empty data")
+            return TernaryVector("")
+        code = HuffmanCode(canonical_codes(lengths))
+        reader = TernaryStreamReader(compressed.payload)
+        writer = TernaryStreamWriter()
+        while len(writer) < compressed.original_length and not reader.at_end():
+            symbol = code.decode_symbol(reader.read_bit)
+            if symbol == SATURATED:
+                writer.write_bits([0] * self.mh)
+            else:
+                writer.write_bits([0] * int(symbol))
+                writer.write_bit(1)
+        out = writer.to_vector()
+        if len(out) < compressed.original_length:
+            raise ValueError("compressed stream too short for original length")
+        return out[: compressed.original_length]
+
+
+def best_vihc(data: TernaryVector, mhs=(4, 8, 16, 32)) -> VIHCCode:
+    """The VIHC parameterization with the highest CR% on ``data``."""
+    return max(
+        (VIHCCode(mh) for mh in mhs),
+        key=lambda code: code.compression_ratio(data),
+    )

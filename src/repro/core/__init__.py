@@ -1,0 +1,87 @@
+"""Core 9C compression: ternary data, codebook, encoder, decoder, metrics."""
+
+from .bitstream import (
+    TernaryStreamReader,
+    TernaryStreamWriter,
+    bits_from_int,
+    int_from_bits,
+)
+from .bitvec import ONE, X, ZERO, TernaryVector
+from .codewords import (
+    PAPER_LENGTHS,
+    BlockCase,
+    Codebook,
+    CodingTableRow,
+    HalfKind,
+    canonical_codewords,
+    classify_half,
+    coding_table,
+)
+from .decoder import NineCDecoder, verify_roundtrip
+from .encoder import BlockRecord, Encoding, Measurement, NineCEncoder
+from .adaptive import DEFAULT_MENU, AdaptiveEncoding, AdaptiveNineCEncoder
+from .generalized import GeneralizedEncoder, GeneralizedMeasurement
+from .io import dumps as dumps_encoding
+from .io import load as load_encoding
+from .io import loads as loads_encoding
+from .io import save as save_encoding
+from .frequency import (
+    LENGTH_POOL,
+    ReassignmentResult,
+    assign_lengths_by_frequency,
+    deviates_from_default_order,
+    frequency_directed,
+)
+from .metrics import (
+    CompressionReport,
+    analytic_compressed_size,
+    analytic_compression_ratio,
+    best_block_size,
+    report,
+    sweep_block_sizes,
+)
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "X",
+    "TernaryVector",
+    "TernaryStreamReader",
+    "TernaryStreamWriter",
+    "bits_from_int",
+    "int_from_bits",
+    "BlockCase",
+    "HalfKind",
+    "Codebook",
+    "CodingTableRow",
+    "PAPER_LENGTHS",
+    "canonical_codewords",
+    "classify_half",
+    "coding_table",
+    "NineCEncoder",
+    "NineCDecoder",
+    "Encoding",
+    "Measurement",
+    "BlockRecord",
+    "verify_roundtrip",
+    "CompressionReport",
+    "report",
+    "sweep_block_sizes",
+    "best_block_size",
+    "analytic_compressed_size",
+    "analytic_compression_ratio",
+    "LENGTH_POOL",
+    "assign_lengths_by_frequency",
+    "frequency_directed",
+    "deviates_from_default_order",
+    "ReassignmentResult",
+    "GeneralizedEncoder",
+    "GeneralizedMeasurement",
+    "save_encoding",
+    "load_encoding",
+    "dumps_encoding",
+    "loads_encoding",
+    "AdaptiveNineCEncoder",
+    "AdaptiveEncoding",
+    "DEFAULT_MENU",
+]

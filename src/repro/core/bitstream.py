@@ -1,0 +1,130 @@
+"""Bit-level stream primitives.
+
+The compressed test set ``T_E`` produced by 9C is itself a ternary stream:
+codewords are fully specified bits, but mismatch halves are copied verbatim
+and may carry leftover don't-cares.  :class:`TernaryStreamWriter` therefore
+accumulates {0, 1, X} symbols; :class:`TernaryStreamReader` walks them back
+for software decoding and for driving the cycle-accurate decompressor
+models.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .bitvec import ONE, X, ZERO, TernaryVector
+
+
+class TernaryStreamWriter:
+    """Append-only writer of ternary symbols."""
+
+    def __init__(self) -> None:
+        self._chunks: list[np.ndarray] = []
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def write_bit(self, value: int) -> None:
+        """Append a single symbol (0, 1 or X)."""
+        if value not in (ZERO, ONE, X):
+            raise ValueError(f"invalid ternary symbol: {value!r}")
+        self._chunks.append(np.array([value], dtype=np.uint8))
+        self._length += 1
+
+    def write_bits(self, values: Iterable[int]) -> None:
+        """Append an iterable of symbols."""
+        arr = np.fromiter((int(v) for v in values), dtype=np.uint8)
+        if arr.size and arr.max(initial=0) > X:
+            raise ValueError("stream symbols must be in {0, 1, 2}")
+        self._chunks.append(arr)
+        self._length += int(arr.size)
+
+    def write_vector(self, vec: TernaryVector) -> None:
+        """Append a ternary vector verbatim."""
+        self._chunks.append(vec.data)
+        self._length += len(vec)
+
+    def write_uint(self, value: int, width: int) -> None:
+        """Append ``value`` as ``width`` fully-specified bits, MSB first."""
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        bits = [(value >> (width - 1 - i)) & 1 for i in range(width)]
+        self.write_bits(bits)
+
+    def to_vector(self) -> TernaryVector:
+        """Snapshot of everything written so far."""
+        if not self._chunks:
+            return TernaryVector(np.empty(0, dtype=np.uint8))
+        return TernaryVector(np.concatenate(self._chunks))
+
+
+class TernaryStreamReader:
+    """Sequential reader over a ternary vector."""
+
+    def __init__(self, stream: TernaryVector):
+        self._data = stream.data
+        self.position = 0
+
+    def __len__(self) -> int:
+        return int(self._data.size)
+
+    @property
+    def remaining(self) -> int:
+        """Symbols left to read."""
+        return int(self._data.size) - self.position
+
+    def at_end(self) -> bool:
+        """True when the stream is exhausted."""
+        return self.position >= self._data.size
+
+    def read_bit(self) -> int:
+        """Read one symbol; raises :class:`EOFError` past the end."""
+        if self.at_end():
+            raise EOFError("read past end of stream")
+        value = int(self._data[self.position])
+        self.position += 1
+        return value
+
+    def read_vector(self, n: int) -> TernaryVector:
+        """Read ``n`` symbols as a vector."""
+        if self.remaining < n:
+            raise EOFError(f"requested {n} symbols, {self.remaining} remain")
+        out = TernaryVector(self._data[self.position : self.position + n])
+        self.position += n
+        return out
+
+    def read_uint(self, width: int) -> int:
+        """Read ``width`` specified bits MSB-first as an unsigned int."""
+        value = 0
+        for _ in range(width):
+            bit = self.read_bit()
+            if bit == X:
+                raise ValueError("X symbol inside an integer field")
+            value = (value << 1) | bit
+        return value
+
+    def peek_bit(self) -> int:
+        """Look at the next symbol without consuming it."""
+        if self.at_end():
+            raise EOFError("peek past end of stream")
+        return int(self._data[self.position])
+
+
+def bits_from_int(value: int, width: int) -> tuple[int, ...]:
+    """MSB-first bit tuple of ``value`` in ``width`` bits."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return tuple((value >> (width - 1 - i)) & 1 for i in range(width))
+
+
+def int_from_bits(bits: Sequence[int]) -> int:
+    """Interpret an MSB-first bit sequence as an unsigned int."""
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"invalid bit: {bit!r}")
+        value = (value << 1) | bit
+    return value

@@ -1,0 +1,278 @@
+"""The 9C codebook (Table I of the paper).
+
+A K-bit block is split into two K/2-bit halves and each half is classified
+against the uniform patterns: *0-compatible* (every bit in {0, X}),
+*1-compatible* (every bit in {1, X}) or *mismatch* (contains both a
+specified 0 and a specified 1).  The nine resulting cases are:
+
+====  ==========  ===========  =========================  =============
+case  left half   right half   decoder input              size (bits)
+====  ==========  ===========  =========================  =============
+C1    0000        0000         C1                         1
+C2    1111        1111         C2                         2
+C3    0000        1111         C3                         5
+C4    1111        0000         C4                         5
+C5    0000        UUUU         C5 + right half            5 + K/2
+C6    UUUU        0000         C6 + left half             5 + K/2
+C7    1111        UUUU         C7 + right half            5 + K/2
+C8    UUUU        1111         C8 + left half             5 + K/2
+C9    UUUU        UUUU         C9 + whole block           4 + K
+====  ==========  ===========  =========================  =============
+
+The codeword lengths {1, 2, 5, 5, 5, 5, 5, 5, 4} satisfy the Kraft
+inequality with equality, so a complete prefix-free code exists; the
+paper's printed codeword bits are typographically corrupted, so we use the
+canonical assignment (C1=0, C2=10, C9=1100, C3..C8=11010..11111).  Any
+assignment with the same lengths produces identical compression ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from .bitvec import TernaryVector
+
+
+class HalfKind(Enum):
+    """Classification of one K/2-bit half."""
+
+    ZEROS = "0"
+    ONES = "1"
+    MISMATCH = "U"
+
+
+class BlockCase(Enum):
+    """The nine block cases of Table I, in the paper's row order."""
+
+    C1 = 1
+    C2 = 2
+    C3 = 3
+    C4 = 4
+    C5 = 5
+    C6 = 6
+    C7 = 7
+    C8 = 8
+    C9 = 9
+
+    @property
+    def halves(self) -> Tuple[HalfKind, HalfKind]:
+        """(left kind, right kind) for this case."""
+        return _CASE_HALVES[self]
+
+    @property
+    def symbol(self) -> str:
+        """Compact symbol used in Table I (e.g. ``0U`` for C5)."""
+        left, right = self.halves
+        return left.value + right.value
+
+    @property
+    def num_mismatch_halves(self) -> int:
+        """How many halves are transmitted verbatim (0, 1 or 2)."""
+        return sum(1 for kind in self.halves if kind is HalfKind.MISMATCH)
+
+
+_CASE_HALVES: Dict[BlockCase, Tuple[HalfKind, HalfKind]] = {
+    BlockCase.C1: (HalfKind.ZEROS, HalfKind.ZEROS),
+    BlockCase.C2: (HalfKind.ONES, HalfKind.ONES),
+    BlockCase.C3: (HalfKind.ZEROS, HalfKind.ONES),
+    BlockCase.C4: (HalfKind.ONES, HalfKind.ZEROS),
+    BlockCase.C5: (HalfKind.ZEROS, HalfKind.MISMATCH),
+    BlockCase.C6: (HalfKind.MISMATCH, HalfKind.ZEROS),
+    BlockCase.C7: (HalfKind.ONES, HalfKind.MISMATCH),
+    BlockCase.C8: (HalfKind.MISMATCH, HalfKind.ONES),
+    BlockCase.C9: (HalfKind.MISMATCH, HalfKind.MISMATCH),
+}
+
+#: Codeword lengths mandated by Table I, indexed by case.
+PAPER_LENGTHS: Dict[BlockCase, int] = {
+    BlockCase.C1: 1,
+    BlockCase.C2: 2,
+    BlockCase.C3: 5,
+    BlockCase.C4: 5,
+    BlockCase.C5: 5,
+    BlockCase.C6: 5,
+    BlockCase.C7: 5,
+    BlockCase.C8: 5,
+    BlockCase.C9: 4,
+}
+
+
+def canonical_codewords(
+    lengths: Mapping[BlockCase, int],
+) -> Dict[BlockCase, Tuple[int, ...]]:
+    """Build a canonical prefix-free code for the given length assignment.
+
+    Cases are ordered by (length, case index) and assigned consecutive
+    canonical-Huffman codewords.  Raises :class:`ValueError` when the
+    lengths violate the Kraft inequality.
+    """
+    kraft = sum(2.0 ** -length for length in lengths.values())
+    if kraft > 1.0 + 1e-12:
+        raise ValueError(f"lengths violate Kraft inequality (sum={kraft})")
+    ordered = sorted(lengths, key=lambda c: (lengths[c], c.value))
+    codewords: Dict[BlockCase, Tuple[int, ...]] = {}
+    code = 0
+    prev_len = 0
+    for case in ordered:
+        length = lengths[case]
+        code <<= length - prev_len
+        codewords[case] = tuple((code >> (length - 1 - i)) & 1 for i in range(length))
+        code += 1
+        prev_len = length
+    return codewords
+
+
+class Codebook:
+    """A prefix-free mapping from :class:`BlockCase` to codeword bits."""
+
+    def __init__(self, codewords: Mapping[BlockCase, Sequence[int]]):
+        if set(codewords) != set(BlockCase):
+            raise ValueError("codebook must define all nine cases")
+        self._codewords: Dict[BlockCase, Tuple[int, ...]] = {
+            case: tuple(int(b) for b in bits) for case, bits in codewords.items()
+        }
+        for case, bits in self._codewords.items():
+            if not bits or any(b not in (0, 1) for b in bits):
+                raise ValueError(f"invalid codeword for {case}: {bits}")
+        self._check_prefix_free()
+        self._trie = self._build_trie()
+
+    @classmethod
+    def default(cls) -> "Codebook":
+        """The canonical codebook with the paper's Table I lengths."""
+        return cls(canonical_codewords(PAPER_LENGTHS))
+
+    @classmethod
+    def from_lengths(cls, lengths: Mapping[BlockCase, int]) -> "Codebook":
+        """Canonical codebook for an arbitrary (Kraft-feasible) length map."""
+        return cls(canonical_codewords(lengths))
+
+    def _check_prefix_free(self) -> None:
+        words = sorted(self._codewords.values(), key=len)
+        for i, short in enumerate(words):
+            for long_word in words[i + 1 :]:
+                if long_word[: len(short)] == short:
+                    raise ValueError(
+                        f"codebook is not prefix-free: {short} prefixes {long_word}"
+                    )
+
+    def _build_trie(self) -> dict:
+        trie: dict = {}
+        for case, bits in self._codewords.items():
+            node = trie
+            for bit in bits[:-1]:
+                node = node.setdefault(bit, {})
+            node[bits[-1]] = case
+        return trie
+
+    # ------------------------------------------------------------------
+    def codeword(self, case: BlockCase) -> Tuple[int, ...]:
+        """Codeword bits for a case."""
+        return self._codewords[case]
+
+    def length(self, case: BlockCase) -> int:
+        """Codeword length for a case."""
+        return len(self._codewords[case])
+
+    @property
+    def lengths(self) -> Dict[BlockCase, int]:
+        """Length of every codeword, by case."""
+        return {case: len(bits) for case, bits in self._codewords.items()}
+
+    @property
+    def max_length(self) -> int:
+        """Longest codeword length (decoder worst-case receive cycles)."""
+        return max(len(bits) for bits in self._codewords.values())
+
+    def items(self) -> Iterable[Tuple[BlockCase, Tuple[int, ...]]]:
+        """Iterate (case, codeword) pairs in case order."""
+        return ((case, self._codewords[case]) for case in BlockCase)
+
+    def decode_case(self, read_bit) -> BlockCase:
+        """Consume bits via ``read_bit()`` until a codeword resolves."""
+        node = self._trie
+        while True:
+            bit = read_bit()
+            if bit not in (0, 1):
+                raise ValueError(f"X symbol inside a codeword (bit={bit})")
+            nxt = node.get(bit)
+            if nxt is None:
+                raise ValueError("bit sequence is not a valid 9C codeword")
+            if isinstance(nxt, BlockCase):
+                return nxt
+            node = nxt
+
+    def encoded_size(self, case: BlockCase, k: int) -> int:
+        """Total T_E bits contributed by one ``k``-bit block of this case."""
+        return len(self._codewords[case]) + (k // 2) * case.num_mismatch_halves
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Codebook):
+            return NotImplemented
+        return self._codewords == other._codewords
+
+    def __repr__(self) -> str:
+        rows = ", ".join(
+            f"{case.name}={''.join(map(str, bits))}" for case, bits in self.items()
+        )
+        return f"Codebook({rows})"
+
+
+@dataclass(frozen=True)
+class CodingTableRow:
+    """One row of Table I, rendered for a specific K."""
+
+    case: BlockCase
+    input_block: str
+    symbol: str
+    description: str
+    codeword: str
+    decoder_input: str
+    size_bits: int
+
+
+def coding_table(k: int, codebook: Codebook | None = None) -> list[CodingTableRow]:
+    """Regenerate Table I for block size ``k``.
+
+    Returns the nine rows with the same columns the paper prints
+    (input block, symbol, description, codeword, decoder input, size).
+    """
+    if k < 2 or k % 2:
+        raise ValueError("K must be an even integer >= 2")
+    codebook = codebook or Codebook.default()
+    half = k // 2
+    repr_half = {HalfKind.ZEROS: "0" * half, HalfKind.ONES: "1" * half,
+                 HalfKind.MISMATCH: "U" * half}
+    describe = {HalfKind.ZEROS: "0s", HalfKind.ONES: "1s",
+                HalfKind.MISMATCH: "mismatch"}
+    rows = []
+    for case in BlockCase:
+        left, right = case.halves
+        cw = "".join(map(str, codebook.codeword(case)))
+        decoder_input = cw
+        if case is BlockCase.C9:
+            decoder_input += " + " + "U" * k
+        elif case.num_mismatch_halves:
+            decoder_input += " + " + "U" * half
+        rows.append(
+            CodingTableRow(
+                case=case,
+                input_block=repr_half[left] + " " + repr_half[right],
+                symbol=case.symbol,
+                description=f"left half {describe[left]}, right half {describe[right]}",
+                codeword=cw,
+                decoder_input=decoder_input,
+                size_bits=codebook.encoded_size(case, k),
+            )
+        )
+    return rows
+
+
+def classify_half(half: TernaryVector) -> Tuple[bool, bool]:
+    """(zero_compatible, one_compatible) flags for one half.
+
+    Both flags are True for an all-X half; both False marks a mismatch.
+    """
+    return half.is_zero_compatible(), half.is_one_compatible()

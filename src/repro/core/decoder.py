@@ -1,0 +1,87 @@
+"""Software reference decoder for 9C streams.
+
+This is the functional inverse of :class:`repro.core.encoder.NineCEncoder`:
+it walks the prefix-free codewords, expands uniform halves to all-0s /
+all-1s and copies mismatch halves verbatim (preserving leftover X).  The
+cycle-accurate hardware models in :mod:`repro.decompressor` must produce
+exactly the same output; integration tests assert that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .bitstream import TernaryStreamReader
+from .bitvec import TernaryVector
+from .codewords import Codebook, HalfKind
+from .encoder import Encoding
+
+
+class NineCDecoder:
+    """Decode a 9C ternary stream back into test data."""
+
+    def __init__(self, k: int, codebook: Optional[Codebook] = None):
+        if k < 2 or k % 2:
+            raise ValueError("K must be an even integer >= 2")
+        self.k = k
+        self.codebook = codebook or Codebook.default()
+
+    def decode_stream(
+        self, stream: TernaryVector, output_length: Optional[int] = None
+    ) -> TernaryVector:
+        """Decode ``stream``; truncate to ``output_length`` when given.
+
+        Raises :class:`ValueError` on a malformed stream (codeword that
+        does not resolve, or trailing garbage shorter than a block).
+        """
+        reader = TernaryStreamReader(stream)
+        half = self.k // 2
+        parts = []
+        produced = 0
+        while not reader.at_end():
+            case = self.codebook.decode_case(reader.read_bit)
+            for kind in case.halves:
+                if kind is HalfKind.ZEROS:
+                    parts.append(TernaryVector.zeros(half))
+                elif kind is HalfKind.ONES:
+                    parts.append(TernaryVector.ones(half))
+                else:
+                    parts.append(reader.read_vector(half))
+            produced += self.k
+            if output_length is not None and produced >= output_length:
+                break
+        decoded = TernaryVector.concat(parts)
+        if output_length is not None:
+            if len(decoded) < output_length:
+                raise ValueError(
+                    f"stream decodes to {len(decoded)} bits, "
+                    f"expected at least {output_length}"
+                )
+            decoded = decoded[:output_length]
+        return decoded
+
+    def decode(self, encoding: Encoding) -> TernaryVector:
+        """Decode an :class:`Encoding` produced by the matching encoder."""
+        if encoding.k != self.k:
+            raise ValueError(f"encoding used K={encoding.k}, decoder has K={self.k}")
+        if encoding.codebook != self.codebook:
+            raise ValueError("encoding and decoder use different codebooks")
+        return self.decode_stream(encoding.stream, encoding.original_length)
+
+
+def verify_roundtrip(original: TernaryVector, encoding: Encoding) -> bool:
+    """Check the 9C round-trip invariant.
+
+    The decoded data must *cover* the original: every specified bit is
+    reproduced exactly; every original X is either still X (leftover,
+    inside a transmitted mismatch half) or was expanded to the uniform
+    0/1 of its half.
+    """
+    decoder = NineCDecoder(encoding.k, encoding.codebook)
+    decoded = decoder.decode(encoding)
+    if len(decoded) != len(original):
+        return False
+    for got, want in zip(decoded.data, original.data):
+        if want != 2 and got != want:  # specified bit must match
+            return False
+    return True

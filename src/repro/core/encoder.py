@@ -1,0 +1,255 @@
+"""The 9C encoder (Section II of the paper).
+
+The input test vector stream is partitioned into K-bit blocks (padded with
+don't-cares at the end), each block is split into two halves, and the
+cheapest feasible Table-I case is selected per block:
+
+* a half classified *0-compatible* may be expanded from the ``0s`` symbol,
+* a half classified *1-compatible* may be expanded from the ``1s`` symbol,
+* any half may always be transmitted verbatim as a *mismatch* half.
+
+With the paper's codeword lengths, the cheapest-feasible rule degenerates
+to the paper's classification (uniform halves are never sent raw), but the
+encoder stays correct under arbitrary re-assigned codebooks (Table VII)
+where the cost ordering can shift.
+
+Two implementations are provided and tested against each other:
+
+* :meth:`NineCEncoder.encode` — readable per-block reference path that also
+  assembles the compressed stream ``T_E``;
+* :meth:`NineCEncoder.measure` — numpy-vectorized classifier that returns
+  case counts and compressed size only, for Mbit-scale sweeps (Table VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .bitstream import TernaryStreamWriter
+from .bitvec import ONE, X, ZERO, TernaryVector
+from .codewords import BlockCase, Codebook, HalfKind
+
+
+@dataclass(frozen=True)
+class BlockRecord:
+    """Where one input block landed in the compressed stream."""
+
+    index: int
+    case: BlockCase
+    stream_offset: int
+
+
+@dataclass
+class Encoding:
+    """The result of compressing one bit-stream with 9C."""
+
+    k: int
+    codebook: Codebook
+    original_length: int
+    stream: TernaryVector
+    blocks: List[BlockRecord] = field(repr=False)
+
+    @property
+    def padded_length(self) -> int:
+        """Input length after padding to a multiple of K."""
+        return len(self.blocks) * self.k
+
+    @property
+    def compressed_size(self) -> int:
+        """|T_E| in bits."""
+        return len(self.stream)
+
+    @property
+    def case_counts(self) -> Dict[BlockCase, int]:
+        """Occurrence frequency N_i of each codeword (Table VI)."""
+        counts = {case: 0 for case in BlockCase}
+        for record in self.blocks:
+            counts[record.case] += 1
+        return counts
+
+    @property
+    def compression_ratio(self) -> float:
+        """CR% = (|T_D| - |T_E|) / |T_D| * 100 (paper Section IV)."""
+        if self.original_length == 0:
+            return 0.0
+        return (self.original_length - self.compressed_size) / self.original_length * 100.0
+
+    @property
+    def leftover_x(self) -> int:
+        """Number of don't-care symbols surviving in T_E (paper's LX)."""
+        return self.stream.num_x
+
+    @property
+    def leftover_x_percent(self) -> float:
+        """LX as a percentage of |T_D| (Table III)."""
+        if self.original_length == 0:
+            return 0.0
+        return self.leftover_x / self.original_length * 100.0
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Size/statistics-only result of the vectorized fast path."""
+
+    k: int
+    original_length: int
+    compressed_size: int
+    leftover_x: int
+    case_counts: Dict[BlockCase, int]
+
+    @property
+    def compression_ratio(self) -> float:
+        """CR% = (|T_D| - |T_E|) / |T_D| * 100."""
+        if self.original_length == 0:
+            return 0.0
+        return (self.original_length - self.compressed_size) / self.original_length * 100.0
+
+    @property
+    def leftover_x_percent(self) -> float:
+        """LX as a percentage of |T_D|."""
+        if self.original_length == 0:
+            return 0.0
+        return self.leftover_x / self.original_length * 100.0
+
+
+class NineCEncoder:
+    """Fixed-block 9C encoder for a given block size K."""
+
+    def __init__(self, k: int, codebook: Optional[Codebook] = None):
+        if k < 2 or k % 2:
+            raise ValueError("K must be an even integer >= 2")
+        self.k = k
+        self.codebook = codebook or Codebook.default()
+
+    # ------------------------------------------------------------------
+    # reference path
+    # ------------------------------------------------------------------
+    def select_case(self, block: TernaryVector) -> BlockCase:
+        """Cheapest Table-I case feasible for one K-bit block."""
+        half = self.k // 2
+        left, right = block[:half], block[half:]
+        flags = (
+            (left.is_zero_compatible(), left.is_one_compatible()),
+            (right.is_zero_compatible(), right.is_one_compatible()),
+        )
+        best_case = None
+        best_cost = None
+        for case in BlockCase:
+            if not self._feasible(case, flags):
+                continue
+            cost = self.codebook.encoded_size(case, self.k)
+            if best_cost is None or cost < best_cost:
+                best_case, best_cost = case, cost
+        assert best_case is not None  # C9 is always feasible
+        return best_case
+
+    @staticmethod
+    def _feasible(case: BlockCase, flags) -> bool:
+        for kind, (zero_ok, one_ok) in zip(case.halves, flags):
+            if kind is HalfKind.ZEROS and not zero_ok:
+                return False
+            if kind is HalfKind.ONES and not one_ok:
+                return False
+        return True
+
+    def encode(self, data: TernaryVector) -> Encoding:
+        """Compress a ternary vector into a 9C :class:`Encoding`."""
+        original_length = len(data)
+        padded = self._pad(data)
+        half = self.k // 2
+        writer = TernaryStreamWriter()
+        blocks: List[BlockRecord] = []
+        for index, start in enumerate(range(0, len(padded), self.k)):
+            block = padded[start : start + self.k]
+            case = self.select_case(block)
+            blocks.append(BlockRecord(index, case, len(writer)))
+            writer.write_bits(self.codebook.codeword(case))
+            for side, kind in enumerate(case.halves):
+                if kind is HalfKind.MISMATCH:
+                    lo = start + side * half
+                    writer.write_vector(padded[lo : lo + half])
+        return Encoding(
+            k=self.k,
+            codebook=self.codebook,
+            original_length=original_length,
+            stream=writer.to_vector(),
+            blocks=blocks,
+        )
+
+    def _pad(self, data: TernaryVector) -> TernaryVector:
+        if len(data) % self.k == 0 and len(data) > 0:
+            return data
+        padded_length = max(self.k, ((len(data) + self.k - 1) // self.k) * self.k)
+        return data.padded(padded_length, X)
+
+    # ------------------------------------------------------------------
+    # vectorized fast path
+    # ------------------------------------------------------------------
+    def measure(self, data: TernaryVector) -> Measurement:
+        """Case counts, |T_E| and leftover-X without building the stream.
+
+        Uses the same cheapest-feasible-case rule as :meth:`encode`;
+        property tests assert the two paths agree exactly.
+        """
+        original_length = len(data)
+        padded = self._pad(data)
+        half = self.k // 2
+        grid = padded.data.reshape(-1, self.k)
+        left, right = grid[:, :half], grid[:, half:]
+
+        def flags(half_grid: np.ndarray):
+            zero_ok = ~np.any(half_grid == ONE, axis=1)
+            one_ok = ~np.any(half_grid == ZERO, axis=1)
+            return zero_ok, one_ok
+
+        lz, lo = flags(left)
+        rz, ro = flags(right)
+        half_flags = {
+            0: (lz, lo),
+            1: (rz, ro),
+        }
+        n_blocks = grid.shape[0]
+        costs = np.full((n_blocks, len(BlockCase)), np.iinfo(np.int64).max, dtype=np.int64)
+        for column, case in enumerate(BlockCase):
+            feasible = np.ones(n_blocks, dtype=bool)
+            for side, kind in enumerate(case.halves):
+                zero_ok, one_ok = half_flags[side]
+                if kind is HalfKind.ZEROS:
+                    feasible &= zero_ok
+                elif kind is HalfKind.ONES:
+                    feasible &= one_ok
+            costs[feasible, column] = self.codebook.encoded_size(case, self.k)
+        chosen = np.argmin(costs, axis=1)  # ties resolve to the lower case index
+        cases = list(BlockCase)
+        case_counts = {
+            case: int(np.count_nonzero(chosen == column))
+            for column, case in enumerate(cases)
+        }
+        compressed_size = int(
+            sum(
+                self.codebook.encoded_size(case, self.k) * count
+                for case, count in case_counts.items()
+            )
+        )
+        # leftover X = X symbols inside halves transmitted as mismatches
+        x_left = np.count_nonzero(left == X, axis=1)
+        x_right = np.count_nonzero(right == X, axis=1)
+        leftover = 0
+        for column, case in enumerate(cases):
+            if case.num_mismatch_halves == 0:
+                continue
+            mask = chosen == column
+            if case.halves[0] is HalfKind.MISMATCH:
+                leftover += int(x_left[mask].sum())
+            if case.halves[1] is HalfKind.MISMATCH:
+                leftover += int(x_right[mask].sum())
+        return Measurement(
+            k=self.k,
+            original_length=original_length,
+            compressed_size=compressed_size,
+            leftover_x=leftover,
+            case_counts=case_counts,
+        )

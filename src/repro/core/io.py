@@ -1,0 +1,106 @@
+"""Serialization of 9C encodings (.9c container).
+
+An ATE work-flow needs the compressed stream on disk together with the
+decoder configuration.  The ``.9c`` container is a small line-oriented
+text format:
+
+    #9C v1
+    k=8
+    length=23754
+    lengths=C1:1,C2:2,...          (codebook by lengths, canonical form)
+    stream=0110X10...              (ternary payload; X = leftover)
+
+The codebook travels as its length assignment only — canonical
+codewords are reconstructed on load, which is exactly the information a
+frequency-directed decoder needs (Table VII).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from .bitvec import TernaryVector
+from .codewords import BlockCase, Codebook, canonical_codewords
+from .decoder import NineCDecoder
+from .encoder import Encoding
+
+PathLike = Union[str, Path]
+
+_MAGIC = "#9C v1"
+
+
+def dumps(encoding: Encoding) -> str:
+    """Serialize an encoding to the ``.9c`` text format."""
+    lengths = ",".join(
+        f"{case.name}:{encoding.codebook.length(case)}" for case in BlockCase
+    )
+    return "\n".join([
+        _MAGIC,
+        f"k={encoding.k}",
+        f"length={encoding.original_length}",
+        f"lengths={lengths}",
+        f"stream={encoding.stream.to_string()}",
+        "",
+    ])
+
+
+def save(encoding: Encoding, path: PathLike) -> None:
+    """Write an encoding to ``path``."""
+    Path(path).write_text(dumps(encoding))
+
+
+def loads(text: str) -> Encoding:
+    """Parse the ``.9c`` text format back into an :class:`Encoding`.
+
+    The block records are reconstructed by re-walking the stream with
+    the embedded codebook, so the result is fully equivalent to the
+    encoder's output (asserted by tests).
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines or lines[0].strip() != _MAGIC:
+        raise ValueError("not a .9c container (missing magic line)")
+    fields = {}
+    for line in lines[1:]:
+        key, _, value = line.partition("=")
+        fields[key.strip()] = value.strip()
+    for required in ("k", "length", "lengths", "stream"):
+        if required not in fields:
+            raise ValueError(f"missing field {required!r} in .9c container")
+    k = int(fields["k"])
+    original_length = int(fields["length"])
+    lengths = {}
+    for item in fields["lengths"].split(","):
+        name, _, bits = item.partition(":")
+        lengths[BlockCase[name.strip()]] = int(bits)
+    codebook = Codebook(canonical_codewords(lengths))
+    stream = TernaryVector.from_string(fields["stream"])
+
+    # Rebuild block records by decoding the stream structure.
+    from .bitstream import TernaryStreamReader
+    from .codewords import HalfKind
+    from .encoder import BlockRecord
+
+    reader = TernaryStreamReader(stream)
+    blocks = []
+    index = 0
+    while not reader.at_end():
+        offset = reader.position
+        case = codebook.decode_case(reader.read_bit)
+        for kind in case.halves:
+            if kind is HalfKind.MISMATCH:
+                reader.read_vector(k // 2)
+        blocks.append(BlockRecord(index, case, offset))
+        index += 1
+    encoding = Encoding(
+        k=k, codebook=codebook, original_length=original_length,
+        stream=stream, blocks=blocks,
+    )
+    # sanity: the container must actually decode to `length` bits
+    NineCDecoder(k, codebook).decode(encoding)
+    return encoding
+
+
+def load(path: PathLike) -> Encoding:
+    """Read an encoding from ``path``."""
+    return loads(Path(path).read_text())

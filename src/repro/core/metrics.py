@@ -1,0 +1,101 @@
+"""Compression metrics reported in the paper's evaluation.
+
+Covers the quantities of Tables II (CR%), III (LX%), VI (codeword
+occurrence statistics N1..N9) and the analytic CR formula of Section IV,
+which is cross-checked against the actual stream size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Union
+
+from .bitvec import TernaryVector
+from .codewords import BlockCase, Codebook
+from .encoder import Encoding, Measurement, NineCEncoder
+
+EncodingLike = Union[Encoding, Measurement]
+
+
+@dataclass(frozen=True)
+class CompressionReport:
+    """Summary of one 9C compression run."""
+
+    k: int
+    original_size: int
+    compressed_size: int
+    compression_ratio: float
+    leftover_x: int
+    leftover_x_percent: float
+    case_counts: Dict[BlockCase, int]
+
+    @property
+    def codeword_statistics(self) -> Dict[str, int]:
+        """N1..N9 keyed by codeword name (Table VI row)."""
+        return {case.name.replace("C", "N"): count
+                for case, count in self.case_counts.items()}
+
+
+def report(result: EncodingLike) -> CompressionReport:
+    """Build a :class:`CompressionReport` from an encoding or measurement."""
+    return CompressionReport(
+        k=result.k,
+        original_size=result.original_length,
+        compressed_size=result.compressed_size,
+        compression_ratio=result.compression_ratio,
+        leftover_x=result.leftover_x if isinstance(result, Measurement)
+        else result.leftover_x,
+        leftover_x_percent=result.leftover_x_percent,
+        case_counts=dict(result.case_counts),
+    )
+
+
+def analytic_compressed_size(
+    case_counts: Dict[BlockCase, int], k: int, codebook: Optional[Codebook] = None
+) -> int:
+    """|T_E| from codeword counts via the paper's Section IV formula.
+
+    |T_E| = sum_i N_i * |C_i| + (K/2) * sum(mismatch halves) which the
+    paper writes out per case.  Must equal the assembled stream length.
+    """
+    codebook = codebook or Codebook.default()
+    return sum(
+        count * codebook.encoded_size(case, k)
+        for case, count in case_counts.items()
+    )
+
+
+def analytic_compression_ratio(
+    case_counts: Dict[BlockCase, int],
+    original_size: int,
+    k: int,
+    codebook: Optional[Codebook] = None,
+) -> float:
+    """CR% computed from counts alone (the paper's closed form)."""
+    if original_size == 0:
+        return 0.0
+    te = analytic_compressed_size(case_counts, k, codebook)
+    return (original_size - te) / original_size * 100.0
+
+
+def sweep_block_sizes(
+    data: TernaryVector,
+    ks: Iterable[int],
+    codebook: Optional[Codebook] = None,
+) -> Dict[int, CompressionReport]:
+    """CR/LX for a range of block sizes (one row of Tables II and III)."""
+    out: Dict[int, CompressionReport] = {}
+    for k in ks:
+        measurement = NineCEncoder(k, codebook).measure(data)
+        out[k] = report(measurement)
+    return out
+
+
+def best_block_size(
+    data: TernaryVector,
+    ks: Iterable[int],
+    codebook: Optional[Codebook] = None,
+) -> int:
+    """The K with the highest CR% (the per-circuit K column of Table IV)."""
+    reports = sweep_block_sizes(data, ks, codebook)
+    return max(reports, key=lambda k: reports[k].compression_ratio)

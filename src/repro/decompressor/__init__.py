@@ -1,0 +1,54 @@
+"""Cycle-accurate on-chip decompression architectures (Figures 1-4)."""
+
+from .ate import ATEChannel
+from .fsm import HalfDirective, NineCDecoderFSM
+from .gates import (
+    DecoderCost,
+    LogicCost,
+    decoder_cost,
+    fsm_cost,
+    minimize_function,
+    minimum_cover,
+    prime_implicants,
+)
+from .misr import LFSR, MISR, AliasingEstimate, default_taps, signature_of
+from .multi_scan import MultiScanDecompressor, MultiScanTrace
+from .parallel import ParallelDecompressor, ParallelTrace
+from .rtlsim import RTLSimulator, parse_module, run_decoder_rtl
+from .scan import ScanChain, ScanFanout
+from .single_scan import DecompressionTrace, SingleScanDecompressor
+from .testbench import TestbenchBundle, generate_testbench
+from .verilog import generate_decoder_verilog, generate_multiscan_verilog
+
+__all__ = [
+    "NineCDecoderFSM",
+    "HalfDirective",
+    "ScanChain",
+    "ScanFanout",
+    "SingleScanDecompressor",
+    "DecompressionTrace",
+    "MultiScanDecompressor",
+    "MultiScanTrace",
+    "ParallelDecompressor",
+    "ParallelTrace",
+    "ATEChannel",
+    "decoder_cost",
+    "fsm_cost",
+    "DecoderCost",
+    "LogicCost",
+    "minimize_function",
+    "minimum_cover",
+    "prime_implicants",
+    "generate_decoder_verilog",
+    "generate_multiscan_verilog",
+    "LFSR",
+    "MISR",
+    "AliasingEstimate",
+    "default_taps",
+    "signature_of",
+    "TestbenchBundle",
+    "generate_testbench",
+    "RTLSimulator",
+    "parse_module",
+    "run_decoder_rtl",
+]

@@ -1,0 +1,49 @@
+"""ATE channel / clocking model.
+
+The paper's timing analysis (Section III-C) uses exactly two parameters:
+the ATE clock ``f_ate`` and the SoC scan clock ``f_scan = p * f_ate``.
+:class:`ATEChannel` converts the cycle counts produced by the
+cycle-accurate decompressor models into seconds, and supplies the
+uncompressed-baseline time ``t_nocomp = |T_D| / f_ate`` (raw test data is
+streamed at ATE speed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ATEChannel:
+    """One ATE pin driving a device whose scan clock is ``p`` x faster."""
+
+    f_ate_hz: float = 50e6
+    p: int = 8
+
+    def __post_init__(self):
+        if self.f_ate_hz <= 0:
+            raise ValueError("f_ate_hz must be positive")
+        if self.p < 1:
+            raise ValueError("p must be >= 1")
+
+    @property
+    def f_scan_hz(self) -> float:
+        """SoC scan clock frequency."""
+        return self.f_ate_hz * self.p
+
+    @property
+    def soc_period_s(self) -> float:
+        """One SoC cycle in seconds."""
+        return 1.0 / self.f_scan_hz
+
+    def seconds_from_soc_cycles(self, soc_cycles: int) -> float:
+        """Convert decompressor SoC-cycle counts to wall-clock seconds."""
+        return soc_cycles * self.soc_period_s
+
+    def seconds_from_ate_cycles(self, ate_cycles: int) -> float:
+        """Convert ATE-cycle counts to seconds."""
+        return ate_cycles / self.f_ate_hz
+
+    def uncompressed_time_s(self, td_bits: int) -> float:
+        """t_nocomp = |T_D| / f_ate (raw data limited by the ATE pin)."""
+        return td_bits / self.f_ate_hz

@@ -1,0 +1,142 @@
+"""The 9C decoder control FSM (paper Figure 2).
+
+The FSM walks the prefix-free codeword trie one ``Data_in`` bit per ATE
+clock (at most five cycles for the longest codeword), then emits one
+*half directive* per block half telling the datapath what to drive into
+the scan chain: constant 0s, constant 1s, or pass-through data from the
+ATE.  Crucially the machine is **independent of K and of the test set**:
+K only sizes the external ``log2(K/2)`` counter, never the FSM — the
+property the paper's Section IV argues makes 9C cheap to reuse.
+
+The FSM is modelled as an explicit state-transition table (states =
+codeword-trie nodes plus one drive state per half kind), which doubles as
+the input to :mod:`repro.decompressor.gates` for the synthesis-cost
+estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.codewords import BlockCase, Codebook, HalfKind
+
+
+@dataclass(frozen=True)
+class HalfDirective:
+    """What the datapath must drive for one K/2-bit half."""
+
+    kind: HalfKind
+
+    @property
+    def sel(self) -> str:
+        """MUX select: ``"zero"``, ``"one"`` or ``"data"`` (Figure 1)."""
+        if self.kind is HalfKind.ZEROS:
+            return "zero"
+        if self.kind is HalfKind.ONES:
+            return "one"
+        return "data"
+
+    @property
+    def from_ate(self) -> bool:
+        """True when the half's bits are streamed from the ATE."""
+        return self.kind is HalfKind.MISMATCH
+
+
+class NineCDecoderFSM:
+    """Cycle-accurate codeword recognizer + half sequencer."""
+
+    IDLE = "S0"
+
+    def __init__(self, codebook: Optional[Codebook] = None):
+        self.codebook = codebook or Codebook.default()
+        # Trie states are named by the bit prefix consumed so far.
+        self._transitions: Dict[Tuple[str, int], str] = {}
+        self._accepting: Dict[str, BlockCase] = {}
+        for case, bits in self.codebook.items():
+            state = self.IDLE
+            prefix = ""
+            for bit in bits[:-1]:
+                prefix += str(bit)
+                nxt = f"S0_{prefix}"
+                self._transitions[(state, bit)] = nxt
+                state = nxt
+            prefix += str(bits[-1])
+            final = f"ACC_{case.name}"
+            self._transitions[(state, bits[-1])] = final
+            self._accepting[final] = case
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return to the idle state (power-on / after Ack)."""
+        self.state = self.IDLE
+        self.pending: List[HalfDirective] = []
+
+    @property
+    def busy(self) -> bool:
+        """True while a codeword is partially received or halves pend."""
+        return self.state != self.IDLE or bool(self.pending)
+
+    def on_data_bit(self, bit: int) -> Optional[BlockCase]:
+        """Consume one ATE bit; returns the case when a codeword resolves."""
+        if bit not in (0, 1):
+            raise ValueError(f"FSM received non-binary codeword bit: {bit!r}")
+        if self.pending:
+            raise RuntimeError("codeword bit arrived while halves pending")
+        key = (self.state, bit)
+        if key not in self._transitions:
+            raise ValueError(
+                f"invalid codeword bit {bit} in state {self.state}"
+            )
+        nxt = self._transitions[key]
+        if nxt in self._accepting:
+            case = self._accepting[nxt]
+            self.state = self.IDLE
+            self.pending = [HalfDirective(kind) for kind in case.halves]
+            return case
+        self.state = nxt
+        return None
+
+    def next_half(self) -> HalfDirective:
+        """Pop the next half directive (Sel + Cnt_en for one half)."""
+        if not self.pending:
+            raise RuntimeError("no pending halves (Done before codeword?)")
+        return self.pending.pop(0)
+
+    @property
+    def halves_remaining(self) -> int:
+        """Halves still to be driven for the current block."""
+        return len(self.pending)
+
+    # ------------------------------------------------------------------
+    # synthesis view (consumed by repro.decompressor.gates)
+    # ------------------------------------------------------------------
+    def states(self) -> List[str]:
+        """All control states: idle + internal trie nodes (K-independent)."""
+        names = {self.IDLE}
+        for (src, _bit), dst in self._transitions.items():
+            names.add(src)
+            if dst not in self._accepting:
+                names.add(dst)
+        return sorted(names)
+
+    def transition_table(self) -> List[Tuple[str, int, str, Optional[BlockCase]]]:
+        """(state, input bit, next state, resolved case or None) rows.
+
+        Accepting transitions return to idle with the case as a Moore-ish
+        output, matching Figure 2 where every recognized codeword path
+        loops back to S0.
+        """
+        rows = []
+        for (src, bit), dst in sorted(self._transitions.items()):
+            if dst in self._accepting:
+                rows.append((src, bit, self.IDLE, self._accepting[dst]))
+            else:
+                rows.append((src, bit, dst, None))
+        return rows
+
+    @property
+    def max_codeword_cycles(self) -> int:
+        """ATE cycles needed for the longest codeword (paper: five)."""
+        return self.codebook.max_length

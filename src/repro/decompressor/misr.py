@@ -1,0 +1,144 @@
+"""LFSR / MISR models — the response side of reduced pin-count testing.
+
+The paper compresses the *stimulus* side; a reduced-pin-count flow also
+needs the responses compacted on-chip so they don't consume output pins.
+The standard structure is a multiple-input signature register (MISR): an
+LFSR that XORs one response slice into its state every scan cycle and is
+read out once as a signature.  This module provides both primitives plus
+an aliasing estimate, and is used by the RPCT example to close the loop:
+m chains in through one pin (Figure 3), m chains out through one
+signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.bitvec import TernaryVector
+
+#: Primitive polynomials (taps, x^0 implied) for common widths.
+PRIMITIVE_TAPS = {
+    4: (4, 3),
+    8: (8, 6, 5, 4),
+    16: (16, 15, 13, 4),
+    24: (24, 23, 22, 17),
+    32: (32, 22, 2, 1),
+}
+
+
+def default_taps(width: int) -> Sequence[int]:
+    """A primitive feedback polynomial for ``width`` (raises if unknown)."""
+    try:
+        return PRIMITIVE_TAPS[width]
+    except KeyError:
+        raise ValueError(
+            f"no default primitive polynomial for width {width}; "
+            f"choose from {sorted(PRIMITIVE_TAPS)}"
+        ) from None
+
+
+class LFSR:
+    """Fibonacci LFSR over GF(2) with taps given as exponents."""
+
+    def __init__(self, width: int, taps: Optional[Sequence[int]] = None,
+                 seed: int = 1):
+        if width < 2:
+            raise ValueError("width must be >= 2")
+        self.width = width
+        self.taps = tuple(taps) if taps is not None else tuple(
+            default_taps(width)
+        )
+        if any(t < 1 or t > width for t in self.taps):
+            raise ValueError("tap exponents must be in 1..width")
+        if seed <= 0 or seed >= (1 << width):
+            raise ValueError("seed must be a nonzero state")
+        self.state = seed
+
+    def step(self) -> int:
+        """Advance one cycle; returns the output bit (LSB before shift)."""
+        out = self.state & 1
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (self.width - tap)) & 1
+        self.state = (self.state >> 1) | (feedback << (self.width - 1))
+        return out
+
+    def bits(self, count: int) -> List[int]:
+        """The next ``count`` output bits."""
+        return [self.step() for _ in range(count)]
+
+    def period(self, limit: Optional[int] = None) -> int:
+        """Cycle length from the current state (primitive => 2^w - 1)."""
+        limit = limit or (1 << self.width)
+        start = self.state
+        for steps in range(1, limit + 1):
+            self.step()
+            if self.state == start:
+                return steps
+        raise RuntimeError("period exceeds limit")
+
+
+class MISR:
+    """Multiple-input signature register of ``width`` parallel inputs."""
+
+    def __init__(self, width: int, taps: Optional[Sequence[int]] = None,
+                 seed: int = 0):
+        if width < 2:
+            raise ValueError("width must be >= 2")
+        self.width = width
+        self.taps = tuple(taps) if taps is not None else tuple(
+            default_taps(width)
+        )
+        self.state = seed
+
+    def absorb(self, slice_bits: Sequence[int]) -> None:
+        """Clock one scan cycle with one response bit per input."""
+        if len(slice_bits) != self.width:
+            raise ValueError(
+                f"expected {self.width} response bits, got {len(slice_bits)}"
+            )
+        word = 0
+        for bit in slice_bits:
+            if bit not in (0, 1):
+                raise ValueError("MISR inputs must be specified bits")
+            word = (word << 1) | bit
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= (self.state >> (self.width - tap)) & 1
+        self.state = (((self.state >> 1)
+                       | (feedback << (self.width - 1))) ^ word) \
+            & ((1 << self.width) - 1)
+
+    def absorb_response(self, response: TernaryVector) -> None:
+        """Absorb a whole response vector, ``width`` bits per cycle."""
+        if len(response) % self.width:
+            raise ValueError("response length must be a width multiple")
+        for start in range(0, len(response), self.width):
+            self.absorb(list(response[start : start + self.width]))
+
+    @property
+    def signature(self) -> int:
+        """The accumulated signature."""
+        return self.state
+
+
+@dataclass(frozen=True)
+class AliasingEstimate:
+    """Probability that a faulty response maps to the good signature."""
+
+    width: int
+
+    @property
+    def probability(self) -> float:
+        """The classic 2^-w MISR aliasing bound."""
+        return 2.0 ** -self.width
+
+
+def signature_of(responses: Iterable[TernaryVector], width: int,
+                 taps: Optional[Sequence[int]] = None) -> int:
+    """Signature of a response sequence through a fresh MISR."""
+    misr = MISR(width, taps)
+    for response in responses:
+        misr.absorb_response(response)
+    return misr.signature

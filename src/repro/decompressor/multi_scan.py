@@ -1,0 +1,153 @@
+"""Multiple-scan-chain, single-pin decompression (paper Figures 3 / 4b).
+
+One decoder and one ATE input pin feed an m-bit shifter; every m decoded
+bits are broadside-loaded into the m scan chains at once.  The paper's
+claim — verified by the bench for Figure 3/4b — is that this cuts the
+required test *pins* to one while leaving the test application time of
+the single-scan architecture unchanged (the decoder produces bits at the
+same rate; only their destination changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.bitstream import TernaryStreamReader
+from ..core.bitvec import ONE, X, ZERO, TernaryVector
+from ..core.codewords import BlockCase, Codebook
+from ..core.encoder import Encoding
+from .fsm import NineCDecoderFSM
+from .scan import ScanFanout
+from .single_scan import DecompressionTrace
+
+
+@dataclass
+class MultiScanTrace(DecompressionTrace):
+    """Single-pin multi-scan run results (adds chain-level views)."""
+
+    num_chains: int = 1
+    chain_length: int = 0
+    loads: int = 0
+
+
+class MultiScanDecompressor:
+    """Cycle-accurate model of Figure 3: one pin, ``m`` chains."""
+
+    def __init__(
+        self,
+        k: int,
+        num_chains: int,
+        chain_length: int,
+        codebook: Optional[Codebook] = None,
+        p: int = 1,
+    ):
+        if k < 2 or k % 2:
+            raise ValueError("K must be an even integer >= 2")
+        if num_chains < 1 or chain_length < 1:
+            raise ValueError("need m >= 1 chains of length >= 1")
+        if p < 1:
+            raise ValueError("p = f_scan/f_ate must be >= 1")
+        self.k = k
+        self.num_chains = num_chains
+        self.chain_length = chain_length
+        self.codebook = codebook or Codebook.default()
+        self.p = p
+        self.fsm = NineCDecoderFSM(self.codebook)
+
+    @property
+    def pattern_bits(self) -> int:
+        """Bits per reassembled test pattern (m * l)."""
+        return self.num_chains * self.chain_length
+
+    def run(
+        self,
+        stream: TernaryVector,
+        output_length: Optional[int] = None,
+        x_fill: Optional[int] = 0,
+    ) -> MultiScanTrace:
+        """Decompress; leftover X from the ATE default-fills to 0.
+
+        The m-bit shifter is physical hardware, so by default X bits are
+        materialized (``x_fill=0``); pass None to keep them symbolic.
+        """
+        half = self.k // 2
+        reader = TernaryStreamReader(stream)
+        self.fsm.reset()
+        fanout = ScanFanout(self.num_chains, self.chain_length)
+
+        emitted = 0
+        patterns: List[TernaryVector] = []
+        out_bits: List[int] = []
+        soc = 0
+        codeword_ate = 0
+        data_ate = 0
+        uniform_soc = 0
+        blocks = 0
+        case_counts: Dict[BlockCase, int] = {case: 0 for case in BlockCase}
+
+        def emit(bit: int) -> None:
+            nonlocal emitted
+            if bit == X and x_fill is not None:
+                bit = x_fill
+            out_bits.append(bit)
+            fanout.shift_into_buffer(bit)
+            emitted += 1
+            if emitted % self.pattern_bits == 0:
+                patterns.append(fanout.capture_pattern())
+
+        while not reader.at_end():
+            if output_length is not None and emitted >= output_length:
+                break
+            case = None
+            while case is None:
+                bit = reader.read_bit()
+                codeword_ate += 1
+                soc += self.p
+                case = self.fsm.on_data_bit(bit)
+            case_counts[case] += 1
+            blocks += 1
+            while self.fsm.halves_remaining:
+                directive = self.fsm.next_half()
+                if directive.from_ate:
+                    for _ in range(half):
+                        bit = reader.read_bit()
+                        data_ate += 1
+                        soc += self.p
+                        emit(bit)
+                else:
+                    value = ZERO if directive.sel == "zero" else ONE
+                    for _ in range(half):
+                        uniform_soc += 1
+                        soc += 1
+                        emit(value)
+
+        output = TernaryVector(out_bits)
+        if output_length is not None:
+            output = output[:output_length]
+        return MultiScanTrace(
+            output=output,
+            soc_cycles=soc,
+            ate_cycles=codeword_ate + data_ate,
+            codeword_ate_cycles=codeword_ate,
+            data_ate_cycles=data_ate,
+            uniform_soc_cycles=uniform_soc,
+            blocks=blocks,
+            case_counts=case_counts,
+            patterns=patterns,
+            weighted_transitions=sum(
+                c.weighted_transitions for c in fanout.chains
+            ),
+            num_chains=self.num_chains,
+            chain_length=self.chain_length,
+            loads=fanout.loads,
+        )
+
+    def run_encoding(self, encoding: Encoding,
+                     x_fill: Optional[int] = 0) -> MultiScanTrace:
+        """Decompress an :class:`Encoding` produced by the 9C encoder."""
+        if encoding.k != self.k:
+            raise ValueError(f"encoding K={encoding.k} != decoder K={self.k}")
+        if encoding.codebook != self.codebook:
+            raise ValueError("codebook mismatch between encoder and decoder")
+        return self.run(encoding.stream, encoding.original_length, x_fill)

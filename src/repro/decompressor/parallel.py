@@ -1,0 +1,123 @@
+"""Parallel multi-decoder architecture (paper Figure 4c).
+
+The ``m`` scan chains are partitioned into ``m/K`` groups of K chains;
+each group gets its own ATE pin, its own decoder and its own K-bit
+shifter, and all groups stream concurrently.  Compared to the single-pin
+architecture this multiplies pin count and decoder area by ``m/K`` but
+divides test application time by the same factor (the slowest group sets
+the total) — the trade-off axis of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.bitvec import TernaryVector
+from ..core.codewords import Codebook
+from ..core.encoder import NineCEncoder
+from ..testdata.testset import TestSet
+from .multi_scan import MultiScanDecompressor, MultiScanTrace
+
+
+@dataclass
+class ParallelTrace:
+    """Results of a parallel multi-decoder run."""
+
+    group_traces: List[MultiScanTrace]
+    test_set: TestSet
+    num_pins: int
+
+    @property
+    def soc_cycles(self) -> int:
+        """Wall-clock SoC cycles: the slowest group dominates."""
+        return max(t.soc_cycles for t in self.group_traces)
+
+    @property
+    def total_compressed_bits(self) -> int:
+        """Sum of all groups' compressed streams."""
+        return sum(t.ate_cycles for t in self.group_traces)
+
+
+class ParallelDecompressor:
+    """Figure 4c: ``num_groups`` decoders, each feeding K chains."""
+
+    def __init__(
+        self,
+        k: int,
+        num_chains: int,
+        chain_length: int,
+        codebook: Optional[Codebook] = None,
+        p: int = 1,
+    ):
+        if num_chains % k:
+            raise ValueError("num_chains must be a multiple of K (one "
+                             "decoder per K chains)")
+        self.k = k
+        self.num_chains = num_chains
+        self.chain_length = chain_length
+        self.num_groups = num_chains // k
+        self.codebook = codebook or Codebook.default()
+        self.p = p
+
+    def compress(self, test_set: TestSet) -> List:
+        """Partition columns into groups and 9C-encode each group's stream.
+
+        Pattern bit ``row * m + c`` belongs to chain ``c``; group g owns
+        chains [g*K, (g+1)*K).  Each group's data, in shift order, is the
+        per-pattern sequence of its K-bit slices.
+        """
+        if test_set.num_cells != self.num_chains * self.chain_length:
+            raise ValueError(
+                "test set width must equal num_chains * chain_length"
+            )
+        matrix = test_set.to_matrix()
+        encoder = NineCEncoder(self.k, self.codebook)
+        encodings = []
+        for group in range(self.num_groups):
+            columns = []
+            for row in range(self.chain_length):
+                start = row * self.num_chains + group * self.k
+                columns.append(matrix[:, start : start + self.k])
+            # patterns-major order: pattern 0's slices, pattern 1's, ...
+            group_stream = np.concatenate(
+                [np.concatenate([block[p] for block in columns])
+                 for p in range(matrix.shape[0])]
+            )
+            encodings.append(encoder.encode(TernaryVector(group_stream)))
+        return encodings
+
+    def run(self, test_set: TestSet, x_fill: int = 0) -> ParallelTrace:
+        """Compress + decompress a test set through all groups."""
+        encodings = self.compress(test_set)
+        traces: List[MultiScanTrace] = []
+        for encoding in encodings:
+            decoder = MultiScanDecompressor(
+                self.k, num_chains=self.k,
+                chain_length=test_set.num_patterns * self.chain_length,
+                codebook=self.codebook, p=self.p,
+            )
+            traces.append(decoder.run_encoding(encoding, x_fill=x_fill))
+        reconstructed = self._reassemble(traces, test_set)
+        return ParallelTrace(traces, reconstructed, num_pins=self.num_groups)
+
+    def _reassemble(self, traces: List[MultiScanTrace],
+                    original: TestSet) -> TestSet:
+        """Merge the groups' outputs back into full-width patterns."""
+        num_patterns = original.num_patterns
+        width = original.num_cells
+        out = np.zeros((num_patterns, width), dtype=np.uint8)
+        bits_per_group_pattern = self.k * self.chain_length
+        for group, trace in enumerate(traces):
+            data = trace.output.data
+            for pattern in range(num_patterns):
+                offset = pattern * bits_per_group_pattern
+                for row in range(self.chain_length):
+                    start = row * self.num_chains + group * self.k
+                    slice_offset = offset + row * self.k
+                    out[pattern, start : start + self.k] = data[
+                        slice_offset : slice_offset + self.k
+                    ]
+        return TestSet.from_matrix(out, name=original.name)

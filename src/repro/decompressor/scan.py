@@ -1,0 +1,111 @@
+"""Scan-chain models.
+
+:class:`ScanChain` is a shift register that records, besides its contents,
+the number of shift operations and the weighted transition count of what
+was shifted through it (the standard scan-in power proxy used by
+:mod:`repro.analysis.power`).  :class:`ScanFanout` groups ``m`` chains
+behind the m-bit parallel-load shifter of the multiple-scan architectures
+(Figures 3 and 4).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.bitvec import TernaryVector
+
+
+class ScanChain:
+    """A single scan chain of ``length`` cells."""
+
+    def __init__(self, length: int):
+        if length < 1:
+            raise ValueError("scan chain length must be >= 1")
+        self.length = length
+        self.cells: List[int] = [0] * length
+        self.shift_count = 0
+        self.weighted_transitions = 0
+        self.captured: List[TernaryVector] = []
+
+    def shift_in(self, bit: int) -> int:
+        """Shift one bit in at position 0; returns the bit shifted out.
+
+        The weighted transition metric (WTM) charges a transition between
+        consecutive scan-in bits by the number of cells it will traverse —
+        accumulated incrementally here.
+        """
+        if bit not in (0, 1, 2):
+            raise ValueError(f"invalid scan bit: {bit!r}")
+        if self.shift_count % self.length:
+            previous = self.cells[0]
+            if previous != bit:
+                position = self.shift_count % self.length
+                self.weighted_transitions += self.length - position
+        out = self.cells.pop()
+        self.cells.insert(0, bit)
+        self.shift_count += 1
+        return out
+
+    def load_parallel(self, bits: List[int]) -> None:
+        """Broadside load (used when this chain hangs off an m-bit shifter)."""
+        if len(bits) != self.length:
+            raise ValueError("parallel load width mismatch")
+        self.cells = list(bits)
+
+    def capture(self) -> TernaryVector:
+        """Snapshot the chain as one applied test pattern.
+
+        ``cells[0]`` is the most recently shifted bit, so a pattern whose
+        first bit entered first sits reversed in the register; the capture
+        un-reverses it to pattern order.
+        """
+        pattern = TernaryVector(list(reversed(self.cells)))
+        self.captured.append(pattern)
+        return pattern
+
+    def contents(self) -> TernaryVector:
+        """Raw register contents, cell 0 first."""
+        return TernaryVector(self.cells)
+
+
+class ScanFanout:
+    """``m`` scan chains fed in parallel from an m-bit shifter (Fig. 3)."""
+
+    def __init__(self, num_chains: int, chain_length: int):
+        if num_chains < 1:
+            raise ValueError("need at least one chain")
+        self.num_chains = num_chains
+        self.chain_length = chain_length
+        self.chains = [ScanChain(chain_length) for _ in range(num_chains)]
+        self.shifter: List[int] = []
+        self.loads = 0
+
+    def shift_into_buffer(self, bit: int) -> bool:
+        """Shift one decoded bit into the m-bit shifter.
+
+        When the shifter fills, its content is broadside-shifted into all
+        chains simultaneously (one scan clock for all m chains) and True
+        is returned.
+        """
+        self.shifter.append(bit)
+        if len(self.shifter) == self.num_chains:
+            for chain, value in zip(self.chains, self.shifter):
+                chain.shift_in(value)
+            self.shifter = []
+            self.loads += 1
+            return True
+        return False
+
+    def capture_pattern(self) -> TernaryVector:
+        """Reassemble the applied pattern across all chains.
+
+        Bit ``row * m + i`` of the original pattern was the i-th bit of
+        the row-th shifter load, i.e. it sits in chain i; interleaving the
+        captured chains reconstructs the pattern.
+        """
+        captures = [chain.capture() for chain in self.chains]
+        interleaved: List[int] = []
+        for row in range(self.chain_length):
+            for chain_capture in captures:
+                interleaved.append(chain_capture[row])
+        return TernaryVector(interleaved)

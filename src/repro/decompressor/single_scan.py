@@ -1,0 +1,150 @@
+"""Single-scan-chain decompression architecture (paper Figure 1).
+
+FSM + log2(K/2) counter + K/2-bit shifter + MUX, feeding one scan chain.
+The model is cycle-accurate in both clock domains:
+
+* every codeword bit costs one ATE cycle (Data_in is serial);
+* a *uniform* half is generated on-chip: K/2 SoC (scan) cycles;
+* a *mismatch* half streams its K/2 bits from the ATE: K/2 ATE cycles
+  (the scan clock is at least as fast, so the shift overlaps reception).
+
+With f_scan = p * f_ate, one ATE cycle is ``p`` SoC cycles; all times are
+accounted in SoC cycles and converted by :mod:`repro.analysis.tat`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.bitstream import TernaryStreamReader
+from ..core.bitvec import ONE, X, ZERO, TernaryVector
+from ..core.codewords import BlockCase, Codebook
+from ..core.encoder import Encoding
+from .fsm import NineCDecoderFSM
+from .scan import ScanChain
+
+
+@dataclass
+class DecompressionTrace:
+    """What happened during one decompression run."""
+
+    output: TernaryVector
+    soc_cycles: int
+    ate_cycles: int
+    codeword_ate_cycles: int
+    data_ate_cycles: int
+    uniform_soc_cycles: int
+    blocks: int
+    case_counts: Dict[BlockCase, int] = field(default_factory=dict)
+    patterns: List[TernaryVector] = field(default_factory=list)
+    weighted_transitions: int = 0
+
+
+class SingleScanDecompressor:
+    """Cycle-accurate model of Figure 1."""
+
+    def __init__(
+        self,
+        k: int,
+        codebook: Optional[Codebook] = None,
+        p: int = 1,
+        scan_length: Optional[int] = None,
+    ):
+        if k < 2 or k % 2:
+            raise ValueError("K must be an even integer >= 2")
+        if p < 1:
+            raise ValueError("p = f_scan/f_ate must be >= 1")
+        self.k = k
+        self.codebook = codebook or Codebook.default()
+        self.p = p
+        self.scan_length = scan_length
+        self.fsm = NineCDecoderFSM(self.codebook)
+
+    def run(
+        self,
+        stream: TernaryVector,
+        output_length: Optional[int] = None,
+        x_fill: Optional[int] = None,
+    ) -> DecompressionTrace:
+        """Decompress a 9C stream through the architecture.
+
+        ``x_fill`` optionally replaces leftover X bits arriving from the
+        ATE (the tester would have filled them); None keeps them X, which
+        the scan chain model tolerates for verification purposes.
+        """
+        half = self.k // 2
+        reader = TernaryStreamReader(stream)
+        self.fsm.reset()
+        chain = ScanChain(self.scan_length) if self.scan_length else None
+
+        out_bits: List[int] = []
+        patterns: List[TernaryVector] = []
+        soc = 0
+        codeword_ate = 0
+        data_ate = 0
+        uniform_soc = 0
+        blocks = 0
+        case_counts: Dict[BlockCase, int] = {case: 0 for case in BlockCase}
+
+        def emit(bit: int) -> None:
+            out_bits.append(bit)
+            if chain is not None:
+                chain.shift_in(bit)
+                if len(out_bits) % self.scan_length == 0:
+                    patterns.append(chain.capture())
+
+        while not reader.at_end():
+            if output_length is not None and len(out_bits) >= output_length:
+                break
+            # --- receive one codeword, one ATE cycle per bit -----------
+            case = None
+            while case is None:
+                bit = reader.read_bit()
+                codeword_ate += 1
+                soc += self.p
+                case = self.fsm.on_data_bit(bit)
+            case_counts[case] += 1
+            blocks += 1
+            # --- drive the two halves ----------------------------------
+            while self.fsm.halves_remaining:
+                directive = self.fsm.next_half()
+                if directive.from_ate:
+                    for _ in range(half):
+                        bit = reader.read_bit()
+                        if bit == X and x_fill is not None:
+                            bit = x_fill
+                        data_ate += 1
+                        soc += self.p
+                        emit(bit)
+                else:
+                    value = ZERO if directive.sel == "zero" else ONE
+                    for _ in range(half):
+                        uniform_soc += 1
+                        soc += 1
+                        emit(value)
+
+        output = TernaryVector(out_bits)
+        if output_length is not None:
+            output = output[:output_length]
+        return DecompressionTrace(
+            output=output,
+            soc_cycles=soc,
+            ate_cycles=codeword_ate + data_ate,
+            codeword_ate_cycles=codeword_ate,
+            data_ate_cycles=data_ate,
+            uniform_soc_cycles=uniform_soc,
+            blocks=blocks,
+            case_counts=case_counts,
+            patterns=patterns,
+            weighted_transitions=chain.weighted_transitions if chain else 0,
+        )
+
+    def run_encoding(self, encoding: Encoding,
+                     x_fill: Optional[int] = None) -> DecompressionTrace:
+        """Decompress an :class:`Encoding` produced by the 9C encoder."""
+        if encoding.k != self.k:
+            raise ValueError(f"encoding K={encoding.k} != decoder K={self.k}")
+        if encoding.codebook != self.codebook:
+            raise ValueError("codebook mismatch between encoder and decoder")
+        return self.run(encoding.stream, encoding.original_length, x_fill)

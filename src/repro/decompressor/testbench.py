@@ -1,0 +1,136 @@
+"""Verilog testbench + golden-vector generation for the decoder RTL.
+
+Closes the hardware loop for external simulators: the cycle-accurate
+Python model produces the stimulus (the compressed stream) and the
+golden response (the decoded scan-in sequence), and this module wraps
+them in a self-checking testbench for the single-clock decoder emitted
+by :mod:`repro.decompressor.verilog`.  The testbench plays the ATE side
+of the ready/ate_tick handshake with a programmable clock divider
+(f_scan = P x f_ate).
+
+For an offline check without a simulator, the same RTL is executed
+directly by :mod:`repro.decompressor.rtlsim`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from ..core.bitvec import X, TernaryVector
+from ..core.decoder import NineCDecoder
+from ..core.encoder import Encoding
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class TestbenchBundle:
+    """Generated artifacts: testbench source + stimulus/golden memories."""
+
+    testbench: str
+    stimulus: str       # one compressed bit per line ($readmemb)
+    golden: str         # one expected scan bit per line
+
+    def write(self, directory: PathLike, prefix: str = "ninec_tb") -> None:
+        """Write the three files under ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"{prefix}.v").write_text(self.testbench)
+        (directory / f"{prefix}_stimulus.memb").write_text(self.stimulus)
+        (directory / f"{prefix}_golden.memb").write_text(self.golden)
+
+
+def generate_testbench(
+    encoding: Encoding,
+    module_name: str = "ninec_decoder",
+    x_fill: int = 0,
+    p: int = 2,
+) -> TestbenchBundle:
+    """Build a self-checking testbench for one compressed stream.
+
+    Leftover X bits in the stream are materialized with ``x_fill`` (the
+    tester stores concrete bits); the golden response is the decoded
+    stream under the same fill.  ``p`` is the scan-to-ATE clock ratio
+    the testbench's divider models.
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    stream_bits = [
+        x_fill if bit == X else int(bit) for bit in encoding.stream
+    ]
+    decoded = NineCDecoder(encoding.k, encoding.codebook).decode_stream(
+        TernaryVector(stream_bits)
+    )
+    golden_bits = [int(b) for b in decoded]
+
+    stimulus = "\n".join(str(b) for b in stream_bits) + "\n"
+    golden = "\n".join(str(b) for b in golden_bits) + "\n"
+
+    tb = f"""// self-checking testbench for {module_name} (K={encoding.k}, p={p})
+`timescale 1ns/1ps
+module {module_name}_tb;
+    localparam STIM_LEN = {len(stream_bits)};
+    localparam GOLD_LEN = {len(golden_bits)};
+    localparam P = {p};
+
+    reg clk = 0, rst_n = 0, dec_en = 0;
+    reg ate_tick = 0;
+    reg data_in = 0;
+    wire ready, scan_en, scan_out, ack;
+
+    {module_name} dut (
+        .clk(clk), .rst_n(rst_n), .dec_en(dec_en),
+        .ate_tick(ate_tick), .data_in(data_in),
+        .ready(ready), .scan_en(scan_en), .scan_out(scan_out), .ack(ack)
+    );
+
+    reg [0:0] stimulus [0:STIM_LEN-1];
+    reg [0:0] golden   [0:GOLD_LEN-1];
+    integer stim_index = 0, gold_index = 0, errors = 0;
+    integer divider = 0;
+
+    initial begin
+        $readmemb("{module_name}_tb_stimulus.memb", stimulus);
+        $readmemb("{module_name}_tb_golden.memb", golden);
+        #20 rst_n = 1; dec_en = 1;
+    end
+
+    always #5 clk = ~clk;  // SoC scan clock
+
+    // ATE side of the handshake: offer one bit every P scan cycles,
+    // but only when the decoder is ready for it.
+    always @(negedge clk) begin
+        if (rst_n) begin
+            divider <= (divider == P - 1) ? 0 : divider + 1;
+            if (divider == P - 1 && ready && stim_index < STIM_LEN) begin
+                ate_tick   <= 1'b1;
+                data_in    <= stimulus[stim_index];
+                stim_index <= stim_index + 1;
+            end else begin
+                ate_tick <= 1'b0;
+            end
+        end
+    end
+
+    always @(posedge clk) begin
+        if (scan_en) begin
+            if (scan_out !== golden[gold_index]) begin
+                errors = errors + 1;
+                $display("MISMATCH at scan bit %0d: got %b want %b",
+                         gold_index, scan_out, golden[gold_index]);
+            end
+            gold_index = gold_index + 1;
+            if (gold_index == GOLD_LEN) begin
+                if (errors == 0) $display("TESTBENCH PASS (%0d bits)",
+                                          GOLD_LEN);
+                else             $display("TESTBENCH FAIL (%0d errors)",
+                                          errors);
+                $finish;
+            end
+        end
+    end
+endmodule
+"""
+    return TestbenchBundle(testbench=tb, stimulus=stimulus, golden=golden)

@@ -1,0 +1,156 @@
+"""System-level test session: the whole RPCT flow behind one API.
+
+This is the integration layer a downstream user would actually adopt:
+
+    session = TestSession(circuit, k=8, p=8)
+    session.prepare()                  # ATPG cubes (or bring your own)
+    verdict = session.run()            # golden signature
+    verdict = session.run(fault)       # defective device -> FAIL
+
+Internally: test cubes -> 9C compression -> cycle-accurate single-pin
+decompression -> X fill -> pattern application to the (optionally
+faulty) circuit -> response compaction in a MISR -> signature compare.
+One ATE pin in, one signature out — the paper's reduced-pin-count story
+end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .atpg.flow import AtpgResult, generate_test_cubes
+from .circuits.faults import Fault
+from .circuits.netlist import Netlist
+from .circuits.simulator import output_values, simulate
+from .core.encoder import Encoding, NineCEncoder
+from .decompressor.misr import MISR
+from .decompressor.single_scan import SingleScanDecompressor
+from .testdata.fill import fill_test_set
+from .testdata.testset import TestSet
+
+
+@dataclass(frozen=True)
+class SessionVerdict:
+    """Outcome of testing one (possibly faulty) device."""
+
+    signature: int
+    golden_signature: Optional[int]
+    patterns_applied: int
+    soc_cycles: int
+    ate_cycles: int
+    compression_ratio: float
+
+    @property
+    def passed(self) -> Optional[bool]:
+        """True/False vs the golden signature; None when no golden yet."""
+        if self.golden_signature is None:
+            return None
+        return self.signature == self.golden_signature
+
+
+class TestSession:
+    """Orchestrates the full compressed-test flow for one circuit."""
+
+    __test__ = False  # keep pytest from collecting this library class
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        k: int = 8,
+        p: int = 8,
+        misr_width: int = 16,
+        fill_strategy: str = "random",
+        seed: int = 0,
+    ):
+        self.netlist = netlist
+        self.k = k
+        self.p = p
+        self.misr_width = misr_width
+        self.fill_strategy = fill_strategy
+        self.seed = seed
+        self.atpg_result: Optional[AtpgResult] = None
+        self.cubes: Optional[TestSet] = None
+        self.encoding: Optional[Encoding] = None
+        self.applied_patterns: Optional[TestSet] = None
+        self.golden_signature: Optional[int] = None
+        self._response_pad = (-len(netlist.scan_outputs)) % misr_width
+
+    # ------------------------------------------------------------------
+    def prepare(self, cubes: Optional[TestSet] = None,
+                backtrack_limit: int = 500,
+                order_for_power: bool = False) -> "TestSession":
+        """Generate (or accept) cubes, compress, decompress, fill.
+
+        After ``prepare`` the session holds the exact fully-specified
+        patterns the decompressor delivers to the scan chain; ``run``
+        only re-simulates the device side.  ``order_for_power`` applies
+        greedy low-transition pattern ordering before compression (order
+        is free for stuck-at detection).
+        """
+        if cubes is None:
+            self.atpg_result = generate_test_cubes(
+                self.netlist, backtrack_limit=backtrack_limit
+            )
+            cubes = self.atpg_result.test_set
+        if order_for_power:
+            from .analysis.ordering import reorder_for_power
+
+            cubes = reorder_for_power(cubes)
+        if cubes.num_cells != self.netlist.scan_length:
+            raise ValueError(
+                f"cube width {cubes.num_cells} != scan length "
+                f"{self.netlist.scan_length}"
+            )
+        self.cubes = cubes
+        stream = cubes.to_stream()
+        self.encoding = NineCEncoder(self.k).encode(stream)
+        decompressor = SingleScanDecompressor(self.k, p=self.p)
+        trace = decompressor.run_encoding(self.encoding)
+        self._trace = trace
+        decoded = TestSet.from_stream(
+            trace.output[: cubes.total_bits], self.netlist.scan_length
+        )
+        if not decoded.covers(cubes):
+            raise AssertionError("decompression lost specified bits")
+        self.applied_patterns = fill_test_set(
+            decoded, self.fill_strategy, seed=self.seed
+        )
+        self.golden_signature = None
+        return self
+
+    # ------------------------------------------------------------------
+    def run(self, fault: Optional[Fault] = None) -> SessionVerdict:
+        """Test one device; ``fault=None`` establishes the golden run."""
+        if self.applied_patterns is None:
+            raise RuntimeError("call prepare() before run()")
+        injection = fault.injection if fault is not None else None
+        misr = MISR(self.misr_width)
+        for pattern in self.applied_patterns:
+            values = simulate(self.netlist, pattern, injection)
+            response = output_values(self.netlist, values)
+            misr.absorb_response(
+                response.padded(len(response) + self._response_pad, 0)
+            )
+        signature = misr.signature
+        if fault is None:
+            self.golden_signature = signature
+        return SessionVerdict(
+            signature=signature,
+            golden_signature=self.golden_signature
+            if fault is not None else signature,
+            patterns_applied=self.applied_patterns.num_patterns,
+            soc_cycles=self._trace.soc_cycles,
+            ate_cycles=self._trace.ate_cycles,
+            compression_ratio=self.encoding.compression_ratio,
+        )
+
+    # ------------------------------------------------------------------
+    def screen(self, faults) -> dict:
+        """Signature-test many devices; returns fault -> caught bool."""
+        if self.golden_signature is None:
+            self.run()
+        return {
+            fault: self.run(fault).signature != self.golden_signature
+            for fault in faults
+        }

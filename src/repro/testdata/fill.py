@@ -1,0 +1,84 @@
+"""X-fill strategies.
+
+The paper's headline feature is that 9C *leaves* don't-cares in the
+compressed set, so the tester (or a post-processing step) is free to fill
+them: randomly to catch non-modeled faults, or transition-minimizing to cut
+scan power.  These are the standard fills used throughout the test-data
+compression literature.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..core.bitvec import ONE, X, ZERO, TernaryVector
+from .testset import TestSet
+
+FillFn = Callable[[TernaryVector], TernaryVector]
+
+
+def zero_fill(vec: TernaryVector) -> TernaryVector:
+    """Replace every X with 0 (what run-length codes assume)."""
+    return vec.filled(ZERO)
+
+
+def one_fill(vec: TernaryVector) -> TernaryVector:
+    """Replace every X with 1."""
+    return vec.filled(ONE)
+
+
+def random_fill(vec: TernaryVector, rng: Optional[np.random.Generator] = None,
+                seed: int = 0) -> TernaryVector:
+    """Replace every X with an independent random bit.
+
+    This is the fill ATPG tools use to raise non-modeled-fault coverage —
+    the fill 9C's leftover X bits keep available.
+    """
+    rng = rng or np.random.default_rng(seed)
+    return vec.filled_random(rng)
+
+
+def mt_fill(vec: TernaryVector) -> TernaryVector:
+    """Minimum-transition fill: each X repeats the previous specified bit.
+
+    Leading X bits (before any specified bit) copy the first specified bit;
+    an all-X vector becomes all zeros.  MT-fill minimizes scan-in
+    transitions, hence shift power.
+    """
+    data = vec.data.copy()
+    specified = np.flatnonzero(data != X)
+    if specified.size == 0:
+        return TernaryVector.zeros(len(vec))
+    last = data[specified[0]]
+    for i in range(len(data)):
+        if data[i] == X:
+            data[i] = last
+        else:
+            last = data[i]
+    return TernaryVector(data)
+
+
+FILL_STRATEGIES: Dict[str, FillFn] = {
+    "zero": zero_fill,
+    "one": one_fill,
+    "random": random_fill,
+    "mt": mt_fill,
+}
+
+
+def fill_test_set(test_set: TestSet, strategy: str = "random",
+                  seed: int = 0) -> TestSet:
+    """Fill every pattern of a test set with the named strategy."""
+    if strategy == "random":
+        rng = np.random.default_rng(seed)
+        return test_set.map_patterns(lambda p: p.filled_random(rng))
+    try:
+        fn = FILL_STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown fill strategy {strategy!r}; "
+            f"choose from {sorted(FILL_STRATEGIES)}"
+        ) from None
+    return test_set.map_patterns(fn)

@@ -1,0 +1,116 @@
+"""Interchange formats for test sets.
+
+Besides the native ``.test`` format of :class:`~repro.testdata.testset
+.TestSet`, two formats common in the test-compression literature are
+supported:
+
+* **MinTest-style ASCII** — the Hamzaoglu-Patel distribution format: a
+  header line per pattern (``p<index>:``) followed by the cube string.
+* **STIL-lite** — a minimal subset of IEEE 1450 STIL sufficient to carry
+  scan-load vectors (``SignalGroups`` + ``Pattern`` blocks); enough for
+  tools that ingest STIL patterns to consume our outputs.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Union
+
+from .testset import TestSet
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# MinTest-style ASCII
+# ----------------------------------------------------------------------
+
+def dumps_mintest(test_set: TestSet) -> str:
+    """Render in the MinTest-style per-pattern format."""
+    lines = [f"# {test_set.name or 'test set'}: "
+             f"{test_set.num_patterns} patterns x {test_set.num_cells} bits"]
+    for index, pattern in enumerate(test_set, start=1):
+        lines.append(f"p{index}:")
+        lines.append(pattern.to_string())
+    return "\n".join(lines) + "\n"
+
+
+def loads_mintest(text: str, name: str = "") -> TestSet:
+    """Parse the MinTest-style format (tolerates wrapped cube lines)."""
+    patterns: List[str] = []
+    current: List[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if re.fullmatch(r"[pP]\d+\s*:", line):
+            if current:
+                patterns.append("".join(current))
+                current = []
+            continue
+        if not re.fullmatch(r"[01xX?-]+", line):
+            raise ValueError(f"unexpected line in MinTest data: {raw!r}")
+        current.append(line)
+    if current:
+        patterns.append("".join(current))
+    return TestSet.from_strings(patterns, name=name)
+
+
+def save_mintest(test_set: TestSet, path: PathLike) -> None:
+    """Write the MinTest-style format."""
+    Path(path).write_text(dumps_mintest(test_set))
+
+
+def load_mintest(path: PathLike) -> TestSet:
+    """Read the MinTest-style format."""
+    path = Path(path)
+    return loads_mintest(path.read_text(), name=path.stem)
+
+
+# ----------------------------------------------------------------------
+# STIL-lite
+# ----------------------------------------------------------------------
+
+_STIL_HEADER = 'STIL 1.0;'
+
+
+def dumps_stil(test_set: TestSet, signal_group: str = "scan_in") -> str:
+    """Render scan-load vectors as a minimal STIL pattern block."""
+    lines = [
+        _STIL_HEADER,
+        f'SignalGroups {{ "{signal_group}" = '
+        f"'cell[0..{max(test_set.num_cells - 1, 0)}]'; }}",
+        f'Pattern "{test_set.name or "scan_test"}" {{',
+    ]
+    for pattern in test_set:
+        # STIL uses N for unknown/don't-care in Vec data
+        vector = pattern.to_string().replace("X", "N")
+        lines.append(f'    V {{ "{signal_group}" = {vector}; }}')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def loads_stil(text: str) -> TestSet:
+    """Parse the STIL-lite subset written by :func:`dumps_stil`."""
+    if _STIL_HEADER.split(";")[0] not in text:
+        raise ValueError("not a STIL file (missing STIL version header)")
+    name_match = re.search(r'Pattern\s+"([^"]*)"', text)
+    rows = [
+        match.group(1).replace("N", "X")
+        for match in re.finditer(r'V\s*{\s*"[^"]+"\s*=\s*([01NXnx]+)\s*;', text)
+    ]
+    if not rows:
+        raise ValueError("no V {} vectors found in STIL data")
+    return TestSet.from_strings(rows, name=name_match.group(1)
+                                if name_match else "")
+
+
+def save_stil(test_set: TestSet, path: PathLike) -> None:
+    """Write the STIL-lite format."""
+    Path(path).write_text(dumps_stil(test_set))
+
+
+def load_stil(path: PathLike) -> TestSet:
+    """Read the STIL-lite format."""
+    return loads_stil(Path(path).read_text())

@@ -1,0 +1,185 @@
+"""Scan test-set model.
+
+A :class:`TestSet` is a matrix of test patterns: ``num_patterns`` rows,
+each a ternary scan-load vector of ``num_cells`` bits.  The 9C codec and
+all baseline codes operate on the concatenated stream (``to_stream``),
+which is how a single-scan-chain ATE applies the set; the multiple-scan
+architectures re-slice the same stream.
+
+A simple line-oriented text format is supported for persistence::
+
+    # repro test set: cells=214 patterns=111
+    01XX10...   (one pattern per line)
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, Union
+
+import numpy as np
+
+from ..core.bitvec import X, TernaryVector
+
+PathLike = Union[str, Path]
+
+
+class TestSet:
+    """An ordered collection of equal-length ternary test patterns."""
+
+    __test__ = False  # keep pytest from collecting this library class
+
+    def __init__(self, patterns: Iterable[TernaryVector], name: str = ""):
+        self.patterns: List[TernaryVector] = list(patterns)
+        self.name = name
+        if self.patterns:
+            width = len(self.patterns[0])
+            for i, pattern in enumerate(self.patterns):
+                if len(pattern) != width:
+                    raise ValueError(
+                        f"pattern {i} has length {len(pattern)}, expected {width}"
+                    )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_strings(cls, rows: Sequence[str], name: str = "") -> "TestSet":
+        """Build from ``0/1/X`` strings, one per pattern."""
+        return cls([TernaryVector.from_string(row) for row in rows], name=name)
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray, name: str = "") -> "TestSet":
+        """Build from a 2-D uint8 array of {0, 1, 2} codes."""
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-D (patterns x cells)")
+        return cls(
+            [TernaryVector(matrix[i]) for i in range(matrix.shape[0])], name=name
+        )
+
+    @classmethod
+    def from_stream(cls, stream: TernaryVector, num_cells: int,
+                    name: str = "") -> "TestSet":
+        """Re-slice a concatenated stream into ``num_cells``-bit patterns."""
+        if num_cells <= 0:
+            raise ValueError("num_cells must be positive")
+        if len(stream) % num_cells:
+            raise ValueError(
+                f"stream length {len(stream)} is not a multiple of {num_cells}"
+            )
+        return cls(
+            [stream[i : i + num_cells] for i in range(0, len(stream), num_cells)],
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self) -> Iterator[TernaryVector]:
+        return iter(self.patterns)
+
+    def __getitem__(self, index: int) -> TernaryVector:
+        return self.patterns[index]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TestSet):
+            return NotImplemented
+        return self.patterns == other.patterns
+
+    def __repr__(self) -> str:
+        return (
+            f"TestSet(name={self.name!r}, patterns={self.num_patterns}, "
+            f"cells={self.num_cells}, x={self.x_density:.1%})"
+        )
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def num_patterns(self) -> int:
+        """Number of test patterns."""
+        return len(self.patterns)
+
+    @property
+    def num_cells(self) -> int:
+        """Scan-chain length (bits per pattern)."""
+        return len(self.patterns[0]) if self.patterns else 0
+
+    @property
+    def total_bits(self) -> int:
+        """|T_D| — total test data volume in bits."""
+        return self.num_patterns * self.num_cells
+
+    @property
+    def num_x(self) -> int:
+        """Total don't-care bits."""
+        return sum(p.num_x for p in self.patterns)
+
+    @property
+    def x_density(self) -> float:
+        """Fraction of bits that are don't-cares."""
+        return self.num_x / self.total_bits if self.total_bits else 0.0
+
+    def to_stream(self) -> TernaryVector:
+        """Concatenate all patterns into the single-scan-chain bit stream."""
+        return TernaryVector.concat(self.patterns)
+
+    def to_matrix(self) -> np.ndarray:
+        """2-D uint8 view (patterns x cells); a fresh copy."""
+        if not self.patterns:
+            return np.empty((0, 0), dtype=np.uint8)
+        return np.stack([p.data for p in self.patterns]).copy()
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def filled(self, value: int) -> "TestSet":
+        """Constant-fill every X (see :mod:`repro.testdata.fill` for more)."""
+        return TestSet([p.filled(value) for p in self.patterns], name=self.name)
+
+    def map_patterns(self, fn) -> "TestSet":
+        """Apply ``fn`` to every pattern, keeping the name."""
+        return TestSet([fn(p) for p in self.patterns], name=self.name)
+
+    def covers(self, other: "TestSet") -> bool:
+        """True when each pattern of self covers the matching cube of other."""
+        if len(self) != len(other):
+            return False
+        return all(a.covers(b) for a, b in zip(self.patterns, other.patterns))
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> None:
+        """Write the text format described in the module docstring."""
+        path = Path(path)
+        with path.open("w") as handle:
+            handle.write(
+                f"# repro test set: cells={self.num_cells} "
+                f"patterns={self.num_patterns} name={self.name}\n"
+            )
+            for pattern in self.patterns:
+                handle.write(pattern.to_string() + "\n")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "TestSet":
+        """Read the text format written by :meth:`save`."""
+        path = Path(path)
+        name = ""
+        rows: List[str] = []
+        with path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    match = re.search(r"name=(\S*)", line)
+                    if match:
+                        name = match.group(1)
+                    continue
+                rows.append(line)
+        return cls.from_strings(rows, name=name)

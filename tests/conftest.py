@@ -1,0 +1,51 @@
+"""Shared fixtures and hypothesis strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core import TernaryVector
+
+
+@st.composite
+def ternary_vectors(draw, min_size=0, max_size=96, x_bias=None):
+    """Strategy producing :class:`TernaryVector` of bounded size.
+
+    ``x_bias`` (0..1) skews the alphabet toward don't-cares, mimicking
+    real test cubes; None draws uniformly from {0, 1, X}.
+    """
+    size = draw(st.integers(min_size, max_size))
+    if x_bias is None:
+        values = draw(
+            st.lists(st.sampled_from([0, 1, 2]), min_size=size, max_size=size)
+        )
+    else:
+        values = []
+        for _ in range(size):
+            if draw(st.floats(0, 1)) < x_bias:
+                values.append(2)
+            else:
+                values.append(draw(st.sampled_from([0, 1])))
+    return TernaryVector(values)
+
+
+@st.composite
+def even_block_sizes(draw, max_k=32):
+    """Strategy for legal 9C block sizes (even, >= 2)."""
+    return 2 * draw(st.integers(1, max_k // 2))
+
+
+@pytest.fixture
+def rng():
+    """Deterministic numpy Generator for tests."""
+    return np.random.default_rng(12345)
+
+
+def random_ternary(rng, n, x_density=0.6):
+    """Helper: random ternary vector with given X density."""
+    data = rng.integers(0, 2, size=n).astype(np.uint8)
+    mask = rng.random(n) < x_density
+    data[mask] = 2
+    return TernaryVector(data)

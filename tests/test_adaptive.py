@@ -1,0 +1,120 @@
+"""Unit + property tests for the adaptive-K extension."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    DEFAULT_MENU,
+    AdaptiveNineCEncoder,
+    NineCEncoder,
+    TernaryVector,
+)
+from repro.testdata import load_benchmark
+
+from .conftest import ternary_vectors
+
+
+class TestConstruction:
+    def test_menu_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveNineCEncoder(menu=())
+        with pytest.raises(ValueError):
+            AdaptiveNineCEncoder(menu=(4, 7))
+        with pytest.raises(ValueError):
+            AdaptiveNineCEncoder(menu=(4, 4))
+
+    def test_window_must_fit_menu(self):
+        with pytest.raises(ValueError):
+            AdaptiveNineCEncoder(menu=(4, 6), window_bits=16)  # lcm 12
+
+    def test_default_menu(self):
+        assert DEFAULT_MENU == (4, 8, 16, 32)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_covers(self):
+        codec = AdaptiveNineCEncoder(window_bits=64)
+        data = TernaryVector("0000X01X" * 20)
+        encoding = codec.encode(data)
+        assert codec.decode(encoding).covers(data)
+
+    def test_window_selection_recorded(self):
+        codec = AdaptiveNineCEncoder(window_bits=64)
+        data = TernaryVector.zeros(200)
+        encoding = codec.encode(data)
+        assert len(encoding.window_ks) == 4  # ceil(200/64)
+        assert all(k in DEFAULT_MENU for k in encoding.window_ks)
+
+    def test_all_zero_picks_largest_k(self):
+        codec = AdaptiveNineCEncoder(window_bits=128)
+        encoding = codec.encode(TernaryVector.zeros(256))
+        assert set(encoding.window_ks) == {32}
+
+    def test_fine_structure_picks_small_k(self):
+        # "00001111": at K=4 each block is uniform (C1/C2, 3 bits per 8);
+        # at K=32 every half is a mismatch (C9) — small K must win.
+        codec = AdaptiveNineCEncoder(window_bits=128)
+        encoding = codec.encode(TernaryVector("00001111" * 32))
+        assert set(encoding.window_ks) == {4}
+
+    def test_incompressible_data_picks_large_k(self):
+        # all-mismatch data: larger blocks amortize the C9 codeword.
+        codec = AdaptiveNineCEncoder(window_bits=128)
+        encoding = codec.encode(TernaryVector("0110" * 64))
+        assert set(encoding.window_ks) == {32}
+
+    def test_parameter_mismatch_rejected(self):
+        encoding = AdaptiveNineCEncoder(window_bits=64).encode(
+            TernaryVector.zeros(64)
+        )
+        with pytest.raises(ValueError):
+            AdaptiveNineCEncoder(window_bits=128).decode(encoding)
+
+    def test_header_accounting(self):
+        codec = AdaptiveNineCEncoder(window_bits=64)
+        encoding = codec.encode(TernaryVector.zeros(128))
+        assert encoding.header_bits_per_window == 2
+        # 2 windows x (2-bit header + 2 C1 codewords at K=32)
+        assert encoding.compressed_size == 2 * (2 + 2)
+
+    @given(ternary_vectors(min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data):
+        codec = AdaptiveNineCEncoder(window_bits=32, menu=(4, 8, 16))
+        encoding = codec.encode(data)
+        assert codec.decode(encoding).covers(data)
+
+    @given(ternary_vectors(min_size=1, max_size=200, x_bias=0.8))
+    @settings(max_examples=40, deadline=None)
+    def test_never_much_worse_than_best_fixed(self, data):
+        codec = AdaptiveNineCEncoder(window_bits=32, menu=(4, 8, 16))
+        adaptive = codec.encode(data)
+        windows = -(-max(len(data), 1) // 32)
+        best_fixed = min(
+            NineCEncoder(k).measure(data.padded(windows * 32)).compressed_size
+            for k in (4, 8, 16)
+        )
+        headers = windows * adaptive.header_bits_per_window
+        assert adaptive.compressed_size <= best_fixed + headers
+
+
+class TestHeterogeneousGain:
+    def test_beats_fixed_k_on_mixed_benchmarks(self):
+        dense = load_benchmark("s38417").to_stream()
+        sparse = load_benchmark("s13207").to_stream()
+        mixed = TernaryVector.concat([dense, sparse])
+        adaptive = AdaptiveNineCEncoder(window_bits=2048).encode(mixed)
+        for k in DEFAULT_MENU:
+            fixed = NineCEncoder(k).measure(mixed)
+            assert adaptive.compression_ratio > fixed.compression_ratio, k
+
+    def test_windows_track_local_density(self):
+        dense = load_benchmark("s38417").to_stream()
+        sparse = load_benchmark("s13207").to_stream()
+        mixed = TernaryVector.concat([dense, sparse])
+        encoding = AdaptiveNineCEncoder(window_bits=2048).encode(mixed)
+        boundary = len(dense) // 2048
+        dense_ks = encoding.window_ks[:boundary]
+        sparse_ks = encoding.window_ks[boundary + 1 :]
+        assert sum(dense_ks) / len(dense_ks) < \
+            sum(sparse_ks) / len(sparse_ks)

@@ -1,0 +1,187 @@
+"""Unit tests for the analysis package (TAT, power, tradeoff, coverage)."""
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    analyze,
+    choose_k,
+    codeword_time_ate_cycles,
+    compare_fills,
+    compressed_time_ate_cycles,
+    fill_coverage,
+    format_cell,
+    leftover_x_coverage_experiment,
+    pareto_front,
+    peak_wtm,
+    sweep_p,
+    wtm,
+)
+from repro.analysis import test_set_wtm as total_wtm
+from repro.core import BlockCase, TernaryVector
+from repro.testdata import TestSet, load_benchmark
+
+
+class TestTATModel:
+    def test_c1_formula(self):
+        # t1 per block = |C1| + K/p ATE cycles (paper's t1 term).
+        assert codeword_time_ate_cycles(BlockCase.C1, 8, 2) == 1 + 8 / 2
+
+    def test_c9_formula(self):
+        # t9 per block = |C9| + K (all data at ATE speed).
+        assert codeword_time_ate_cycles(BlockCase.C9, 8, 4) == 4 + 8
+
+    def test_c5_formula(self):
+        # one mismatch half at ATE speed + one uniform half on-chip.
+        assert codeword_time_ate_cycles(BlockCase.C5, 8, 4) == 5 + 4 + 4 / 4
+
+    def test_compressed_time_sums(self):
+        counts = {case: 0 for case in BlockCase}
+        counts[BlockCase.C1] = 10
+        counts[BlockCase.C9] = 2
+        expected = 10 * (1 + 8 / 2) + 2 * (4 + 8)
+        assert compressed_time_ate_cycles(counts, 8, 2) == expected
+
+    def test_tat_bounded_by_cr(self):
+        """Paper: TAT is bounded by CR; as p grows TAT -> CR."""
+        stream = load_benchmark("s5378", fraction=0.3).to_stream()
+        reports = sweep_p(stream, 8, ps=(1, 2, 4, 8, 64, 1024))
+        cr = reports[1].compression_ratio
+        tats = [reports[p].tat_percent for p in (1, 2, 4, 8, 64, 1024)]
+        assert tats == sorted(tats)  # monotone in p
+        assert all(t <= cr + 1e-9 for t in tats)
+        assert tats[-1] == pytest.approx(cr, abs=0.5)
+
+    def test_analyze_consistency(self):
+        stream = TernaryVector("00000000" * 10)
+        report = analyze(stream, 8, 4)
+        assert report.compression_ratio == pytest.approx(
+            (80 - 10) / 80 * 100
+        )
+        assert report.t_nocomp_ate_cycles == 80
+
+
+class TestPower:
+    def test_wtm_known_value(self):
+        # 1010: transitions at weights 3, 2, 1.
+        assert wtm(TernaryVector("1010")) == 6
+
+    def test_wtm_constant_vector(self):
+        assert wtm(TernaryVector("1111")) == 0
+
+    def test_wtm_short(self):
+        assert wtm(TernaryVector("1")) == 0
+
+    def test_wtm_rejects_x(self):
+        with pytest.raises(ValueError):
+            wtm(TernaryVector("1X"))
+
+    def test_test_set_and_peak(self):
+        ts = TestSet.from_strings(["1010", "0000"])
+        assert total_wtm(ts) == 6
+        assert peak_wtm(ts) == 6
+
+    def test_mt_fill_beats_random(self):
+        ts = load_benchmark("s5378", fraction=0.2)
+        report = compare_fills(ts)
+        assert report.total["mt"] <= report.total["random"]
+        assert report.reduction_vs_random("mt") >= 0.0
+
+
+class TestTradeoff:
+    def test_no_constraint_picks_best_cr(self):
+        stream = load_benchmark("s5378", fraction=0.3).to_stream()
+        choice = choose_k(stream, min_leftover_x_percent=0.0)
+        best_cr = max(r.compression_ratio for r in choice.sweep.values())
+        assert choice.compression_ratio == best_cr
+
+    def test_lx_floor_respected(self):
+        stream = load_benchmark("s5378").to_stream()
+        choice = choose_k(stream, min_leftover_x_percent=10.0)
+        assert choice.leftover_x_percent >= 10.0
+
+    def test_impossible_floor_falls_back_to_max_lx(self):
+        stream = load_benchmark("s5378").to_stream()
+        choice = choose_k(stream, min_leftover_x_percent=99.0)
+        max_lx = max(r.leftover_x_percent for r in choice.sweep.values())
+        assert choice.leftover_x_percent == max_lx
+
+    def test_lx_constraint_costs_cr(self):
+        stream = load_benchmark("s5378").to_stream()
+        free = choose_k(stream, 0.0)
+        constrained = choose_k(stream, 20.0)
+        assert constrained.compression_ratio <= free.compression_ratio
+
+    def test_pareto_front_nonempty_and_undominated(self):
+        stream = load_benchmark("s9234", fraction=0.3).to_stream()
+        front = pareto_front(stream)
+        assert front
+        points = [(r.compression_ratio, r.leftover_x_percent)
+                  for r in front.values()]
+        for i, a in enumerate(points):
+            for j, b in enumerate(points):
+                if i != j:
+                    assert not (b[0] >= a[0] and b[1] >= a[1]
+                                and (b[0] > a[0] or b[1] > a[1]))
+
+
+class TestCoverage:
+    def test_random_fill_buys_bonus_coverage(self):
+        from repro.atpg import generate_test_cubes
+        from repro.circuits import load_circuit
+
+        result = generate_test_cubes(load_circuit("g64"))
+        reports = leftover_x_coverage_experiment(result, k=8, seed=3)
+        assert set(reports) == {"zero", "one", "mt", "random"}
+        for report in reports.values():
+            assert report.guaranteed_detected == len(result.detected)
+            assert report.total_detected <= report.total_faults
+        # The motivating claim: random fill detects at least as many
+        # extra (non-targeted) faults as the best constant fill's floor.
+        assert reports["random"].bonus_detected >= 0
+
+    def test_fill_coverage_explicit_faults(self):
+        from repro.atpg import generate_test_cubes
+        from repro.circuits import Fault, load_circuit
+
+        circuit = load_circuit("s27")
+        result = generate_test_cubes(circuit)
+        reports = fill_coverage(
+            circuit, result.test_set, result.detected,
+            strategies=("zero",), extra_faults=[Fault("G8", 0)],
+        )
+        assert reports["zero"].total_faults == len(result.detected) + 1
+
+
+class TestReportTable:
+    def test_format_cell(self):
+        assert format_cell(1.23456) == "1.23"
+        assert format_cell(7) == "7"
+        assert format_cell("x") == "x"
+        assert format_cell(True) == "True"
+
+    def test_render(self):
+        table = Table(["a", "bb"], title="t")
+        table.add_row(1, 2.5)
+        text = table.render()
+        assert "t" in text and "a" in text and "2.50" in text
+
+    def test_row_width_checked(self):
+        table = Table(["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_to_markdown(self):
+        table = Table(["a", "b"], title="t")
+        table.add_row(1, 2.5)
+        md = table.to_markdown()
+        assert "**t**" in md
+        assert "| a | b |" in md
+        assert "| 1 | 2.50 |" in md
+
+    def test_to_csv(self):
+        table = Table(["a", "b"])
+        table.add_row("x,y", 2)
+        csv_text = table.to_csv()
+        assert csv_text.splitlines()[0] == "a,b"
+        assert '"x,y"' in csv_text

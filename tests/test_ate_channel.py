@@ -1,0 +1,44 @@
+"""Unit tests for the ATE channel clock model."""
+
+import pytest
+
+from repro.decompressor import ATEChannel
+
+
+class TestATEChannel:
+    def test_defaults(self):
+        channel = ATEChannel()
+        assert channel.f_scan_hz == channel.f_ate_hz * channel.p
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ATEChannel(f_ate_hz=0)
+        with pytest.raises(ValueError):
+            ATEChannel(p=0)
+
+    def test_soc_period(self):
+        channel = ATEChannel(f_ate_hz=50e6, p=8)
+        assert channel.soc_period_s == pytest.approx(1.0 / 400e6)
+
+    def test_cycle_conversions(self):
+        channel = ATEChannel(f_ate_hz=100e6, p=4)
+        # 400 SoC cycles at 400 MHz = 1 us
+        assert channel.seconds_from_soc_cycles(400) == pytest.approx(1e-6)
+        # 100 ATE cycles at 100 MHz = 1 us
+        assert channel.seconds_from_ate_cycles(100) == pytest.approx(1e-6)
+
+    def test_uncompressed_baseline(self):
+        channel = ATEChannel(f_ate_hz=1e6, p=8)
+        assert channel.uncompressed_time_s(1000) == pytest.approx(1e-3)
+
+    def test_consistency_with_tat_model(self):
+        """t_nocomp through the channel equals the TAT model's baseline."""
+        from repro.analysis import analyze
+        from repro.testdata import load_benchmark
+
+        stream = load_benchmark("s5378", fraction=0.2).to_stream()
+        report = analyze(stream, 8, 8)
+        channel = ATEChannel(f_ate_hz=50e6, p=8)
+        assert channel.seconds_from_ate_cycles(
+            report.t_nocomp_ate_cycles
+        ) == pytest.approx(channel.uncompressed_time_s(len(stream)))

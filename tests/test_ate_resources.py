@@ -1,0 +1,93 @@
+"""Unit tests for ATE resource modeling."""
+
+import pytest
+
+from repro.analysis import (
+    ATEConfig,
+    parallel_resources,
+    single_pin_resources,
+)
+from repro.core import NineCEncoder, TernaryVector
+from repro.testdata import load_benchmark
+
+
+def make_encoding(bits=None):
+    data = bits if bits is not None else TernaryVector("00000000" * 32)
+    return NineCEncoder(8).encode(data)
+
+
+class TestATEConfig:
+    def test_defaults(self):
+        config = ATEConfig()
+        assert config.num_channels == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ATEConfig(vector_memory_bits_per_channel=0)
+        with pytest.raises(ValueError):
+            ATEConfig(num_channels=0)
+
+
+class TestSinglePin:
+    def test_memory_saving_equals_cr(self):
+        encoding = make_encoding()
+        report = single_pin_resources(encoding)
+        assert report.memory_saving_percent == pytest.approx(
+            encoding.compression_ratio
+        )
+        assert report.channels_used == 1
+
+    def test_bandwidth_amplification(self):
+        encoding = make_encoding()
+        report = single_pin_resources(encoding)
+        # 256 scan bits from 32 compressed bits -> 8x amplification
+        assert report.bandwidth_amplification == pytest.approx(
+            encoding.original_length / encoding.compressed_size
+        )
+        assert report.bandwidth_amplification > 1.0
+
+    def test_fits_small_tester(self):
+        encoding = make_encoding()
+        report = single_pin_resources(encoding)
+        assert report.fits(ATEConfig())
+        tiny = ATEConfig(vector_memory_bits_per_channel=4, num_channels=1)
+        assert not report.fits(tiny)
+
+    def test_benchmark_fits_after_compression_only(self):
+        stream = load_benchmark("s38584").to_stream()
+        encoding = NineCEncoder(8).encode(stream)
+        report = single_pin_resources(encoding)
+        small = ATEConfig(vector_memory_bits_per_channel=100_000)
+        # 199k raw bits would not fit one 100k channel; compressed does.
+        assert encoding.original_length > 100_000
+        assert report.fits(small)
+
+
+class TestParallel:
+    def test_aggregates_groups(self):
+        groups = [make_encoding(TernaryVector("00000000" * 16)),
+                  make_encoding(TernaryVector("01100110" * 16))]
+        report = parallel_resources(groups)
+        assert report.channels_used == 2
+        assert report.compressed_bits == sum(g.compressed_size
+                                             for g in groups)
+        assert report.memory_per_channel_bits == max(
+            g.compressed_size for g in groups
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_resources([])
+
+    def test_slowest_group_sets_time(self):
+        fast = make_encoding(TernaryVector("00000000" * 16))
+        slow = make_encoding(TernaryVector("01100110" * 16))
+        report = parallel_resources([fast, slow])
+        assert report.ate_cycles == slow.compressed_size
+
+    def test_zero_division_guards(self):
+        from repro.analysis import ResourceReport
+
+        empty = ResourceReport(0, 0, 1, 0, 0, 0.0)
+        assert empty.memory_saving_percent == 0.0
+        assert empty.bandwidth_amplification == 0.0

@@ -1,0 +1,169 @@
+"""Unit + integration tests for PODEM, compaction and the ATPG flow."""
+
+import pytest
+
+from repro.atpg import (
+    Podem,
+    generate_test_cubes,
+    reverse_order_compact,
+    static_compact,
+)
+from repro.circuits import (
+    Fault,
+    collapsed_faults,
+    detects,
+    fault_simulate,
+    fault_simulate_cubes,
+    load_circuit,
+)
+from repro.core import TernaryVector
+from repro.testdata import TestSet, fill_test_set
+
+
+class TestPodem:
+    def test_c17_all_faults_testable(self):
+        c17 = load_circuit("c17")
+        podem = Podem(c17)
+        for fault in collapsed_faults(c17):
+            result = podem.generate(fault)
+            assert result.detected, f"{fault} should be testable"
+            assert detects(c17, result.cube, fault), str(fault)
+
+    def test_s27_all_faults_testable(self):
+        s27 = load_circuit("s27")
+        podem = Podem(s27)
+        for fault in collapsed_faults(s27):
+            result = podem.generate(fault)
+            assert result.detected, f"{fault} should be testable"
+            assert detects(s27, result.cube, fault), str(fault)
+
+    def test_untestable_fault_proven(self):
+        # y = AND(a, a) has a redundant input: y.in1/sa... actually use a
+        # classic redundancy: y = OR(a, NOT(a)) is constant 1, so y/sa1 is
+        # untestable.
+        from repro.circuits import Gate, GateType, Netlist
+
+        n = Netlist(
+            "red", ["a"], ["y"],
+            [Gate("na", GateType.NOT, ("a",)),
+             Gate("y", GateType.OR, ("a", "na"))],
+        )
+        result = Podem(n).generate(Fault("y", 1))
+        assert result.status == "untestable"
+
+    def test_cube_has_x(self):
+        # g64 cubes should leave many inputs unassigned.
+        g64 = load_circuit("g64")
+        podem = Podem(g64)
+        faults = collapsed_faults(g64)
+        cubes = [podem.generate(f).cube for f in faults[:20]]
+        cubes = [c for c in cubes if c is not None]
+        assert cubes
+        assert any(c.num_x > 0 for c in cubes)
+
+    def test_abort_respects_limit(self):
+        g64 = load_circuit("g64")
+        podem = Podem(g64, backtrack_limit=0)
+        statuses = {podem.generate(f).status for f in collapsed_faults(g64)[:40]}
+        assert statuses <= {"detected", "untestable", "aborted"}
+
+
+class TestStaticCompact:
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            static_compact(TestSet.from_strings(["01"]), strategy="magic")
+
+    def test_best_fit_prefers_denser_overlap(self):
+        # "11XX" is compatible with both slots; best-fit picks "1X1X"
+        # (one shared specified position) over "XXXX" (zero).
+        ts = TestSet.from_strings(["1X1X", "XXXX", "11XX"])
+        first = static_compact(ts, strategy="first_fit")
+        best = static_compact(ts, strategy="best_fit")
+        # first-fit merges everything into slot 0 anyway here; construct
+        # a case where the choice differs:
+        ts2 = TestSet.from_strings(["0XXX", "1X1X", "11XX"])
+        best2 = static_compact(ts2, strategy="best_fit")
+        assert best2.num_patterns == 2
+        assert best2[1].to_string() == "111X"
+        assert first.num_patterns >= 1 and best.num_patterns >= 1
+
+    def test_best_fit_preserves_coverage(self):
+        s27 = load_circuit("s27")
+        faults = collapsed_faults(s27)
+        res = generate_test_cubes(s27, compact=False)
+        before = set(fault_simulate_cubes(s27, res.test_set, faults).detected)
+        compacted = static_compact(res.test_set, strategy="best_fit")
+        after = set(fault_simulate_cubes(s27, compacted, faults).detected)
+        assert before <= after
+
+    def test_merges_compatible(self):
+        ts = TestSet.from_strings(["0XX1", "01XX", "1XXX"])
+        out = static_compact(ts)
+        assert out.num_patterns == 2
+        assert out[0].to_string() == "01X1"
+
+    def test_keeps_incompatible(self):
+        ts = TestSet.from_strings(["01", "10"])
+        assert static_compact(ts).num_patterns == 2
+
+    def test_coverage_preserved(self):
+        s27 = load_circuit("s27")
+        faults = collapsed_faults(s27)
+        res = generate_test_cubes(s27, compact=False)
+        before = set(fault_simulate_cubes(s27, res.test_set, faults).detected)
+        compacted = static_compact(res.test_set)
+        after = set(fault_simulate_cubes(s27, compacted, faults).detected)
+        assert before <= after
+
+
+class TestReverseOrderCompact:
+    def test_drops_useless_patterns(self):
+        c17 = load_circuit("c17")
+        faults = collapsed_faults(c17)
+        base = generate_test_cubes(c17).test_set
+        padded = TestSet(list(base) + [base[0]], name="padded")
+        out = reverse_order_compact(c17, padded, faults)
+        assert out.num_patterns <= padded.num_patterns
+        cov = fault_simulate_cubes(c17, out, faults).coverage
+        assert cov == fault_simulate_cubes(c17, padded, faults).coverage
+
+
+class TestFlowIntegration:
+    @pytest.mark.parametrize("name,min_coverage", [
+        ("c17", 100.0), ("s27", 100.0), ("g64", 80.0),
+    ])
+    def test_flow_reaches_coverage(self, name, min_coverage):
+        circuit = load_circuit(name)
+        result = generate_test_cubes(circuit)
+        assert result.fault_coverage >= min_coverage
+        assert result.statistics["patterns"] == len(result.test_set)
+
+    def test_detected_faults_graded_by_cubes(self):
+        s27 = load_circuit("s27")
+        result = generate_test_cubes(s27)
+        grading = fault_simulate_cubes(s27, result.test_set, result.detected)
+        assert not grading.undetected
+
+    @pytest.mark.parametrize("strategy", ["zero", "one", "random", "mt"])
+    def test_any_fill_preserves_coverage(self, strategy):
+        """The soundness property behind leftover-X compression."""
+        g64 = load_circuit("g64")
+        result = generate_test_cubes(g64)
+        filled = fill_test_set(result.test_set, strategy, seed=11)
+        graded = fault_simulate(g64, filled, result.detected)
+        assert not graded.undetected
+
+    def test_compression_roundtrip_preserves_coverage(self):
+        """ATPG cubes -> 9C encode -> decode -> fill -> same coverage."""
+        from repro.core import NineCDecoder, NineCEncoder
+
+        s27 = load_circuit("s27")
+        result = generate_test_cubes(s27)
+        stream = result.test_set.to_stream()
+        encoding = NineCEncoder(4).encode(stream)
+        decoded = NineCDecoder(4).decode(encoding)
+        assert decoded.covers(stream)
+        decoded_set = TestSet.from_stream(decoded, s27.scan_length)
+        filled = fill_test_set(decoded_set, "random", seed=5)
+        graded = fault_simulate(s27, filled, result.detected)
+        assert not graded.undetected

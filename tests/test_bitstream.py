@@ -1,0 +1,138 @@
+"""Unit tests for repro.core.bitstream."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    TernaryStreamReader,
+    TernaryStreamWriter,
+    TernaryVector,
+    bits_from_int,
+    int_from_bits,
+)
+
+from .conftest import ternary_vectors
+
+
+class TestWriter:
+    def test_write_bit(self):
+        w = TernaryStreamWriter()
+        for b in (0, 1, 2):
+            w.write_bit(b)
+        assert w.to_vector().to_string() == "01X"
+        assert len(w) == 3
+
+    def test_write_bit_invalid(self):
+        with pytest.raises(ValueError):
+            TernaryStreamWriter().write_bit(3)
+
+    def test_write_bits(self):
+        w = TernaryStreamWriter()
+        w.write_bits([1, 0, 2, 1])
+        assert w.to_vector().to_string() == "10X1"
+
+    def test_write_bits_invalid(self):
+        with pytest.raises(ValueError):
+            TernaryStreamWriter().write_bits([0, 4])
+
+    def test_write_vector(self):
+        w = TernaryStreamWriter()
+        w.write_vector(TernaryVector("0X1"))
+        w.write_vector(TernaryVector("10"))
+        assert w.to_vector().to_string() == "0X110"
+
+    def test_write_uint(self):
+        w = TernaryStreamWriter()
+        w.write_uint(5, 4)
+        assert w.to_vector().to_string() == "0101"
+
+    def test_write_uint_overflow(self):
+        with pytest.raises(ValueError):
+            TernaryStreamWriter().write_uint(4, 2)
+
+    def test_empty_snapshot(self):
+        assert len(TernaryStreamWriter().to_vector()) == 0
+
+
+class TestReader:
+    def test_read_bits(self):
+        r = TernaryStreamReader(TernaryVector("01X"))
+        assert [r.read_bit(), r.read_bit(), r.read_bit()] == [0, 1, 2]
+        assert r.at_end()
+
+    def test_read_past_end(self):
+        r = TernaryStreamReader(TernaryVector("0"))
+        r.read_bit()
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_read_vector(self):
+        r = TernaryStreamReader(TernaryVector("01X10"))
+        assert r.read_vector(3).to_string() == "01X"
+        assert r.remaining == 2
+
+    def test_read_vector_overrun(self):
+        with pytest.raises(EOFError):
+            TernaryStreamReader(TernaryVector("01")).read_vector(3)
+
+    def test_read_uint(self):
+        r = TernaryStreamReader(TernaryVector("0101"))
+        assert r.read_uint(4) == 5
+
+    def test_read_uint_rejects_x(self):
+        with pytest.raises(ValueError):
+            TernaryStreamReader(TernaryVector("0X")).read_uint(2)
+
+    def test_peek_does_not_consume(self):
+        r = TernaryStreamReader(TernaryVector("10"))
+        assert r.peek_bit() == 1
+        assert r.read_bit() == 1
+
+    def test_peek_past_end(self):
+        with pytest.raises(EOFError):
+            TernaryStreamReader(TernaryVector("")).peek_bit()
+
+
+class TestIntHelpers:
+    @pytest.mark.parametrize("value,width,bits", [
+        (0, 1, (0,)),
+        (1, 1, (1,)),
+        (5, 4, (0, 1, 0, 1)),
+        (255, 8, (1,) * 8),
+    ])
+    def test_bits_from_int(self, value, width, bits):
+        assert bits_from_int(value, width) == bits
+
+    def test_bits_from_int_overflow(self):
+        with pytest.raises(ValueError):
+            bits_from_int(8, 3)
+
+    def test_int_from_bits(self):
+        assert int_from_bits([1, 0, 1]) == 5
+
+    def test_int_from_bits_invalid(self):
+        with pytest.raises(ValueError):
+            int_from_bits([0, 2])
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_int_roundtrip(self, value):
+        assert int_from_bits(bits_from_int(value, 16)) == value
+
+
+class TestRoundTrip:
+    @given(ternary_vectors())
+    def test_writer_reader_roundtrip(self, vec):
+        w = TernaryStreamWriter()
+        w.write_vector(vec)
+        r = TernaryStreamReader(w.to_vector())
+        assert r.read_vector(len(vec)) == vec
+        assert r.at_end()
+
+    @given(st.lists(st.integers(0, 2), max_size=64))
+    def test_bitwise_roundtrip(self, bits):
+        w = TernaryStreamWriter()
+        for b in bits:
+            w.write_bit(b)
+        r = TernaryStreamReader(w.to_vector())
+        assert [r.read_bit() for _ in bits] == bits

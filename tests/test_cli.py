@@ -1,0 +1,153 @@
+"""Tests for the repro-9c command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.testdata import TestSet
+
+
+class TestCodingTable:
+    def test_prints_table1(self, capsys):
+        assert main(["coding-table", "--k", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "C1" in out and "C9" in out
+        assert "K=8" in out
+
+
+class TestCompress:
+    def test_benchmark_compress(self, capsys):
+        assert main(["compress", "--benchmark", "s5378", "--k", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "CR%" in out
+        assert "23754" in out  # |T_D| of s5378
+
+    def test_file_compress_and_output(self, tmp_path, capsys):
+        ts = TestSet.from_strings(["00000000", "0000X01X"], name="demo")
+        src = tmp_path / "demo.test"
+        ts.save(src)
+        dst = tmp_path / "stream.test"
+        assert main(["compress", str(src), "--k", "8", "-o", str(dst)]) == 0
+        assert dst.exists()
+
+    def test_missing_input_errors(self):
+        with pytest.raises(SystemExit):
+            main(["compress"])
+
+
+class TestDecompress:
+    def test_roundtrip_via_files(self, tmp_path, capsys):
+        ts = TestSet.from_strings(["00000000", "11111111"], name="demo")
+        src = tmp_path / "demo.test"
+        ts.save(src)
+        stream = tmp_path / "stream.test"
+        main(["compress", str(src), "--k", "8", "-o", str(stream)])
+        out = tmp_path / "out.test"
+        assert main([
+            "decompress", str(stream), "--k", "8", "--cells", "8",
+            "--length", "16", "-o", str(out),
+        ]) == 0
+        assert TestSet.load(out).covers(ts)
+
+
+class TestAnalysisCommands:
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--benchmark", "s5378"]) == 0
+        out = capsys.readouterr().out
+        assert "CR%" in out and "LX%" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--benchmark", "s5378"]) == 0
+        out = capsys.readouterr().out
+        assert "9c" in out and "fdr" in out
+
+    def test_tat(self, capsys):
+        assert main(["tat", "--benchmark", "s5378", "--k", "8",
+                     "--p", "2", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "TAT%" in out
+
+    def test_sweep_json(self, capsys):
+        import json
+
+        assert main(["sweep", "--benchmark", "s5378", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["td_bits"] == 23754
+        assert "8" in data["sweep"]
+
+    def test_compare_json(self, capsys):
+        import json
+
+        assert main(["compare", "--benchmark", "s5378", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "9c" in data["codes"]
+
+    def test_tat_json(self, capsys):
+        import json
+
+        assert main(["tat", "--benchmark", "s5378", "--json",
+                     "--p", "8"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["tat"]["8"]["tat_percent"] <= \
+            data["tat"]["8"]["cr_percent"]
+
+    def test_benchmarks_listing(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("s5378", "s38584", "ckt1"):
+            assert name in out
+
+
+class TestExtendedCommands:
+    def test_freq(self, capsys):
+        assert main(["freq", "--benchmark", "s5378"]) == 0
+        out = capsys.readouterr().out
+        assert "reassigned" in out
+
+    def test_efficiency(self, capsys):
+        assert main(["efficiency", "--benchmark", "s5378", "--k", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "efficiency (huffman)" in out
+
+    def test_rtl_stdout(self, capsys):
+        assert main(["rtl", "--k", "8"]) == 0
+        assert "module ninec_decoder" in capsys.readouterr().out
+
+    def test_rtl_multiscan_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "dec.v"
+        assert main(["rtl", "--k", "8", "--chains", "16",
+                     "-o", str(out_file)]) == 0
+        assert "ninec_multiscan" in out_file.read_text()
+
+
+class TestAdaptiveCommand:
+    def test_adaptive(self, capsys):
+        assert main(["adaptive", "--benchmark", "s5378"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out and "window choices" in out
+
+
+class TestSystemCommand:
+    def test_system_s27(self, capsys):
+        assert main(["system", "--circuit", "s27", "--k", "4",
+                     "--screen", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "golden signature" in out
+        assert "3/3" in out
+
+    def test_unknown_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["system", "--circuit", "nope"])
+
+
+class TestAtpgCommand:
+    def test_atpg_s27(self, tmp_path, capsys):
+        out_file = tmp_path / "s27.test"
+        assert main(["atpg", "--circuit", "s27", "--k", "4",
+                     "-o", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "fault coverage" in out
+        assert out_file.exists()
+
+    def test_unknown_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["atpg", "--circuit", "nope"])

@@ -1,0 +1,249 @@
+"""Unit + property tests for all baseline compression codes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import (
+    AlternatingRunLengthCode,
+    DictionaryCode,
+    EFDRCode,
+    FDRCode,
+    GolombCode,
+    MTCCode,
+    NineCCode,
+    SelectiveHuffmanCode,
+    VIHCCode,
+    best_golomb,
+    best_mtc,
+    best_ninec,
+    best_selective_huffman,
+    best_vihc,
+    fdr_codeword,
+    fdr_codeword_length,
+    fdr_group,
+    roundtrip_ok,
+    table4_codes,
+)
+from repro.core import TernaryVector
+
+from .conftest import ternary_vectors
+
+ALL_CODES = [
+    GolombCode(4),
+    FDRCode(),
+    EFDRCode(),
+    AlternatingRunLengthCode(),
+    VIHCCode(8),
+    SelectiveHuffmanCode(b=4, n=4),
+    MTCCode(8),
+    DictionaryCode(b=8, d=4),
+    NineCCode(8),
+]
+
+
+class TestFDRCodeStructure:
+    @pytest.mark.parametrize("run,group", [
+        (0, 1), (1, 1), (2, 2), (5, 2), (6, 3), (13, 3), (14, 4),
+    ])
+    def test_groups(self, run, group):
+        assert fdr_group(run) == group
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(ValueError):
+            fdr_group(-1)
+
+    @pytest.mark.parametrize("run,bits", [
+        (0, [0, 0]),
+        (1, [0, 1]),
+        (2, [1, 0, 0, 0]),
+        (5, [1, 0, 1, 1]),
+        (6, [1, 1, 0, 0, 0, 0]),
+    ])
+    def test_codewords(self, run, bits):
+        assert fdr_codeword(run) == bits
+
+    def test_codeword_length(self):
+        for run in range(0, 100):
+            assert fdr_codeword_length(run) == len(fdr_codeword(run))
+
+    @given(st.integers(0, 10_000))
+    def test_prefix_structure(self, run):
+        bits = fdr_codeword(run)
+        group = fdr_group(run)
+        assert bits[:group] == [1] * (group - 1) + [0]
+
+    def test_codewords_prefix_free(self):
+        words = [tuple(fdr_codeword(r)) for r in range(64)]
+        for i, a in enumerate(words):
+            for j, b in enumerate(words):
+                if i != j:
+                    assert a[: len(b)] != b
+
+
+class TestGolomb:
+    def test_m_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            GolombCode(3)
+        with pytest.raises(ValueError):
+            GolombCode(1)
+
+    def test_known_encoding(self):
+        # run of 5 zeros + 1 with m=4: q=1 -> "10", r=1 -> "01"
+        code = GolombCode(4)
+        out = code.compress(TernaryVector("000001"))
+        assert out.payload.to_string() == "1001"
+
+    def test_best_golomb_picks_max_cr(self):
+        data = TernaryVector("0" * 50 + "1" + "0" * 50)
+        best = best_golomb(data)
+        for m in (2, 4, 8, 16, 32):
+            assert best.compression_ratio(data) >= \
+                GolombCode(m).compression_ratio(data)
+
+
+class TestVIHC:
+    def test_invalid_mh(self):
+        with pytest.raises(ValueError):
+            VIHCCode(0)
+
+    def test_saturated_runs(self):
+        code = VIHCCode(4)
+        data = TernaryVector("0" * 10 + "1")
+        out = code.compress(data)
+        assert code.decompress(out) == data
+
+    def test_best_vihc(self):
+        data = TernaryVector(("0" * 12 + "1") * 20)
+        best = best_vihc(data)
+        assert roundtrip_ok(best, data)
+
+
+class TestSelectiveHuffman:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SelectiveHuffmanCode(b=0)
+        with pytest.raises(ValueError):
+            SelectiveHuffmanCode(n=0)
+
+    def test_frequent_pattern_compresses(self):
+        data = TernaryVector("10100101" * 40)
+        code = SelectiveHuffmanCode(b=8, n=2)
+        out = code.compress(data)
+        assert out.compression_ratio > 80.0
+
+    def test_x_maps_to_frequent_pattern(self):
+        # Cubes compatible with the dominant pattern must not escape.
+        data = TernaryVector("1010" * 30 + "1X10" + "10X0")
+        code = SelectiveHuffmanCode(b=4, n=1)
+        out = code.compress(data)
+        decoded = code.decompress(out)
+        assert decoded.covers(data)
+        assert decoded.to_string() == "1010" * 32
+
+
+class TestMTC:
+    def test_repeating_blocks_compress(self):
+        data = TernaryVector("10011001" * 50)
+        code = MTCCode(8)
+        # first block raw (9 bits), remaining 49 repeat flags
+        assert code.compress(data).compressed_size == 9 + 49
+
+    def test_compatible_repeat_via_x(self):
+        data = TernaryVector("1001" + "1XX1" + "X0X1")
+        code = MTCCode(4)
+        out = code.compress(data)
+        assert code.decompress(out).to_string() == "1001" * 3
+
+    def test_best_mtc(self):
+        data = TernaryVector("1100" * 64)
+        assert best_mtc(data).compression_ratio(data) > 0
+
+
+class TestDictionary:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DictionaryCode(b=0)
+        with pytest.raises(ValueError):
+            DictionaryCode(d=3)
+
+    def test_dictionary_hit_uses_index(self):
+        data = TernaryVector("1111" * 30 + "0110")
+        code = DictionaryCode(b=4, d=2)
+        out = code.compress(data)
+        # 30 hits of 1+1 bits + possibly raw for the odd block
+        assert out.compressed_size < len(data)
+
+
+class TestNineCAdapter:
+    def test_matches_encoder_size(self):
+        from repro.core import NineCEncoder
+
+        data = TernaryVector("0000X01X" * 10)
+        adapter = NineCCode(8)
+        assert adapter.compress(data).compressed_size == \
+            NineCEncoder(8).encode(data).compressed_size
+
+    def test_best_ninec_picks_best_k(self):
+        data = TernaryVector("00000000" * 40 + "01100110" * 3)
+        best = best_ninec(data, ks=(4, 8, 16))
+        for k in (4, 8, 16):
+            assert best.compression_ratio(data) >= \
+                NineCCode(k).compression_ratio(data)
+
+
+class TestCommonInterface:
+    @pytest.mark.parametrize("code", ALL_CODES, ids=lambda c: c.name)
+    def test_wrong_stream_rejected(self, code):
+        other = GolombCode(8) if code.name != "golomb(m=8)" else FDRCode()
+        compressed = other.compress(TernaryVector("0001"))
+        with pytest.raises(ValueError):
+            code.decompress(compressed)
+
+    @pytest.mark.parametrize("code", ALL_CODES, ids=lambda c: c.name)
+    def test_empty_input(self, code):
+        out = code.compress(TernaryVector(""))
+        assert code.decompress(out).to_string() in ("", "X" * 0)
+
+    @pytest.mark.parametrize("code", ALL_CODES, ids=lambda c: c.name)
+    def test_repr_mentions_name(self, code):
+        assert code.name in repr(code)
+
+
+class TestRoundTripProperties:
+    @pytest.mark.parametrize("code", ALL_CODES, ids=lambda c: c.name)
+    @given(data=ternary_vectors(max_size=96))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_covers(self, code, data):
+        assert roundtrip_ok(code, data)
+
+    @pytest.mark.parametrize("code", ALL_CODES, ids=lambda c: c.name)
+    @given(data=ternary_vectors(max_size=96, x_bias=0.8))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_covers_high_x(self, code, data):
+        assert roundtrip_ok(code, data)
+
+    @pytest.mark.parametrize(
+        "code",
+        [GolombCode(4), FDRCode(), EFDRCode(), AlternatingRunLengthCode(),
+         VIHCCode(8), NineCCode(8)],
+        ids=lambda c: c.name,
+    )
+    @given(data=st.lists(st.sampled_from([0, 1]), min_size=1, max_size=96)
+           .map(TernaryVector))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_roundtrip_fully_specified(self, code, data):
+        # With no X, compression must be lossless bit-for-bit.
+        assert code.decompress(code.compress(data)) == data
+
+
+class TestTable4Harness:
+    def test_all_codes_present(self):
+        data = TernaryVector("0000X01X" * 20)
+        codes = table4_codes(data)
+        assert set(codes) == {
+            "9c", "fdr", "efdr", "arl", "golomb", "vihc",
+            "selhuff", "mtc", "dict",
+        }
+        for code in codes.values():
+            assert roundtrip_ok(code, data)

@@ -1,0 +1,180 @@
+"""Unit tests for the 9C codebook (Table I)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    PAPER_LENGTHS,
+    BlockCase,
+    Codebook,
+    HalfKind,
+    TernaryVector,
+    canonical_codewords,
+    classify_half,
+    coding_table,
+)
+
+
+class TestBlockCase:
+    def test_nine_cases(self):
+        assert len(list(BlockCase)) == 9
+
+    def test_half_kinds_match_table1(self):
+        expected = {
+            BlockCase.C1: (HalfKind.ZEROS, HalfKind.ZEROS),
+            BlockCase.C2: (HalfKind.ONES, HalfKind.ONES),
+            BlockCase.C3: (HalfKind.ZEROS, HalfKind.ONES),
+            BlockCase.C4: (HalfKind.ONES, HalfKind.ZEROS),
+            BlockCase.C5: (HalfKind.ZEROS, HalfKind.MISMATCH),
+            BlockCase.C6: (HalfKind.MISMATCH, HalfKind.ZEROS),
+            BlockCase.C7: (HalfKind.ONES, HalfKind.MISMATCH),
+            BlockCase.C8: (HalfKind.MISMATCH, HalfKind.ONES),
+            BlockCase.C9: (HalfKind.MISMATCH, HalfKind.MISMATCH),
+        }
+        for case, halves in expected.items():
+            assert case.halves == halves
+
+    def test_symbols(self):
+        assert BlockCase.C1.symbol == "00"
+        assert BlockCase.C5.symbol == "0U"
+        assert BlockCase.C9.symbol == "UU"
+
+    def test_mismatch_half_counts(self):
+        assert BlockCase.C1.num_mismatch_halves == 0
+        assert BlockCase.C6.num_mismatch_halves == 1
+        assert BlockCase.C9.num_mismatch_halves == 2
+
+
+class TestPaperLengths:
+    def test_table1_lengths(self):
+        assert PAPER_LENGTHS[BlockCase.C1] == 1
+        assert PAPER_LENGTHS[BlockCase.C2] == 2
+        assert PAPER_LENGTHS[BlockCase.C9] == 4
+        for case in (BlockCase.C3, BlockCase.C4, BlockCase.C5,
+                     BlockCase.C6, BlockCase.C7, BlockCase.C8):
+            assert PAPER_LENGTHS[case] == 5
+
+    def test_kraft_equality(self):
+        assert sum(2.0 ** -l for l in PAPER_LENGTHS.values()) == pytest.approx(1.0)
+
+
+class TestCanonicalCodewords:
+    def test_lengths_respected(self):
+        words = canonical_codewords(PAPER_LENGTHS)
+        for case, bits in words.items():
+            assert len(bits) == PAPER_LENGTHS[case]
+
+    def test_default_assignment(self):
+        words = canonical_codewords(PAPER_LENGTHS)
+        assert words[BlockCase.C1] == (0,)
+        assert words[BlockCase.C2] == (1, 0)
+        assert words[BlockCase.C9] == (1, 1, 0, 0)
+
+    def test_kraft_violation_rejected(self):
+        bad = dict(PAPER_LENGTHS)
+        bad[BlockCase.C9] = 1
+        with pytest.raises(ValueError):
+            canonical_codewords(bad)
+
+
+class TestCodebook:
+    def test_default_is_prefix_free(self):
+        book = Codebook.default()
+        words = [book.codeword(c) for c in BlockCase]
+        for i, a in enumerate(words):
+            for j, b in enumerate(words):
+                if i != j:
+                    assert a[: len(b)] != b, f"{a} prefixes {b}"
+
+    def test_max_length_is_five(self):
+        # Paper: "Maximum of five cycles are required for the longest codeword"
+        assert Codebook.default().max_length == 5
+
+    def test_decode_every_codeword(self):
+        book = Codebook.default()
+        for case in BlockCase:
+            bits = iter(book.codeword(case))
+            assert book.decode_case(lambda: next(bits)) is case
+
+    def test_decode_rejects_x(self):
+        book = Codebook.default()
+        bits = iter([2])
+        with pytest.raises(ValueError):
+            book.decode_case(lambda: next(bits))
+
+    def test_missing_case_rejected(self):
+        words = canonical_codewords(PAPER_LENGTHS)
+        del words[BlockCase.C9]
+        with pytest.raises(ValueError):
+            Codebook(words)
+
+    def test_non_prefix_free_rejected(self):
+        words = {case: bits for case, bits in Codebook.default().items()}
+        words[BlockCase.C2] = (0, 0)  # C1=(0,) prefixes it... actually (0,) prefixes (0,0)
+        with pytest.raises(ValueError):
+            Codebook(words)
+
+    def test_encoded_size(self):
+        book = Codebook.default()
+        k = 8
+        assert book.encoded_size(BlockCase.C1, k) == 1
+        assert book.encoded_size(BlockCase.C2, k) == 2
+        assert book.encoded_size(BlockCase.C3, k) == 5
+        assert book.encoded_size(BlockCase.C5, k) == 5 + 4
+        assert book.encoded_size(BlockCase.C9, k) == 4 + 8
+
+    def test_equality(self):
+        assert Codebook.default() == Codebook.default()
+        other = Codebook.from_lengths(
+            {**PAPER_LENGTHS, BlockCase.C1: 2, BlockCase.C2: 1}
+        )
+        assert Codebook.default() != other
+
+    def test_lengths_property(self):
+        assert Codebook.default().lengths == PAPER_LENGTHS
+
+
+class TestCodingTable:
+    def test_k8_sizes_match_paper(self):
+        # Table I, last column for K=8: 1, 2, 5, 5, 9, 9, 9, 9, 12
+        rows = coding_table(8)
+        sizes = [row.size_bits for row in rows]
+        assert sizes == [1, 2, 5, 5, 9, 9, 9, 9, 12]
+
+    def test_decoder_input_format(self):
+        rows = coding_table(8)
+        by_case = {row.case: row for row in rows}
+        assert "+" not in by_case[BlockCase.C1].decoder_input
+        assert by_case[BlockCase.C5].decoder_input.endswith("UUUU")
+        assert by_case[BlockCase.C9].decoder_input.endswith("U" * 8)
+
+    def test_input_block_rendering(self):
+        rows = coding_table(4)
+        by_case = {row.case: row for row in rows}
+        assert by_case[BlockCase.C3].input_block == "00 11"
+        assert by_case[BlockCase.C9].input_block == "UU UU"
+
+    @pytest.mark.parametrize("k", [3, 0, -2, 7])
+    def test_invalid_k_rejected(self, k):
+        with pytest.raises(ValueError):
+            coding_table(k)
+
+    @given(st.integers(1, 32).map(lambda n: 2 * n))
+    def test_size_column_general_k(self, k):
+        rows = coding_table(k)
+        by_case = {row.case: row for row in rows}
+        assert by_case[BlockCase.C1].size_bits == 1
+        assert by_case[BlockCase.C5].size_bits == 5 + k // 2
+        assert by_case[BlockCase.C9].size_bits == 4 + k
+
+
+class TestClassifyHalf:
+    @pytest.mark.parametrize("text,expected", [
+        ("0000", (True, False)),
+        ("1111", (False, True)),
+        ("XXXX", (True, True)),
+        ("0X1X", (False, False)),
+    ])
+    def test_examples(self, text, expected):
+        assert classify_half(TernaryVector(text)) == expected

@@ -1,0 +1,81 @@
+"""Unit tests for decoder-complexity models."""
+
+import pytest
+
+from repro.codes import (
+    DictionaryCode,
+    EFDRCode,
+    FDRCode,
+    GolombCode,
+    NineCCode,
+    SelectiveHuffmanCode,
+    VIHCCode,
+)
+from repro.codes.complexity import DecoderComplexity, decoder_complexity
+from repro.core import TernaryVector
+
+
+def sample():
+    return TernaryVector("0000000100101" * 10)
+
+
+class TestNineC:
+    def test_fixed_profile(self):
+        profile = decoder_complexity(NineCCode(8), sample())
+        assert profile.codewords == 9
+        assert profile.max_codeword_bits == 5
+        assert profile.table_bits == 0
+        assert profile.test_set_independent
+
+    def test_independent_of_data(self):
+        a = decoder_complexity(NineCCode(8), sample())
+        b = decoder_complexity(NineCCode(8), TernaryVector("1" * 100))
+        assert a == b
+
+
+class TestRunLengthCodes:
+    def test_golomb_window_tracks_longest_run(self):
+        short = decoder_complexity(GolombCode(4), TernaryVector("0001" * 8))
+        longer = decoder_complexity(
+            GolombCode(4), TernaryVector("0" * 64 + "1")
+        )
+        assert longer.max_codeword_bits > short.max_codeword_bits
+        assert short.table_bits == 0
+
+    def test_fdr_window_tracks_longest_run(self):
+        short = decoder_complexity(FDRCode(), TernaryVector("0001" * 8))
+        longer = decoder_complexity(FDRCode(), TernaryVector("0" * 200 + "1"))
+        assert longer.max_codeword_bits > short.max_codeword_bits
+        assert longer.codewords > short.codewords
+
+
+class TestTableCodes:
+    def test_vihc_has_table(self):
+        profile = decoder_complexity(VIHCCode(8), sample())
+        assert profile.table_bits > 0
+        assert not profile.test_set_independent
+        assert profile.codewords <= 9  # mh + 1
+
+    def test_selective_huffman_table_scales_with_patterns(self):
+        small = decoder_complexity(
+            SelectiveHuffmanCode(b=4, n=2), sample()
+        )
+        large = decoder_complexity(
+            SelectiveHuffmanCode(b=4, n=8), sample()
+        )
+        assert large.table_bits >= small.table_bits
+
+    def test_dictionary_table(self):
+        profile = decoder_complexity(DictionaryCode(b=8, d=4), sample())
+        assert profile.table_bits > 0
+        assert profile.codewords == 2
+
+
+class TestDispatch:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            decoder_complexity(EFDRCode(), sample())
+
+    def test_dataclass_fields(self):
+        profile = DecoderComplexity("x", 1, 2, 3)
+        assert not profile.test_set_independent

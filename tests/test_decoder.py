@@ -1,0 +1,126 @@
+"""Unit + property tests for the 9C software decoder."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    BlockCase,
+    Codebook,
+    NineCDecoder,
+    NineCEncoder,
+    TernaryVector,
+    verify_roundtrip,
+)
+
+from .conftest import even_block_sizes, ternary_vectors
+
+
+class TestDecodeStream:
+    def test_single_c1_block(self):
+        book = Codebook.default()
+        stream = TernaryVector([*book.codeword(BlockCase.C1)])
+        out = NineCDecoder(8).decode_stream(stream)
+        assert out.to_string() == "00000000"
+
+    def test_single_c2_block(self):
+        book = Codebook.default()
+        stream = TernaryVector([*book.codeword(BlockCase.C2)])
+        out = NineCDecoder(8).decode_stream(stream)
+        assert out.to_string() == "11111111"
+
+    def test_c5_block_with_payload(self):
+        book = Codebook.default()
+        stream = TernaryVector([*book.codeword(BlockCase.C5), 2, 0, 1, 2])
+        out = NineCDecoder(8).decode_stream(stream)
+        assert out.to_string() == "0000X01X"
+
+    def test_c9_block_with_payload(self):
+        book = Codebook.default()
+        payload = [0, 1, 1, 0, 1, 0, 0, 1]
+        stream = TernaryVector([*book.codeword(BlockCase.C9), *payload])
+        out = NineCDecoder(8).decode_stream(stream)
+        assert out.to_string() == "01101001"
+
+    def test_truncation_to_output_length(self):
+        book = Codebook.default()
+        stream = TernaryVector([*book.codeword(BlockCase.C1)])
+        out = NineCDecoder(8).decode_stream(stream, output_length=5)
+        assert out.to_string() == "00000"
+
+    def test_short_stream_raises(self):
+        book = Codebook.default()
+        stream = TernaryVector([*book.codeword(BlockCase.C1)])
+        with pytest.raises(ValueError):
+            NineCDecoder(8).decode_stream(stream, output_length=9)
+
+    def test_truncated_payload_raises(self):
+        book = Codebook.default()
+        stream = TernaryVector([*book.codeword(BlockCase.C9), 0, 1])
+        with pytest.raises(EOFError):
+            NineCDecoder(8).decode_stream(stream)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            NineCDecoder(5)
+
+
+class TestDecodeEncoding:
+    def test_k_mismatch_rejected(self):
+        enc = NineCEncoder(8).encode(TernaryVector.zeros(16))
+        with pytest.raises(ValueError):
+            NineCDecoder(4).decode(enc)
+
+    def test_codebook_mismatch_rejected(self):
+        from repro.core import PAPER_LENGTHS
+
+        enc = NineCEncoder(8).encode(TernaryVector.zeros(16))
+        other = Codebook.from_lengths(
+            {**PAPER_LENGTHS, BlockCase.C1: 2, BlockCase.C2: 1}
+        )
+        with pytest.raises(ValueError):
+            NineCDecoder(8, other).decode(enc)
+
+    def test_exact_roundtrip_fully_specified(self):
+        data = TernaryVector("0110100111001010")
+        enc = NineCEncoder(4).encode(data)
+        out = NineCDecoder(4).decode(enc)
+        assert out == data  # no X anywhere: decode must be exact
+
+
+class TestRoundTripProperties:
+    @given(ternary_vectors(max_size=120), even_block_sizes(max_k=16))
+    @settings(max_examples=150)
+    def test_decoded_covers_original(self, data, k):
+        enc = NineCEncoder(k).encode(data)
+        assert verify_roundtrip(data, enc)
+
+    @given(ternary_vectors(max_size=120, x_bias=0.75), even_block_sizes())
+    @settings(max_examples=100)
+    def test_decoded_covers_original_high_x(self, data, k):
+        enc = NineCEncoder(k).encode(data)
+        decoded = NineCDecoder(k).decode(enc)
+        assert decoded.covers(data)
+
+    @given(ternary_vectors(max_size=80), even_block_sizes(max_k=12))
+    @settings(max_examples=80)
+    def test_leftover_x_survive_decode(self, data, k):
+        # Every X in the decoded output must be an X of the original:
+        # decode never invents don't-cares.
+        enc = NineCEncoder(k).encode(data)
+        decoded = NineCDecoder(k).decode(enc)
+        for got, want in zip(decoded.data, data.data):
+            if got == 2:
+                assert want == 2
+
+    @given(ternary_vectors(max_size=80), even_block_sizes(max_k=12))
+    @settings(max_examples=80)
+    def test_roundtrip_with_reassigned_codebook(self, data, k):
+        from repro.core import assign_lengths_by_frequency
+
+        base = NineCEncoder(k).encode(data)
+        book = Codebook.from_lengths(
+            assign_lengths_by_frequency(base.case_counts)
+        )
+        enc = NineCEncoder(k, book).encode(data)
+        decoded = NineCDecoder(k, book).decode(enc)
+        assert decoded.covers(data)

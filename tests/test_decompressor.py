@@ -1,0 +1,229 @@
+"""Unit + integration tests for the decompression architectures."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import compressed_time_ate_cycles, trace_time_ate_cycles
+from repro.core import NineCDecoder, NineCEncoder, TernaryVector
+from repro.decompressor import (
+    MultiScanDecompressor,
+    ParallelDecompressor,
+    ScanChain,
+    ScanFanout,
+    SingleScanDecompressor,
+)
+from repro.testdata import TestSet, load_benchmark
+
+from .conftest import even_block_sizes, ternary_vectors
+
+
+class TestScanChain:
+    def test_shift_and_capture(self):
+        chain = ScanChain(4)
+        for bit in (1, 0, 1, 1):
+            chain.shift_in(bit)
+        assert chain.capture().to_string() == "1011"
+
+    def test_shift_out(self):
+        chain = ScanChain(2)
+        chain.shift_in(1)
+        chain.shift_in(0)
+        assert chain.shift_in(1) == 1  # first bit exits after length shifts
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            ScanChain(0)
+
+    def test_invalid_bit(self):
+        with pytest.raises(ValueError):
+            ScanChain(2).shift_in(3)
+
+    def test_wtm_accumulation(self):
+        # Pattern 1010 into a 4-cell chain: transitions at j=1,2,3 with
+        # weights 3,2,1 -> WTM 6.
+        chain = ScanChain(4)
+        for bit in (1, 0, 1, 0):
+            chain.shift_in(bit)
+        assert chain.weighted_transitions == 6
+
+    def test_wtm_matches_analysis_module(self):
+        from repro.analysis import wtm
+
+        pattern = TernaryVector("1100101")
+        chain = ScanChain(len(pattern))
+        for bit in pattern:
+            chain.shift_in(bit)
+        assert chain.weighted_transitions == wtm(pattern)
+
+    def test_parallel_load(self):
+        chain = ScanChain(3)
+        chain.load_parallel([1, 0, 1])
+        assert chain.contents().to_string() == "101"
+        with pytest.raises(ValueError):
+            chain.load_parallel([1])
+
+
+class TestScanFanout:
+    def test_buffer_fills_then_loads(self):
+        fanout = ScanFanout(2, 2)
+        assert fanout.shift_into_buffer(1) is False
+        assert fanout.shift_into_buffer(0) is True
+        assert fanout.loads == 1
+
+    def test_capture_interleaves(self):
+        fanout = ScanFanout(2, 2)
+        for bit in (1, 0, 1, 1):  # pattern 1011 across 2 chains of 2
+            fanout.shift_into_buffer(bit)
+        assert fanout.capture_pattern().to_string() == "1011"
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ScanFanout(0, 4)
+
+
+class TestSingleScan:
+    def test_matches_software_decoder(self):
+        data = TernaryVector("0000X01X" * 12 + "11111111" * 3)
+        encoding = NineCEncoder(8).encode(data)
+        software = NineCDecoder(8).decode(encoding)
+        trace = SingleScanDecompressor(8, p=4).run_encoding(encoding)
+        assert trace.output == software
+
+    @given(ternary_vectors(max_size=96), even_block_sizes(max_k=12))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_software_decoder_property(self, data, k):
+        encoding = NineCEncoder(k).encode(data)
+        software = NineCDecoder(k).decode(encoding)
+        trace = SingleScanDecompressor(k, p=2).run_encoding(encoding)
+        assert trace.output == software
+
+    def test_cycle_counts_match_analytic_model(self):
+        ts = load_benchmark("s5378", fraction=0.3)
+        stream = ts.to_stream()
+        for k in (4, 8, 16):
+            for p in (1, 2, 8):
+                encoding = NineCEncoder(k).encode(stream)
+                trace = SingleScanDecompressor(k, p=p).run_encoding(encoding)
+                analytic = compressed_time_ate_cycles(
+                    encoding.case_counts, k, p
+                )
+                assert trace_time_ate_cycles(trace, p) == \
+                    pytest.approx(analytic), (k, p)
+
+    def test_ate_cycles_equal_stream_length(self):
+        # Every compressed bit crosses the single pin exactly once.
+        data = TernaryVector("01100110" * 6)
+        encoding = NineCEncoder(8).encode(data)
+        trace = SingleScanDecompressor(8, p=2).run_encoding(encoding)
+        assert trace.ate_cycles == encoding.compressed_size
+
+    def test_scan_chain_patterns(self):
+        ts = TestSet.from_strings(["00000000", "11111111", "00001111"])
+        encoding = NineCEncoder(8).encode(ts.to_stream())
+        decompressor = SingleScanDecompressor(8, p=2, scan_length=8)
+        trace = decompressor.run_encoding(encoding)
+        assert len(trace.patterns) == 3
+        assert trace.patterns[0].to_string() == "00000000"
+        assert trace.patterns[1].to_string() == "11111111"
+        assert trace.patterns[2].to_string() == "00001111"
+
+    def test_x_fill_applied(self):
+        data = TernaryVector("0000X01X")
+        encoding = NineCEncoder(8).encode(data)
+        trace = SingleScanDecompressor(8).run_encoding(encoding, x_fill=1)
+        assert trace.output.to_string() == "00001011"
+
+    def test_case_counts_match_encoder(self):
+        data = TernaryVector("0000000011111111" * 5)
+        encoding = NineCEncoder(8).encode(data)
+        trace = SingleScanDecompressor(8).run_encoding(encoding)
+        assert trace.case_counts == encoding.case_counts
+
+    def test_k_mismatch_rejected(self):
+        encoding = NineCEncoder(8).encode(TernaryVector.zeros(16))
+        with pytest.raises(ValueError):
+            SingleScanDecompressor(4).run_encoding(encoding)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SingleScanDecompressor(7)
+        with pytest.raises(ValueError):
+            SingleScanDecompressor(8, p=0)
+
+
+class TestMultiScan:
+    def test_single_pin_same_test_time(self):
+        """Figure 3/4b claim: one pin, unchanged test application time."""
+        ts = load_benchmark("s9234", fraction=0.2)
+        stream = ts.to_stream()
+        encoding = NineCEncoder(8).encode(stream)
+        single = SingleScanDecompressor(8, p=4).run_encoding(encoding)
+        for m in (2, 4, 8):
+            multi = MultiScanDecompressor(
+                8, num_chains=m, chain_length=1 + len(stream) // m, p=4
+            ).run_encoding(encoding)
+            assert multi.soc_cycles == single.soc_cycles
+
+    def test_output_covers_software_decoder(self):
+        data = TernaryVector("0000X01X" * 8)
+        encoding = NineCEncoder(8).encode(data)
+        software = NineCDecoder(8).decode(encoding)
+        trace = MultiScanDecompressor(8, 4, 16).run_encoding(encoding)
+        assert trace.output.covers(software)
+
+    def test_pattern_reassembly(self):
+        ts = TestSet.from_strings(["01100110", "10011001"])
+        encoding = NineCEncoder(4).encode(ts.to_stream())
+        trace = MultiScanDecompressor(
+            4, num_chains=4, chain_length=2
+        ).run_encoding(encoding)
+        assert [p.to_string() for p in trace.patterns] == \
+            ["01100110", "10011001"]
+
+    def test_loads_counted(self):
+        ts = TestSet.from_strings(["01100110"])
+        encoding = NineCEncoder(4).encode(ts.to_stream())
+        trace = MultiScanDecompressor(4, 4, 2).run_encoding(encoding)
+        assert trace.loads == 2  # 8 bits / 4 chains
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MultiScanDecompressor(8, 0, 4)
+        with pytest.raises(ValueError):
+            MultiScanDecompressor(8, 4, 4, p=0)
+
+
+class TestParallel:
+    def make_test_set(self):
+        rows = ["0110011010100101", "1111000011001100", "0000111101010101"]
+        return TestSet.from_strings(rows, name="par")
+
+    def test_exact_reconstruction(self):
+        ts = self.make_test_set()
+        par = ParallelDecompressor(k=4, num_chains=8, chain_length=2)
+        result = par.run(ts, x_fill=0)
+        # With no X the reconstruction must be bit-exact.
+        assert result.test_set == ts
+
+    def test_speedup_with_group_count(self):
+        ts = self.make_test_set()
+        one = ParallelDecompressor(k=8, num_chains=8, chain_length=2, p=4)
+        two = ParallelDecompressor(k=4, num_chains=8, chain_length=2, p=4)
+        t1 = one.run(ts).soc_cycles
+        t2 = two.run(ts).soc_cycles
+        assert t2 < t1  # more pins/decoders -> shorter test
+
+    def test_pin_count(self):
+        ts = self.make_test_set()
+        result = ParallelDecompressor(k=4, num_chains=8, chain_length=2).run(ts)
+        assert result.num_pins == 2
+        assert len(result.group_traces) == 2
+
+    def test_chain_multiple_required(self):
+        with pytest.raises(ValueError):
+            ParallelDecompressor(k=8, num_chains=12, chain_length=2)
+
+    def test_width_checked(self):
+        par = ParallelDecompressor(k=4, num_chains=8, chain_length=2)
+        with pytest.raises(ValueError):
+            par.run(TestSet.from_strings(["0101"]))

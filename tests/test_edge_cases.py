@@ -1,0 +1,125 @@
+"""Breadth pass: edge cases across packages not covered elsewhere."""
+
+import pytest
+
+from repro.core import (
+    BlockCase,
+    Codebook,
+    NineCEncoder,
+    TernaryVector,
+    coding_table,
+)
+from repro.decompressor import (
+    MultiScanDecompressor,
+    SingleScanDecompressor,
+)
+from repro.testdata import IBM_PROFILES, TestSet, generate
+
+
+class TestDecompressorEdges:
+    def test_single_scan_keeps_x_when_unfilled(self):
+        data = TernaryVector("0000X01X")
+        encoding = NineCEncoder(8).encode(data)
+        trace = SingleScanDecompressor(8).run_encoding(encoding, x_fill=None)
+        assert trace.output.to_string() == "0000X01X"
+
+    def test_single_scan_scanchain_accepts_x(self):
+        data = TernaryVector("0000X01X")
+        encoding = NineCEncoder(8).encode(data)
+        decompressor = SingleScanDecompressor(8, scan_length=8)
+        trace = decompressor.run_encoding(encoding, x_fill=None)
+        assert trace.patterns[0].to_string() == "0000X01X"
+
+    def test_multi_scan_symbolic_x(self):
+        data = TernaryVector("0000X01X" * 2)
+        encoding = NineCEncoder(8).encode(data)
+        trace = MultiScanDecompressor(8, 4, 4).run_encoding(
+            encoding, x_fill=None
+        )
+        assert trace.output.count(2) == 4
+
+    def test_trace_uniform_plus_data_is_total(self):
+        data = TernaryVector("0000X01X" * 6)
+        encoding = NineCEncoder(8).encode(data)
+        trace = SingleScanDecompressor(8, p=4).run_encoding(encoding)
+        assert trace.uniform_soc_cycles + trace.data_ate_cycles == \
+            len(trace.output)
+
+    def test_k2_minimum_block(self):
+        # K=2: one-bit halves can never mismatch; everything is uniform.
+        data = TernaryVector("0101XX")
+        encoding = NineCEncoder(2).encode(data)
+        assert all(r.case in (BlockCase.C1, BlockCase.C2, BlockCase.C3,
+                              BlockCase.C4) for r in encoding.blocks)
+        trace = SingleScanDecompressor(2).run_encoding(encoding)
+        assert trace.output.covers(data)
+        assert trace.output.is_fully_specified()
+
+
+class TestIBMProfiles:
+    @pytest.mark.parametrize("name", sorted(IBM_PROFILES))
+    def test_scaled_generation(self, name):
+        profile = IBM_PROFILES[name].scaled(0.01)
+        ts = generate(profile)
+        assert ts.num_cells == IBM_PROFILES[name].num_cells
+        assert ts.x_density == pytest.approx(profile.x_density, abs=0.02)
+
+
+class TestCodingTableEdges:
+    def test_k2_table(self):
+        rows = coding_table(2)
+        sizes = [row.size_bits for row in rows]
+        assert sizes == [1, 2, 5, 5, 6, 6, 6, 6, 6]
+
+    def test_large_k_table(self):
+        rows = coding_table(256)
+        by_case = {r.case: r for r in rows}
+        assert by_case[BlockCase.C9].size_bits == 4 + 256
+
+    def test_custom_codebook_table(self):
+        from repro.core import PAPER_LENGTHS
+
+        lengths = dict(PAPER_LENGTHS)
+        lengths[BlockCase.C5] = 4
+        lengths[BlockCase.C9] = 5
+        rows = coding_table(8, Codebook.from_lengths(lengths))
+        by_case = {r.case: r for r in rows}
+        assert by_case[BlockCase.C5].size_bits == 4 + 4
+        assert by_case[BlockCase.C9].size_bits == 5 + 8
+
+
+class TestTestSetEdges:
+    def test_single_cell_patterns(self):
+        ts = TestSet.from_strings(["0", "1", "X"])
+        assert ts.num_cells == 1
+        assert ts.to_stream().to_string() == "01X"
+
+    def test_map_patterns_preserves_count(self):
+        ts = TestSet.from_strings(["01", "10"])
+        out = ts.map_patterns(lambda p: p.filled(0))
+        assert out.num_patterns == 2
+
+    def test_stream_roundtrip_with_name(self):
+        ts = TestSet.from_strings(["01X"], name="edge")
+        back = TestSet.from_stream(ts.to_stream(), 3, name="edge")
+        assert back == ts and back.name == "edge"
+
+
+class TestCLIEdges:
+    def test_coding_table_bad_k(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(ValueError):
+            main(["coding-table", "--k", "7"])
+
+    def test_compress_with_input_and_benchmark_prefers_benchmark(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        ts = TestSet.from_strings(["0000"], name="file")
+        path = tmp_path / "t.test"
+        ts.save(path)
+        assert main(["compress", str(path), "--benchmark", "s5378"]) == 0
+        out = capsys.readouterr().out
+        assert "23754" in out  # benchmark takes precedence

@@ -1,0 +1,88 @@
+"""Unit tests for the coding-efficiency analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    case_entropy_bits,
+    coding_efficiency,
+    huffman_optimal_bits,
+)
+from repro.core import BlockCase, Codebook, NineCEncoder, TernaryVector
+from repro.core.frequency import assign_lengths_by_frequency
+from repro.testdata import load_benchmark
+
+
+def counts(**kwargs):
+    out = {case: 0 for case in BlockCase}
+    for name, value in kwargs.items():
+        out[BlockCase[name]] = value
+    return out
+
+
+class TestEntropy:
+    def test_empty(self):
+        assert case_entropy_bits(counts()) == 0.0
+
+    def test_single_case_zero_entropy(self):
+        assert case_entropy_bits(counts(C1=100)) == 0.0
+
+    def test_uniform_two_cases(self):
+        assert case_entropy_bits(counts(C1=50, C2=50)) == pytest.approx(1.0)
+
+    def test_uniform_nine_cases(self):
+        uniform = {case: 7 for case in BlockCase}
+        assert case_entropy_bits(uniform) == pytest.approx(math.log2(9))
+
+
+class TestHuffmanBound:
+    def test_single_case(self):
+        assert huffman_optimal_bits(counts(C1=10)) == 10
+
+    def test_skewed(self):
+        # optimal lengths 1/2/2 -> 8*1 + 4*2 + 4*2 = 24
+        assert huffman_optimal_bits(counts(C1=8, C2=4, C9=4)) == 24
+
+    def test_never_below_entropy(self):
+        c = counts(C1=100, C2=30, C5=11, C9=3)
+        total = sum(c.values())
+        assert huffman_optimal_bits(c) >= \
+            case_entropy_bits(c) * total - 1e-9
+
+
+class TestCodingEfficiency:
+    def test_efficiency_bounds(self):
+        stream = load_benchmark("s5378").to_stream()
+        report = coding_efficiency(stream, 8)
+        assert 0.0 < report.efficiency_vs_entropy <= \
+            report.efficiency_vs_huffman <= 1.0 + 1e-9
+
+    def test_paper_claim_high_efficiency(self):
+        # Table VI's "indicates the coding efficiency": the fixed lengths
+        # are close to the per-circuit optimum on conforming data.
+        for name in ("s5378", "s13207", "s38584"):
+            stream = load_benchmark(name).to_stream()
+            report = coding_efficiency(stream, 8)
+            assert report.efficiency_vs_huffman > 0.85, name
+
+    def test_reassigned_codebook_not_worse(self):
+        stream = load_benchmark("s9234").to_stream()
+        base = coding_efficiency(stream, 8)
+        lengths = assign_lengths_by_frequency(
+            NineCEncoder(8).measure(stream).case_counts
+        )
+        tuned = coding_efficiency(stream, 8, Codebook.from_lengths(lengths))
+        assert tuned.actual_codeword_bits <= base.actual_codeword_bits
+
+    def test_payload_accounts_for_rest(self):
+        data = TernaryVector("0000X01X" * 10)
+        report = coding_efficiency(data, 8)
+        measurement = NineCEncoder(8).measure(data)
+        assert report.actual_codeword_bits + report.payload_bits == \
+            measurement.compressed_size
+
+    def test_degenerate_uniform_data(self):
+        report = coding_efficiency(TernaryVector.zeros(80), 8)
+        assert report.entropy_bits_per_block == 0.0
+        assert report.efficiency_vs_huffman == pytest.approx(1.0)

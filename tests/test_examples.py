@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs green end-to-end."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, env_extra=None, timeout=300):
+    env = dict(os.environ)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout, env=env,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "CR" in result.stdout
+        assert "covers the original cubes: True" in result.stdout
+
+    def test_rpct_flow(self):
+        result = run_example("rpct_flow.py")
+        assert result.returncode == 0, result.stderr
+        assert "all architectures delivered the exact test patterns" \
+            in result.stdout
+
+    def test_code_comparison(self):
+        result = run_example("code_comparison.py")
+        assert result.returncode == 0, result.stderr
+        assert "best average CR: 9c" in result.stdout
+
+    def test_tradeoff_explorer(self):
+        result = run_example("tradeoff_explorer.py", "s5378")
+        assert result.returncode == 0, result.stderr
+        assert "Pareto-optimal K values" in result.stdout
+
+    def test_atpg_to_ate_fast_circuit(self):
+        result = run_example(
+            "atpg_to_ate.py", env_extra={"ATPG_CIRCUIT": "g64"}
+        )
+        assert result.returncode == 0, result.stderr
+        assert "still detected" in result.stdout
+
+    def test_full_system_fast_circuit(self):
+        result = run_example(
+            "full_system.py", env_extra={"ATPG_CIRCUIT": "g64"}
+        )
+        assert result.returncode == 0, result.stderr
+        assert "golden signature" in result.stdout
+        assert "caught by the" in result.stdout
+
+    def test_generate_rtl(self, tmp_path):
+        result = run_example("generate_rtl.py", str(tmp_path / "rtl"))
+        assert result.returncode == 0, result.stderr
+        generated = list((tmp_path / "rtl").glob("*.v"))
+        assert len(generated) == 4
+        text = (tmp_path / "rtl" / "ninec_decoder_k8.v").read_text()
+        assert "module ninec_decoder" in text

@@ -1,0 +1,183 @@
+"""Unit tests for the fault model and fault simulators."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Fault,
+    all_faults,
+    collapsed_faults,
+    coverage,
+    detects,
+    fault_simulate,
+    fault_simulate_cubes,
+    load_circuit,
+)
+from repro.circuits.fault_sim import CubeGrader
+from repro.core import TernaryVector
+from repro.testdata import TestSet, fill_test_set
+
+
+class TestFault:
+    def test_str(self):
+        assert str(Fault("n1", 0)) == "n1/sa0"
+        assert str(Fault("n1", 1, pin=2)) == "n1.in2/sa1"
+
+    def test_invalid_value(self):
+        with pytest.raises(ValueError):
+            Fault("n1", 2)
+
+    def test_injection(self):
+        injection = Fault("n1", 1, pin=0).injection
+        assert injection.net == "n1"
+        assert injection.value == 1
+        assert injection.pin == 0
+
+    def test_ordering_and_hash(self):
+        fs = {Fault("a", 0), Fault("a", 0), Fault("a", 1)}
+        assert len(fs) == 2
+        assert sorted(fs)[0] == Fault("a", 0)
+
+
+class TestCollapseMap:
+    """Every dropped fault must be simulation-equivalent to its rep."""
+
+    @pytest.mark.parametrize("name", ["c17", "s27", "g64"])
+    def test_dropped_faults_all_mapped(self, name):
+        from repro.circuits import collapse_map
+
+        netlist = load_circuit(name)
+        dropped = set(all_faults(netlist)) - set(collapsed_faults(netlist))
+        mapping = collapse_map(netlist)
+        assert dropped <= set(mapping)
+        collapsed = set(collapsed_faults(netlist))
+        assert all(rep in collapsed for rep in mapping.values())
+
+    @pytest.mark.parametrize("name", ["c17", "s27", "g64"])
+    def test_equivalence_by_simulation(self, name):
+        """Dropped fault and representative have identical detection."""
+        from repro.circuits import Injection, PackedSimulator, collapse_map
+
+        netlist = load_circuit(name)
+        mapping = collapse_map(netlist)
+        rng = np.random.default_rng(31)
+        matrix = rng.integers(
+            0, 2, size=(48, netlist.scan_length)
+        ).astype(np.uint8)
+        simulator = PackedSimulator(netlist)
+        packed = PackedSimulator.pack(matrix)
+        outputs = netlist.scan_outputs
+
+        def response(injection):
+            values = simulator.run_packed(packed, 48, injection)
+            return tuple(values[net] for net in outputs)
+
+        for dropped, representative in sorted(mapping.items())[:120]:
+            assert response(dropped.injection) == \
+                response(representative.injection), (dropped, representative)
+
+
+class TestFaultLists:
+    def test_dff_q_stem_faults_present(self):
+        s27 = load_circuit("s27")
+        faults = set(all_faults(s27))
+        for ff in s27.flip_flops:
+            assert Fault(ff, 0) in faults and Fault(ff, 1) in faults
+        collapsed = set(collapsed_faults(s27))
+        for ff in s27.flip_flops:
+            assert Fault(ff, 0) in collapsed
+
+    def test_all_faults_counts(self):
+        c17 = load_circuit("c17")
+        faults = all_faults(c17)
+        # 5 PIs (2 each) + 6 gates (2 stem + 2*2 pins each)
+        assert len(faults) == 5 * 2 + 6 * (2 + 4)
+
+    def test_collapsed_smaller(self):
+        c17 = load_circuit("c17")
+        assert len(collapsed_faults(c17)) < len(all_faults(c17))
+
+    def test_collapsed_subset_of_all(self):
+        s27 = load_circuit("s27")
+        assert set(collapsed_faults(s27)) <= set(all_faults(s27))
+
+    def test_no_dff_input_pin_faults(self):
+        # DFFs contribute Q stem faults only; the D-input pin fault is
+        # outside the combinational model (see all_faults docstring).
+        s27 = load_circuit("s27")
+        dffs = set(s27.flip_flops)
+        assert all(f.pin is None for f in all_faults(s27)
+                   if f.net in dffs)
+
+    def test_coverage_helper(self):
+        assert coverage(1, 2) == 50.0
+        assert coverage(0, 0) == 100.0
+
+
+class TestFaultSimulate:
+    def test_exhaustive_c17_coverage(self):
+        c17 = load_circuit("c17")
+        patterns = [
+            TernaryVector([(i >> b) & 1 for b in range(5)]) for i in range(32)
+        ]
+        result = fault_simulate(c17, TestSet(patterns), collapsed_faults(c17))
+        assert result.coverage == 100.0  # c17 has no redundant faults
+
+    def test_rejects_x(self):
+        c17 = load_circuit("c17")
+        with pytest.raises(ValueError):
+            fault_simulate(c17, TestSet([TernaryVector("0101X")]),
+                           collapsed_faults(c17))
+
+    def test_empty_pattern_set(self):
+        c17 = load_circuit("c17")
+        faults = collapsed_faults(c17)
+        result = fault_simulate(c17, TestSet([]), faults)
+        assert result.coverage == 0.0
+        assert result.undetected == faults
+
+    def test_first_detection_indices(self):
+        c17 = load_circuit("c17")
+        patterns = TestSet([TernaryVector("00000"), TernaryVector("11111")])
+        result = fault_simulate(c17, patterns, collapsed_faults(c17))
+        assert all(0 <= i < 2 for i in result.first_detection.values())
+        assert set(result.essential_patterns()) <= {0, 1}
+
+
+class TestCubeGrading:
+    def test_cube_detection_fill_independent(self):
+        """A cube-detected fault stays detected under every constant fill."""
+        s27 = load_circuit("s27")
+        faults = collapsed_faults(s27)
+        cube = TernaryVector("1XX0XX1")
+        cube_result = fault_simulate_cubes(s27, TestSet([cube]), faults)
+        for fill in (0, 1):
+            filled = TestSet([cube.filled(fill)])
+            filled_result = fault_simulate(s27, filled, faults)
+            assert set(cube_result.detected) <= set(filled_result.detected)
+
+    def test_matches_specified_simulation(self):
+        s27 = load_circuit("s27")
+        faults = collapsed_faults(s27)
+        patterns = TestSet([TernaryVector("1010101"), TernaryVector("0101010")])
+        assert set(fault_simulate_cubes(s27, patterns, faults).detected) == \
+            set(fault_simulate(s27, patterns, faults).detected)
+
+    def test_grader_matches_cube_simulation(self):
+        s27 = load_circuit("s27")
+        faults = collapsed_faults(s27)
+        grader = CubeGrader(s27)
+        rng = np.random.default_rng(9)
+        for _ in range(20):
+            data = rng.integers(0, 3, size=s27.scan_length).astype(np.uint8)
+            cube = TernaryVector(data)
+            reference = set(
+                fault_simulate_cubes(s27, TestSet([cube]), faults).detected
+            )
+            assert set(grader.grade(cube, faults)) == reference
+
+    def test_detects_helper(self):
+        c17 = load_circuit("c17")
+        fault = Fault("N22", 0)
+        # N22 sa0 needs N22=1: e.g. N10=0 via N1=N3=1
+        assert detects(c17, TernaryVector("1X1XX"), fault) in (True, False)

@@ -1,0 +1,89 @@
+"""Unit tests for X-fill strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core import TernaryVector
+from repro.testdata import (
+    TestSet,
+    fill_test_set,
+    mt_fill,
+    one_fill,
+    random_fill,
+    zero_fill,
+)
+
+from .conftest import ternary_vectors
+
+
+class TestConstantFills:
+    def test_zero_fill(self):
+        assert zero_fill(TernaryVector("0X1X")).to_string() == "0010"
+
+    def test_one_fill(self):
+        assert one_fill(TernaryVector("0X1X")).to_string() == "0111"
+
+
+class TestRandomFill:
+    def test_deterministic_for_seed(self):
+        v = TernaryVector.xs(64)
+        assert random_fill(v, seed=7) == random_fill(v, seed=7)
+
+    def test_fully_specified(self):
+        out = random_fill(TernaryVector("X0X1XX"), seed=3)
+        assert out.is_fully_specified()
+        assert out.covers(TernaryVector("X0X1XX"))
+
+    def test_explicit_rng(self):
+        rng = np.random.default_rng(1)
+        assert random_fill(TernaryVector.xs(8), rng=rng).is_fully_specified()
+
+
+class TestMTFill:
+    def test_repeats_previous_value(self):
+        assert mt_fill(TernaryVector("0XX1XX")).to_string() == "000111"
+
+    def test_leading_x_copies_first_specified(self):
+        assert mt_fill(TernaryVector("XX1X")).to_string() == "1111"
+
+    def test_all_x_becomes_zero(self):
+        assert mt_fill(TernaryVector("XXXX")).to_string() == "0000"
+
+    def test_no_x_unchanged(self):
+        assert mt_fill(TernaryVector("0101")).to_string() == "0101"
+
+    @given(ternary_vectors(min_size=1))
+    def test_covers_and_specified(self, v):
+        out = mt_fill(v)
+        assert out.is_fully_specified()
+        assert out.covers(v)
+
+    @given(ternary_vectors(min_size=1))
+    def test_minimizes_transitions_vs_constant_fills(self, v):
+        def transitions(x):
+            arr = x.data
+            return int(np.count_nonzero(arr[1:] != arr[:-1]))
+
+        t_mt = transitions(mt_fill(v))
+        assert t_mt <= min(transitions(zero_fill(v)), transitions(one_fill(v)))
+
+
+class TestFillTestSet:
+    def setup_method(self):
+        self.ts = TestSet.from_strings(["0XX1", "XXXX"])
+
+    @pytest.mark.parametrize("strategy", ["zero", "one", "random", "mt"])
+    def test_all_strategies_specify_everything(self, strategy):
+        out = fill_test_set(self.ts, strategy)
+        assert all(p.is_fully_specified() for p in out)
+        assert out.covers(self.ts)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            fill_test_set(self.ts, "bogus")
+
+    def test_random_fill_seeded(self):
+        a = fill_test_set(self.ts, "random", seed=5)
+        b = fill_test_set(self.ts, "random", seed=5)
+        assert a == b

@@ -1,0 +1,84 @@
+"""Unit tests for MinTest-style and STIL-lite interchange formats."""
+
+import pytest
+
+from repro.testdata import (
+    TestSet,
+    dumps_mintest,
+    dumps_stil,
+    load_mintest,
+    load_stil,
+    loads_mintest,
+    loads_stil,
+    save_mintest,
+    save_stil,
+)
+
+
+def sample():
+    return TestSet.from_strings(["01X0", "1X10", "XXXX"], name="demo")
+
+
+class TestMinTestFormat:
+    def test_roundtrip(self):
+        ts = sample()
+        assert loads_mintest(dumps_mintest(ts), name="demo") == ts
+
+    def test_file_roundtrip(self, tmp_path):
+        ts = sample()
+        path = tmp_path / "demo.mintest"
+        save_mintest(ts, path)
+        back = load_mintest(path)
+        assert back == ts
+        assert back.name == "demo"
+
+    def test_wrapped_cube_lines(self):
+        text = "p1:\n01\nX0\np2:\n1X\n10\n"
+        ts = loads_mintest(text)
+        assert ts.num_patterns == 2
+        assert ts[0].to_string() == "01X0"
+
+    def test_comments_skipped(self):
+        ts = loads_mintest("# header\np1:\n01X0\n")
+        assert ts.num_patterns == 1
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            loads_mintest("p1:\nhello world\n")
+
+    def test_lowercase_x_and_dash(self):
+        ts = loads_mintest("p1:\n0x-1\n")
+        assert ts[0].to_string() == "0XX1"
+
+
+class TestStilFormat:
+    def test_roundtrip(self):
+        ts = sample()
+        back = loads_stil(dumps_stil(ts))
+        assert back == ts
+        assert back.name == "demo"
+
+    def test_file_roundtrip(self, tmp_path):
+        ts = sample()
+        path = tmp_path / "demo.stil"
+        save_stil(ts, path)
+        assert load_stil(path) == ts
+
+    def test_x_rendered_as_n(self):
+        text = dumps_stil(sample())
+        assert "N" in text
+        assert "X" not in text.split("Pattern")[1]
+
+    def test_header_required(self):
+        with pytest.raises(ValueError):
+            loads_stil('Pattern "x" { V { "g" = 0101; } }')
+
+    def test_no_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            loads_stil("STIL 1.0;\n")
+
+    def test_benchmark_roundtrip(self):
+        from repro.testdata import load_benchmark
+
+        ts = load_benchmark("s5378", fraction=0.1)
+        assert loads_stil(dumps_stil(ts)) == ts

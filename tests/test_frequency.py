@@ -1,0 +1,114 @@
+"""Unit tests for frequency-directed codeword re-assignment (Table VII)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    LENGTH_POOL,
+    BlockCase,
+    Codebook,
+    NineCDecoder,
+    NineCEncoder,
+    TernaryVector,
+    assign_lengths_by_frequency,
+    deviates_from_default_order,
+    frequency_directed,
+)
+
+from .conftest import ternary_vectors
+
+
+class TestAssignLengths:
+    def test_pool_matches_paper(self):
+        assert sorted(LENGTH_POOL) == [1, 2, 4, 5, 5, 5, 5, 5, 5]
+
+    def test_most_frequent_gets_shortest(self):
+        counts = {case: 0 for case in BlockCase}
+        counts[BlockCase.C7] = 100
+        counts[BlockCase.C2] = 50
+        counts[BlockCase.C9] = 10
+        lengths = assign_lengths_by_frequency(counts)
+        assert lengths[BlockCase.C7] == 1
+        assert lengths[BlockCase.C2] == 2
+        assert lengths[BlockCase.C9] == 4
+
+    def test_ties_preserve_default_priority(self):
+        counts = {case: 0 for case in BlockCase}
+        lengths = assign_lengths_by_frequency(counts)
+        assert lengths == {
+            BlockCase.C1: 1, BlockCase.C2: 2, BlockCase.C3: 4,
+            BlockCase.C4: 5, BlockCase.C5: 5, BlockCase.C6: 5,
+            BlockCase.C7: 5, BlockCase.C8: 5, BlockCase.C9: 5,
+        }
+
+    def test_expected_order_keeps_default(self):
+        counts = {case: 0 for case in BlockCase}
+        counts[BlockCase.C1] = 1000
+        counts[BlockCase.C2] = 500
+        counts[BlockCase.C9] = 100
+        lengths = assign_lengths_by_frequency(counts)
+        assert lengths[BlockCase.C1] == 1
+        assert lengths[BlockCase.C2] == 2
+        assert lengths[BlockCase.C9] == 4
+
+    def test_bad_pool_rejected(self):
+        with pytest.raises(ValueError):
+            assign_lengths_by_frequency({}, length_pool=(1, 2, 3))
+
+    def test_result_is_kraft_feasible(self):
+        counts = {case: i for i, case in enumerate(BlockCase)}
+        lengths = assign_lengths_by_frequency(counts)
+        Codebook.from_lengths(lengths)  # must not raise
+
+
+class TestDeviation:
+    def test_default_order_not_deviant(self):
+        counts = {case: 0 for case in BlockCase}
+        counts[BlockCase.C1] = 100
+        counts[BlockCase.C2] = 50
+        counts[BlockCase.C9] = 20
+        counts[BlockCase.C5] = 5
+        assert not deviates_from_default_order(counts)
+
+    def test_mismatch_heavy_is_deviant(self):
+        # The paper's s9234 example: C8 outnumbers C9.
+        counts = {case: 0 for case in BlockCase}
+        counts[BlockCase.C1] = 100
+        counts[BlockCase.C2] = 50
+        counts[BlockCase.C8] = 30
+        counts[BlockCase.C9] = 20
+        assert deviates_from_default_order(counts)
+
+
+class TestFrequencyDirected:
+    def test_never_worse_than_baseline(self):
+        data = TernaryVector("0000X01X" * 20 + "X01X1111" * 30 + "00000000" * 10)
+        result = frequency_directed(data, 8)
+        assert result.improvement >= 0.0
+
+    def test_improves_on_skewed_data(self):
+        # Data dominated by C8 blocks: re-assignment must shorten C8's
+        # codeword and improve CR.
+        data = TernaryVector("X01X1111" * 50 + "00000000" * 5)
+        result = frequency_directed(data, 8)
+        assert result.improvement > 0.0
+        assert result.codebook.length(BlockCase.C8) < 5
+
+    def test_stable_on_conforming_data(self):
+        data = TernaryVector("00000000" * 50 + "11111111" * 20 + "01100110" * 10)
+        result = frequency_directed(data, 8)
+        assert result.codebook == Codebook.default()
+        assert result.improvement == pytest.approx(0.0)
+
+    @given(ternary_vectors(min_size=1, max_size=160, x_bias=0.6))
+    @settings(max_examples=60)
+    def test_roundtrip_under_reassignment(self, data):
+        result = frequency_directed(data, 8)
+        enc = NineCEncoder(8, result.codebook).encode(data)
+        decoded = NineCDecoder(8, result.codebook).decode(enc)
+        assert decoded.covers(data)
+
+    @given(ternary_vectors(min_size=1, max_size=160))
+    @settings(max_examples=60)
+    def test_improvement_nonnegative(self, data):
+        assert frequency_directed(data, 8).improvement >= -1e-9

@@ -1,0 +1,109 @@
+"""Unit tests for the 9C decoder FSM (Figure 2)."""
+
+import pytest
+
+from repro.core import BlockCase, Codebook, HalfKind
+from repro.decompressor import NineCDecoderFSM
+
+
+class TestRecognition:
+    def test_recognizes_every_codeword(self):
+        fsm = NineCDecoderFSM()
+        book = Codebook.default()
+        for case in BlockCase:
+            fsm.reset()
+            resolved = None
+            for bit in book.codeword(case):
+                assert resolved is None
+                resolved = fsm.on_data_bit(bit)
+            assert resolved is case
+
+    def test_max_five_cycles(self):
+        # Paper: "Maximum of five cycles are required for the longest
+        # codeword" — and the FSM is busy for exactly len(codeword) bits.
+        fsm = NineCDecoderFSM()
+        assert fsm.max_codeword_cycles == 5
+
+    def test_invalid_bit_rejected(self):
+        fsm = NineCDecoderFSM()
+        with pytest.raises(ValueError):
+            fsm.on_data_bit(2)
+
+    def test_bit_during_pending_halves_rejected(self):
+        fsm = NineCDecoderFSM()
+        fsm.on_data_bit(0)  # C1 resolves immediately
+        with pytest.raises(RuntimeError):
+            fsm.on_data_bit(0)
+
+    def test_next_half_without_codeword_rejected(self):
+        with pytest.raises(RuntimeError):
+            NineCDecoderFSM().next_half()
+
+    def test_reset_clears_state(self):
+        fsm = NineCDecoderFSM()
+        fsm.on_data_bit(1)  # partway into a longer codeword
+        assert fsm.busy
+        fsm.reset()
+        assert not fsm.busy
+        assert fsm.on_data_bit(0) is BlockCase.C1
+
+
+class TestHalfSequencing:
+    def test_c1_halves(self):
+        fsm = NineCDecoderFSM()
+        fsm.on_data_bit(0)
+        assert fsm.halves_remaining == 2
+        first, second = fsm.next_half(), fsm.next_half()
+        assert first.kind is HalfKind.ZEROS and second.kind is HalfKind.ZEROS
+        assert first.sel == "zero"
+        assert not first.from_ate
+        assert not fsm.busy
+
+    def test_c5_halves(self):
+        fsm = NineCDecoderFSM()
+        book = Codebook.default()
+        for bit in book.codeword(BlockCase.C5):
+            fsm.on_data_bit(bit)
+        first, second = fsm.next_half(), fsm.next_half()
+        assert first.sel == "zero"
+        assert second.sel == "data"
+        assert second.from_ate
+
+    def test_c2_sel_is_one(self):
+        fsm = NineCDecoderFSM()
+        for bit in (1, 0):
+            fsm.on_data_bit(bit)
+        assert fsm.next_half().sel == "one"
+
+
+class TestKIndependence:
+    def test_state_count_is_small_and_fixed(self):
+        # Trie of the canonical code: S0 + internal nodes; accepting
+        # states fold back into S0, matching Figure 2's loop structure.
+        fsm = NineCDecoderFSM()
+        assert len(fsm.states()) == 8
+
+    def test_transition_table_shape(self):
+        fsm = NineCDecoderFSM()
+        rows = fsm.transition_table()
+        # one row per (state, bit) edge in the trie: 9 accepting + internal
+        accepting = [r for r in rows if r[3] is not None]
+        assert len(accepting) == 9
+        for _src, bit, dst, case in accepting:
+            assert dst == fsm.IDLE
+            assert isinstance(case, BlockCase)
+
+    def test_reassigned_codebook_still_works(self):
+        from repro.core import PAPER_LENGTHS
+
+        lengths = dict(PAPER_LENGTHS)
+        lengths[BlockCase.C7] = 4
+        lengths[BlockCase.C9] = 5
+        book = Codebook.from_lengths(lengths)
+        fsm = NineCDecoderFSM(book)
+        for case in BlockCase:
+            fsm.reset()
+            resolved = None
+            for bit in book.codeword(case):
+                resolved = fsm.on_data_bit(bit)
+            assert resolved is case

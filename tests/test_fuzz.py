@@ -1,0 +1,96 @@
+"""Fuzz tests: malformed inputs must fail loudly, never hang or corrupt."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Codebook,
+    NineCDecoder,
+    TernaryVector,
+    loads_encoding,
+)
+from repro.codes import FDRCode, GolombCode, LZWCode, VIHCCode
+from repro.codes.base import CompressedData
+
+random_bits = st.lists(st.sampled_from([0, 1]), max_size=96) \
+    .map(TernaryVector)
+random_ternary = st.lists(st.sampled_from([0, 1, 2]), max_size=96) \
+    .map(TernaryVector)
+
+
+class TestDecoderFuzz:
+    @given(random_bits)
+    @settings(max_examples=120)
+    def test_random_stream_decodes_or_raises(self, stream):
+        decoder = NineCDecoder(8)
+        try:
+            out = decoder.decode_stream(stream)
+        except (ValueError, EOFError):
+            return
+        # if it decodes, the output must be block-aligned
+        assert len(out) % 8 == 0
+
+    @given(random_ternary)
+    @settings(max_examples=120)
+    def test_ternary_garbage_never_crashes_hard(self, stream):
+        decoder = NineCDecoder(8)
+        try:
+            decoder.decode_stream(stream)
+        except (ValueError, EOFError):
+            pass
+
+    @given(random_bits, st.integers(0, 64))
+    @settings(max_examples=80)
+    def test_length_constrained_decode(self, stream, length):
+        decoder = NineCDecoder(8)
+        try:
+            out = decoder.decode_stream(stream, output_length=length)
+        except (ValueError, EOFError):
+            return
+        assert len(out) == length
+
+
+class TestBaselineFuzz:
+    CODES = [GolombCode(4), FDRCode(), VIHCCode(8), LZWCode(code_bits=8)]
+
+    @pytest.mark.parametrize("code", CODES, ids=lambda c: c.name)
+    @given(payload=random_bits, length=st.integers(0, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_garbage_payload_decodes_or_raises(self, code, payload, length):
+        fake = CompressedData(code.name, payload, length,
+                              metadata={"lengths": {0: 1, 1: 2, "mh": 2},
+                                        "entries": ["0" * 8, "1" * 8]})
+        try:
+            out = code.decompress(fake)
+        except (ValueError, EOFError, KeyError):
+            return
+        assert len(out) == length
+
+
+class TestContainerFuzz:
+    @given(st.text(max_size=200))
+    @settings(max_examples=80)
+    def test_random_text_never_parses_silently(self, text):
+        try:
+            encoding = loads_encoding(text)
+        except (ValueError, EOFError, KeyError):
+            return
+        # parsing succeeded: must be internally consistent
+        assert encoding.compressed_size == len(encoding.stream)
+
+    def test_bitflipped_container(self):
+        from repro.core import NineCEncoder, dumps_encoding
+
+        rng = np.random.default_rng(5)
+        data = TernaryVector(rng.integers(0, 3, 64).astype(np.uint8))
+        text = dumps_encoding(NineCEncoder(8).encode(data))
+        # flip every stream character to X one at a time
+        start = text.index("stream=") + len("stream=")
+        for position in range(start, min(start + 20, len(text) - 1)):
+            mutated = text[:position] + "X" + text[position + 1 :]
+            try:
+                loads_encoding(mutated)
+            except (ValueError, EOFError):
+                continue

@@ -1,0 +1,100 @@
+"""Unit tests for decoder cost estimation (QM minimization + FSM cost)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decompressor import (
+    decoder_cost,
+    fsm_cost,
+    minimize_function,
+    minimum_cover,
+    prime_implicants,
+)
+from repro.decompressor.gates import _covers, implicant_literals
+
+
+def truth_of_cover(cover, num_vars):
+    return {
+        m for m in range(1 << num_vars)
+        if any(_covers(p, m) for p in cover)
+    }
+
+
+class TestQuineMcCluskey:
+    def test_xor_not_minimizable(self):
+        # XOR of 2 vars: minterms {1, 2}, no merging possible.
+        primes = prime_implicants([1, 2], [], 2)
+        cover = minimum_cover([1, 2], primes)
+        assert len(cover) == 2
+        assert sum(implicant_literals(p, 2) for p in cover) == 4
+
+    def test_full_cube_collapses(self):
+        primes = prime_implicants(list(range(8)), [], 3)
+        cover = minimum_cover(list(range(8)), primes)
+        assert len(cover) == 1
+        assert implicant_literals(cover[0], 3) == 0
+
+    def test_classic_example(self):
+        # f(a,b,c,d) = sum m(0,1,2,5,6,7,8,9,10,14) — a textbook case.
+        minterms = [0, 1, 2, 5, 6, 7, 8, 9, 10, 14]
+        primes = prime_implicants(minterms, [], 4)
+        cover = minimum_cover(minterms, primes)
+        assert truth_of_cover(cover, 4) == set(minterms)
+
+    def test_dont_cares_help(self):
+        with_dc = minimize_function([1], 2, dont_cares=[3])
+        without = minimize_function([1], 2)
+        assert with_dc.literals <= without.literals
+
+    def test_empty_function(self):
+        cost = minimize_function([], 4)
+        assert cost.terms == 0 and cost.literals == 0
+
+    @given(
+        st.sets(st.integers(0, 31), max_size=20),
+        st.sets(st.integers(0, 31), max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cover_is_exact_on_care_set(self, on_set, dc_set):
+        on_set = sorted(on_set - dc_set)
+        if not on_set:
+            return
+        primes = prime_implicants(on_set, sorted(dc_set), 5)
+        cover = minimum_cover(on_set, primes)
+        truth = truth_of_cover(cover, 5)
+        assert set(on_set) <= truth
+        # cover may absorb don't-cares but never off-set minterms
+        off = set(range(32)) - set(on_set) - dc_set
+        assert not (truth & off)
+
+
+class TestDecoderCost:
+    def test_fsm_cost_shape(self):
+        states, flops, terms, literals = fsm_cost()
+        assert states == 8
+        assert flops == 3
+        assert terms > 0 and literals > 0
+
+    def test_fsm_cost_k_independent(self):
+        # The paper's headline decoder property: K only resizes the
+        # counter and shifter, never the control FSM.
+        costs = [decoder_cost(k) for k in (4, 8, 16, 32, 64)]
+        fsm_ge = {c.fsm_gate_equivalents for c in costs}
+        assert len(fsm_ge) == 1
+
+    def test_counter_and_shifter_scale_with_k(self):
+        small, large = decoder_cost(8), decoder_cost(32)
+        assert large.counter_flops > small.counter_flops
+        assert large.shifter_flops > small.shifter_flops
+
+    def test_decoder_is_small(self):
+        # Order tens of gate equivalents, consistent with the paper's
+        # Design Compiler figure for the FSM.
+        cost = decoder_cost(8)
+        assert cost.fsm_gate_equivalents < 150
+        assert cost.total_flops < 30
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            decoder_cost(7)

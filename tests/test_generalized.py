@@ -1,0 +1,93 @@
+"""Unit tests for the generalized segment-split coder (§II ablation)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import GeneralizedEncoder, NineCEncoder, TernaryVector
+from repro.testdata import load_benchmark
+
+from .conftest import ternary_vectors
+
+
+class TestConstruction:
+    def test_invalid_segments(self):
+        with pytest.raises(ValueError):
+            GeneralizedEncoder(8, 0)
+
+    def test_k_must_be_multiple(self):
+        with pytest.raises(ValueError):
+            GeneralizedEncoder(8, 3)
+        with pytest.raises(ValueError):
+            GeneralizedEncoder(2, 4)
+
+
+class TestClassification:
+    def test_two_segments_matches_ninec_kinds(self):
+        enc = GeneralizedEncoder(8, 2)
+        cases = enc.classify(TernaryVector("0000X01X"))
+        assert cases == [("0", "U")]
+
+    def test_four_segments(self):
+        enc = GeneralizedEncoder(8, 4)
+        cases = enc.classify(TernaryVector("0011XX01"))
+        assert cases == [("0", "1", "0", "U")]
+
+    def test_all_x_prefers_zero(self):
+        enc = GeneralizedEncoder(4, 2)
+        assert enc.classify(TernaryVector("XXXX")) == [("0", "0")]
+
+
+class TestMeasurement:
+    def test_empty(self):
+        m = GeneralizedEncoder(4, 2).measure(TernaryVector(""))
+        # one all-X pad block
+        assert m.original_length == 0
+        assert m.num_codewords == 1
+
+    def test_single_case_costs_one_bit_each(self):
+        m = GeneralizedEncoder(8, 2).measure(TernaryVector.zeros(80))
+        assert m.num_codewords == 1
+        assert m.compressed_size == 10  # 1-bit codeword per block
+
+    def test_mismatch_payload_charged(self):
+        data = TernaryVector("01100110" * 4 + "00000000" * 4)
+        m = GeneralizedEncoder(8, 2).measure(data)
+        counts = m.case_counts
+        assert counts[("U", "U")] == 4
+        assert counts[("0", "0")] == 4
+        # sizes: 4 * (len_UU + 8) + 4 * len_00 with optimal 1-bit lengths
+        assert m.compressed_size == 4 * (1 + 8) + 4 * 1
+
+    @given(ternary_vectors(min_size=1, max_size=120))
+    @settings(max_examples=60)
+    def test_case_counts_sum_to_blocks(self, data):
+        m = GeneralizedEncoder(8, 2).measure(data)
+        blocks = (len(data) + 7) // 8
+        assert sum(m.case_counts.values()) == max(blocks, 1)
+
+
+class TestAblationShape:
+    """The paper's §II trade-off claim, reproduced on a benchmark."""
+
+    def test_two_segments_beats_one(self):
+        stream = load_benchmark("s5378").to_stream()
+        one = GeneralizedEncoder(8, 1).measure(stream)
+        two = GeneralizedEncoder(8, 2).measure(stream)
+        assert two.compression_ratio > one.compression_ratio
+
+    def test_more_codewords_cost_decoder_complexity(self):
+        stream = load_benchmark("s5378").to_stream()
+        two = GeneralizedEncoder(16, 2).measure(stream)
+        four = GeneralizedEncoder(16, 4).measure(stream)
+        assert four.num_codewords > 5 * two.num_codewords
+        # and the CR gain, if any, is slight (the paper's wording)
+        assert four.compression_ratio - two.compression_ratio < 15.0
+
+    def test_two_segment_optimal_lengths_close_to_ninec(self):
+        # 9C's fixed lengths are near-optimal: the free-length version
+        # beats them by only a small margin.
+        stream = load_benchmark("s9234").to_stream()
+        fixed = NineCEncoder(8).measure(stream)
+        free = GeneralizedEncoder(8, 2).measure(stream)
+        assert free.compression_ratio >= fixed.compression_ratio - 0.5
+        assert free.compression_ratio - fixed.compression_ratio < 5.0

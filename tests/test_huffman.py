@@ -1,0 +1,106 @@
+"""Unit tests for the canonical Huffman substrate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codes import HuffmanCode, canonical_codes, huffman_code_lengths
+
+
+class TestLengths:
+    def test_empty(self):
+        assert huffman_code_lengths({}) == {}
+
+    def test_zero_frequencies_excluded(self):
+        assert huffman_code_lengths({"a": 5, "b": 0}) == {"a": 1}
+
+    def test_single_symbol_gets_one_bit(self):
+        assert huffman_code_lengths({"a": 10}) == {"a": 1}
+
+    def test_two_symbols(self):
+        lengths = huffman_code_lengths({"a": 9, "b": 1})
+        assert lengths == {"a": 1, "b": 1}
+
+    def test_skewed_distribution(self):
+        lengths = huffman_code_lengths({"a": 8, "b": 4, "c": 2, "d": 1})
+        assert lengths["a"] == 1
+        assert lengths["b"] == 2
+        assert lengths["c"] == 3
+        assert lengths["d"] == 3
+
+    def test_kraft_equality(self):
+        lengths = huffman_code_lengths({s: f for s, f in
+                                        zip("abcdefg", (13, 11, 7, 5, 3, 2, 1))})
+        assert sum(2.0 ** -l for l in lengths.values()) == pytest.approx(1.0)
+
+    @given(st.dictionaries(st.integers(0, 50), st.integers(1, 1000),
+                           min_size=2, max_size=20))
+    def test_optimality_vs_entropy(self, freqs):
+        import math
+
+        lengths = huffman_code_lengths(freqs)
+        total = sum(freqs.values())
+        entropy = -sum(
+            f / total * math.log2(f / total) for f in freqs.values()
+        )
+        avg = sum(lengths[s] * f for s, f in freqs.items()) / total
+        assert entropy <= avg + 1e-9 <= entropy + 1 + 1e-9
+
+
+class TestCanonicalCodes:
+    def test_respects_lengths(self):
+        codes = canonical_codes({"a": 1, "b": 2, "c": 2})
+        assert len(codes["a"]) == 1
+        assert len(codes["b"]) == 2
+
+    def test_prefix_free(self):
+        codes = canonical_codes({"a": 1, "b": 3, "c": 3, "d": 3, "e": 3})
+        words = list(codes.values())
+        for i, w1 in enumerate(words):
+            for j, w2 in enumerate(words):
+                if i != j:
+                    assert w1[: len(w2)] != w2
+
+    def test_kraft_violation_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_codes({"a": 1, "b": 1, "c": 1})
+
+
+class TestHuffmanCode:
+    def make(self):
+        return HuffmanCode.from_frequencies({"a": 10, "b": 5, "c": 2, "d": 1})
+
+    def test_encode_decode_symbol(self):
+        code = self.make()
+        for sym in "abcd":
+            bits = iter(code.encode_symbol(sym))
+            assert code.decode_symbol(lambda: next(bits)) == sym
+
+    def test_encode_decode_sequence(self):
+        code = self.make()
+        seq = list("abacabdca")
+        bits = code.encode(seq)
+        assert code.decode(bits, len(seq)) == seq
+
+    def test_invalid_codeword_rejected(self):
+        with pytest.raises(ValueError):
+            HuffmanCode({"a": (0,), "b": (0, 1)})
+
+    def test_empty_codeword_rejected(self):
+        with pytest.raises(ValueError):
+            HuffmanCode({"a": ()})
+
+    def test_expected_length(self):
+        code = HuffmanCode({"a": (0,), "b": (1, 0), "c": (1, 1)})
+        assert code.expected_length({"a": 2, "b": 1, "c": 1}) == pytest.approx(1.5)
+
+    def test_expected_length_empty(self):
+        code = HuffmanCode({"a": (0,)})
+        assert code.expected_length({}) == 0.0
+
+    @given(st.lists(st.sampled_from("abcde"), min_size=1, max_size=200))
+    def test_roundtrip_property(self, seq):
+        from collections import Counter
+
+        code = HuffmanCode.from_frequencies(Counter(seq))
+        assert code.decode(code.encode(seq), len(seq)) == seq

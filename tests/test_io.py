@@ -1,0 +1,88 @@
+"""Unit tests for the .9c container format."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    BlockCase,
+    Codebook,
+    NineCDecoder,
+    NineCEncoder,
+    TernaryVector,
+    assign_lengths_by_frequency,
+    dumps_encoding,
+    load_encoding,
+    loads_encoding,
+    save_encoding,
+)
+
+from .conftest import ternary_vectors
+
+
+def sample_encoding(k=8):
+    data = TernaryVector("00000000" "0000X01X" "1X1X111X" "01XX10XX")
+    return data, NineCEncoder(k).encode(data)
+
+
+class TestDumpLoad:
+    def test_roundtrip_in_memory(self):
+        data, encoding = sample_encoding()
+        back = loads_encoding(dumps_encoding(encoding))
+        assert back.k == encoding.k
+        assert back.original_length == encoding.original_length
+        assert back.stream == encoding.stream
+        assert back.codebook == encoding.codebook
+        assert [r.case for r in back.blocks] == \
+            [r.case for r in encoding.blocks]
+        assert [r.stream_offset for r in back.blocks] == \
+            [r.stream_offset for r in encoding.blocks]
+
+    def test_roundtrip_on_disk(self, tmp_path):
+        data, encoding = sample_encoding()
+        path = tmp_path / "stream.9c"
+        save_encoding(encoding, path)
+        back = load_encoding(path)
+        assert NineCDecoder(8).decode(back).covers(data)
+
+    def test_reassigned_codebook_survives(self):
+        data, base = sample_encoding()
+        book = Codebook.from_lengths(
+            assign_lengths_by_frequency(base.case_counts)
+        )
+        encoding = NineCEncoder(8, book).encode(data)
+        back = loads_encoding(dumps_encoding(encoding))
+        assert back.codebook == book
+
+    def test_magic_required(self):
+        with pytest.raises(ValueError):
+            loads_encoding("k=8\nlength=0\nlengths=\nstream=\n")
+
+    def test_missing_field_rejected(self):
+        data, encoding = sample_encoding()
+        text = dumps_encoding(encoding)
+        broken = "\n".join(
+            line for line in text.splitlines() if not line.startswith("k=")
+        )
+        with pytest.raises(ValueError):
+            loads_encoding(broken)
+
+    def test_truncated_stream_rejected(self):
+        data, encoding = sample_encoding()
+        text = dumps_encoding(encoding)
+        truncated = text.replace(
+            f"stream={encoding.stream.to_string()}",
+            f"stream={encoding.stream.to_string()[:-4]}",
+        )
+        with pytest.raises((ValueError, EOFError)):
+            loads_encoding(truncated)
+
+    @given(ternary_vectors(min_size=1, max_size=96))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, data):
+        encoding = NineCEncoder(8).encode(data)
+        back = loads_encoding(dumps_encoding(encoding))
+        assert NineCDecoder(8).decode(back).covers(data)
+        assert back.compression_ratio == pytest.approx(
+            encoding.compression_ratio
+        )
+        assert back.case_counts == encoding.case_counts

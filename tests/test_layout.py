@@ -1,0 +1,77 @@
+"""Unit tests for scan-data layouts (vertical organization)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TernaryVector
+from repro.testdata import (
+    TestSet,
+    chain_view,
+    compare_layout_compression,
+    from_chain_major,
+    load_benchmark,
+    to_chain_major,
+)
+from repro.testdata import test_set_chain_major as chain_major_set
+from repro.testdata import test_set_from_chain_major as from_chain_major_set
+
+from .conftest import ternary_vectors
+
+
+class TestPatternTransforms:
+    def test_to_chain_major_example(self):
+        # rows (shift order) 01|10|11 over 2 chains -> chains: 011, 101
+        pattern = TernaryVector("011011")
+        assert to_chain_major(pattern, 2).to_string() == "011101"
+
+    def test_inverse(self):
+        pattern = TernaryVector("01X01X10")
+        assert from_chain_major(to_chain_major(pattern, 4), 4) == pattern
+
+    def test_chain_view(self):
+        pattern = TernaryVector("011011")
+        assert chain_view(pattern, 2, 0).to_string() == "011"
+        assert chain_view(pattern, 2, 1).to_string() == "101"
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            to_chain_major(TernaryVector("010"), 2)
+        with pytest.raises(ValueError):
+            to_chain_major(TernaryVector("01"), 0)
+        with pytest.raises(ValueError):
+            from_chain_major(TernaryVector("010"), 2)
+        with pytest.raises(ValueError):
+            chain_view(TernaryVector("0101"), 2, 5)
+
+    @given(ternary_vectors(min_size=0, max_size=96),
+           st.integers(1, 8))
+    @settings(max_examples=80)
+    def test_roundtrip_property(self, data, m):
+        if len(data) % m:
+            data = data.padded(len(data) + (-len(data)) % m)
+        assert from_chain_major(to_chain_major(data, m), m) == data
+
+    @given(ternary_vectors(min_size=4, max_size=96), st.integers(1, 6))
+    @settings(max_examples=60)
+    def test_preserves_multiset(self, data, m):
+        if len(data) % m:
+            data = data.padded(len(data) + (-len(data)) % m)
+        reordered = to_chain_major(data, m)
+        for value in (0, 1, 2):
+            assert reordered.count(value) == data.count(value)
+
+
+class TestTestSetTransforms:
+    def test_roundtrip(self):
+        ts = TestSet.from_strings(["01X0", "1X10"])
+        back = from_chain_major_set(chain_major_set(ts, 2), 2)
+        assert back == ts
+
+    def test_compare_layouts_runs(self):
+        bench = load_benchmark("s5378", fraction=0.2)
+        width = (bench.num_cells // 8) * 8
+        trimmed = bench.map_patterns(lambda p: p[:width])
+        row, vertical = compare_layout_compression(trimmed, 8, k=8)
+        assert -100.0 < row < 100.0
+        assert -100.0 < vertical < 100.0

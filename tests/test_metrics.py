@@ -1,0 +1,77 @@
+"""Unit tests for repro.core.metrics."""
+
+import pytest
+
+from repro.core import (
+    BlockCase,
+    NineCEncoder,
+    TernaryVector,
+    analytic_compressed_size,
+    analytic_compression_ratio,
+    best_block_size,
+    report,
+    sweep_block_sizes,
+)
+
+
+def sample_data():
+    return TernaryVector(
+        "00000000" "11111111" "0000X01X" "01XX10XX" "0X0X11X1" * 4
+    )
+
+
+class TestReport:
+    def test_report_from_encoding(self):
+        enc = NineCEncoder(8).encode(sample_data())
+        rep = report(enc)
+        assert rep.k == 8
+        assert rep.original_size == len(sample_data())
+        assert rep.compressed_size == enc.compressed_size
+        assert rep.compression_ratio == pytest.approx(enc.compression_ratio)
+        assert sum(rep.case_counts.values()) == len(enc.blocks)
+
+    def test_report_from_measurement(self):
+        meas = NineCEncoder(8).measure(sample_data())
+        rep = report(meas)
+        assert rep.compressed_size == meas.compressed_size
+        assert rep.leftover_x == meas.leftover_x
+
+    def test_codeword_statistics_keys(self):
+        rep = report(NineCEncoder(8).measure(sample_data()))
+        assert set(rep.codeword_statistics) == {f"N{i}" for i in range(1, 10)}
+
+
+class TestAnalytic:
+    def test_size_by_hand(self):
+        counts = {case: 0 for case in BlockCase}
+        counts[BlockCase.C1] = 3
+        counts[BlockCase.C5] = 2
+        counts[BlockCase.C9] = 1
+        # K=8: 3*1 + 2*(5+4) + 1*(4+8) = 33
+        assert analytic_compressed_size(counts, 8) == 33
+
+    def test_ratio_by_hand(self):
+        counts = {case: 0 for case in BlockCase}
+        counts[BlockCase.C1] = 8
+        # 8 K=8 blocks of zeros from 64 bits -> TE=8
+        assert analytic_compression_ratio(counts, 64, 8) == pytest.approx(87.5)
+
+    def test_ratio_empty(self):
+        assert analytic_compression_ratio({}, 0, 8) == 0.0
+
+
+class TestSweep:
+    def test_sweep_keys(self):
+        out = sweep_block_sizes(sample_data(), (4, 8, 16))
+        assert set(out) == {4, 8, 16}
+        for k, rep in out.items():
+            assert rep.k == k
+
+    def test_best_block_size(self):
+        data = sample_data()
+        ks = (4, 8, 16)
+        best = best_block_size(data, ks)
+        out = sweep_block_sizes(data, ks)
+        assert out[best].compression_ratio == max(
+            r.compression_ratio for r in out.values()
+        )

@@ -1,0 +1,124 @@
+"""Unit tests for the calibrated benchmark test-set generator."""
+
+import pytest
+
+from repro.core import NineCEncoder
+from repro.testdata import (
+    ALL_PROFILES,
+    IBM_PROFILES,
+    ISCAS89_PROFILES,
+    BenchmarkProfile,
+    generate,
+    generate_stream,
+    load_benchmark,
+)
+
+#: Published MinTest |T_D| sizes the paper reports for these circuits.
+PAPER_TD = {
+    "s5378": 23754,
+    "s9234": 39273,
+    "s13207": 165200,
+    "s15850": 76986,
+    "s38417": 164736,
+    "s38584": 199104,
+}
+
+
+class TestProfiles:
+    def test_six_iscas_circuits(self):
+        assert set(ISCAS89_PROFILES) == set(PAPER_TD)
+
+    @pytest.mark.parametrize("name,td", sorted(PAPER_TD.items()))
+    def test_td_matches_paper(self, name, td):
+        assert ISCAS89_PROFILES[name].total_bits == td
+
+    def test_ibm_profiles_are_mbit_scale(self):
+        for profile in IBM_PROFILES.values():
+            assert profile.total_bits >= 4_000_000
+            assert profile.x_density > 0.95
+
+    def test_scaled(self):
+        p = ISCAS89_PROFILES["s5378"].scaled(0.1)
+        assert p.num_patterns == round(111 * 0.1)
+        assert p.num_cells == 214
+
+    def test_scaled_minimum_one_pattern(self):
+        assert ISCAS89_PROFILES["s5378"].scaled(0.0001).num_patterns == 1
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        p = ISCAS89_PROFILES["s5378"].scaled(0.2)
+        assert generate(p) == generate(p)
+
+    def test_seed_override_changes_data(self):
+        p = ISCAS89_PROFILES["s5378"].scaled(0.2)
+        assert generate(p, seed=1) != generate(p, seed=2)
+
+    def test_dimensions(self):
+        p = ISCAS89_PROFILES["s9234"].scaled(0.3)
+        ts = generate(p)
+        assert ts.num_cells == p.num_cells
+        assert ts.num_patterns == p.num_patterns
+
+    def test_x_density_close_to_target(self):
+        p = ISCAS89_PROFILES["s13207"]
+        ts = generate(p)
+        assert ts.x_density == pytest.approx(p.x_density, abs=0.02)
+
+    def test_zero_bias_respected(self):
+        stream = generate_stream(ISCAS89_PROFILES["s5378"])
+        zeros = stream.count(0)
+        ones = stream.count(1)
+        assert zeros / (zeros + ones) == pytest.approx(
+            ISCAS89_PROFILES["s5378"].zero_bias, abs=0.06
+        )
+
+    def test_bad_x_density_rejected(self):
+        with pytest.raises(ValueError):
+            generate_stream(BenchmarkProfile("bad", 10, 10, 1.0))
+
+
+class TestLoadBenchmark:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_benchmark("s9999")
+
+    def test_cached(self):
+        a = load_benchmark("s5378", fraction=0.1)
+        b = load_benchmark("s5378", fraction=0.1)
+        assert a is b
+
+    def test_all_profiles_union(self):
+        assert set(ALL_PROFILES) == set(ISCAS89_PROFILES) | set(IBM_PROFILES)
+
+
+class TestCalibration:
+    """The generated sets must reproduce the paper's qualitative shape."""
+
+    @pytest.mark.parametrize("name", sorted(PAPER_TD))
+    def test_cr_peaks_at_small_k_then_declines(self, name):
+        stream = load_benchmark(name).to_stream()
+        crs = {k: NineCEncoder(k).measure(stream).compression_ratio
+               for k in (4, 8, 16, 32)}
+        best = max(crs, key=crs.get)
+        assert best in (8, 16)
+        assert crs[32] < crs[best]
+
+    @pytest.mark.parametrize("name", sorted(PAPER_TD))
+    def test_leftover_x_grows_with_k(self, name):
+        stream = load_benchmark(name).to_stream()
+        lx = [NineCEncoder(k).measure(stream).leftover_x_percent
+              for k in (4, 8, 16, 32)]
+        assert lx == sorted(lx)
+        assert lx[0] == pytest.approx(0.0, abs=0.5)  # K=4: halves of 2 bits
+
+    def test_k8_wins_on_average(self):
+        # Paper: "K=8 shows more average compression ratio compared to
+        # other K's for these benchmarks".
+        totals = {k: 0.0 for k in (4, 8, 16, 32)}
+        for name in PAPER_TD:
+            stream = load_benchmark(name).to_stream()
+            for k in totals:
+                totals[k] += NineCEncoder(k).measure(stream).compression_ratio
+        assert max(totals, key=totals.get) == 8

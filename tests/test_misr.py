@@ -1,0 +1,117 @@
+"""Unit tests for the LFSR/MISR response-compaction models."""
+
+import numpy as np
+import pytest
+
+from repro.core import TernaryVector
+from repro.decompressor import (
+    LFSR,
+    MISR,
+    AliasingEstimate,
+    default_taps,
+    signature_of,
+)
+
+
+class TestLFSR:
+    @pytest.mark.parametrize("width", [4, 8, 16])
+    def test_maximal_period(self, width):
+        assert LFSR(width).period() == (1 << width) - 1
+
+    def test_deterministic(self):
+        assert LFSR(8, seed=5).bits(64) == LFSR(8, seed=5).bits(64)
+
+    def test_seed_changes_sequence(self):
+        assert LFSR(8, seed=1).bits(32) != LFSR(8, seed=77).bits(32)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LFSR(1)
+        with pytest.raises(ValueError):
+            LFSR(8, seed=0)
+        with pytest.raises(ValueError):
+            LFSR(8, taps=(9,))
+        with pytest.raises(ValueError):
+            default_taps(5)
+
+    def test_output_balance(self):
+        # A maximal LFSR emits 2^(w-1) ones per period.
+        bits = LFSR(8).bits(255)
+        assert sum(bits) == 128
+
+
+class TestMISR:
+    def test_signature_deterministic(self):
+        response = TernaryVector("10110100" * 4)
+        assert signature_of([response], 8) == signature_of([response], 8)
+
+    def test_signature_sensitive_to_single_bit(self):
+        good = TernaryVector("10110100" * 4)
+        data = good.data.copy()
+        data[13] ^= 1
+        bad = TernaryVector(data)
+        assert signature_of([good], 8) != signature_of([bad], 8)
+
+    def test_width_checked(self):
+        misr = MISR(8)
+        with pytest.raises(ValueError):
+            misr.absorb([0, 1])
+        with pytest.raises(ValueError):
+            misr.absorb_response(TernaryVector("101"))
+
+    def test_x_rejected(self):
+        with pytest.raises(ValueError):
+            MISR(4).absorb([0, 1, 2, 0])
+
+    def test_aliasing_rate_near_bound(self):
+        """Empirical aliasing ~ 2^-w over random error patterns."""
+        rng = np.random.default_rng(99)
+        width = 8
+        good = TernaryVector(rng.integers(0, 2, 64).astype(np.uint8))
+        good_sig = signature_of([good], width)
+        trials = 3000
+        aliases = 0
+        for _ in range(trials):
+            error = rng.integers(0, 2, 64).astype(np.uint8)
+            if not error.any():
+                continue
+            bad = TernaryVector(good.data ^ error)
+            if signature_of([bad], width) == good_sig:
+                aliases += 1
+        bound = AliasingEstimate(width).probability
+        assert aliases / trials < 6 * bound  # loose, seed-stable
+
+    def test_multi_pattern_signature(self):
+        r1 = TernaryVector("1011" * 2)
+        r2 = TernaryVector("0100" * 2)
+        combined = signature_of([r1, r2], 4)
+        misr = MISR(4)
+        misr.absorb_response(r1)
+        misr.absorb_response(r2)
+        assert misr.signature == combined
+
+    def test_rpct_roundtrip_with_fault(self):
+        """Stimulus decompression + MISR catches an injected fault."""
+        from repro.circuits import (Injection, load_circuit,
+                                    simulate, output_values)
+        from repro.atpg import generate_test_cubes
+        from repro.testdata import fill_test_set
+
+        circuit = load_circuit("s27")
+        atpg = generate_test_cubes(circuit)
+        filled = fill_test_set(atpg.test_set, "random", seed=3)
+        width = 4
+        pad = (-len(circuit.scan_outputs)) % width
+
+        def run(injection=None):
+            misr = MISR(width)
+            for pattern in filled:
+                values = simulate(circuit, pattern, injection)
+                response = output_values(circuit, values).padded(
+                    len(circuit.scan_outputs) + pad, 0
+                )
+                misr.absorb_response(response)
+            return misr.signature
+
+        fault = atpg.detected[0]
+        assert run() != run(fault.injection)

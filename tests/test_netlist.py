@@ -1,0 +1,191 @@
+"""Unit tests for the netlist model and .bench I/O."""
+
+import pytest
+
+from repro.circuits import (
+    Gate,
+    GateType,
+    Netlist,
+    load_circuit,
+    parse_bench,
+    save_bench,
+    write_bench,
+)
+
+
+def tiny():
+    return Netlist(
+        "tiny",
+        inputs=["a", "b"],
+        outputs=["y"],
+        gates=[
+            Gate("n1", GateType.AND, ("a", "b")),
+            Gate("ff0", GateType.DFF, ("n1",)),
+            Gate("y", GateType.NOR, ("n1", "ff0")),
+        ],
+    )
+
+
+class TestGate:
+    def test_input_with_fanins_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("a", GateType.INPUT, ("b",))
+
+    def test_unary_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Gate("n", GateType.NOT, ("a", "b"))
+        with pytest.raises(ValueError):
+            Gate("n", GateType.DFF, ())
+
+    def test_gate_needs_fanins(self):
+        with pytest.raises(ValueError):
+            Gate("n", GateType.AND, ())
+
+
+class TestNetlist:
+    def test_structure(self):
+        n = tiny()
+        assert n.flip_flops == ["ff0"]
+        assert n.num_gates == 2
+        assert n.scan_inputs == ["a", "b", "ff0"]
+        assert n.scan_outputs == ["y", "n1"]
+        assert n.scan_length == 3
+
+    def test_undefined_fanin_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist("bad", ["a"], ["n1"],
+                    [Gate("n1", GateType.NOT, ("missing",))])
+
+    def test_undefined_output_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist("bad", ["a"], ["nope"], [])
+
+    def test_duplicate_gate_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist("bad", ["a"], ["a"],
+                    [Gate("a", GateType.NOT, ("a",))])
+
+    def test_topological_order(self):
+        order = tiny().topological_order()
+        assert order.index("n1") < order.index("y")
+        assert "ff0" not in order  # sequential element, not in comb core
+        assert "a" not in order
+
+    def test_combinational_loop_detected(self):
+        n = Netlist(
+            "loop", ["a"], ["x"],
+            [Gate("x", GateType.AND, ("a", "y")),
+             Gate("y", GateType.NOT, ("x",))],
+        )
+        with pytest.raises(ValueError):
+            n.topological_order()
+
+    def test_sequential_loop_is_fine(self):
+        # Feedback through a DFF is legal (it is cut by the scan chain).
+        n = Netlist(
+            "seq", ["a"], ["x"],
+            [Gate("x", GateType.AND, ("a", "f")),
+             Gate("f", GateType.DFF, ("x",))],
+        )
+        assert n.topological_order() == ["x"]
+
+    def test_levels(self):
+        levels = tiny().levels()
+        assert levels["a"] == 0
+        assert levels["n1"] == 1
+        assert levels["y"] == 2
+
+    def test_fanouts(self):
+        fanouts = tiny().fanouts()
+        assert set(fanouts["n1"]) == {"ff0", "y"}
+        assert fanouts["y"] == []
+
+    def test_transitive_fanout(self):
+        n = tiny()
+        assert n.transitive_fanout("a") == {"n1", "y"}
+        assert n.transitive_fanout("ff0") == {"y"}
+
+    def test_stats_and_repr(self):
+        n = tiny()
+        stats = n.stats()
+        assert stats["scan_length"] == 3
+        assert "tiny" in repr(n)
+
+
+class TestBenchFormat:
+    def test_roundtrip(self):
+        n = tiny()
+        back = parse_bench(write_bench(n), name="tiny")
+        assert back.inputs == n.inputs
+        assert back.outputs == n.outputs
+        assert back.scan_inputs == n.scan_inputs
+        for name in n.gates:
+            assert back.gates[name].gate_type == n.gates[name].gate_type
+            assert back.gates[name].fanins == n.gates[name].fanins
+
+    def test_comments_and_blanks_skipped(self):
+        netlist = parse_bench("# hi\n\nINPUT(a)\nOUTPUT(y)\ny = NOT(a) # inline\n")
+        assert netlist.inputs == ["a"]
+        assert netlist.gates["y"].gate_type is GateType.NOT
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bench("INPUT(a)\nwhat is this\n")
+
+    def test_unknown_gate_type_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bench("INPUT(a)\ny = FROB(a)\n")
+
+    def test_input_as_gate_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bench("INPUT(a)\ny = INPUT(a)\n")
+
+    def test_save_load(self, tmp_path):
+        from repro.circuits import load_bench
+
+        path = tmp_path / "tiny.bench"
+        save_bench(tiny(), path)
+        back = load_bench(path)
+        assert back.name == "tiny"
+        assert back.scan_length == 3
+
+
+class TestLibrary:
+    def test_s27_shape(self):
+        s27 = load_circuit("s27")
+        assert len(s27.inputs) == 4
+        assert len(s27.outputs) == 1
+        assert len(s27.flip_flops) == 3
+        assert s27.scan_length == 7
+
+    def test_c17_shape(self):
+        c17 = load_circuit("c17")
+        assert len(c17.inputs) == 5
+        assert c17.num_gates == 6
+        assert not c17.flip_flops
+
+    def test_generated_deterministic(self):
+        a = load_circuit("g64")
+        from repro.circuits import GeneratorConfig, generate_circuit
+
+        b = generate_circuit(GeneratorConfig(
+            "g64", num_inputs=8, num_outputs=6, num_flip_flops=12,
+            num_gates=64, seed=64))
+        assert write_bench(a) == write_bench(b)
+
+    def test_unknown_circuit(self):
+        with pytest.raises(ValueError):
+            load_circuit("s404")
+
+    def test_cache(self):
+        assert load_circuit("s27") is load_circuit("s27")
+
+    def test_generator_no_dangling_logic(self):
+        n = load_circuit("g256")
+        fanouts = n.fanouts()
+        observed = set(n.outputs)
+        for net, outs in fanouts.items():
+            gate = n.gates[net]
+            if gate.gate_type in (GateType.INPUT, GateType.DFF):
+                continue
+            assert outs or net in observed, f"dangling net {net}"

@@ -1,0 +1,108 @@
+"""Cross-module property tests (whole-flow invariants)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Codebook,
+    NineCDecoder,
+    NineCEncoder,
+    TernaryVector,
+    analytic_compressed_size,
+)
+from repro.decompressor import SingleScanDecompressor
+from repro.analysis import compressed_time_ate_cycles, trace_time_ate_cycles
+
+from .conftest import even_block_sizes, ternary_vectors
+
+
+class TestIdempotence:
+    """9C is idempotent: re-encoding the decoded stream is a fixpoint.
+
+    Decoding replaces X in uniform halves with the uniform value (halves
+    stay uniform) and copies mismatch halves verbatim, so the second
+    encoding chooses the same case for every block and emits the same
+    stream up to the leftover X positions.
+    """
+
+    @given(ternary_vectors(max_size=120), even_block_sizes(max_k=16))
+    @settings(max_examples=100)
+    def test_case_sequence_fixpoint(self, data, k):
+        first = NineCEncoder(k).encode(data)
+        decoded = NineCDecoder(k).decode(first)
+        second = NineCEncoder(k).encode(decoded)
+        assert [r.case for r in first.blocks] == \
+            [r.case for r in second.blocks]
+        assert second.compressed_size == first.compressed_size
+
+    @given(ternary_vectors(max_size=100), even_block_sizes(max_k=12))
+    @settings(max_examples=60)
+    def test_double_decode_stable(self, data, k):
+        enc1 = NineCEncoder(k).encode(data)
+        dec1 = NineCDecoder(k).decode(enc1)
+        enc2 = NineCEncoder(k).encode(dec1)
+        dec2 = NineCDecoder(k).decode(enc2)
+        assert dec2 == dec1
+
+
+class TestCompressionBounds:
+    @given(ternary_vectors(min_size=1, max_size=200), even_block_sizes())
+    @settings(max_examples=80)
+    def test_worst_case_expansion_bounded(self, data, k):
+        # Worst case is all-C9: (4 + K) bits per K-bit block.
+        enc = NineCEncoder(k).measure(data)
+        blocks = max(1, -(-len(data) // k))
+        assert enc.compressed_size <= blocks * (4 + k)
+
+    @given(ternary_vectors(min_size=1, max_size=200), even_block_sizes())
+    @settings(max_examples=80)
+    def test_best_case_floor(self, data, k):
+        # At least one bit per block must be spent.
+        enc = NineCEncoder(k).measure(data)
+        blocks = max(1, -(-len(data) // k))
+        assert enc.compressed_size >= blocks
+
+    @given(ternary_vectors(min_size=1, max_size=160), even_block_sizes(max_k=16))
+    @settings(max_examples=60)
+    def test_leftover_never_exceeds_original_x(self, data, k):
+        enc = NineCEncoder(k).measure(data)
+        # padding can add X, all of which may survive in a final
+        # mismatch block — bound by original X + one block of padding
+        assert enc.leftover_x <= data.num_x + k
+
+    @given(ternary_vectors(min_size=1, max_size=160))
+    @settings(max_examples=60)
+    def test_fully_specified_leftover_is_padding_only(self, data):
+        specified = data.filled(0)
+        enc = NineCEncoder(8).measure(specified)
+        assert enc.leftover_x <= 8  # only the pad block can carry X
+
+
+class TestMonotonicity:
+    @given(ternary_vectors(min_size=8, max_size=120), even_block_sizes(max_k=12))
+    @settings(max_examples=60)
+    def test_specifying_bits_never_helps_cr(self, data, k):
+        """Filling X (losing freedom) can only keep or worsen CR."""
+        filled = data.filled(0)
+        free = NineCEncoder(k).measure(data)
+        constrained = NineCEncoder(k).measure(filled)
+        assert constrained.compressed_size >= free.compressed_size - k
+
+
+class TestArchitectureAgreement:
+    # min_size=1: an empty test set has nothing to drive, so the
+    # decompressor legitimately consumes zero cycles while the analytic
+    # model still charges the all-X pad block.
+    @given(ternary_vectors(min_size=1, max_size=96), even_block_sizes(max_k=12),
+           st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_trace_matches_analytic_everywhere(self, data, k, p):
+        encoding = NineCEncoder(k).encode(data)
+        trace = SingleScanDecompressor(k, p=p).run_encoding(encoding)
+        analytic = compressed_time_ate_cycles(encoding.case_counts, k, p)
+        assert trace_time_ate_cycles(trace, p) == pytest.approx(analytic)
+        assert trace.ate_cycles == encoding.compressed_size
+        assert trace.ate_cycles == analytic_compressed_size(
+            encoding.case_counts, k
+        )

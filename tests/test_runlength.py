@@ -1,0 +1,114 @@
+"""Unit tests for run-length parsing helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import TernaryVector
+from repro.codes import maximal_runs, terminated_segments, zero_runs
+
+bits = st.lists(st.sampled_from([0, 1]), max_size=64).map(TernaryVector)
+
+
+class TestZeroRuns:
+    def test_simple(self):
+        runs, open_end = zero_runs(TernaryVector("0010001"))
+        assert runs == [2, 3]
+        assert open_end is False
+
+    def test_trailing_zeros(self):
+        runs, open_end = zero_runs(TernaryVector("00100"))
+        assert runs == [2, 2]
+        assert open_end is True
+
+    def test_leading_one(self):
+        runs, _ = zero_runs(TernaryVector("101"))
+        assert runs == [0, 1]
+
+    def test_all_zeros(self):
+        assert zero_runs(TernaryVector("0000")) == ([4], True)
+
+    def test_all_ones(self):
+        assert zero_runs(TernaryVector("111")) == ([0, 0, 0], False)
+
+    def test_empty(self):
+        assert zero_runs(TernaryVector("")) == ([], False)
+
+    def test_rejects_x(self):
+        with pytest.raises(ValueError):
+            zero_runs(TernaryVector("0X1"))
+
+    @given(bits)
+    def test_reconstruction(self, data):
+        runs, open_end = zero_runs(data)
+        parts = []
+        for i, run in enumerate(runs):
+            parts.append("0" * run)
+            if not (open_end and i == len(runs) - 1):
+                parts.append("1")
+        assert "".join(parts) == data.to_string()
+
+
+class TestMaximalRuns:
+    def test_simple(self):
+        assert maximal_runs(TernaryVector("0011101")) == [
+            (0, 2), (1, 3), (0, 1), (1, 1),
+        ]
+
+    def test_single_run(self):
+        assert maximal_runs(TernaryVector("1111")) == [(1, 4)]
+
+    def test_empty(self):
+        assert maximal_runs(TernaryVector("")) == []
+
+    def test_rejects_x(self):
+        with pytest.raises(ValueError):
+            maximal_runs(TernaryVector("0X"))
+
+    @given(bits)
+    def test_reconstruction(self, data):
+        runs = maximal_runs(data)
+        assert "".join(str(s) * n for s, n in runs) == data.to_string()
+
+    @given(bits)
+    def test_runs_alternate(self, data):
+        runs = maximal_runs(data)
+        for (a, _), (b, _) in zip(runs, runs[1:]):
+            assert a != b
+
+
+class TestTerminatedSegments:
+    def test_simple(self):
+        # "0001100": 0^3 closed by the first 1; then 1^1 closed by a 0;
+        # the final 0 is an open run.
+        segments, open_end = terminated_segments(TernaryVector("0001100"))
+        assert segments == [(0, 3), (1, 1), (0, 1)]
+        assert open_end is True
+
+    def test_closed_end(self):
+        segments, open_end = terminated_segments(TernaryVector("00011"))
+        # 0^3 then 1 consumed as terminator; then 1^1 open
+        assert segments == [(0, 3), (1, 1)]
+        assert open_end is True
+
+    def test_exact_termination(self):
+        segments, open_end = terminated_segments(TernaryVector("0001"))
+        assert segments == [(0, 3)]
+        assert open_end is False
+
+    def test_empty(self):
+        assert terminated_segments(TernaryVector("")) == ([], False)
+
+    def test_rejects_x(self):
+        with pytest.raises(ValueError):
+            terminated_segments(TernaryVector("X"))
+
+    @given(bits)
+    def test_reconstruction(self, data):
+        segments, open_end = terminated_segments(data)
+        parts = []
+        for i, (symbol, run) in enumerate(segments):
+            parts.append(str(symbol) * run)
+            if not (open_end and i == len(segments) - 1):
+                parts.append(str(1 - symbol))
+        assert "".join(parts) == data.to_string()

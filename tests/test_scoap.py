@@ -1,0 +1,131 @@
+"""Unit tests for SCOAP testability measures and PODEM guidance."""
+
+import pytest
+
+from repro.atpg.podem import Podem
+from repro.circuits import (
+    Gate,
+    GateType,
+    INFINITY,
+    Netlist,
+    collapsed_faults,
+    compute_testability,
+    load_circuit,
+)
+
+
+def chain_netlist():
+    """a -> AND(a,b) -> NOT -> y (simple hand-checkable example)."""
+    return Netlist(
+        "chain", ["a", "b"], ["y"],
+        [Gate("n1", GateType.AND, ("a", "b")),
+         Gate("y", GateType.NOT, ("n1",))],
+    )
+
+
+class TestControllability:
+    def test_inputs_cost_one(self):
+        t = compute_testability(chain_netlist())
+        assert t.cc0["a"] == 1 and t.cc1["a"] == 1
+
+    def test_and_gate(self):
+        t = compute_testability(chain_netlist())
+        # AND: CC0 = min(CC0 inputs) + 1 = 2; CC1 = sum(CC1) + 1 = 3
+        assert t.cc0["n1"] == 2
+        assert t.cc1["n1"] == 3
+
+    def test_not_gate_swaps(self):
+        t = compute_testability(chain_netlist())
+        assert t.cc0["y"] == t.cc1["n1"] + 1
+        assert t.cc1["y"] == t.cc0["n1"] + 1
+
+    def test_or_and_nor(self):
+        n = Netlist(
+            "or", ["a", "b"], ["o", "r"],
+            [Gate("o", GateType.OR, ("a", "b")),
+             Gate("r", GateType.NOR, ("a", "b"))],
+        )
+        t = compute_testability(n)
+        assert t.cc1["o"] == 2  # min CC1 + 1
+        assert t.cc0["o"] == 3  # sum CC0 + 1
+        assert t.cc0["r"] == 2 and t.cc1["r"] == 3
+
+    def test_xor(self):
+        n = Netlist("x", ["a", "b"], ["y"],
+                    [Gate("y", GateType.XOR, ("a", "b"))])
+        t = compute_testability(n)
+        assert t.cc0["y"] == 3  # equal inputs: 1+1 (+1)
+        assert t.cc1["y"] == 3
+
+    def test_controllability_accessor(self):
+        t = compute_testability(chain_netlist())
+        assert t.controllability("n1", 0) == t.cc0["n1"]
+        assert t.controllability("n1", 1) == t.cc1["n1"]
+
+    def test_deeper_nets_cost_more(self):
+        t = compute_testability(load_circuit("g64"))
+        levels = load_circuit("g64").levels()
+        shallow = [n for n, l in levels.items() if l == 1]
+        deep = [n for n, l in levels.items() if l == max(levels.values())]
+        avg = lambda nets: sum(min(t.cc0[n], t.cc1[n]) for n in nets) / len(nets)
+        assert avg(deep) > avg(shallow)
+
+
+class TestObservability:
+    def test_outputs_cost_zero(self):
+        t = compute_testability(chain_netlist())
+        assert t.co["y"] == 0
+
+    def test_propagation_adds_cost(self):
+        t = compute_testability(chain_netlist())
+        assert t.co["n1"] == 1  # through the NOT
+        # a through AND: side input b must be 1 (CC1=1) -> co = 1 + 1 + 1
+        assert t.co["a"] == t.co["n1"] + 2
+
+    def test_unobservable_net_marked(self):
+        n = Netlist(
+            "dangling", ["a"], ["y"],
+            [Gate("y", GateType.BUF, ("a",)),
+             Gate("dead", GateType.NOT, ("a",))],
+        )
+        t = compute_testability(n)
+        assert t.co["dead"] >= INFINITY
+
+    def test_hardest_nets(self):
+        t = compute_testability(load_circuit("s27"))
+        hardest = t.hardest_nets(3)
+        assert len(hardest) == 3
+
+
+class TestPodemGuidance:
+    def test_guided_never_loses_coverage(self):
+        circuit = load_circuit("g64")
+        faults = collapsed_faults(circuit)
+        unguided = Podem(circuit, guided=False)
+        guided = Podem(circuit, guided=True)
+        for fault in faults[:60]:
+            a = unguided.generate(fault)
+            b = guided.generate(fault)
+            if a.status == "detected":
+                assert b.status == "detected", fault
+
+    def test_guided_reduces_backtracks(self):
+        circuit = load_circuit("g256")
+        faults = collapsed_faults(circuit)[:200]
+        total = {True: 0, False: 0}
+        for flag in (False, True):
+            podem = Podem(circuit, backtrack_limit=200, guided=flag)
+            for fault in faults:
+                total[flag] += podem.generate(fault).backtracks
+        assert total[True] <= total[False]
+
+    def test_untestable_still_proven(self):
+        n = Netlist(
+            "red", ["a"], ["y"],
+            [Gate("na", GateType.NOT, ("a",)),
+             Gate("y", GateType.OR, ("a", "na"))],
+        )
+        from repro.circuits import Fault
+
+        assert Podem(n, guided=True).generate(Fault("y", 1)).status == \
+            "untestable"

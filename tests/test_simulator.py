@@ -1,0 +1,196 @@
+"""Unit tests for the three simulation engines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    Gate,
+    GateType,
+    Injection,
+    Netlist,
+    PackedSimulator,
+    eval_gate3,
+    eval_gate3_vec,
+    load_circuit,
+    output_values,
+    simulate,
+    simulate_patterns,
+)
+from repro.core import TernaryVector
+
+ALL_EVAL_TYPES = [
+    GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+    GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF,
+]
+
+
+class TestEvalGate3:
+    @pytest.mark.parametrize("gt,values,expected", [
+        (GateType.AND, [1, 1], 1),
+        (GateType.AND, [1, 0], 0),
+        (GateType.AND, [0, 2], 0),     # controlling beats X
+        (GateType.AND, [1, 2], 2),
+        (GateType.NAND, [1, 1], 0),
+        (GateType.NAND, [0, 2], 1),
+        (GateType.OR, [0, 0], 0),
+        (GateType.OR, [1, 2], 1),
+        (GateType.OR, [0, 2], 2),
+        (GateType.NOR, [1, 2], 0),
+        (GateType.XOR, [1, 0], 1),
+        (GateType.XOR, [1, 2], 2),
+        (GateType.XNOR, [1, 1], 1),
+        (GateType.NOT, [2], 2),
+        (GateType.NOT, [0], 1),
+        (GateType.BUF, [1], 1),
+        (GateType.DFF, [0], 0),
+    ])
+    def test_truth_table(self, gt, values, expected):
+        assert eval_gate3(gt, values) == expected
+
+    def test_input_not_evaluable(self):
+        with pytest.raises(ValueError):
+            eval_gate3(GateType.INPUT, [])
+
+    @pytest.mark.parametrize("gt", ALL_EVAL_TYPES)
+    @given(values=st.lists(st.sampled_from([0, 1, 2]), min_size=1, max_size=4))
+    @settings(max_examples=40)
+    def test_scalar_matches_vector(self, gt, values):
+        if gt in (GateType.NOT, GateType.BUF):
+            values = values[:1]
+        columns = np.array([[v] for v in values], dtype=np.uint8)
+        assert eval_gate3_vec(gt, columns)[0] == eval_gate3(gt, values)
+
+    @pytest.mark.parametrize("gt", ALL_EVAL_TYPES)
+    @given(values=st.lists(st.sampled_from([0, 1]), min_size=2, max_size=4))
+    @settings(max_examples=30)
+    def test_x_monotone(self, gt, values):
+        # Replacing a specified input with X can only move the output to X.
+        if gt in (GateType.NOT, GateType.BUF):
+            values = values[:1]
+        base = eval_gate3(gt, values)
+        for i in range(len(values)):
+            relaxed = list(values)
+            relaxed[i] = 2
+            out = eval_gate3(gt, relaxed)
+            assert out in (base, 2)
+
+
+def mux_netlist():
+    """y = s ? b : a, plus a DFF on y."""
+    return Netlist(
+        "mux", ["a", "b", "s"], ["y"],
+        [
+            Gate("ns", GateType.NOT, ("s",)),
+            Gate("t0", GateType.AND, ("a", "ns")),
+            Gate("t1", GateType.AND, ("b", "s")),
+            Gate("y", GateType.OR, ("t0", "t1")),
+            Gate("ff", GateType.DFF, ("y",)),
+        ],
+    )
+
+
+class TestSimulate:
+    def test_mux_truth(self):
+        n = mux_netlist()
+        # pattern layout: a, b, s, ff
+        for a in (0, 1):
+            for b in (0, 1):
+                for s in (0, 1):
+                    values = simulate(n, TernaryVector([a, b, s, 0]))
+                    assert values["y"] == (b if s else a)
+
+    def test_x_propagation(self):
+        n = mux_netlist()
+        values = simulate(n, TernaryVector("XX0X"))
+        assert values["y"] == 2
+        values = simulate(n, TernaryVector("1X0X"))
+        assert values["y"] == 1  # select=0 passes a=1 regardless of b
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            simulate(mux_netlist(), TernaryVector("01"))
+
+    def test_stem_injection(self):
+        n = mux_netlist()
+        values = simulate(n, TernaryVector("1100"),
+                          Injection("t0", 0))
+        assert values["t0"] == 0
+        assert values["y"] == 0
+
+    def test_pin_injection_affects_one_gate(self):
+        n = mux_netlist()
+        # force pin 0 of y (=t0) to 0; t0 itself stays 1
+        values = simulate(n, TernaryVector("1000"),
+                          Injection("y", 0, pin=0))
+        assert values["t0"] == 1
+        assert values["y"] == 0
+
+    def test_input_stem_injection(self):
+        n = mux_netlist()
+        values = simulate(n, TernaryVector("1000"), Injection("a", 0))
+        assert values["y"] == 0
+
+    def test_output_values(self):
+        n = mux_netlist()
+        values = simulate(n, TernaryVector("1100"))
+        out = output_values(n, values)
+        # scan outputs: y (PO), y (ff data) -> "11"
+        assert out.to_string() == "11"
+
+
+class TestSimulatePatterns:
+    def test_matches_scalar(self):
+        n = load_circuit("s27")
+        rng = np.random.default_rng(3)
+        matrix = rng.integers(0, 3, size=(32, n.scan_length)).astype(np.uint8)
+        vec_values = simulate_patterns(n, matrix)
+        for p in range(matrix.shape[0]):
+            scalar = simulate(n, TernaryVector(matrix[p]))
+            for net, arr in vec_values.items():
+                assert int(arr[p]) == scalar[net], (p, net)
+
+    def test_matches_scalar_with_injection(self):
+        n = load_circuit("s27")
+        rng = np.random.default_rng(4)
+        matrix = rng.integers(0, 3, size=(16, n.scan_length)).astype(np.uint8)
+        injection = Injection("G11", 1)
+        vec_values = simulate_patterns(n, matrix, injection)
+        for p in range(matrix.shape[0]):
+            scalar = simulate(n, TernaryVector(matrix[p]), injection)
+            for net, arr in vec_values.items():
+                assert int(arr[p]) == scalar[net], (p, net)
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            simulate_patterns(load_circuit("s27"),
+                              np.zeros((4, 3), dtype=np.uint8))
+
+
+class TestPackedSimulator:
+    def test_matches_scalar(self):
+        n = load_circuit("c17")
+        rng = np.random.default_rng(5)
+        matrix = rng.integers(0, 2, size=(40, n.scan_length)).astype(np.uint8)
+        packed = PackedSimulator(n).run(matrix)
+        for p in range(matrix.shape[0]):
+            scalar = simulate(n, TernaryVector(matrix[p]))
+            for net, word in packed.items():
+                assert (word >> p) & 1 == scalar[net], (p, net)
+
+    def test_matches_scalar_with_injections(self):
+        n = load_circuit("c17")
+        rng = np.random.default_rng(6)
+        matrix = rng.integers(0, 2, size=(20, n.scan_length)).astype(np.uint8)
+        for injection in (Injection("N10", 1), Injection("N22", 0, pin=1),
+                          Injection("N1", 1)):
+            packed = PackedSimulator(n).run(matrix, injection)
+            for p in range(matrix.shape[0]):
+                scalar = simulate(n, TernaryVector(matrix[p]), injection)
+                for net, word in packed.items():
+                    assert (word >> p) & 1 == scalar[net], (p, net, injection)
+
+    def test_rejects_x(self):
+        with pytest.raises(ValueError):
+            PackedSimulator.pack(np.array([[0, 2]], dtype=np.uint8))

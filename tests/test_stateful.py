@@ -1,0 +1,89 @@
+"""Stateful hypothesis tests: long interaction sequences stay consistent."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.decompressor import ScanChain
+from repro.core import TernaryVector
+
+
+class ScanChainMachine(RuleBasedStateMachine):
+    """The ScanChain must behave like a plain Python deque model."""
+
+    @initialize(length=st.integers(1, 12))
+    def setup(self, length):
+        self.length = length
+        self.chain = ScanChain(length)
+        self.model = [0] * length
+        self.shifted_in = []
+
+    @rule(bit=st.sampled_from([0, 1]))
+    def shift(self, bit):
+        out = self.chain.shift_in(bit)
+        expected_out = self.model.pop()
+        self.model.insert(0, bit)
+        self.shifted_in.append(bit)
+        assert out == expected_out
+
+    @rule()
+    def capture(self):
+        captured = self.chain.capture()
+        assert list(captured) == list(reversed(self.model))
+
+    @invariant()
+    def contents_match_model(self):
+        if hasattr(self, "model"):
+            assert list(self.chain.contents()) == self.model
+
+    @invariant()
+    def shift_count_tracks(self):
+        if hasattr(self, "model"):
+            assert self.chain.shift_count == len(self.shifted_in)
+
+
+TestScanChainStateful = ScanChainMachine.TestCase
+TestScanChainStateful.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+
+
+class CodecMachine(RuleBasedStateMachine):
+    """Interleaved encode/decode/re-encode must stay a fixpoint."""
+
+    @initialize(k=st.sampled_from([4, 8, 12]))
+    def setup(self, k):
+        from repro.core import NineCDecoder, NineCEncoder
+
+        self.k = k
+        self.encoder = NineCEncoder(k)
+        self.decoder = NineCDecoder(k)
+        self.data = TernaryVector("")
+
+    @rule(chunk=st.lists(st.sampled_from([0, 1, 2]), min_size=1,
+                         max_size=24))
+    def append_data(self, chunk):
+        self.data = TernaryVector.concat(
+            [self.data, TernaryVector(chunk)]
+        )
+
+    @rule()
+    def roundtrip_and_refine(self):
+        encoding = self.encoder.encode(self.data)
+        decoded = self.decoder.decode(encoding)
+        assert decoded.covers(self.data)
+        # continue the session on the refined data: must be a fixpoint
+        second = self.encoder.encode(decoded)
+        assert second.compressed_size == encoding.compressed_size
+        self.data = decoded
+
+
+TestCodecStateful = CodecMachine.TestCase
+TestCodecStateful.settings = settings(
+    max_examples=25, stateful_step_count=25, deadline=None
+)

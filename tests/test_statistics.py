@@ -1,0 +1,103 @@
+"""Unit tests for test-data statistics."""
+
+import pytest
+
+from repro.analysis import analyze_stream, analyze_test_set, mt_run_profile
+from repro.core import TernaryVector
+from repro.testdata import ISCAS89_PROFILES, TestSet, load_benchmark
+
+
+class TestAnalyzeStream:
+    def test_empty(self):
+        stats = analyze_stream(TernaryVector(""))
+        assert stats.total_bits == 0
+        assert stats.x_density == 0.0
+
+    def test_known_values(self):
+        stats = analyze_stream(TernaryVector("00XX11XX"))
+        assert stats.total_bits == 8
+        assert stats.x_density == pytest.approx(0.5)
+        assert stats.specified_zero_fraction == pytest.approx(0.5)
+        assert stats.mean_specified_burst == pytest.approx(2.0)
+        assert stats.mean_x_run == pytest.approx(2.0)
+
+    def test_zero_run_histogram(self):
+        # "00100001": a 2-run before the first 1, a 4-run before the next
+        stats = analyze_stream(TernaryVector("00100001"))
+        assert stats.zero_run_histogram == {2: 1, 4: 1}
+
+    def test_all_x(self):
+        stats = analyze_stream(TernaryVector("XXXX"))
+        assert stats.x_density == 1.0
+        assert stats.specified_zero_fraction == 0.0
+        assert stats.mean_specified_burst == 0.0
+
+    def test_describe(self):
+        text = analyze_stream(TernaryVector("0X1X")).describe()
+        assert "bits" in text and "X" in text
+
+
+class TestGeneratorCalibration:
+    """The surrogate generator must hit its documented statistics."""
+
+    @pytest.mark.parametrize("name", sorted(ISCAS89_PROFILES))
+    def test_profile_statistics_match(self, name):
+        profile = ISCAS89_PROFILES[name]
+        stats = analyze_test_set(load_benchmark(name))
+        assert stats.x_density == pytest.approx(profile.x_density, abs=0.02)
+        assert stats.specified_zero_fraction == pytest.approx(
+            profile.zero_bias, abs=0.05
+        )
+        assert stats.mean_specified_burst == pytest.approx(
+            profile.mean_specified_run, rel=0.35
+        )
+
+
+class TestClosedLoopCalibration:
+    """analyze -> profile_from_statistics -> generate reproduces CR."""
+
+    @pytest.mark.parametrize("name", ["s5378", "s13207", "s38417"])
+    def test_clone_matches_original_cr(self, name):
+        from repro.core import NineCEncoder
+        from repro.testdata import generate, profile_from_statistics
+
+        original = load_benchmark(name)
+        stats = analyze_test_set(original)
+        profile = profile_from_statistics(
+            stats, original.num_cells, original.num_patterns, seed=7
+        )
+        clone = generate(profile)
+        for k in (8, 16):
+            a = NineCEncoder(k).measure(original.to_stream())
+            b = NineCEncoder(k).measure(clone.to_stream())
+            assert b.compression_ratio == pytest.approx(
+                a.compression_ratio, abs=4.0
+            ), (name, k)
+
+    def test_value_persistence_property(self):
+        stats = analyze_stream(TernaryVector("000111"))
+        # two value runs of 3 -> mean 3 -> persistence 2/3
+        assert stats.mean_value_run == pytest.approx(3.0)
+        assert stats.value_persistence == pytest.approx(2 / 3)
+
+    def test_profile_clamps_extremes(self):
+        from repro.testdata import profile_from_statistics
+
+        stats = analyze_stream(TernaryVector("XXXX"))
+        profile = profile_from_statistics(stats, 4, 2)
+        assert 0.0 < profile.x_density < 1.0
+        assert 0.0 < profile.zero_bias < 1.0
+
+
+class TestMTRunProfile:
+    def test_profile_shape(self):
+        profile = mt_run_profile(TernaryVector("0XX011X1"))
+        assert sum(k * v for k, v in profile.items()) == 8
+
+    def test_mt_fill_lengthens_runs(self):
+        stream = load_benchmark("s5378", fraction=0.2).to_stream()
+        mt_runs = mt_run_profile(stream)
+        mean_mt = sum(k * v for k, v in mt_runs.items()) / \
+            sum(mt_runs.values())
+        stats = analyze_stream(stream)
+        assert mean_mt > stats.mean_specified_burst

@@ -1,0 +1,78 @@
+"""Integration tests for the system-level TestSession."""
+
+import pytest
+
+from repro.circuits import Fault, load_circuit
+from repro.system import TestSession
+from repro.testdata import TestSet
+
+
+class TestTestSession:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return TestSession(load_circuit("s27"), k=4, p=4,
+                           misr_width=8, seed=5).prepare()
+
+    def test_run_before_prepare_rejected(self):
+        with pytest.raises(RuntimeError):
+            TestSession(load_circuit("s27")).run()
+
+    def test_golden_run_passes(self, session):
+        verdict = session.run()
+        assert verdict.passed is True
+        assert verdict.patterns_applied == len(session.cubes)
+        assert verdict.soc_cycles > 0
+        assert verdict.ate_cycles == session.encoding.compressed_size
+
+    def test_detected_faults_fail_signature(self, session):
+        session.run()  # golden
+        caught = 0
+        for fault in session.atpg_result.detected:
+            verdict = session.run(fault)
+            if verdict.passed is False:
+                caught += 1
+        # MISR aliasing is 2^-16-ish: expect essentially all caught.
+        assert caught >= len(session.atpg_result.detected) - 1
+
+    def test_screen(self, session):
+        faults = session.atpg_result.detected[:5]
+        results = session.screen(faults)
+        assert set(results) == set(faults)
+        assert all(results.values())
+
+    def test_custom_cubes(self):
+        circuit = load_circuit("c17")
+        cubes = TestSet.from_strings(["01XX1", "X1010"], name="hand")
+        session = TestSession(circuit, k=4, misr_width=4).prepare(cubes)
+        verdict = session.run()
+        assert verdict.passed is True
+        assert session.applied_patterns.covers(cubes)
+
+    def test_wrong_cube_width_rejected(self):
+        circuit = load_circuit("c17")
+        with pytest.raises(ValueError):
+            TestSession(circuit).prepare(TestSet.from_strings(["01"]))
+
+    def test_compression_ratio_reported(self, session):
+        verdict = session.run()
+        assert verdict.compression_ratio == \
+            session.encoding.compression_ratio
+
+    def test_order_for_power_preserves_verdicts(self):
+        circuit = load_circuit("s27")
+        session = TestSession(circuit, k=4, misr_width=8).prepare(
+            order_for_power=True
+        )
+        assert session.run().passed is True
+        results = session.screen(session.atpg_result.detected[:4])
+        assert all(results.values())
+
+    def test_generated_circuit_end_to_end(self):
+        circuit = load_circuit("g64")
+        session = TestSession(circuit, k=8, p=8, misr_width=16).prepare()
+        golden = session.run()
+        assert golden.passed is True
+        sample = session.atpg_result.detected[::10]
+        results = session.screen(sample)
+        misses = [f for f, caught in results.items() if not caught]
+        assert len(misses) <= 1  # aliasing allowance

@@ -1,0 +1,61 @@
+"""Unit tests for testbench/golden-vector generation."""
+
+import re
+
+from repro.core import NineCEncoder, TernaryVector
+from repro.decompressor import generate_decoder_verilog, generate_testbench
+
+
+def sample_encoding():
+    data = TernaryVector("00000000" "0000X01X" "11111111")
+    return NineCEncoder(8).encode(data)
+
+
+class TestTestbench:
+    def test_bundle_contents(self):
+        encoding = sample_encoding()
+        bundle = generate_testbench(encoding)
+        assert "module ninec_decoder_tb" in bundle.testbench
+        assert "$readmemb" in bundle.testbench
+        assert "TESTBENCH PASS" in bundle.testbench
+
+    def test_stimulus_matches_stream_with_fill(self):
+        encoding = sample_encoding()
+        bundle = generate_testbench(encoding, x_fill=1)
+        bits = [int(line) for line in bundle.stimulus.split()]
+        assert len(bits) == encoding.compressed_size
+        expected = [1 if b == 2 else b for b in encoding.stream]
+        assert bits == expected
+
+    def test_golden_is_decoded_output(self):
+        from repro.core import NineCDecoder
+
+        encoding = sample_encoding()
+        bundle = generate_testbench(encoding, x_fill=0)
+        golden = [int(line) for line in bundle.golden.split()]
+        filled = TernaryVector([0 if b == 2 else b for b in encoding.stream])
+        decoded = NineCDecoder(8).decode_stream(filled)
+        assert golden == [int(b) for b in decoded]
+
+    def test_lengths_embedded(self):
+        encoding = sample_encoding()
+        bundle = generate_testbench(encoding)
+        stim_len = re.search(r"STIM_LEN = (\d+)", bundle.testbench)
+        gold_len = re.search(r"GOLD_LEN = (\d+)", bundle.testbench)
+        assert int(stim_len.group(1)) == encoding.compressed_size
+        assert int(gold_len.group(1)) == len(bundle.golden.split())
+
+    def test_write_bundle(self, tmp_path):
+        bundle = generate_testbench(sample_encoding())
+        bundle.write(tmp_path, prefix="tb")
+        assert (tmp_path / "tb.v").exists()
+        assert (tmp_path / "tb_stimulus.memb").exists()
+        assert (tmp_path / "tb_golden.memb").exists()
+
+    def test_pairs_with_generated_rtl(self):
+        # The DUT instantiated by the testbench exists in the RTL module.
+        encoding = sample_encoding()
+        bundle = generate_testbench(encoding, module_name="ninec_decoder")
+        rtl = generate_decoder_verilog(8, module_name="ninec_decoder")
+        assert "module ninec_decoder" in rtl
+        assert re.search(r"\bninec_decoder dut\b", bundle.testbench)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.testdata.testset."""
+
+import numpy as np
+import pytest
+
+from repro.core import TernaryVector
+from repro.testdata import TestSet
+
+
+def small_set():
+    return TestSet.from_strings(["01X0", "1X10", "XXXX"], name="demo")
+
+
+class TestConstruction:
+    def test_from_strings(self):
+        ts = small_set()
+        assert ts.num_patterns == 3
+        assert ts.num_cells == 4
+        assert ts.total_bits == 12
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            TestSet.from_strings(["01", "011"])
+
+    def test_from_matrix(self):
+        matrix = np.array([[0, 1], [2, 0]], dtype=np.uint8)
+        ts = TestSet.from_matrix(matrix)
+        assert ts[0].to_string() == "01"
+        assert ts[1].to_string() == "X0"
+
+    def test_from_matrix_requires_2d(self):
+        with pytest.raises(ValueError):
+            TestSet.from_matrix(np.zeros(4, dtype=np.uint8))
+
+    def test_from_stream(self):
+        ts = TestSet.from_stream(TernaryVector("01X010"), 3)
+        assert ts.num_patterns == 2
+        assert ts[1].to_string() == "010"
+
+    def test_from_stream_bad_length(self):
+        with pytest.raises(ValueError):
+            TestSet.from_stream(TernaryVector("01X01"), 3)
+
+    def test_from_stream_bad_cells(self):
+        with pytest.raises(ValueError):
+            TestSet.from_stream(TernaryVector("01"), 0)
+
+    def test_empty(self):
+        ts = TestSet([])
+        assert ts.num_patterns == 0
+        assert ts.num_cells == 0
+        assert ts.x_density == 0.0
+
+
+class TestProperties:
+    def test_x_stats(self):
+        ts = small_set()
+        assert ts.num_x == 6
+        assert ts.x_density == pytest.approx(0.5)
+
+    def test_stream_roundtrip(self):
+        ts = small_set()
+        back = TestSet.from_stream(ts.to_stream(), ts.num_cells)
+        assert back == ts
+
+    def test_to_matrix_is_copy(self):
+        ts = small_set()
+        m = ts.to_matrix()
+        m[0, 0] = 1
+        assert ts[0][0] == 0
+
+    def test_repr(self):
+        assert "demo" in repr(small_set())
+
+
+class TestTransforms:
+    def test_filled(self):
+        ts = small_set().filled(0)
+        assert ts[2].to_string() == "0000"
+        assert ts[0].to_string() == "0100"
+
+    def test_map_patterns(self):
+        ts = small_set().map_patterns(lambda p: p.filled(1))
+        assert ts[2].to_string() == "1111"
+        assert ts.name == "demo"
+
+    def test_covers(self):
+        cubes = small_set()
+        filled = cubes.filled(0)
+        assert filled.covers(cubes)
+        assert not cubes.filled(1).covers(cubes.filled(0))
+
+    def test_covers_length_mismatch(self):
+        assert not small_set().covers(TestSet.from_strings(["01X0"]))
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        ts = small_set()
+        path = tmp_path / "demo.test"
+        ts.save(path)
+        back = TestSet.load(path)
+        assert back == ts
+        assert back.name == "demo"
+
+    def test_load_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.test"
+        path.write_text("# repro test set: cells=2 patterns=1 name=x\n\n01\n\n")
+        ts = TestSet.load(path)
+        assert ts.num_patterns == 1
+        assert ts.name == "x"

@@ -1,0 +1,69 @@
+"""Unit tests for cross-code timing models."""
+
+import pytest
+
+from repro.analysis import compressed_time_ate_cycles
+from repro.codes import FDRCode, GolombCode, NineCCode, VIHCCode
+from repro.codes.timing import timing_report
+from repro.core import NineCEncoder, TernaryVector
+from repro.testdata import load_benchmark
+
+
+class TestNineCTiming:
+    def test_matches_section3c_model(self):
+        """The generic two-domain model reduces to the paper's terms."""
+        stream = load_benchmark("s5378", fraction=0.3).to_stream()
+        for p in (2, 4, 8):
+            report = timing_report(NineCCode(8), stream, p=p)
+            encoding = NineCEncoder(8).measure(stream)
+            paper = compressed_time_ate_cycles(encoding.case_counts, 8, p)
+            # exact up to the final padded block (< K/p cycles)
+            assert report.t_comp_ate_cycles == pytest.approx(
+                paper, abs=8 / p + 1e-9
+            )
+
+    def test_tat_limits(self):
+        stream = load_benchmark("s9234", fraction=0.3).to_stream()
+        report_small = timing_report(NineCCode(8), stream, p=1)
+        report_big = timing_report(NineCCode(8), stream, p=1000)
+        assert report_small.tat_percent < report_big.tat_percent
+        assert report_big.tat_percent == pytest.approx(
+            report_big.compression_ratio, abs=0.5
+        )
+
+
+class TestRunLengthTiming:
+    def test_everything_generated_on_chip(self):
+        stream = TernaryVector("0001" * 32)
+        for code in (FDRCode(), GolombCode(4), VIHCCode(8)):
+            report = timing_report(code, stream, p=8)
+            assert report.forwarded_bits == 0
+            assert report.t_comp_ate_cycles == pytest.approx(
+                report.compressed_bits + len(stream) / 8
+            )
+
+    def test_tat_bounded_by_cr(self):
+        stream = load_benchmark("s5378", fraction=0.3).to_stream()
+        for code in (FDRCode(), GolombCode(4), VIHCCode(8), NineCCode(8)):
+            for p in (2, 8, 64):
+                report = timing_report(code, stream, p=p)
+                assert report.tat_percent <= report.compression_ratio + 1e-9
+
+
+class TestValidation:
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            timing_report(FDRCode(), TernaryVector("01"), p=0)
+
+    def test_empty_stream(self):
+        report = timing_report(FDRCode(), TernaryVector(""), p=8)
+        assert report.tat_percent == 0.0
+
+
+class TestCrossCodeComparison:
+    def test_ninec_beats_fdr_on_time_too(self):
+        """9C's CR advantage carries into test time at realistic p."""
+        stream = load_benchmark("s5378").to_stream()
+        ninec = timing_report(NineCCode(8), stream, p=8)
+        fdr = timing_report(FDRCode(), stream, p=8)
+        assert ninec.tat_percent > fdr.tat_percent

@@ -1,0 +1,101 @@
+"""Structural tests for the generated decoder RTL (single-clock dialect)."""
+
+import re
+
+import pytest
+
+from repro.core import BlockCase, Codebook
+from repro.decompressor import (
+    NineCDecoderFSM,
+    generate_decoder_verilog,
+    generate_multiscan_verilog,
+)
+
+
+class TestDecoderVerilog:
+    def test_module_and_ports(self):
+        rtl = generate_decoder_verilog(8)
+        assert "module ninec_decoder" in rtl
+        for port in ("clk", "rst_n", "dec_en", "ate_tick", "data_in",
+                     "ready", "scan_en", "scan_out", "ack"):
+            assert re.search(rf"\b{port}\b", rtl), port
+
+    def test_parameters_track_k(self):
+        rtl = generate_decoder_verilog(16)
+        assert "localparam K = 16;" in rtl
+        assert "localparam HALF = 8;" in rtl
+
+    def test_every_state_declared(self):
+        rtl = generate_decoder_verilog(8)
+        for state in NineCDecoderFSM().states():
+            assert f"ST_{state}" in rtl, state
+
+    def test_every_case_resolved(self):
+        rtl = generate_decoder_verilog(8)
+        for case in BlockCase:
+            assert f"// {case.name}" in rtl, case
+
+    def test_control_logic_k_independent(self):
+        # The FSM case statement is byte-identical across K; only the
+        # localparams (K, HALF) and counter width change.
+        def fsm_section(rtl):
+            return rtl.split("case (state)")[1].split("endcase")[0]
+
+        assert fsm_section(generate_decoder_verilog(8)) == \
+            fsm_section(generate_decoder_verilog(64))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            generate_decoder_verilog(5)
+
+    def test_custom_codebook(self):
+        from repro.core import PAPER_LENGTHS
+
+        lengths = dict(PAPER_LENGTHS)
+        lengths[BlockCase.C8] = 4
+        lengths[BlockCase.C9] = 5
+        rtl = generate_decoder_verilog(8, Codebook.from_lengths(lengths))
+        assert "// C8" in rtl and "// C9" in rtl
+
+    def test_balanced_begin_end(self):
+        rtl = generate_decoder_verilog(8)
+        begins = len(re.findall(r"\bbegin\b", rtl))
+        ends = len(re.findall(r"\bend\b", rtl))
+        assert begins == ends
+
+    def test_mux_covers_three_selects(self):
+        rtl = generate_decoder_verilog(8)
+        assert "SEL_ZERO" in rtl and "SEL_ONE" in rtl and "SEL_DATA" in rtl
+        assert "assign scan_out" in rtl
+
+    def test_handshake_signals(self):
+        rtl = generate_decoder_verilog(8)
+        assert "assign ready" in rtl
+        assert "ate_tick" in rtl
+
+    def test_single_clock_domain(self):
+        rtl = generate_decoder_verilog(8)
+        assert "clk_ate" not in rtl and "clk_soc" not in rtl
+        assert rtl.count("always @(posedge clk") == 1
+
+
+class TestMultiscanVerilog:
+    def test_wrapper_instantiates_core(self):
+        rtl = generate_multiscan_verilog(8, 16)
+        assert "module ninec_multiscan_core" in rtl
+        assert "module ninec_multiscan" in rtl
+        assert "ninec_multiscan_core core" in rtl
+        assert "parameter M = 16" in rtl
+
+    def test_load_port_present(self):
+        rtl = generate_multiscan_verilog(8, 4)
+        assert re.search(r"output reg\s+load", rtl)
+        assert "chain_in" in rtl
+
+    def test_invalid_chains(self):
+        with pytest.raises(ValueError):
+            generate_multiscan_verilog(8, 0)
+
+    def test_deterministic(self):
+        assert generate_multiscan_verilog(8, 8) == \
+            generate_multiscan_verilog(8, 8)
