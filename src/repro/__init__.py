@@ -26,15 +26,21 @@ Package map
     multi-decoder organizations, plus decoder gate-cost estimation.
 ``repro.analysis``
     Test-application-time model (Section III-C), scan-power analysis,
-    CR/LX trade-off selection and reporting helpers.
+    CR/LX trade-off selection, resilience metrics and reporting helpers.
+``repro.robust``
+    Hardened stream layer: channel fault injectors for the single-pin
+    ATE link, CRC-framed ``T_E`` container with per-frame recovery, and
+    the error-resilience campaign harness (docs/resilience.md).
 """
 
 from .core import (
     BlockCase,
     Codebook,
+    DecodeDiagnostics,
     Encoding,
     NineCDecoder,
     NineCEncoder,
+    StreamError,
     TernaryVector,
     coding_table,
     frequency_directed,
@@ -50,6 +56,8 @@ __all__ = [
     "NineCEncoder",
     "NineCDecoder",
     "Encoding",
+    "StreamError",
+    "DecodeDiagnostics",
     "coding_table",
     "frequency_directed",
     "verify_roundtrip",

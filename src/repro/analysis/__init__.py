@@ -26,6 +26,14 @@ from .ordering import (
 )
 from .power import PowerReport, compare_fills, peak_wtm, test_set_wtm, wtm
 from .report import Table, format_cell
+from .resilience import (
+    OUTCOMES,
+    RateSummary,
+    ResilienceReport,
+    TrialOutcome,
+    resilience_table,
+    summarize_trials,
+)
 from .statistics import (
     TestDataStatistics,
     analyze_stream,
@@ -63,6 +71,12 @@ __all__ = [
     "leftover_x_coverage_experiment",
     "Table",
     "format_cell",
+    "OUTCOMES",
+    "TrialOutcome",
+    "RateSummary",
+    "ResilienceReport",
+    "summarize_trials",
+    "resilience_table",
     "EfficiencyReport",
     "coding_efficiency",
     "case_entropy_bits",

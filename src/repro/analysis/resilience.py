@@ -1,0 +1,170 @@
+"""Error-resilience metrics: detection rate vs silent escape rate.
+
+A corrupted ``T_E`` stream can end in one of four ways:
+
+* ``clean`` — the channel happened to alter nothing (or only X symbols
+  that fill back to the same values): the device sees the intended test;
+* ``detected_stream`` — the stream layer itself flagged the corruption
+  (CRC failure, codeword desync, truncation): the ATE can re-send;
+* ``detected_signature`` — the stream decoded without complaint but the
+  MISR signature mismatched: the device is (wrongly) failed, a yield
+  loss but not a quality loss;
+* ``silent_escape`` — the stream was corrupted *and* decoded without any
+  error *and* produced the golden signature: the test did not run as
+  intended, yet the part ships as PASS.  This is the headline robustness
+  metric — everything else is recoverable, silent escapes are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .report import Table
+
+#: Trial outcome labels, in report order.
+OUTCOMES = ("clean", "detected_stream", "detected_signature", "silent_escape")
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One campaign trial: one corrupted stream through the full flow."""
+
+    error_rate: float
+    trial: int
+    injections: int
+    outcome: str
+    blocks_lost: int = 0
+    stream_errors: int = 0
+
+    def __post_init__(self):
+        if self.outcome not in OUTCOMES:
+            raise ValueError(
+                f"unknown outcome {self.outcome!r}; expected one of {OUTCOMES}"
+            )
+
+
+@dataclass
+class RateSummary:
+    """Aggregated outcomes of all trials at one injected error rate."""
+
+    error_rate: float
+    trials: int = 0
+    clean: int = 0
+    detected_stream: int = 0
+    detected_signature: int = 0
+    silent_escapes: int = 0
+    blocks_lost: int = 0
+
+    @property
+    def corrupted(self) -> int:
+        """Trials where the channel actually altered the stream."""
+        return self.trials - self.clean
+
+    @property
+    def detected(self) -> int:
+        """Corrupted trials caught by either detection layer."""
+        return self.detected_stream + self.detected_signature
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of corrupted trials detected (1.0 when none corrupted)."""
+        return self.detected / self.corrupted if self.corrupted else 1.0
+
+    @property
+    def silent_escape_rate(self) -> float:
+        """Fraction of corrupted trials that still produced a golden PASS."""
+        return self.silent_escapes / self.corrupted if self.corrupted else 0.0
+
+
+@dataclass
+class ResilienceReport:
+    """Full campaign result: per-rate summaries plus raw trials."""
+
+    circuit: str
+    k: int
+    framed: bool
+    channel: str
+    stream_bits: int
+    summaries: List[RateSummary] = field(default_factory=list)
+    trials: List[TrialOutcome] = field(default_factory=list)
+
+    @property
+    def overall_detection_rate(self) -> float:
+        corrupted = sum(s.corrupted for s in self.summaries)
+        detected = sum(s.detected for s in self.summaries)
+        return detected / corrupted if corrupted else 1.0
+
+    @property
+    def overall_silent_escape_rate(self) -> float:
+        corrupted = sum(s.corrupted for s in self.summaries)
+        escapes = sum(s.silent_escapes for s in self.summaries)
+        return escapes / corrupted if corrupted else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering of the campaign result."""
+        return {
+            "circuit": self.circuit,
+            "k": self.k,
+            "framed": self.framed,
+            "channel": self.channel,
+            "stream_bits": self.stream_bits,
+            "overall": {
+                "detection_rate": self.overall_detection_rate,
+                "silent_escape_rate": self.overall_silent_escape_rate,
+            },
+            "rates": [
+                {
+                    "error_rate": s.error_rate,
+                    "trials": s.trials,
+                    "corrupted": s.corrupted,
+                    "detected_stream": s.detected_stream,
+                    "detected_signature": s.detected_signature,
+                    "silent_escapes": s.silent_escapes,
+                    "blocks_lost": s.blocks_lost,
+                    "detection_rate": s.detection_rate,
+                    "silent_escape_rate": s.silent_escape_rate,
+                }
+                for s in self.summaries
+            ],
+        }
+
+
+def summarize_trials(trials: Iterable[TrialOutcome]) -> List[RateSummary]:
+    """Fold raw trials into per-error-rate summaries, rate-sorted."""
+    by_rate: Dict[float, RateSummary] = {}
+    for trial in trials:
+        summary = by_rate.setdefault(trial.error_rate,
+                                     RateSummary(trial.error_rate))
+        summary.trials += 1
+        summary.blocks_lost += trial.blocks_lost
+        if trial.outcome == "clean":
+            summary.clean += 1
+        elif trial.outcome == "detected_stream":
+            summary.detected_stream += 1
+        elif trial.outcome == "detected_signature":
+            summary.detected_signature += 1
+        else:
+            summary.silent_escapes += 1
+    return [by_rate[rate] for rate in sorted(by_rate)]
+
+
+def resilience_table(report: ResilienceReport,
+                     title: Optional[str] = None) -> Table:
+    """Render a campaign report in the repo's table style."""
+    table = Table(
+        ["error rate", "trials", "corrupted", "stream det.", "sig det.",
+         "silent escapes", "detection %", "escape %"],
+        title=title or (
+            f"{report.circuit}: resilience campaign "
+            f"(K={report.k}, {report.channel} channel, "
+            f"{'framed' if report.framed else 'raw'} stream)"
+        ),
+    )
+    for s in report.summaries:
+        table.add_row(
+            f"{s.error_rate:g}", s.trials, s.corrupted, s.detected_stream,
+            s.detected_signature, s.silent_escapes,
+            s.detection_rate * 100.0, s.silent_escape_rate * 100.0,
+        )
+    return table

@@ -8,7 +8,9 @@ Subcommands mirror the paper's artifacts:
 * ``compare`` — 9C vs the baseline codes (Table IV row);
 * ``tat`` — test-application-time analysis (Table V row);
 * ``atpg`` — generate test cubes for an embedded circuit and
-  optionally compress them end-to-end.
+  optionally compress them end-to-end;
+* ``resilience`` — channel-fault injection campaign: detection rate vs
+  silent-escape rate on the single-pin ATE link (docs/resilience.md).
 """
 
 from __future__ import annotations
@@ -24,6 +26,8 @@ from .core.codewords import coding_table
 from .core.decoder import NineCDecoder
 from .core.encoder import NineCEncoder
 from .core.metrics import sweep_block_sizes
+from .robust.channel import CHANNEL_KINDS
+from .robust.framing import DEFAULT_BLOCKS_PER_FRAME
 from .testdata.mintest import ALL_PROFILES, TABLE2_BLOCK_SIZES, load_benchmark
 from .testdata.testset import TestSet
 
@@ -286,6 +290,47 @@ def cmd_system(args) -> int:
     return 0
 
 
+def cmd_resilience(args) -> int:
+    from .analysis.resilience import resilience_table
+    from .circuits.library import available_circuits, load_circuit
+    from .robust import run_campaign
+
+    if args.circuit not in available_circuits():
+        raise SystemExit(
+            f"unknown circuit {args.circuit!r}; available: "
+            f"{', '.join(available_circuits())}"
+        )
+    circuit = load_circuit(args.circuit)
+    try:
+        report = run_campaign(
+            circuit,
+            k=args.k,
+            error_rates=args.error_rate,
+            trials=args.trials,
+            framed=not args.no_framing,
+            blocks_per_frame=args.blocks_per_frame,
+            channel=args.channel,
+            seed=args.seed,
+            circuit_name=args.circuit,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"resilience: {exc}")
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    print(resilience_table(report).render())
+    print(f"stream length     : {report.stream_bits} bits "
+          f"({'framed' if report.framed else 'raw'})")
+    print(f"detection rate    : {report.overall_detection_rate * 100:.2f}% "
+          "of corrupted streams caught (stream layer or signature)")
+    print(f"silent escape rate: "
+          f"{report.overall_silent_escape_rate * 100:.2f}% "
+          "of corrupted streams still reported PASS")
+    return 0
+
+
 def cmd_benchmarks(_args) -> int:
     table = Table(["name", "cells", "patterns", "|T_D|", "X%"],
                   title="available benchmark profiles")
@@ -385,6 +430,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--screen", type=int, default=8,
                    help="number of detected faults to screen")
     p.set_defaults(func=cmd_system)
+
+    p = sub.add_parser(
+        "resilience",
+        help="channel-fault campaign: detection vs silent-escape rate",
+    )
+    p.add_argument("--circuit", default="s27")
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--error-rate", type=float, nargs="+", default=[1e-3],
+                   help="per-symbol fault rates to sweep")
+    p.add_argument("--trials", type=int, default=25,
+                   help="corrupted streams per error rate")
+    p.add_argument("--channel", choices=sorted(CHANNEL_KINDS),
+                   default="flip", help="fault model on the ATE link")
+    p.add_argument("--no-framing", action="store_true",
+                   help="send the raw T_E stream without CRC frames")
+    p.add_argument("--blocks-per-frame", type=int,
+                   default=DEFAULT_BLOCKS_PER_FRAME)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.set_defaults(func=cmd_resilience)
 
     p = sub.add_parser("benchmarks", help="list benchmark profiles")
     p.set_defaults(func=cmd_benchmarks)

@@ -19,6 +19,14 @@ from .codewords import (
 )
 from .decoder import NineCDecoder, verify_roundtrip
 from .encoder import BlockRecord, Encoding, Measurement, NineCEncoder
+from .errors import (
+    CodewordDesyncError,
+    DecodeDiagnostics,
+    FrameCRCError,
+    FrameSyncError,
+    StreamError,
+    TruncatedStreamError,
+)
 from .adaptive import DEFAULT_MENU, AdaptiveEncoding, AdaptiveNineCEncoder
 from .generalized import GeneralizedEncoder, GeneralizedMeasurement
 from .io import dumps as dumps_encoding
@@ -60,6 +68,12 @@ __all__ = [
     "coding_table",
     "NineCEncoder",
     "NineCDecoder",
+    "StreamError",
+    "CodewordDesyncError",
+    "TruncatedStreamError",
+    "FrameSyncError",
+    "FrameCRCError",
+    "DecodeDiagnostics",
     "Encoding",
     "Measurement",
     "BlockRecord",

@@ -15,6 +15,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from .bitvec import ONE, X, ZERO, TernaryVector
+from .errors import TruncatedStreamError
 
 
 class TernaryStreamWriter:
@@ -22,16 +23,28 @@ class TernaryStreamWriter:
 
     def __init__(self) -> None:
         self._chunks: list[np.ndarray] = []
+        self._pending: list[int] = []
         self._length = 0
 
     def __len__(self) -> int:
         return self._length
 
+    def _flush_pending(self) -> None:
+        """Convert buffered single-symbol writes into one numpy chunk."""
+        if self._pending:
+            self._chunks.append(np.array(self._pending, dtype=np.uint8))
+            self._pending = []
+
     def write_bit(self, value: int) -> None:
-        """Append a single symbol (0, 1 or X)."""
+        """Append a single symbol (0, 1 or X).
+
+        Buffered in a plain Python list and converted to numpy lazily;
+        allocating a 1-element array per symbol dominated encode time on
+        large test sets.
+        """
         if value not in (ZERO, ONE, X):
             raise ValueError(f"invalid ternary symbol: {value!r}")
-        self._chunks.append(np.array([value], dtype=np.uint8))
+        self._pending.append(value)
         self._length += 1
 
     def write_bits(self, values: Iterable[int]) -> None:
@@ -39,11 +52,13 @@ class TernaryStreamWriter:
         arr = np.fromiter((int(v) for v in values), dtype=np.uint8)
         if arr.size and arr.max(initial=0) > X:
             raise ValueError("stream symbols must be in {0, 1, 2}")
+        self._flush_pending()
         self._chunks.append(arr)
         self._length += int(arr.size)
 
     def write_vector(self, vec: TernaryVector) -> None:
         """Append a ternary vector verbatim."""
+        self._flush_pending()
         self._chunks.append(vec.data)
         self._length += len(vec)
 
@@ -56,6 +71,7 @@ class TernaryStreamWriter:
 
     def to_vector(self) -> TernaryVector:
         """Snapshot of everything written so far."""
+        self._flush_pending()
         if not self._chunks:
             return TernaryVector(np.empty(0, dtype=np.uint8))
         return TernaryVector(np.concatenate(self._chunks))
@@ -81,9 +97,11 @@ class TernaryStreamReader:
         return self.position >= self._data.size
 
     def read_bit(self) -> int:
-        """Read one symbol; raises :class:`EOFError` past the end."""
+        """Read one symbol; raises :class:`TruncatedStreamError` past the end."""
         if self.at_end():
-            raise EOFError("read past end of stream")
+            raise TruncatedStreamError(
+                "read past end of stream", bit_offset=self.position
+            )
         value = int(self._data[self.position])
         self.position += 1
         return value
@@ -91,25 +109,35 @@ class TernaryStreamReader:
     def read_vector(self, n: int) -> TernaryVector:
         """Read ``n`` symbols as a vector."""
         if self.remaining < n:
-            raise EOFError(f"requested {n} symbols, {self.remaining} remain")
+            raise TruncatedStreamError(
+                f"requested {n} symbols, {self.remaining} remain",
+                bit_offset=self.position,
+            )
         out = TernaryVector(self._data[self.position : self.position + n])
         self.position += n
         return out
 
     def read_uint(self, width: int) -> int:
         """Read ``width`` specified bits MSB-first as an unsigned int."""
+        from .errors import StreamError
+
         value = 0
         for _ in range(width):
+            offset = self.position
             bit = self.read_bit()
             if bit == X:
-                raise ValueError("X symbol inside an integer field")
+                raise StreamError(
+                    "X symbol inside an integer field", bit_offset=offset
+                )
             value = (value << 1) | bit
         return value
 
     def peek_bit(self) -> int:
         """Look at the next symbol without consuming it."""
         if self.at_end():
-            raise EOFError("peek past end of stream")
+            raise TruncatedStreamError(
+                "peek past end of stream", bit_offset=self.position
+            )
         return int(self._data[self.position])
 
 

@@ -33,6 +33,7 @@ from enum import Enum
 from typing import Dict, Iterable, Mapping, Sequence, Tuple
 
 from .bitvec import TernaryVector
+from .errors import CodewordDesyncError
 
 
 class HalfKind(Enum):
@@ -191,15 +192,24 @@ class Codebook:
         return ((case, self._codewords[case]) for case in BlockCase)
 
     def decode_case(self, read_bit) -> BlockCase:
-        """Consume bits via ``read_bit()`` until a codeword resolves."""
+        """Consume bits via ``read_bit()`` until a codeword resolves.
+
+        Raises :class:`~repro.core.errors.CodewordDesyncError` when the
+        bits walk off the codeword trie or an X symbol appears inside a
+        codeword — both symptoms of a desynchronized prefix code.
+        """
         node = self._trie
         while True:
             bit = read_bit()
             if bit not in (0, 1):
-                raise ValueError(f"X symbol inside a codeword (bit={bit})")
+                raise CodewordDesyncError(
+                    f"X symbol inside a codeword (bit={bit})"
+                )
             nxt = node.get(bit)
             if nxt is None:
-                raise ValueError("bit sequence is not a valid 9C codeword")
+                raise CodewordDesyncError(
+                    "bit sequence is not a valid 9C codeword"
+                )
             if isinstance(nxt, BlockCase):
                 return nxt
             node = nxt

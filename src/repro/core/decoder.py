@@ -5,6 +5,16 @@ it walks the prefix-free codewords, expands uniform halves to all-0s /
 all-1s and copies mismatch halves verbatim (preserving leftover X).  The
 cycle-accurate hardware models in :mod:`repro.decompressor` must produce
 exactly the same output; integration tests assert that.
+
+Failure semantics are structured: every malformed-stream condition raises
+a :class:`~repro.core.errors.StreamError` subclass carrying bit-offset and
+block-index context.  ``decode_stream(..., recover=True)`` never raises on
+corruption; it returns a best-effort prefix of the output (padded with X
+up to ``output_length`` when one is given) and records what went wrong in
+:attr:`NineCDecoder.last_diagnostics`.  A raw 9C stream has no redundancy
+to resynchronize on, so unframed recovery stops at the first error; the
+framed container in :mod:`repro.robust.framing` recovers at frame
+granularity.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ from .bitstream import TernaryStreamReader
 from .bitvec import TernaryVector
 from .codewords import Codebook, HalfKind
 from .encoder import Encoding
+from .errors import DecodeDiagnostics, StreamError, TruncatedStreamError
 
 
 class NineCDecoder:
@@ -25,40 +36,87 @@ class NineCDecoder:
             raise ValueError("K must be an even integer >= 2")
         self.k = k
         self.codebook = codebook or Codebook.default()
+        #: Diagnostics of the most recent :meth:`decode_stream` call.
+        self.last_diagnostics: Optional[DecodeDiagnostics] = None
 
     def decode_stream(
-        self, stream: TernaryVector, output_length: Optional[int] = None
+        self,
+        stream: TernaryVector,
+        output_length: Optional[int] = None,
+        *,
+        recover: bool = False,
     ) -> TernaryVector:
         """Decode ``stream``; truncate to ``output_length`` when given.
 
-        Raises :class:`ValueError` on a malformed stream (codeword that
-        does not resolve, or trailing garbage shorter than a block).
+        In strict mode (default) a malformed stream raises a
+        :class:`StreamError` subclass: :class:`CodewordDesyncError` for a
+        codeword that does not resolve, :class:`TruncatedStreamError` when
+        the stream ends mid-block or decodes to fewer than
+        ``output_length`` bits.
+
+        With ``recover=True`` decoding never raises on corruption: it
+        stops at the first damaged block, pads with X to ``output_length``
+        (when given), and files a :class:`DecodeDiagnostics` report under
+        :attr:`last_diagnostics`.
         """
+        if output_length is not None and output_length < 0:
+            raise ValueError(f"output_length must be >= 0, got {output_length}")
+        diagnostics = DecodeDiagnostics()
         reader = TernaryStreamReader(stream)
         half = self.k // 2
         parts = []
         produced = 0
+        block_index = 0
         while not reader.at_end():
-            case = self.codebook.decode_case(reader.read_bit)
-            for kind in case.halves:
-                if kind is HalfKind.ZEROS:
-                    parts.append(TernaryVector.zeros(half))
-                elif kind is HalfKind.ONES:
-                    parts.append(TernaryVector.ones(half))
-                else:
-                    parts.append(reader.read_vector(half))
+            block_start = reader.position
+            try:
+                case = self.codebook.decode_case(reader.read_bit)
+                halves = []
+                for kind in case.halves:
+                    if kind is HalfKind.ZEROS:
+                        halves.append(TernaryVector.zeros(half))
+                    elif kind is HalfKind.ONES:
+                        halves.append(TernaryVector.ones(half))
+                    else:
+                        halves.append(reader.read_vector(half))
+            except StreamError as exc:
+                self._contextualize(exc, block_start, block_index)
+                if not recover:
+                    self.last_diagnostics = diagnostics
+                    raise
+                diagnostics.record(exc)
+                break
+            parts.extend(halves)
             produced += self.k
+            block_index += 1
             if output_length is not None and produced >= output_length:
                 break
+        diagnostics.blocks_decoded = block_index
         decoded = TernaryVector.concat(parts)
         if output_length is not None:
             if len(decoded) < output_length:
-                raise ValueError(
-                    f"stream decodes to {len(decoded)} bits, "
-                    f"expected at least {output_length}"
-                )
+                missing = output_length - len(decoded)
+                diagnostics.blocks_lost = -(-missing // self.k)
+                if not recover:
+                    self.last_diagnostics = diagnostics
+                    raise TruncatedStreamError(
+                        f"stream decodes to {len(decoded)} bits, "
+                        f"expected at least {output_length}",
+                        bit_offset=reader.position,
+                        block_index=block_index,
+                    )
+                decoded = decoded.padded(output_length)
             decoded = decoded[:output_length]
+        self.last_diagnostics = diagnostics
         return decoded
+
+    @staticmethod
+    def _contextualize(exc: StreamError, bit_offset: int, block_index: int) -> None:
+        """Fill in position context on errors raised by lower layers."""
+        if exc.bit_offset is None:
+            exc.bit_offset = bit_offset
+        if exc.block_index is None:
+            exc.block_index = block_index
 
     def decode(self, encoding: Encoding) -> TernaryVector:
         """Decode an :class:`Encoding` produced by the matching encoder."""

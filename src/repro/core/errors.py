@@ -1,0 +1,123 @@
+"""Structured errors for the 9C stream layer.
+
+The single-pin ATE link is the paper's whole premise, and a prefix code
+on a serial link fails in characteristic ways: one flipped bit turns the
+rest of the stream into garbage (desynchronization), a dropped symbol
+truncates the tail, a corrupted frame fails its CRC.  Every decoder
+failure mode surfaces as a :class:`StreamError` subclass carrying enough
+context (bit offset, block index, frame index) to localize the damage.
+
+``StreamError`` subclasses :class:`ValueError` so pre-existing callers
+that catch ``ValueError`` keep working; :class:`TruncatedStreamError`
+additionally subclasses :class:`EOFError` for the same reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class StreamError(ValueError):
+    """Base class for malformed / corrupted 9C stream conditions.
+
+    Attributes ``bit_offset`` (position in the encoded stream),
+    ``block_index`` (K-bit output block being decoded) and
+    ``frame_index`` (when framing is in use) are ``None`` when unknown.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        bit_offset: Optional[int] = None,
+        block_index: Optional[int] = None,
+        frame_index: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.message = message
+        self.bit_offset = bit_offset
+        self.block_index = block_index
+        self.frame_index = frame_index
+
+    def __str__(self) -> str:
+        context = []
+        if self.bit_offset is not None:
+            context.append(f"bit offset {self.bit_offset}")
+        if self.block_index is not None:
+            context.append(f"block {self.block_index}")
+        if self.frame_index is not None:
+            context.append(f"frame {self.frame_index}")
+        if context:
+            return f"{self.message} ({', '.join(context)})"
+        return self.message
+
+
+class CodewordDesyncError(StreamError):
+    """The bit sequence at the read position is not a valid codeword.
+
+    Either an X symbol appeared inside a codeword, or the bits walked off
+    the codeword trie — the classic symptom of a prefix code that lost
+    synchronization after an upstream corruption.
+    """
+
+
+class TruncatedStreamError(StreamError, EOFError):
+    """The stream ended mid-codeword, mid-payload or mid-frame."""
+
+
+class FrameSyncError(StreamError):
+    """A frame header is unreadable: bad sync marker or damaged fields."""
+
+
+class FrameCRCError(StreamError):
+    """A frame's CRC check failed (header or payload corruption)."""
+
+
+@dataclass
+class DecodeDiagnostics:
+    """Best-effort decode report: what was recovered, what was lost.
+
+    Produced by recovery-mode decoding (``recover=True``).  ``errors``
+    holds every :class:`StreamError` that was swallowed while recovering;
+    ``resync_points`` are the bit offsets where decoding re-acquired the
+    stream after damage (frame boundaries).
+    """
+
+    blocks_decoded: int = 0
+    blocks_lost: int = 0
+    frames_total: int = 0
+    frames_damaged: int = 0
+    resync_points: List[int] = field(default_factory=list)
+    first_error_offset: Optional[int] = None
+    errors: List[StreamError] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when the stream decoded without any detected damage."""
+        return not self.errors and self.frames_damaged == 0
+
+    @property
+    def detected(self) -> bool:
+        """True when stream-level machinery flagged corruption."""
+        return not self.clean
+
+    def record(self, error: StreamError) -> None:
+        """Log one swallowed error, tracking the first damage offset."""
+        self.errors.append(error)
+        if error.bit_offset is not None and (
+            self.first_error_offset is None
+            or error.bit_offset < self.first_error_offset
+        ):
+            self.first_error_offset = error.bit_offset
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        if self.clean:
+            return f"clean: {self.blocks_decoded} blocks decoded"
+        return (
+            f"damaged: {self.blocks_decoded} blocks decoded, "
+            f"{self.blocks_lost} lost, {len(self.errors)} errors, "
+            f"{self.frames_damaged}/{self.frames_total} frames damaged, "
+            f"first error at bit {self.first_error_offset}"
+        )

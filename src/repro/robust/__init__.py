@@ -1,0 +1,91 @@
+"""Hardened stream layer: channel faults, framing, resilience campaigns.
+
+The paper models the ATE-to-decoder link as a perfect wire.  This
+package makes the link a first-class, failable component:
+
+* :mod:`repro.robust.channel` — seeded fault injectors over ``T_E``;
+* :mod:`repro.robust.framing` — CRC-protected frames that detect
+  corruption and bound its blast radius to one frame;
+* :mod:`repro.robust.campaign` — sweeps injected error rates through
+  the full :class:`~repro.system.TestSession` flow and measures the
+  detection rate vs the silent-escape rate.
+
+See ``docs/resilience.md`` for the threat model and report semantics.
+"""
+
+from ..core.errors import (
+    CodewordDesyncError,
+    DecodeDiagnostics,
+    FrameCRCError,
+    FrameSyncError,
+    StreamError,
+    TruncatedStreamError,
+)
+from .campaign import ChannelFactory, run_campaign
+from .channel import (
+    CHANNEL_KINDS,
+    BitFlipChannel,
+    BurstErrorChannel,
+    Channel,
+    ChannelResult,
+    CompositeChannel,
+    Injection,
+    PerfectChannel,
+    StuckAtChannel,
+    SymbolDropChannel,
+    SymbolInsertChannel,
+    XErasureChannel,
+    make_channel,
+)
+from .framing import (
+    DEFAULT_BLOCKS_PER_FRAME,
+    FRAME_OVERHEAD_BITS,
+    HEADER_BITS,
+    FramedDecodeResult,
+    FrameInfo,
+    crc8,
+    crc16,
+    decode_framed,
+    frame_overhead_bits,
+    frame_stream,
+    payload_crc,
+)
+
+__all__ = [
+    # errors (re-exported for convenience)
+    "StreamError",
+    "CodewordDesyncError",
+    "TruncatedStreamError",
+    "FrameSyncError",
+    "FrameCRCError",
+    "DecodeDiagnostics",
+    # channel models
+    "Channel",
+    "ChannelResult",
+    "Injection",
+    "PerfectChannel",
+    "BitFlipChannel",
+    "BurstErrorChannel",
+    "StuckAtChannel",
+    "SymbolDropChannel",
+    "SymbolInsertChannel",
+    "XErasureChannel",
+    "CompositeChannel",
+    "CHANNEL_KINDS",
+    "make_channel",
+    # framing
+    "frame_stream",
+    "decode_framed",
+    "FramedDecodeResult",
+    "FrameInfo",
+    "frame_overhead_bits",
+    "crc8",
+    "crc16",
+    "payload_crc",
+    "DEFAULT_BLOCKS_PER_FRAME",
+    "FRAME_OVERHEAD_BITS",
+    "HEADER_BITS",
+    # campaign
+    "run_campaign",
+    "ChannelFactory",
+]

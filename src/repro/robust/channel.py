@@ -1,0 +1,313 @@
+"""Channel fault models for the single-pin ATE link.
+
+The paper assumes a perfect wire between the tester and the on-chip
+decoder.  These injectors model the ways a real serial link goes wrong,
+each as a composable, seeded transform over the ternary ``T_E`` stream:
+
+* :class:`BitFlipChannel` — independent symbol flips (0 <-> 1);
+* :class:`BurstErrorChannel` — contiguous runs of flipped symbols;
+* :class:`StuckAtChannel` — the pin latches to a constant from some cycle;
+* :class:`SymbolDropChannel` — symbols deleted (clock slip, shortens the
+  stream and desynchronizes everything after);
+* :class:`SymbolInsertChannel` — spurious symbols inserted;
+* :class:`XErasureChannel` — specified symbols degraded to unknown (X),
+  the erasure model of X-tolerant compaction work;
+* :class:`CompositeChannel` — apply several models in sequence.
+
+Every channel draws from a generator seeded in its constructor and
+re-seeded on each :meth:`Channel.apply`, so a given (channel, stream)
+pair is fully reproducible — a requirement for campaign triage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.bitvec import ONE, X, ZERO, TernaryVector
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One injected fault: what happened where.
+
+    ``position`` indexes the stream the channel received; ``before`` is
+    ``None`` for insertions, ``after`` is ``None`` for drops.
+    """
+
+    kind: str
+    position: int
+    before: Optional[int]
+    after: Optional[int]
+
+
+@dataclass
+class ChannelResult:
+    """A perturbed stream plus the exact faults that were injected."""
+
+    stream: TernaryVector
+    injections: List[Injection]
+
+    @property
+    def corrupted(self) -> bool:
+        """True when at least one symbol was actually altered."""
+        return bool(self.injections)
+
+
+class Channel:
+    """Base class: a seeded, reproducible stream perturbation."""
+
+    kind = "perfect"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def apply(self, stream: TernaryVector) -> ChannelResult:
+        """Perturb ``stream``; same channel + same stream => same result."""
+        rng = np.random.default_rng(self.seed)
+        return self._apply(stream, rng)
+
+    def _apply(self, stream: TernaryVector, rng: np.random.Generator) -> ChannelResult:
+        return ChannelResult(stream, [])
+
+    def __call__(self, stream: TernaryVector) -> TernaryVector:
+        return self.apply(stream).stream
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(seed={self.seed})"
+
+
+class PerfectChannel(Channel):
+    """The identity channel (what the repo modeled before this module)."""
+
+
+def _flip_symbol(value: int, rng: np.random.Generator) -> int:
+    """A flipped line bit: 0 <-> 1; an X symbol resolves to a random bit."""
+    if value == ZERO:
+        return ONE
+    if value == ONE:
+        return ZERO
+    return int(rng.integers(0, 2))
+
+
+class BitFlipChannel(Channel):
+    """Independent per-symbol flips at probability ``rate``.
+
+    Pass ``count`` instead to inject exactly that many flips at uniform
+    random positions (used by the exhaustive resilience tests).
+    """
+
+    kind = "flip"
+
+    def __init__(self, rate: float = 0.0, *, count: Optional[int] = None, seed: int = 0):
+        super().__init__(seed)
+        if rate < 0 or rate > 1:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.count = count
+
+    def _apply(self, stream, rng):
+        n = len(stream)
+        if self.count is not None:
+            hits = rng.choice(n, size=min(self.count, n), replace=False) if n else []
+        else:
+            hits = np.flatnonzero(rng.random(n) < self.rate)
+        data = stream.data.copy()
+        injections = []
+        for pos in sorted(int(p) for p in hits):
+            before = int(data[pos])
+            after = _flip_symbol(before, rng)
+            data[pos] = after
+            injections.append(Injection(self.kind, pos, before, after))
+        return ChannelResult(TernaryVector(data), injections)
+
+
+class BurstErrorChannel(Channel):
+    """Bursts of ``burst_length`` consecutive flips, starting at ``rate``."""
+
+    kind = "burst"
+
+    def __init__(self, rate: float = 0.0, burst_length: int = 4, seed: int = 0):
+        super().__init__(seed)
+        if burst_length < 1:
+            raise ValueError("burst_length must be >= 1")
+        self.rate = rate
+        self.burst_length = burst_length
+
+    def _apply(self, stream, rng):
+        n = len(stream)
+        starts = np.flatnonzero(rng.random(n) < self.rate)
+        data = stream.data.copy()
+        injections = []
+        touched = set()
+        for start in (int(s) for s in starts):
+            for pos in range(start, min(start + self.burst_length, n)):
+                if pos in touched:
+                    continue
+                touched.add(pos)
+                before = int(data[pos])
+                after = _flip_symbol(before, rng)
+                data[pos] = after
+                injections.append(Injection(self.kind, pos, before, after))
+        injections.sort(key=lambda i: i.position)
+        return ChannelResult(TernaryVector(data), injections)
+
+
+class StuckAtChannel(Channel):
+    """The pin latches to ``value`` from a random (or given) cycle on.
+
+    ``length=None`` holds the fault to end-of-stream (a dead driver);
+    a finite ``length`` models a transient glitch window.
+    """
+
+    kind = "stuck"
+
+    def __init__(self, value: int = ZERO, start: Optional[int] = None,
+                 length: Optional[int] = None, seed: int = 0):
+        super().__init__(seed)
+        if value not in (ZERO, ONE):
+            raise ValueError("stuck-at value must be 0 or 1")
+        self.value = value
+        self.start = start
+        self.length = length
+
+    def _apply(self, stream, rng):
+        n = len(stream)
+        if n == 0:
+            return ChannelResult(stream, [])
+        start = self.start if self.start is not None else int(rng.integers(0, n))
+        end = n if self.length is None else min(n, start + self.length)
+        data = stream.data.copy()
+        injections = []
+        for pos in range(start, end):
+            before = int(data[pos])
+            if before != self.value:
+                data[pos] = self.value
+                injections.append(Injection(self.kind, pos, before, self.value))
+        return ChannelResult(TernaryVector(data), injections)
+
+
+class SymbolDropChannel(Channel):
+    """Delete symbols at probability ``rate`` (serial clock slip)."""
+
+    kind = "drop"
+
+    def __init__(self, rate: float = 0.0, *, count: Optional[int] = None, seed: int = 0):
+        super().__init__(seed)
+        self.rate = rate
+        self.count = count
+
+    def _apply(self, stream, rng):
+        n = len(stream)
+        if self.count is not None:
+            hits = rng.choice(n, size=min(self.count, n), replace=False) if n else []
+        else:
+            hits = np.flatnonzero(rng.random(n) < self.rate)
+        drop = sorted(int(p) for p in hits)
+        keep = np.ones(n, dtype=bool)
+        keep[drop] = False
+        injections = [
+            Injection(self.kind, pos, int(stream.data[pos]), None) for pos in drop
+        ]
+        return ChannelResult(TernaryVector(stream.data[keep]), injections)
+
+
+class SymbolInsertChannel(Channel):
+    """Insert random specified symbols at probability ``rate`` per gap."""
+
+    kind = "insert"
+
+    def __init__(self, rate: float = 0.0, *, count: Optional[int] = None, seed: int = 0):
+        super().__init__(seed)
+        self.rate = rate
+        self.count = count
+
+    def _apply(self, stream, rng):
+        n = len(stream)
+        if self.count is not None:
+            hits = rng.choice(n + 1, size=self.count, replace=True)
+        else:
+            hits = np.flatnonzero(rng.random(n + 1) < self.rate)
+        positions = sorted(int(p) for p in hits)
+        if not positions:
+            return ChannelResult(stream, [])
+        out = []
+        injections = []
+        cursor = 0
+        for pos in positions:
+            out.append(stream.data[cursor:pos])
+            symbol = int(rng.integers(0, 2))
+            out.append(np.array([symbol], dtype=np.uint8))
+            injections.append(Injection(self.kind, pos, None, symbol))
+            cursor = pos
+        out.append(stream.data[cursor:])
+        return ChannelResult(TernaryVector(np.concatenate(out)), injections)
+
+
+class XErasureChannel(Channel):
+    """Degrade specified symbols to X at probability ``rate``.
+
+    Models the receiver knowing a symbol arrived but not what it was —
+    the erasure/unknown-value model of X-tolerant response compaction.
+    """
+
+    kind = "erase"
+
+    def __init__(self, rate: float = 0.0, seed: int = 0):
+        super().__init__(seed)
+        self.rate = rate
+
+    def _apply(self, stream, rng):
+        n = len(stream)
+        hits = np.flatnonzero((rng.random(n) < self.rate) & (stream.data != X))
+        data = stream.data.copy()
+        injections = []
+        for pos in (int(p) for p in hits):
+            injections.append(Injection(self.kind, pos, int(data[pos]), X))
+            data[pos] = X
+        return ChannelResult(TernaryVector(data), injections)
+
+
+class CompositeChannel(Channel):
+    """Apply several channels in sequence (e.g. drops + flips).
+
+    Injection positions refer to the intermediate stream each stage saw.
+    """
+
+    kind = "composite"
+
+    def __init__(self, channels: Sequence[Channel]):
+        super().__init__(seed=0)
+        self.channels = list(channels)
+
+    def apply(self, stream: TernaryVector) -> ChannelResult:
+        injections: List[Injection] = []
+        for channel in self.channels:
+            result = channel.apply(stream)
+            stream = result.stream
+            injections.extend(result.injections)
+        return ChannelResult(stream, injections)
+
+
+#: CLI-facing registry: name -> factory(rate, seed) for rate-style channels.
+CHANNEL_KINDS = {
+    "flip": lambda rate, seed: BitFlipChannel(rate, seed=seed),
+    "burst": lambda rate, seed: BurstErrorChannel(rate, burst_length=4, seed=seed),
+    "drop": lambda rate, seed: SymbolDropChannel(rate, seed=seed),
+    "insert": lambda rate, seed: SymbolInsertChannel(rate, seed=seed),
+    "erase": lambda rate, seed: XErasureChannel(rate, seed=seed),
+}
+
+
+def make_channel(kind: str, rate: float, seed: int = 0) -> Channel:
+    """Build a rate-parameterized channel by registry name."""
+    try:
+        factory = CHANNEL_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown channel kind {kind!r}; available: "
+            f"{', '.join(sorted(CHANNEL_KINDS))}"
+        ) from None
+    return factory(rate, seed)

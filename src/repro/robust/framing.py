@@ -1,0 +1,337 @@
+"""Framed container for the compressed stream ``T_E``.
+
+A raw 9C stream has zero redundancy: one flipped bit desynchronizes the
+prefix code and every block after it decodes to garbage, silently.  The
+framed container trades a small overhead for *detection* and *containment*:
+
+::
+
+    +------+-------------+-------------+-------------+----------+
+    | SYNC | frame_index | block_count | payload_len | hdr CRC8 |
+    |  8b  |     16b     |     12b     |     16b     |    8b    |
+    +------+-------------+-------------+-------------+----------+
+    |            payload: payload_len ternary symbols           |
+    +-----------------------------------------------------------+
+    |                     payload CRC-16                        |
+    +-----------------------------------------------------------+
+
+The payload is a run of whole 9C blocks (codewords + mismatch halves),
+cut at block boundaries so every frame decodes independently.  All header
+and CRC fields are fully-specified bits; the payload may carry leftover X.
+The payload CRC is fed 2 bits per ternary symbol, so it detects both
+value flips of the fully-specified bits and X-erasures/X-resolutions.
+
+Recovery semantics (``decode_framed(..., recover=True)``): a frame whose
+header parses but whose payload fails its CRC or desyncs is skipped using
+the header's ``payload_len`` — decoding resumes at the next frame
+boundary and only that frame's ``block_count`` blocks are lost (emitted
+as X so downstream X-fill still produces an applicable pattern).  A frame
+whose *header* is damaged is abandoned and the scanner searches forward
+for the next offset whose sync marker and header CRC both check out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..core.bitstream import TernaryStreamReader, TernaryStreamWriter, bits_from_int
+from ..core.bitvec import X, TernaryVector
+from ..core.decoder import NineCDecoder
+from ..core.encoder import Encoding
+from ..core.errors import (
+    DecodeDiagnostics,
+    FrameCRCError,
+    FrameSyncError,
+    StreamError,
+    TruncatedStreamError,
+)
+
+#: Frame sync marker (8 bits).
+SYNC_WORD = 0xA5
+SYNC_BITS = 8
+INDEX_BITS = 16
+COUNT_BITS = 12
+LENGTH_BITS = 16
+HEADER_CRC_BITS = 8
+PAYLOAD_CRC_BITS = 16
+
+#: Total header size in bits (sync + index + count + length + CRC-8).
+HEADER_BITS = SYNC_BITS + INDEX_BITS + COUNT_BITS + LENGTH_BITS + HEADER_CRC_BITS
+
+#: Fixed per-frame overhead in bits (header + payload CRC-16).
+FRAME_OVERHEAD_BITS = HEADER_BITS + PAYLOAD_CRC_BITS
+
+#: Default number of 9C blocks packed into one frame.
+DEFAULT_BLOCKS_PER_FRAME = 16
+
+
+def crc_bits(bits: Iterable[int], poly: int, width: int, init: int = 0) -> int:
+    """Bitwise CRC over an MSB-first bit iterable."""
+    mask = (1 << width) - 1
+    reg = init
+    for bit in bits:
+        feedback = ((reg >> (width - 1)) & 1) ^ (bit & 1)
+        reg = (reg << 1) & mask
+        if feedback:
+            reg ^= poly
+    return reg
+
+
+def crc8(bits: Iterable[int]) -> int:
+    """CRC-8 (poly 0x07) over a bit iterable."""
+    return crc_bits(bits, 0x07, 8)
+
+
+def crc16(bits: Iterable[int]) -> int:
+    """CRC-16-CCITT (poly 0x1021) over a bit iterable."""
+    return crc_bits(bits, 0x1021, 16, init=0xFFFF)
+
+
+def _symbol_bits(stream: TernaryVector) -> Iterable[int]:
+    """2-bit channel code per ternary symbol (0 -> 00, 1 -> 01, X -> 10)."""
+    for value in stream.data:
+        yield (int(value) >> 1) & 1
+        yield int(value) & 1
+
+
+def payload_crc(payload: TernaryVector) -> int:
+    """CRC-16 protecting one frame payload (specified bits and X alike)."""
+    return crc16(_symbol_bits(payload))
+
+
+def _header_field_bits(frame_index: int, block_count: int,
+                       payload_len: int) -> Tuple[int, ...]:
+    return (
+        bits_from_int(SYNC_WORD, SYNC_BITS)
+        + bits_from_int(frame_index, INDEX_BITS)
+        + bits_from_int(block_count, COUNT_BITS)
+        + bits_from_int(payload_len, LENGTH_BITS)
+    )
+
+
+@dataclass(frozen=True)
+class FrameInfo:
+    """Parsed header of one frame."""
+
+    frame_index: int
+    block_count: int
+    payload_len: int
+    header_offset: int
+
+    @property
+    def end_offset(self) -> int:
+        """Bit offset one past this frame's payload CRC."""
+        return (self.header_offset + HEADER_BITS + self.payload_len
+                + PAYLOAD_CRC_BITS)
+
+
+def frame_stream(
+    encoding: Encoding,
+    blocks_per_frame: int = DEFAULT_BLOCKS_PER_FRAME,
+) -> TernaryVector:
+    """Package an :class:`Encoding`'s raw ``T_E`` into the framed container.
+
+    Frames are cut at block boundaries using the encoder's per-block
+    stream offsets, so each frame's payload decodes independently.
+    """
+    if blocks_per_frame < 1:
+        raise ValueError("blocks_per_frame must be >= 1")
+    if blocks_per_frame >= (1 << COUNT_BITS):
+        raise ValueError(
+            f"blocks_per_frame must fit in {COUNT_BITS} bits "
+            f"(< {1 << COUNT_BITS})"
+        )
+    stream = encoding.stream
+    blocks = encoding.blocks
+    num_frames = -(-len(blocks) // blocks_per_frame) if blocks else 0
+    if num_frames >= (1 << INDEX_BITS):
+        raise ValueError(
+            f"{num_frames} frames exceed the {INDEX_BITS}-bit frame index; "
+            "raise blocks_per_frame"
+        )
+    writer = TernaryStreamWriter()
+    for frame_index in range(num_frames):
+        first = frame_index * blocks_per_frame
+        last = min(first + blocks_per_frame, len(blocks))
+        start = blocks[first].stream_offset
+        end = (blocks[last].stream_offset if last < len(blocks)
+               else len(stream))
+        payload = stream[start:end]
+        if len(payload) >= (1 << LENGTH_BITS):
+            raise ValueError(
+                f"frame payload of {len(payload)} bits exceeds the "
+                f"{LENGTH_BITS}-bit length field; lower blocks_per_frame"
+            )
+        block_count = last - first
+        header = _header_field_bits(frame_index, block_count, len(payload))
+        writer.write_bits(header)
+        writer.write_uint(crc8(header), HEADER_CRC_BITS)
+        writer.write_vector(payload)
+        writer.write_uint(payload_crc(payload), PAYLOAD_CRC_BITS)
+    return writer.to_vector()
+
+
+def frame_overhead_bits(num_blocks: int,
+                        blocks_per_frame: int = DEFAULT_BLOCKS_PER_FRAME) -> int:
+    """Total container overhead for a stream of ``num_blocks`` blocks."""
+    num_frames = -(-num_blocks // blocks_per_frame) if num_blocks else 0
+    return num_frames * FRAME_OVERHEAD_BITS
+
+
+def _read_header(reader: TernaryStreamReader) -> FrameInfo:
+    """Parse one frame header at the reader's position."""
+    header_offset = reader.position
+    try:
+        sync = reader.read_uint(SYNC_BITS)
+        if sync != SYNC_WORD:
+            raise FrameSyncError(
+                f"bad sync marker 0x{sync:02x} (expected 0x{SYNC_WORD:02x})",
+                bit_offset=header_offset,
+            )
+        frame_index = reader.read_uint(INDEX_BITS)
+        block_count = reader.read_uint(COUNT_BITS)
+        payload_len = reader.read_uint(LENGTH_BITS)
+        header_crc = reader.read_uint(HEADER_CRC_BITS)
+    except TruncatedStreamError:
+        raise
+    except FrameSyncError:
+        raise
+    except StreamError as exc:  # X symbol inside a header field
+        raise FrameSyncError(
+            "unspecified (X) symbol inside a frame header",
+            bit_offset=exc.bit_offset if exc.bit_offset is not None
+            else header_offset,
+        ) from exc
+    expected = crc8(_header_field_bits(frame_index, block_count, payload_len))
+    if header_crc != expected:
+        raise FrameCRCError(
+            f"frame header CRC mismatch (got 0x{header_crc:02x}, "
+            f"expected 0x{expected:02x})",
+            bit_offset=header_offset,
+        )
+    return FrameInfo(frame_index, block_count, payload_len, header_offset)
+
+
+def _scan_for_header(stream: TernaryVector, start: int) -> Optional[int]:
+    """First offset >= ``start`` holding a plausible frame header.
+
+    Plausible = sync marker matches, all header fields are specified bits
+    and the header CRC-8 checks out (false-positive odds ~2^-16 per
+    offset, and a false resync is still caught by the payload CRC).
+    """
+    reader = TernaryStreamReader(stream)
+    for offset in range(start, len(stream) - HEADER_BITS + 1):
+        reader.position = offset
+        try:
+            _read_header(reader)
+        except StreamError:
+            continue
+        return offset
+    return None
+
+
+@dataclass
+class FramedDecodeResult:
+    """Best-effort decode of a framed stream plus its damage report."""
+
+    data: TernaryVector
+    diagnostics: DecodeDiagnostics
+
+
+def decode_framed(
+    stream: TernaryVector,
+    decoder: NineCDecoder,
+    output_length: Optional[int] = None,
+    *,
+    recover: bool = False,
+) -> FramedDecodeResult:
+    """Decode a framed ``T_E`` container produced by :func:`frame_stream`.
+
+    Strict mode raises the first :class:`StreamError` encountered, with
+    frame and bit-offset context.  With ``recover=True`` damaged frames
+    are skipped (their blocks emitted as X), decoding resynchronizes at
+    the next frame boundary, and the full damage inventory is returned in
+    the :class:`DecodeDiagnostics`.
+    """
+    if output_length is not None and output_length < 0:
+        raise ValueError(f"output_length must be >= 0, got {output_length}")
+    diagnostics = DecodeDiagnostics()
+    reader = TernaryStreamReader(stream)
+    frames: Dict[int, Tuple[int, Optional[TernaryVector]]] = {}
+    while not reader.at_end():
+        header_offset = reader.position
+        try:
+            info = _read_header(reader)
+        except StreamError as exc:
+            if exc.bit_offset is None:
+                exc.bit_offset = header_offset
+            if not recover:
+                raise
+            diagnostics.record(exc)
+            resync = _scan_for_header(stream, header_offset + 1)
+            if resync is None:
+                break
+            diagnostics.resync_points.append(resync)
+            reader.position = resync
+            continue
+        try:
+            payload = reader.read_vector(info.payload_len)
+            crc = reader.read_uint(PAYLOAD_CRC_BITS)
+            expected = payload_crc(payload)
+            if crc != expected:
+                raise FrameCRCError(
+                    f"frame payload CRC mismatch (got 0x{crc:04x}, "
+                    f"expected 0x{expected:04x})",
+                    bit_offset=info.header_offset,
+                    frame_index=info.frame_index,
+                )
+            decoded = decoder.decode_stream(
+                payload, output_length=info.block_count * decoder.k
+            )
+        except StreamError as exc:
+            if exc.frame_index is None:
+                exc.frame_index = info.frame_index
+            if exc.bit_offset is None:
+                exc.bit_offset = info.header_offset
+            if not recover:
+                raise
+            diagnostics.record(exc)
+            frames[info.frame_index] = (info.block_count, None)
+            if info.end_offset <= len(stream):
+                reader.position = info.end_offset
+                diagnostics.resync_points.append(info.end_offset)
+                continue
+            break
+        frames[info.frame_index] = (info.block_count, decoded)
+    # ------------------------------------------------------------------
+    # assemble output in frame order; damaged / missing frames become X
+    decoder_k = decoder.k
+    parts = []
+    if frames:
+        total = max(frames) + 1
+        common = max(count for count, _ in frames.values())
+        for index in range(total):
+            count, data = frames.get(index, (common, None))
+            if data is None:
+                diagnostics.frames_damaged += 1
+                diagnostics.blocks_lost += count
+                parts.append(TernaryVector.xs(count * decoder_k))
+            else:
+                diagnostics.blocks_decoded += count
+                parts.append(data)
+        diagnostics.frames_total = total
+    decoded = TernaryVector.concat(parts)
+    if output_length is not None:
+        if len(decoded) < output_length:
+            missing = output_length - len(decoded)
+            diagnostics.blocks_lost += -(-missing // decoder_k)
+            if not recover:
+                raise TruncatedStreamError(
+                    f"framed stream decodes to {len(decoded)} bits, "
+                    f"expected at least {output_length}",
+                    bit_offset=reader.position,
+                )
+            decoded = decoded.padded(output_length, X)
+        decoded = decoded[:output_length]
+    return FramedDecodeResult(decoded, diagnostics)

@@ -17,13 +17,16 @@ end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from .atpg.flow import AtpgResult, generate_test_cubes
 from .circuits.faults import Fault
 from .circuits.netlist import Netlist
 from .circuits.simulator import output_values, simulate
+from .core.bitvec import TernaryVector
+from .core.decoder import NineCDecoder
 from .core.encoder import Encoding, NineCEncoder
+from .core.errors import DecodeDiagnostics
 from .decompressor.misr import MISR
 from .decompressor.single_scan import SingleScanDecompressor
 from .testdata.fill import fill_test_set
@@ -120,19 +123,64 @@ class TestSession:
         return self
 
     # ------------------------------------------------------------------
-    def run(self, fault: Optional[Fault] = None) -> SessionVerdict:
-        """Test one device; ``fault=None`` establishes the golden run."""
-        if self.applied_patterns is None:
-            raise RuntimeError("call prepare() before run()")
+    def signature_of(self, patterns: TestSet,
+                     fault: Optional[Fault] = None) -> int:
+        """MISR signature of applying ``patterns`` to the (faulty) device.
+
+        This is the device-side half of :meth:`run`, exposed so that
+        alternative stimulus paths — notably a ``T_E`` stream corrupted
+        on the ATE link (:mod:`repro.robust`) — can be signature-tested
+        against the golden run.
+        """
         injection = fault.injection if fault is not None else None
         misr = MISR(self.misr_width)
-        for pattern in self.applied_patterns:
+        for pattern in patterns:
             values = simulate(self.netlist, pattern, injection)
             response = output_values(self.netlist, values)
             misr.absorb_response(
                 response.padded(len(response) + self._response_pad, 0)
             )
-        signature = misr.signature
+        return misr.signature
+
+    # ------------------------------------------------------------------
+    def apply_stream(
+        self, stream: TernaryVector, *, framed: bool = False,
+        recover: bool = True,
+    ) -> Tuple[TestSet, DecodeDiagnostics]:
+        """Decode an (possibly corrupted) ``T_E`` into applicable patterns.
+
+        Uses the session's K, fill strategy and fill seed, so on an
+        uncorrupted stream the result equals :attr:`applied_patterns`.
+        With ``recover=True`` (default) decoding survives corruption:
+        damaged regions come back as X, are filled like any other X, and
+        the returned :class:`DecodeDiagnostics` says what was lost.  With
+        ``recover=False`` corruption raises a typed
+        :class:`~repro.core.errors.StreamError`.
+        """
+        if self.cubes is None:
+            raise RuntimeError("call prepare() before apply_stream()")
+        expected = self.cubes.total_bits
+        decoder = NineCDecoder(self.k)
+        if framed:
+            from .robust.framing import decode_framed
+
+            result = decode_framed(stream, decoder, output_length=expected,
+                                   recover=recover)
+            decoded, diagnostics = result.data, result.diagnostics
+        else:
+            decoded = decoder.decode_stream(stream, output_length=expected,
+                                            recover=recover)
+            diagnostics = decoder.last_diagnostics
+        test_set = TestSet.from_stream(decoded, self.netlist.scan_length)
+        filled = fill_test_set(test_set, self.fill_strategy, seed=self.seed)
+        return filled, diagnostics
+
+    # ------------------------------------------------------------------
+    def run(self, fault: Optional[Fault] = None) -> SessionVerdict:
+        """Test one device; ``fault=None`` establishes the golden run."""
+        if self.applied_patterns is None:
+            raise RuntimeError("call prepare() before run()")
+        signature = self.signature_of(self.applied_patterns, fault)
         if fault is None:
             self.golden_signature = signature
         return SessionVerdict(

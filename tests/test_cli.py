@@ -139,6 +139,38 @@ class TestSystemCommand:
             main(["system", "--circuit", "nope"])
 
 
+class TestResilienceCommand:
+    def test_framed_campaign(self, capsys):
+        assert main(["resilience", "--circuit", "s27", "--k", "4",
+                     "--error-rate", "1e-2", "--trials", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "detection rate" in out
+        assert "silent escape rate" in out
+        assert "framed" in out
+
+    def test_raw_stream_campaign(self, capsys):
+        assert main(["resilience", "--circuit", "s27", "--k", "4",
+                     "--error-rate", "1e-2", "--trials", "6",
+                     "--no-framing", "--channel", "burst"]) == 0
+        out = capsys.readouterr().out
+        assert "raw" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["resilience", "--circuit", "s27", "--k", "4",
+                     "--error-rate", "1e-2", "--trials", "5",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["circuit"] == "s27"
+        assert 0.0 <= data["overall"]["silent_escape_rate"] <= 1.0
+        assert data["rates"][0]["trials"] == 5
+
+    def test_unknown_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["resilience", "--circuit", "nope"])
+
+
 class TestAtpgCommand:
     def test_atpg_s27(self, tmp_path, capsys):
         out_file = tmp_path / "s27.test"

@@ -8,6 +8,8 @@ from hypothesis import strategies as st
 from repro.core import (
     Codebook,
     NineCDecoder,
+    NineCEncoder,
+    StreamError,
     TernaryVector,
     loads_encoding,
 )
@@ -50,6 +52,87 @@ class TestDecoderFuzz:
         except (ValueError, EOFError):
             return
         assert len(out) == length
+
+
+def _flip(data: np.ndarray, position: int) -> TernaryVector:
+    """Flip one symbol: 0 <-> 1, X -> 0."""
+    out = data.copy()
+    out[position] = 1 - out[position] if out[position] < 2 else 0
+    return TernaryVector(out)
+
+
+class TestAdversarialCorpus:
+    """Bit-flips at *every* position of encoded streams.
+
+    A corrupted stream must either still decode (covering is no longer
+    guaranteed — the flip may alter payload bits), raise a typed
+    :class:`StreamError`, or be flagged in the recovery diagnostics.
+    Never an uncaught IndexError/AttributeError, never a silent
+    wrong-length output.
+    """
+
+    CORPUS = [
+        TernaryVector("0" * 32),
+        TernaryVector("1" * 32),
+        TernaryVector("01" * 16 + "X" * 16),
+        TernaryVector("0X1X" * 12),
+        TernaryVector(
+            np.random.default_rng(17).choice(
+                [0, 1, 2], size=96, p=[0.3, 0.2, 0.5]
+            ).astype(np.uint8)
+        ),
+    ]
+
+    @pytest.mark.parametrize("index", range(len(CORPUS)))
+    def test_every_flip_strict(self, index):
+        original = self.CORPUS[index]
+        encoding = NineCEncoder(8).encode(original)
+        decoder = NineCDecoder(8)
+        length = encoding.padded_length
+        for position in range(len(encoding.stream)):
+            mutated = _flip(encoding.stream.data, position)
+            try:
+                out = decoder.decode_stream(mutated, output_length=length)
+            except StreamError as exc:
+                assert exc.bit_offset is not None
+                continue
+            assert len(out) == length, (
+                f"flip at {position}: silent wrong-length output"
+            )
+
+    @pytest.mark.parametrize("index", range(len(CORPUS)))
+    def test_every_flip_recovering(self, index):
+        original = self.CORPUS[index]
+        encoding = NineCEncoder(8).encode(original)
+        decoder = NineCDecoder(8)
+        length = encoding.padded_length
+        clean = decoder.decode_stream(encoding.stream, output_length=length)
+        for position in range(len(encoding.stream)):
+            mutated = _flip(encoding.stream.data, position)
+            out = decoder.decode_stream(mutated, output_length=length,
+                                        recover=True)
+            assert len(out) == length
+            diagnostics = decoder.last_diagnostics
+            # either the decode succeeded (possibly with altered payload
+            # bits) or the damage is on record — never silent truncation
+            if out != clean and not out.covers(original):
+                assert diagnostics is not None
+                assert diagnostics.clean or diagnostics.detected
+
+    def test_every_flip_framed_recovering(self):
+        from repro.robust import decode_framed, frame_stream
+
+        original = self.CORPUS[4]
+        encoding = NineCEncoder(8).encode(original)
+        framed = frame_stream(encoding, blocks_per_frame=4)
+        decoder = NineCDecoder(8)
+        length = encoding.padded_length
+        for position in range(len(framed)):
+            mutated = _flip(framed.data, position)
+            result = decode_framed(mutated, decoder, output_length=length,
+                                   recover=True)
+            assert len(result.data) == length
+            assert result.diagnostics.frames_damaged <= 1
 
 
 class TestBaselineFuzz:

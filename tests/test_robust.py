@@ -1,0 +1,363 @@
+"""Tests for the hardened stream layer (repro.robust + core error types)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CodewordDesyncError,
+    NineCDecoder,
+    NineCEncoder,
+    StreamError,
+    TernaryVector,
+    TruncatedStreamError,
+)
+from repro.robust import (
+    BitFlipChannel,
+    BurstErrorChannel,
+    CompositeChannel,
+    FrameCRCError,
+    FrameSyncError,
+    PerfectChannel,
+    StuckAtChannel,
+    SymbolDropChannel,
+    SymbolInsertChannel,
+    XErasureChannel,
+    decode_framed,
+    frame_overhead_bits,
+    frame_stream,
+    make_channel,
+    run_campaign,
+)
+from repro.robust.framing import FRAME_OVERHEAD_BITS, HEADER_BITS
+
+
+def random_ternary(n, seed=0, p=(0.3, 0.2, 0.5)):
+    rng = np.random.default_rng(seed)
+    return TernaryVector(rng.choice([0, 1, 2], size=n, p=list(p)).astype(np.uint8))
+
+
+# ----------------------------------------------------------------------
+# structured errors
+# ----------------------------------------------------------------------
+class TestStreamErrors:
+    def test_truncated_mid_payload_has_context(self):
+        from repro.core import BlockCase, Codebook
+
+        book = Codebook.default()
+        stream = TernaryVector([*book.codeword(BlockCase.C9), 0, 1])
+        with pytest.raises(TruncatedStreamError) as info:
+            NineCDecoder(8).decode_stream(stream)
+        assert info.value.bit_offset is not None
+        assert info.value.block_index == 0
+        assert "bit offset" in str(info.value)
+
+    def test_desync_has_context(self):
+        # C1=0; an X inside the second codeword desynchronizes
+        stream = TernaryVector("0X")
+        with pytest.raises(CodewordDesyncError) as info:
+            NineCDecoder(8).decode_stream(stream)
+        assert info.value.block_index == 1
+        assert info.value.bit_offset == 1
+
+    def test_errors_are_valueerrors(self):
+        # backwards compatibility: legacy callers catch ValueError/EOFError
+        assert issubclass(StreamError, ValueError)
+        assert issubclass(TruncatedStreamError, EOFError)
+        assert issubclass(FrameCRCError, StreamError)
+
+    def test_negative_output_length_rejected(self):
+        with pytest.raises(ValueError):
+            NineCDecoder(8).decode_stream(TernaryVector("0"), output_length=-1)
+
+    def test_short_stream_raises_truncation(self):
+        from repro.core import BlockCase, Codebook
+
+        book = Codebook.default()
+        stream = TernaryVector([*book.codeword(BlockCase.C1)])
+        with pytest.raises(TruncatedStreamError):
+            NineCDecoder(8).decode_stream(stream, output_length=9)
+
+
+class TestUnframedRecovery:
+    def test_recover_returns_prefix_and_diagnostics(self):
+        data = random_ternary(256, seed=7)
+        enc = NineCEncoder(8).encode(data)
+        corrupted = enc.stream.data.copy()
+        corrupted[len(corrupted) // 2] = 2  # X inside the stream
+        decoder = NineCDecoder(8)
+        out = decoder.decode_stream(TernaryVector(corrupted),
+                                    output_length=len(data), recover=True)
+        assert len(out) == len(data)
+        diag = decoder.last_diagnostics
+        assert diag is not None and diag.detected
+        assert diag.first_error_offset is not None
+        assert diag.blocks_decoded * 8 >= diag.first_error_offset - 8
+        # the prefix before the first error must match a clean decode
+        clean = decoder.decode_stream(enc.stream, output_length=len(data))
+        prefix = diag.blocks_decoded * 8
+        assert out[:prefix] == clean[:prefix]
+
+    def test_recover_on_clean_stream_is_clean(self):
+        data = random_ternary(128, seed=3)
+        enc = NineCEncoder(8).encode(data)
+        decoder = NineCDecoder(8)
+        out = decoder.decode_stream(enc.stream, output_length=len(data),
+                                    recover=True)
+        assert decoder.last_diagnostics.clean
+        assert out.covers(data)
+
+
+# ----------------------------------------------------------------------
+# channel fault models
+# ----------------------------------------------------------------------
+class TestChannels:
+    def test_perfect_channel_identity(self):
+        data = random_ternary(100)
+        result = PerfectChannel().apply(data)
+        assert result.stream == data and not result.corrupted
+
+    def test_bitflip_reproducible(self):
+        data = random_ternary(500, seed=1)
+        channel = BitFlipChannel(rate=0.05, seed=9)
+        first, second = channel.apply(data), channel.apply(data)
+        assert first.stream == second.stream
+        assert first.injections == second.injections
+        assert first.corrupted
+
+    def test_bitflip_exact_count(self):
+        data = TernaryVector.zeros(200)
+        result = BitFlipChannel(count=5, seed=2).apply(data)
+        assert len(result.injections) == 5
+        assert result.stream.count(1) == 5
+
+    def test_burst_is_contiguous(self):
+        data = TernaryVector.zeros(400)
+        result = BurstErrorChannel(rate=0.004, burst_length=6, seed=4).apply(data)
+        assert result.corrupted
+        positions = sorted(i.position for i in result.injections)
+        runs = np.split(np.array(positions),
+                        np.where(np.diff(positions) != 1)[0] + 1)
+        assert all(len(run) <= 6 for run in runs)
+
+    def test_stuck_at_holds_to_end(self):
+        data = TernaryVector.ones(50)
+        result = StuckAtChannel(value=0, start=10, seed=0).apply(data)
+        assert result.stream[:10] == TernaryVector.ones(10)
+        assert result.stream[10:] == TernaryVector.zeros(40)
+
+    def test_drop_shortens(self):
+        data = random_ternary(300, seed=5)
+        result = SymbolDropChannel(count=7, seed=5).apply(data)
+        assert len(result.stream) == 293
+        assert len(result.injections) == 7
+
+    def test_insert_lengthens(self):
+        data = random_ternary(300, seed=6)
+        result = SymbolInsertChannel(count=4, seed=6).apply(data)
+        assert len(result.stream) == 304
+
+    def test_erasure_only_degrades_specified(self):
+        data = TernaryVector("0101010101" * 10)
+        result = XErasureChannel(rate=0.5, seed=8).apply(data)
+        assert result.corrupted
+        assert all(i.after == 2 and i.before in (0, 1)
+                   for i in result.injections)
+
+    def test_composite_applies_in_sequence(self):
+        data = TernaryVector.zeros(100)
+        channel = CompositeChannel([
+            StuckAtChannel(value=1, start=90, seed=0),
+            BitFlipChannel(count=1, seed=1),
+        ])
+        result = channel.apply(data)
+        kinds = {i.kind for i in result.injections}
+        assert kinds == {"stuck", "flip"}
+
+    def test_registry(self):
+        assert isinstance(make_channel("flip", 0.1), BitFlipChannel)
+        with pytest.raises(ValueError):
+            make_channel("nope", 0.1)
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_roundtrip_matches_raw_decode(self):
+        data = random_ternary(4096, seed=11)
+        enc = NineCEncoder(8).encode(data)
+        framed = frame_stream(enc, 16)
+        decoder = NineCDecoder(8)
+        result = decode_framed(framed, decoder, output_length=len(data))
+        assert result.data == decoder.decode_stream(enc.stream,
+                                                    output_length=len(data))
+        assert result.diagnostics.clean
+        assert result.diagnostics.frames_total == -(-len(enc.blocks) // 16)
+
+    def test_overhead_accounting(self):
+        data = random_ternary(4096, seed=11)
+        enc = NineCEncoder(8).encode(data)
+        framed = frame_stream(enc, 16)
+        assert len(framed) == len(enc.stream) + frame_overhead_bits(
+            len(enc.blocks), 16
+        )
+        assert frame_overhead_bits(0) == 0
+
+    def test_empty_encoding(self):
+        enc = NineCEncoder(8).encode(TernaryVector(""))
+        framed = frame_stream(enc)
+        result = decode_framed(framed, NineCDecoder(8), output_length=0)
+        assert len(result.data) == 0
+
+    def test_payload_crc_failure_strict(self):
+        data = random_ternary(512, seed=12)
+        enc = NineCEncoder(8).encode(data)
+        framed = frame_stream(enc, 8).data.copy()
+        # flip a payload bit in the first frame, past the header
+        pos = HEADER_BITS + 2
+        framed[pos] = 1 - framed[pos] if framed[pos] < 2 else 0
+        with pytest.raises(StreamError) as info:
+            decode_framed(TernaryVector(framed), NineCDecoder(8),
+                          output_length=len(data))
+        assert isinstance(info.value, (FrameCRCError, CodewordDesyncError,
+                                       TruncatedStreamError))
+        assert info.value.frame_index == 0
+
+    def test_header_sync_failure_strict(self):
+        data = random_ternary(512, seed=13)
+        enc = NineCEncoder(8).encode(data)
+        framed = frame_stream(enc, 8).data.copy()
+        framed[0] = 1 - framed[0]  # break the sync marker
+        with pytest.raises((FrameSyncError, FrameCRCError)):
+            decode_framed(TernaryVector(framed), NineCDecoder(8),
+                          output_length=len(data))
+
+    def test_truncated_container_strict(self):
+        data = random_ternary(512, seed=14)
+        enc = NineCEncoder(8).encode(data)
+        framed = frame_stream(enc, 8)
+        with pytest.raises(TruncatedStreamError):
+            decode_framed(framed[: len(framed) - 10], NineCDecoder(8),
+                          output_length=len(data))
+
+
+class TestFramedRecovery:
+    """The acceptance property: a flip costs at most the frame it hits."""
+
+    BLOCKS_PER_FRAME = 16
+    K = 8
+
+    @classmethod
+    def setup_class(cls):
+        # ~1000-block stream, mixed X density
+        cls.data = random_ternary(cls.K * 1000, seed=21)
+        cls.encoding = NineCEncoder(cls.K).encode(cls.data)
+        assert len(cls.encoding.blocks) == 1000
+        cls.framed = frame_stream(cls.encoding, cls.BLOCKS_PER_FRAME)
+        cls.decoder = NineCDecoder(cls.K)
+        cls.clean = cls.decoder.decode_stream(
+            cls.encoding.stream, output_length=len(cls.data)
+        )
+
+    def test_single_flip_resynchronizes(self):
+        span = self.BLOCKS_PER_FRAME * self.K
+        for offset in range(0, len(self.framed), 97):  # sample positions
+            corrupted = self.framed.data.copy()
+            corrupted[offset] = 1 - corrupted[offset] if corrupted[offset] < 2 else 0
+            result = decode_framed(
+                TernaryVector(corrupted), self.decoder,
+                output_length=len(self.data), recover=True,
+            )
+            diag = result.diagnostics
+            assert diag.frames_damaged <= 1, (
+                f"flip at bit {offset} damaged {diag.frames_damaged} frames"
+            )
+            assert diag.blocks_lost <= self.BLOCKS_PER_FRAME
+            # every bit outside the damaged frame's span must be intact:
+            # decoding resynchronized at the next frame boundary
+            got, want = result.data.data, self.clean.data
+            if diag.frames_damaged == 0:
+                assert result.data == self.clean
+            else:
+                damaged = np.flatnonzero(got != want)
+                assert damaged.size <= span
+                if damaged.size:
+                    assert damaged.max() - damaged.min() < span
+
+    def test_flip_is_detected_not_silent(self):
+        corrupted = self.framed.data.copy()
+        corrupted[HEADER_BITS + 5] = 1 - corrupted[HEADER_BITS + 5] \
+            if corrupted[HEADER_BITS + 5] < 2 else 0
+        result = decode_framed(TernaryVector(corrupted), self.decoder,
+                               output_length=len(self.data), recover=True)
+        assert result.diagnostics.detected
+        assert result.diagnostics.first_error_offset is not None
+        assert result.diagnostics.resync_points
+
+    def test_burst_damages_neighboring_frames_only(self):
+        frame_bits = FRAME_OVERHEAD_BITS  # burst shorter than one frame
+        corrupted = BurstErrorChannel(rate=0.0, burst_length=frame_bits,
+                                      seed=1)
+        # place one burst by hand across a frame boundary
+        start = len(self.framed) // 2
+        data = self.framed.data.copy()
+        for pos in range(start, min(start + 20, len(data))):
+            data[pos] = 1 - data[pos] if data[pos] < 2 else 0
+        result = decode_framed(TernaryVector(data), self.decoder,
+                               output_length=len(self.data), recover=True)
+        assert result.diagnostics.frames_damaged <= 2
+        assert result.diagnostics.blocks_lost <= 2 * self.BLOCKS_PER_FRAME
+
+
+# ----------------------------------------------------------------------
+# campaign harness
+# ----------------------------------------------------------------------
+class TestCampaign:
+    @classmethod
+    def setup_class(cls):
+        from repro.circuits.library import load_circuit
+
+        cls.circuit = load_circuit("s27")
+
+    def test_framed_campaign_runs_and_detects(self):
+        report = run_campaign(self.circuit, k=4, error_rates=[1e-2],
+                              trials=8, framed=True, circuit_name="s27")
+        assert report.circuit == "s27" and report.framed
+        (summary,) = report.summaries
+        assert summary.trials == 8
+        assert summary.clean + summary.corrupted == 8
+        assert 0.0 <= report.overall_silent_escape_rate <= 1.0
+        assert 0.0 <= report.overall_detection_rate <= 1.0
+        # accounting must add up
+        assert (summary.clean + summary.detected_stream
+                + summary.detected_signature + summary.silent_escapes) == 8
+
+    def test_raw_campaign_uses_signature_detection(self):
+        report = run_campaign(self.circuit, k=4, error_rates=[5e-2],
+                              trials=8, framed=False, circuit_name="s27")
+        (summary,) = report.summaries
+        assert summary.corrupted > 0
+        # raw streams have no CRC: any detection is desync or signature
+        assert summary.detected + summary.silent_escapes == summary.corrupted
+
+    def test_campaign_reproducible(self):
+        a = run_campaign(self.circuit, k=4, error_rates=[1e-2], trials=5,
+                         framed=True, seed=3, circuit_name="s27")
+        b = run_campaign(self.circuit, k=4, error_rates=[1e-2], trials=5,
+                         framed=True, seed=3, circuit_name="s27")
+        assert a.trials == b.trials
+        assert a.to_dict() == b.to_dict()
+
+    def test_campaign_validates_arguments(self):
+        with pytest.raises(ValueError):
+            run_campaign(self.circuit, trials=0)
+        with pytest.raises(ValueError):
+            run_campaign(self.circuit, error_rates=[])
+
+    def test_session_apply_stream_clean_roundtrip(self):
+        from repro.system import TestSession
+
+        session = TestSession(self.circuit, k=4).prepare()
+        patterns, diag = session.apply_stream(session.encoding.stream)
+        assert diag.clean
+        assert patterns == session.applied_patterns
