@@ -31,6 +31,10 @@ Package map
     Hardened stream layer: channel fault injectors for the single-pin
     ATE link, CRC-framed ``T_E`` container with per-frame recovery, and
     the error-resilience campaign harness (docs/resilience.md).
+``repro.obs``
+    Observability: process-local metrics registry, nested span tracing,
+    and the perf-baseline profiling harness behind ``repro-9c profile``
+    (docs/observability.md).
 """
 
 from .core import (

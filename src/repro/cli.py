@@ -10,12 +10,20 @@ Subcommands mirror the paper's artifacts:
 * ``atpg`` — generate test cubes for an embedded circuit and
   optionally compress them end-to-end;
 * ``resilience`` — channel-fault injection campaign: detection rate vs
-  silent-escape rate on the single-pin ATE link (docs/resilience.md).
+  silent-escape rate on the single-pin ATE link (docs/resilience.md);
+* ``profile`` — run the perf-baseline scenarios and write
+  ``BENCH_obs.json`` (docs/observability.md);
+* ``stats`` — pretty-print the metrics snapshot of a committed baseline.
+
+Every analysis subcommand accepts ``--json`` for machine-readable
+output; all of them emit through the shared :func:`emit_json` helper
+(stable key order, two-space indent).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -40,6 +48,16 @@ def _load_data(args) -> TestSet:
     raise SystemExit("provide --benchmark or an input file")
 
 
+def emit_json(payload: dict) -> int:
+    """Print one machine-readable result; shared by every ``--json`` path.
+
+    Keys are sorted so output is diff-stable across runs and Python
+    versions.
+    """
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_coding_table(args) -> int:
     table = Table(
         ["case", "input block", "symbol", "codeword", "decoder input",
@@ -56,6 +74,19 @@ def cmd_coding_table(args) -> int:
 def cmd_compress(args) -> int:
     test_set = _load_data(args)
     encoding = NineCEncoder(args.k).encode(test_set.to_stream())
+    if args.output:
+        TestSet([encoding.stream], name="compressed").save(args.output)
+    if args.json:
+        return emit_json({
+            "name": test_set.name or args.input,
+            "k": args.k,
+            "td_bits": encoding.original_length,
+            "te_bits": encoding.compressed_size,
+            "cr_percent": encoding.compression_ratio,
+            "leftover_x": encoding.leftover_x,
+            "leftover_x_percent": encoding.leftover_x_percent,
+            "output": args.output,
+        })
     print(f"test set      : {test_set.name or args.input}")
     print(f"|T_D|         : {encoding.original_length} bits")
     print(f"|T_E|         : {encoding.compressed_size} bits")
@@ -63,7 +94,6 @@ def cmd_compress(args) -> int:
     print(f"leftover X    : {encoding.leftover_x} "
           f"({encoding.leftover_x_percent:.2f}% of T_D)")
     if args.output:
-        TestSet([encoding.stream], name="compressed").save(args.output)
         print(f"stream written: {args.output}")
     return 0
 
@@ -86,9 +116,7 @@ def cmd_sweep(args) -> int:
     data = test_set.to_stream()
     reports = sweep_block_sizes(data, TABLE2_BLOCK_SIZES)
     if args.json:
-        import json
-
-        print(json.dumps({
+        return emit_json({
             "name": test_set.name,
             "td_bits": len(data),
             "sweep": {
@@ -99,8 +127,7 @@ def cmd_sweep(args) -> int:
                 }
                 for k, report in sorted(reports.items())
             },
-        }, indent=2))
-        return 0
+        })
     table = Table(["K", "CR%", "LX%", "|T_E|"],
                   title=f"{test_set.name}: block-size sweep (Tables II/III)")
     for k, report in sorted(reports.items()):
@@ -118,11 +145,7 @@ def cmd_compare(args) -> int:
         for name, code in table4_codes(data).items()
     }
     if args.json:
-        import json
-
-        print(json.dumps({"name": test_set.name, "codes": results},
-                         indent=2))
-        return 0
+        return emit_json({"name": test_set.name, "codes": results})
     table = Table(["code", "CR%"],
                   title=f"{test_set.name}: code comparison (Table IV)")
     for name, entry in results.items():
@@ -136,9 +159,7 @@ def cmd_tat(args) -> int:
     data = test_set.to_stream()
     reports = sweep_p(data, args.k, ps=tuple(args.p))
     if args.json:
-        import json
-
-        print(json.dumps({
+        return emit_json({
             "name": test_set.name,
             "k": args.k,
             "tat": {
@@ -146,8 +167,7 @@ def cmd_tat(args) -> int:
                          "cr_percent": report.compression_ratio}
                 for p, report in sorted(reports.items())
             },
-        }, indent=2))
-        return 0
+        })
     table = Table(["p (f_scan/f_ate)", "TAT%", "CR%"],
                   title=f"{test_set.name}: TAT analysis at K={args.k} (Table V)")
     for p, report in sorted(reports.items()):
@@ -316,10 +336,7 @@ def cmd_resilience(args) -> int:
     except ValueError as exc:
         raise SystemExit(f"resilience: {exc}")
     if args.json:
-        import json
-
-        print(json.dumps(report.to_dict(), indent=2))
-        return 0
+        return emit_json(report.to_dict())
     print(resilience_table(report).render())
     print(f"stream length     : {report.stream_bits} bits "
           f"({'framed' if report.framed else 'raw'})")
@@ -328,6 +345,93 @@ def cmd_resilience(args) -> int:
     print(f"silent escape rate: "
           f"{report.overall_silent_escape_rate * 100:.2f}% "
           "of corrupted streams still reported PASS")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .obs.profile import SCENARIOS, run_profile
+
+    try:
+        report = run_profile(
+            args.circuit,
+            k=args.k,
+            scenarios=tuple(args.scenarios) if args.scenarios else SCENARIOS,
+            session_circuit=args.session_circuit,
+            resilience_trials=args.trials,
+            fastpath_compare=not args.no_fastpath,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"profile: {exc}")
+    path = report.write(args.output)
+    if args.json:
+        return emit_json(report.to_dict())
+    table = Table(
+        ["scenario", "wall (s)", "bits", "bits/s"],
+        title=f"{args.circuit}: pipeline perf baselines (K={args.k})",
+    )
+    for name, scenario in report.scenarios.items():
+        table.add_row(name, scenario.wall_s, scenario.bits,
+                      scenario.bits_per_s)
+    print(table.render())
+    if report.encode_fastpath:
+        fast = report.encode_fastpath
+        print(f"encode fast path  : {fast['speedup']:.1f}x vs reference "
+              f"({fast['vectorized_wall_s'] * 1e3:.2f} ms vs "
+              f"{fast['reference_wall_s'] * 1e3:.2f} ms on "
+              f"{fast['bits']} bits, identical output: "
+              f"{fast['identical_output']})")
+    print(f"baseline written  : {path}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from .obs.profile import load_baseline, validate_baseline
+
+    try:
+        payload = load_baseline(args.baseline)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"stats: no baseline at {args.baseline!r}; run "
+            "`repro-9c profile` first"
+        )
+    except ValueError as exc:
+        raise SystemExit(f"stats: {args.baseline!r} is not JSON: {exc}")
+    problems = validate_baseline(payload)
+    if problems:
+        raise SystemExit(
+            "stats: invalid baseline:\n  " + "\n  ".join(problems)
+        )
+    scenarios = payload["scenarios"]
+    wanted = args.scenario or sorted(scenarios)
+    unknown = [name for name in wanted if name not in scenarios]
+    if unknown:
+        raise SystemExit(
+            f"stats: no scenario {unknown} in baseline; "
+            f"available: {sorted(scenarios)}"
+        )
+    if args.json:
+        return emit_json({name: scenarios[name]["metrics"]
+                          for name in wanted})
+    print(f"baseline: {args.baseline} (target {payload['target']}, "
+          f"K={payload['k']})")
+    for name in wanted:
+        record = scenarios[name]
+        metrics = record["metrics"]
+        table = Table(
+            ["metric", "value"],
+            title=f"{name}: {record['wall_s'] * 1e3:.2f} ms, "
+                  f"{record['bits_per_s'] / 1e3:.1f} kbit/s",
+        )
+        for metric, value in metrics.get("counters", {}).items():
+            table.add_row(metric, value)
+        for metric, value in metrics.get("gauges", {}).items():
+            table.add_row(f"{metric} (gauge)", value)
+        for metric, hist in metrics.get("histograms", {}).items():
+            buckets = ", ".join(f"{edge}:{count}"
+                                for edge, count in hist["buckets"].items()
+                                if count)
+            table.add_row(f"{metric} (hist)", buckets or "empty")
+        print(table.render())
     return 0
 
 
@@ -357,6 +461,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmark", choices=sorted(ALL_PROFILES))
     p.add_argument("--k", type=int, default=8)
     p.add_argument("-o", "--output")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
     p.set_defaults(func=cmd_compress)
 
     p = sub.add_parser("decompress", help="decode a 9C stream file")
@@ -451,6 +557,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable output")
     p.set_defaults(func=cmd_resilience)
+
+    p = sub.add_parser(
+        "profile",
+        help="run perf-baseline scenarios and write BENCH_obs.json",
+    )
+    p.add_argument("--circuit", default="s27",
+                   help="benchmark profile (s9234) or embedded circuit (s27)")
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--scenarios", nargs="+",
+                   choices=["compress", "decompress", "session", "resilience"],
+                   help="subset of scenarios to run (default: all)")
+    p.add_argument("--session-circuit", default=None,
+                   help="netlist for session/resilience when the target is "
+                        "a test-set-only benchmark (default: g64)")
+    p.add_argument("--trials", type=int, default=5,
+                   help="resilience-scenario trials")
+    p.add_argument("--no-fastpath", action="store_true",
+                   help="skip the encode fast-path vs reference comparison")
+    p.add_argument("-o", "--output", default="BENCH_obs.json")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "stats",
+        help="pretty-print the metrics snapshot of a profile baseline",
+    )
+    p.add_argument("--baseline", default="BENCH_obs.json")
+    p.add_argument("--scenario", nargs="+", default=None,
+                   help="scenarios to show (default: all in the baseline)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("benchmarks", help="list benchmark profiles")
     p.set_defaults(func=cmd_benchmarks)

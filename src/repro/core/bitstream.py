@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from .. import obs as _obs
 from .bitvec import ONE, X, ZERO, TernaryVector
 from .errors import TruncatedStreamError
 
@@ -72,6 +73,12 @@ class TernaryStreamWriter:
     def to_vector(self) -> TernaryVector:
         """Snapshot of everything written so far."""
         self._flush_pending()
+        if _obs.enabled():
+            # per-snapshot, never per-symbol: write_bit stays hook-free
+            registry = _obs.get_registry()
+            registry.counter("bitstream.writer.snapshots").inc()
+            registry.counter("bitstream.writer.symbols").inc(self._length)
+            registry.gauge("bitstream.writer.chunks").set(len(self._chunks))
         if not self._chunks:
             return TernaryVector(np.empty(0, dtype=np.uint8))
         return TernaryVector(np.concatenate(self._chunks))

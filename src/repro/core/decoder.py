@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .. import obs as _obs
 from .bitstream import TernaryStreamReader
 from .bitvec import TernaryVector
 from .codewords import Codebook, HalfKind
@@ -59,6 +60,26 @@ class NineCDecoder:
         (when given), and files a :class:`DecodeDiagnostics` report under
         :attr:`last_diagnostics`.
         """
+        with _obs.span("decode.stream"):
+            try:
+                decoded = self._decode_stream(
+                    stream, output_length, recover=recover
+                )
+            except StreamError:
+                if _obs.enabled():
+                    _obs.counter("decode.stream_errors").inc()
+                raise
+        if _obs.enabled():
+            self._record_decode(decoded)
+        return decoded
+
+    def _decode_stream(
+        self,
+        stream: TernaryVector,
+        output_length: Optional[int],
+        *,
+        recover: bool,
+    ) -> TernaryVector:
         if output_length is not None and output_length < 0:
             raise ValueError(f"output_length must be >= 0, got {output_length}")
         diagnostics = DecodeDiagnostics()
@@ -109,6 +130,20 @@ class NineCDecoder:
             decoded = decoded[:output_length]
         self.last_diagnostics = diagnostics
         return decoded
+
+    def _record_decode(self, decoded: TernaryVector) -> None:
+        """Fold one finished decode into the metrics registry (post-hoc)."""
+        registry = _obs.get_registry()
+        registry.counter("decode.calls").inc()
+        registry.counter("decode.bits_out").inc(len(decoded))
+        diagnostics = self.last_diagnostics
+        if diagnostics is not None:
+            registry.counter("decode.blocks").inc(diagnostics.blocks_decoded)
+            registry.counter("decode.blocks_lost").inc(diagnostics.blocks_lost)
+            if diagnostics.errors:
+                registry.counter("decode.recovered_errors").inc(
+                    len(diagnostics.errors)
+                )
 
     @staticmethod
     def _contextualize(exc: StreamError, bit_offset: int, block_index: int) -> None:

@@ -13,10 +13,13 @@ to the paper's classification (uniform halves are never sent raw), but the
 encoder stays correct under arbitrary re-assigned codebooks (Table VII)
 where the cost ordering can shift.
 
-Two implementations are provided and tested against each other:
+Three implementations are provided and tested against each other:
 
-* :meth:`NineCEncoder.encode` — readable per-block reference path that also
-  assembles the compressed stream ``T_E``;
+* :meth:`NineCEncoder.encode` — vectorized fast path: the block
+  classification runs on the whole K-column grid at once (shared with
+  :meth:`measure`) and only stream assembly walks blocks;
+* :meth:`NineCEncoder.encode_reference` — readable per-block reference
+  path, kept as the oracle the fast path is verified against;
 * :meth:`NineCEncoder.measure` — numpy-vectorized classifier that returns
   case counts and compressed size only, for Mbit-scale sweeps (Table VIII).
 """
@@ -28,6 +31,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import obs as _obs
 from .bitstream import TernaryStreamWriter
 from .bitvec import ONE, X, ZERO, TernaryVector
 from .codewords import BlockCase, Codebook, HalfKind
@@ -156,7 +160,59 @@ class NineCEncoder:
         return True
 
     def encode(self, data: TernaryVector) -> Encoding:
-        """Compress a ternary vector into a 9C :class:`Encoding`."""
+        """Compress a ternary vector into a 9C :class:`Encoding`.
+
+        Vectorized fast path: case selection runs once over the whole
+        block grid (the same classification :meth:`measure` uses) and
+        the Python loop only assembles codeword/mismatch chunks.
+        Produces output bit-identical to :meth:`encode_reference`.
+        """
+        with _obs.span("encode"):
+            encoding = self._encode_fast(data)
+        if _obs.enabled():
+            _record_encoding(encoding)
+        return encoding
+
+    def _encode_fast(self, data: TernaryVector) -> Encoding:
+        """The uninstrumented fast path (the overhead-guard control)."""
+        original_length = len(data)
+        padded = self._pad(data)
+        half = self.k // 2
+        grid = padded.data.reshape(-1, self.k)
+        chosen = self._classify(grid)
+        cases = list(BlockCase)
+        codewords = [np.asarray(self.codebook.codeword(case), dtype=np.uint8)
+                     for case in cases]
+        left_raw = [case.halves[0] is HalfKind.MISMATCH for case in cases]
+        right_raw = [case.halves[1] is HalfKind.MISMATCH for case in cases]
+        chunks: List[np.ndarray] = []
+        blocks: List[BlockRecord] = []
+        offset = 0
+        for index, column in enumerate(chosen):
+            case = cases[column]
+            blocks.append(BlockRecord(index, case, offset))
+            codeword = codewords[column]
+            chunks.append(codeword)
+            offset += codeword.size
+            if left_raw[column]:
+                chunks.append(grid[index, :half])
+                offset += half
+            if right_raw[column]:
+                chunks.append(grid[index, half:])
+                offset += half
+        stream = TernaryVector(
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.uint8)
+        )
+        return Encoding(
+            k=self.k,
+            codebook=self.codebook,
+            original_length=original_length,
+            stream=stream,
+            blocks=blocks,
+        )
+
+    def encode_reference(self, data: TernaryVector) -> Encoding:
+        """Per-block reference encoder (the fast path's oracle)."""
         original_length = len(data)
         padded = self._pad(data)
         half = self.k // 2
@@ -186,18 +242,17 @@ class NineCEncoder:
         return data.padded(padded_length, X)
 
     # ------------------------------------------------------------------
-    # vectorized fast path
+    # vectorized classification (shared by encode and measure)
     # ------------------------------------------------------------------
-    def measure(self, data: TernaryVector) -> Measurement:
-        """Case counts, |T_E| and leftover-X without building the stream.
+    def _classify(self, grid: np.ndarray) -> np.ndarray:
+        """Cheapest-feasible case *column index* for every grid row.
 
-        Uses the same cheapest-feasible-case rule as :meth:`encode`;
-        property tests assert the two paths agree exactly.
+        Same rule as :meth:`select_case`: among feasible cases pick the
+        minimum encoded size, ties resolving to the lower case index
+        (``argmin`` keeps the first minimum, matching the strict ``<``
+        of the scalar loop).
         """
-        original_length = len(data)
-        padded = self._pad(data)
         half = self.k // 2
-        grid = padded.data.reshape(-1, self.k)
         left, right = grid[:, :half], grid[:, half:]
 
         def flags(half_grid: np.ndarray):
@@ -205,12 +260,7 @@ class NineCEncoder:
             one_ok = ~np.any(half_grid == ZERO, axis=1)
             return zero_ok, one_ok
 
-        lz, lo = flags(left)
-        rz, ro = flags(right)
-        half_flags = {
-            0: (lz, lo),
-            1: (rz, ro),
-        }
+        half_flags = {0: flags(left), 1: flags(right)}
         n_blocks = grid.shape[0]
         costs = np.full((n_blocks, len(BlockCase)), np.iinfo(np.int64).max, dtype=np.int64)
         for column, case in enumerate(BlockCase):
@@ -222,7 +272,20 @@ class NineCEncoder:
                 elif kind is HalfKind.ONES:
                     feasible &= one_ok
             costs[feasible, column] = self.codebook.encoded_size(case, self.k)
-        chosen = np.argmin(costs, axis=1)  # ties resolve to the lower case index
+        return np.argmin(costs, axis=1)
+
+    def measure(self, data: TernaryVector) -> Measurement:
+        """Case counts, |T_E| and leftover-X without building the stream.
+
+        Uses the same cheapest-feasible-case rule as :meth:`encode`;
+        property tests assert the two paths agree exactly.
+        """
+        original_length = len(data)
+        padded = self._pad(data)
+        half = self.k // 2
+        grid = padded.data.reshape(-1, self.k)
+        left, right = grid[:, :half], grid[:, half:]
+        chosen = self._classify(grid)
         cases = list(BlockCase)
         case_counts = {
             case: int(np.count_nonzero(chosen == column))
@@ -253,3 +316,26 @@ class NineCEncoder:
             leftover_x=leftover,
             case_counts=case_counts,
         )
+
+
+#: Codeword lengths are 1..5 under any Kraft-tight 9C assignment; the
+#: bucket edges cover reassigned codebooks (Table VII) up to 8 bits.
+_CODEWORD_LENGTH_BOUNDS = (1, 2, 3, 4, 5, 6, 8)
+
+
+def _record_encoding(encoding: Encoding) -> None:
+    """Fold one finished encode into the metrics registry (post-hoc)."""
+    registry = _obs.get_registry()
+    registry.counter("encode.calls").inc()
+    registry.counter("encode.bits_in").inc(encoding.original_length)
+    registry.counter("encode.bits_out").inc(encoding.compressed_size)
+    registry.counter("encode.leftover_x").inc(encoding.leftover_x)
+    case_counts = encoding.case_counts
+    registry.count_cases("encode.blocks", case_counts)
+    lengths = encoding.codebook.lengths
+    histogram = registry.histogram(
+        "encode.codeword_length", _CODEWORD_LENGTH_BOUNDS
+    )
+    for case, count in case_counts.items():
+        if count:
+            histogram.observe(lengths[case], count)

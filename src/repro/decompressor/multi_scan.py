@@ -13,13 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from .. import obs as _obs
 from ..core.bitstream import TernaryStreamReader
 from ..core.bitvec import ONE, X, ZERO, TernaryVector
 from ..core.codewords import BlockCase, Codebook
 from ..core.encoder import Encoding
 from .fsm import NineCDecoderFSM
 from .scan import ScanFanout
-from .single_scan import DecompressionTrace
+from .single_scan import DecompressionTrace, record_trace
 
 
 @dataclass
@@ -71,6 +72,20 @@ class MultiScanDecompressor:
         The m-bit shifter is physical hardware, so by default X bits are
         materialized (``x_fill=0``); pass None to keep them symbolic.
         """
+        with _obs.span("decompress.multi_scan"):
+            trace = self._run_impl(stream, output_length, x_fill)
+        if _obs.enabled():
+            record_trace("decompress.multi_scan", trace)
+            registry = _obs.get_registry()
+            registry.counter("decompress.multi_scan.loads").inc(trace.loads)
+        return trace
+
+    def _run_impl(
+        self,
+        stream: TernaryVector,
+        output_length: Optional[int],
+        x_fill: Optional[int],
+    ) -> MultiScanTrace:
         half = self.k // 2
         reader = TernaryStreamReader(stream)
         self.fsm.reset()

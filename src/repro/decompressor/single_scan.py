@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .. import obs as _obs
 from ..core.bitstream import TernaryStreamReader
 from ..core.bitvec import ONE, X, ZERO, TernaryVector
 from ..core.codewords import BlockCase, Codebook
@@ -39,6 +40,25 @@ class DecompressionTrace:
     case_counts: Dict[BlockCase, int] = field(default_factory=dict)
     patterns: List[TernaryVector] = field(default_factory=list)
     weighted_transitions: int = 0
+
+
+def record_trace(prefix: str, trace: "DecompressionTrace") -> None:
+    """Fold one finished decompressor run into the metrics registry.
+
+    Shared by the single-scan and multi-scan models; called post-hoc
+    from already-computed trace fields, so the cycle-accurate loop
+    itself carries no hooks.
+    """
+    registry = _obs.get_registry()
+    registry.counter(f"{prefix}.runs").inc()
+    registry.counter(f"{prefix}.bits_out").inc(len(trace.output))
+    registry.counter(f"{prefix}.blocks").inc(trace.blocks)
+    registry.counter(f"{prefix}.soc_cycles").inc(trace.soc_cycles)
+    registry.counter(f"{prefix}.ate_cycles").inc(trace.ate_cycles)
+    registry.counter(f"{prefix}.uniform_soc_cycles").inc(
+        trace.uniform_soc_cycles
+    )
+    registry.count_cases(f"{prefix}.blocks_by_case", trace.case_counts)
 
 
 class SingleScanDecompressor:
@@ -73,6 +93,18 @@ class SingleScanDecompressor:
         ATE (the tester would have filled them); None keeps them X, which
         the scan chain model tolerates for verification purposes.
         """
+        with _obs.span("decompress.single_scan"):
+            trace = self._run_impl(stream, output_length, x_fill)
+        if _obs.enabled():
+            record_trace("decompress.single_scan", trace)
+        return trace
+
+    def _run_impl(
+        self,
+        stream: TernaryVector,
+        output_length: Optional[int],
+        x_fill: Optional[int],
+    ) -> DecompressionTrace:
         half = self.k // 2
         reader = TernaryStreamReader(stream)
         self.fsm.reset()

@@ -1,0 +1,99 @@
+"""``repro.obs`` — observability: metrics, tracing, perf baselines.
+
+The subsystem is test-set-independent and deliberately tiny:
+
+``repro.obs.metrics``
+    :class:`MetricsRegistry` with counters, gauges and fixed-bucket
+    histograms (bits in/out, blocks per :class:`BlockCase`, codeword
+    lengths, frames recovered/lost, campaign outcomes).
+``repro.obs.tracing``
+    Nested span tracing via ``with obs.span("encode"):`` context
+    managers and the ``@traced(...)`` decorator, aggregated into a
+    span tree with wall time and call counts.
+``repro.obs.profile``
+    The perf-baseline harness: runs named pipeline scenarios
+    (compress / decompress / session / resilience) and emits a stable
+    machine-readable baseline to ``BENCH_obs.json``.
+
+Instrumentation is **off by default** and gated by one process-local
+switch: hot paths in :mod:`repro.core`, :mod:`repro.decompressor`,
+:mod:`repro.robust` and :mod:`repro.system` check :func:`enabled`
+once per operation and record everything post-hoc from results they
+already computed, so the disabled overhead is a single flag check (a
+guard test pins it below 5 % on a 1 Mbit encode).  Enable with
+:func:`enable`, the :func:`enabled_scope` context manager, or the
+``REPRO_OBS=1`` environment variable.  See ``docs/observability.md``
+for the metric-name catalog and span naming convention.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Sequence
+
+from ._state import disable, enable, enabled, set_enabled
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import NULL_SPAN, SpanNode, Tracer, get_tracer, span, traced
+
+#: The process-wide registry every instrumented module records into.
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry`."""
+    return _registry
+
+
+def counter(name: str) -> Counter:
+    """Shortcut for ``get_registry().counter(name)``."""
+    return _registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Shortcut for ``get_registry().gauge(name)``."""
+    return _registry.gauge(name)
+
+
+def histogram(name: str, bounds: Optional[Sequence] = None) -> Histogram:
+    """Shortcut for ``get_registry().histogram(name, bounds)``."""
+    return _registry.histogram(name, bounds)
+
+
+def reset() -> None:
+    """Clear all recorded metrics and spans (the switch is untouched)."""
+    _registry.reset()
+    get_tracer().reset()
+
+
+@contextmanager
+def enabled_scope(value: bool = True):
+    """Temporarily force the instrumentation switch to ``value``."""
+    previous = set_enabled(value)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "set_enabled",
+    "enabled_scope",
+    "get_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "reset",
+    "span",
+    "traced",
+    "get_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanNode",
+    "Tracer",
+    "NULL_SPAN",
+]

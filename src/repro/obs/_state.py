@@ -1,0 +1,44 @@
+"""Process-local observability switch.
+
+Lives in its own module so both the :mod:`repro.obs` facade and its
+submodules can share the flag without an import cycle.  Instrumented
+hot paths in the library check :func:`enabled` exactly once per
+*operation* (one encode, one decode, one session phase) — never per
+block or per bit — so the disabled cost is a single function call.
+
+The initial state comes from the ``REPRO_OBS`` environment variable
+(``1``/``true``/``on`` enable it); the default is off.
+"""
+
+from __future__ import annotations
+
+import os
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+_enabled: bool = os.environ.get("REPRO_OBS", "").strip().lower() in _TRUTHY
+
+
+def enabled() -> bool:
+    """True when metric recording and span tracing are active."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn instrumentation on for this process."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off (the default)."""
+    global _enabled
+    _enabled = False
+
+
+def set_enabled(value: bool) -> bool:
+    """Set the switch; returns the previous state (for save/restore)."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(value)
+    return previous

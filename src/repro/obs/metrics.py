@@ -1,0 +1,197 @@
+"""Process-local metrics: counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` holds every instrument by dotted name
+(``encode.bits_in``, ``framing.frames_damaged`` — see
+``docs/observability.md`` for the catalog).  Instruments are created
+lazily on first use and are plain Python objects: no background
+threads, no I/O, no global sampling.  A registry snapshot is an
+ordinary nested dict of ints/floats, stable under ``json.dumps`` with
+sorted keys, which is what the profile harness commits to
+``BENCH_obs.json``.
+
+The registry is process-local and intended for single-threaded
+pipelines (the whole library is); instrument creation is lock-guarded
+so concurrent readers cannot observe a half-built registry, but
+increments are plain ``+=``.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing count (events, bits, blocks)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (stream length, chunk count, ratio)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram over ``<= bound`` buckets plus overflow.
+
+    ``bounds`` are the inclusive upper edges, strictly increasing; any
+    observation above the last bound lands in the ``+inf`` bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "overflow", "count", "sum")
+
+    def __init__(self, name: str, bounds: Sequence[Number]):
+        edges = tuple(bounds)
+        if not edges:
+            raise ValueError(f"histogram {name}: needs at least one bound")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise ValueError(f"histogram {name}: bounds must strictly increase")
+        self.name = name
+        self.bounds: Tuple[Number, ...] = edges
+        self.counts = [0] * len(edges)
+        self.overflow = 0
+        self.count = 0
+        self.sum: Number = 0
+
+    def observe(self, value: Number, weight: int = 1) -> None:
+        """Record ``value`` ``weight`` times."""
+        if weight < 0:
+            raise ValueError(f"histogram {self.name}: negative weight {weight}")
+        index = bisect_left(self.bounds, value)
+        if index == len(self.bounds):
+            self.overflow += weight
+        else:
+            self.counts[index] += weight
+        self.count += weight
+        self.sum += value * weight
+
+    def bucket_dict(self) -> Dict[str, int]:
+        """Buckets keyed ``<=bound`` plus ``+inf``, in edge order."""
+        out = {f"<={bound}": count
+               for bound, count in zip(self.bounds, self.counts)}
+        out["+inf"] = self.overflow
+        return out
+
+
+class MetricsRegistry:
+    """Name -> instrument store with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        try:
+            return self._counters[name]
+        except KeyError:
+            with self._lock:
+                self._check_free(name, self._counters)
+                return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        try:
+            return self._gauges[name]
+        except KeyError:
+            with self._lock:
+                self._check_free(name, self._gauges)
+                return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[Number]] = None) -> Histogram:
+        """The histogram called ``name``.
+
+        ``bounds`` is required on first use and must match (or be
+        omitted) on later lookups.
+        """
+        try:
+            hist = self._histograms[name]
+        except KeyError:
+            if bounds is None:
+                raise ValueError(
+                    f"histogram {name!r} does not exist yet; pass bounds"
+                ) from None
+            with self._lock:
+                self._check_free(name, self._histograms)
+                return self._histograms.setdefault(name, Histogram(name, bounds))
+        if bounds is not None and tuple(bounds) != hist.bounds:
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{hist.bounds}, requested {tuple(bounds)}"
+            )
+        return hist
+
+    def _check_free(self, name: str, own: dict) -> None:
+        for kind, store in (("counter", self._counters),
+                            ("gauge", self._gauges),
+                            ("histogram", self._histograms)):
+            if store is not own and name in store:
+                raise ValueError(
+                    f"metric name {name!r} already registered as a {kind}"
+                )
+
+    # ------------------------------------------------------------------
+    def count_cases(self, prefix: str, case_counts: Iterable) -> None:
+        """Bulk-add ``{case: n}`` pairs as ``prefix.<case name>`` counters.
+
+        Accepts any iterable of (enum-or-str, int) items; used to fold a
+        per-:class:`~repro.core.codewords.BlockCase` dict into counters
+        after an encode/decompress pass.
+        """
+        items = case_counts.items() if hasattr(case_counts, "items") else case_counts
+        for case, count in items:
+            if count:
+                name = getattr(case, "name", str(case))
+                self.counter(f"{prefix}.{name}").inc(count)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready nested dict of every instrument's current state."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: {
+                    "buckets": h.bucket_dict(),
+                    "count": h.count,
+                    "sum": h.sum,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (names and values)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

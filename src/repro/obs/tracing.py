@@ -1,0 +1,184 @@
+"""Nested span tracing with an aggregated span tree.
+
+A *span* is one timed region (``encode``, ``session.prepare``).  Spans
+nest: entering a span while another is open makes it a child, so the
+tracer accumulates a tree whose nodes carry total wall time and call
+counts.  Identical paths aggregate — calling ``encode`` three times
+under ``profile.compress`` yields one ``encode`` node with
+``calls == 3`` — which keeps the committed baselines compact and
+diff-friendly.
+
+Spans are used through the :mod:`repro.obs` facade::
+
+    with obs.span("encode"):
+        ...
+
+    @traced("session.prepare")
+    def prepare(self): ...
+
+Both are no-ops while instrumentation is disabled: ``obs.span`` returns
+a shared null context manager and ``@traced`` calls the wrapped
+function straight through after one flag check.  Exception safety is
+guaranteed by ``__exit__``: a raising span still records its elapsed
+time and pops itself, so the stack never corrupts.
+
+The tracer is process-local and single-threaded like the pipelines it
+measures; nothing here is thread-safe.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Dict, List, Optional
+
+from . import _state
+
+
+class SpanNode:
+    """One node of the aggregated span tree."""
+
+    __slots__ = ("name", "calls", "wall_s", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.wall_s = 0.0
+        self.children: Dict[str, "SpanNode"] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        """Get or create the child span called ``name``."""
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanNode(name)
+        return node
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (children keyed by name, sorted)."""
+        out: dict = {"calls": self.calls, "wall_s": self.wall_s}
+        if self.children:
+            out["children"] = {
+                name: node.to_dict()
+                for name, node in sorted(self.children.items())
+            }
+        return out
+
+
+class _SpanContext:
+    """Context manager for one active span; cheap enough to inline."""
+
+    __slots__ = ("_tracer", "_name", "_node", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> "_SpanContext":
+        self._node = self._tracer._push(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._node.wall_s += elapsed
+        self._node.calls += 1
+        self._tracer._pop(self._node)
+        return None  # never swallow exceptions
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Accumulates the aggregated span tree for one process."""
+
+    def __init__(self) -> None:
+        self._root = SpanNode("root")
+        self._stack: List[SpanNode] = [self._root]
+
+    # -- internals used by _SpanContext --------------------------------
+    def _push(self, name: str) -> SpanNode:
+        node = self._stack[-1].child(name)
+        self._stack.append(node)
+        return node
+
+    def _pop(self, node: SpanNode) -> None:
+        # Pop back to the entry's parent even if inner spans leaked
+        # (e.g. a generator abandoned mid-span).
+        while len(self._stack) > 1:
+            popped = self._stack.pop()
+            if popped is node:
+                break
+
+    # -- public API -----------------------------------------------------
+    def span(self, name: str) -> _SpanContext:
+        """Open a (nested) span named ``name``."""
+        return _SpanContext(self, name)
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack) - 1
+
+    def tree(self) -> dict:
+        """Snapshot of the aggregated span tree (may be empty)."""
+        return {
+            name: node.to_dict()
+            for name, node in sorted(self._root.children.items())
+        }
+
+    def reset(self) -> None:
+        """Drop all recorded spans; open spans are abandoned."""
+        self._root = SpanNode("root")
+        self._stack = [self._root]
+
+
+#: The process-wide tracer used by the facade and ``@traced``.
+_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide :class:`Tracer`."""
+    return _tracer
+
+
+def span(name: str):
+    """A span context manager, or the shared no-op when disabled."""
+    if not _state.enabled():
+        return NULL_SPAN
+    return _tracer.span(name)
+
+
+def traced(name: Optional[str] = None) -> Callable:
+    """Decorator tracing every call of the function as one span.
+
+    ``name`` defaults to the function's qualified name.  When
+    instrumentation is disabled the wrapper is one boolean check away
+    from a direct call.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _state.enabled():
+                return fn(*args, **kwargs)
+            with _tracer.span(span_name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
+from .. import obs as _obs
 from ..analysis.resilience import (
     ResilienceReport,
     TrialOutcome,
@@ -58,22 +59,37 @@ def run_campaign(
     factory = channel_factory or (
         lambda rate, s: make_channel(channel, rate, seed=s)
     )
-    session = TestSession(netlist, k=k, fill_strategy=fill_strategy, seed=seed)
-    session.prepare(cubes)
-    session.run()  # golden signature from the uncorrupted stream
-    golden = session.golden_signature
-    base_stream = (
-        frame_stream(session.encoding, blocks_per_frame)
-        if framed else session.encoding.stream
-    )
-    outcomes = []
-    for rate_index, rate in enumerate(error_rates):
-        for trial in range(trials):
-            trial_seed = seed + 7919 * rate_index + trial + 1
-            result = factory(rate, trial_seed).apply(base_stream)
-            outcomes.append(
-                _run_trial(session, result, golden, rate, trial, framed)
-            )
+    with _obs.span("resilience.campaign"):
+        session = TestSession(netlist, k=k, fill_strategy=fill_strategy,
+                              seed=seed)
+        session.prepare(cubes)
+        session.run()  # golden signature from the uncorrupted stream
+        golden = session.golden_signature
+        base_stream = (
+            frame_stream(session.encoding, blocks_per_frame)
+            if framed else session.encoding.stream
+        )
+        outcomes = []
+        for rate_index, rate in enumerate(error_rates):
+            for trial in range(trials):
+                trial_seed = seed + 7919 * rate_index + trial + 1
+                result = factory(rate, trial_seed).apply(base_stream)
+                outcomes.append(
+                    _run_trial(session, result, golden, rate, trial, framed)
+                )
+    if _obs.enabled():
+        registry = _obs.get_registry()
+        registry.counter("resilience.trials").inc(len(outcomes))
+        registry.counter("resilience.faults_injected").inc(
+            sum(outcome.injections for outcome in outcomes)
+        )
+        for outcome in outcomes:
+            registry.counter(f"resilience.outcome.{outcome.outcome}").inc()
+        detected = sum(
+            1 for o in outcomes
+            if o.outcome in ("detected_stream", "detected_signature")
+        )
+        registry.counter("resilience.faults_detected").inc(detected)
     return ResilienceReport(
         circuit=circuit_name or getattr(netlist, "name", "") or "custom",
         k=k,

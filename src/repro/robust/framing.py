@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
+from .. import obs as _obs
 from ..core.bitstream import TernaryStreamReader, TernaryStreamWriter, bits_from_int
 from ..core.bitvec import X, TernaryVector
 from ..core.decoder import NineCDecoder
@@ -169,7 +170,14 @@ def frame_stream(
         writer.write_uint(crc8(header), HEADER_CRC_BITS)
         writer.write_vector(payload)
         writer.write_uint(payload_crc(payload), PAYLOAD_CRC_BITS)
-    return writer.to_vector()
+    framed = writer.to_vector()
+    if _obs.enabled():
+        registry = _obs.get_registry()
+        registry.counter("framing.frames_written").inc(num_frames)
+        registry.counter("framing.overhead_bits").inc(
+            num_frames * FRAME_OVERHEAD_BITS
+        )
+    return framed
 
 
 def frame_overhead_bits(num_blocks: int,
@@ -254,6 +262,33 @@ def decode_framed(
     the next frame boundary, and the full damage inventory is returned in
     the :class:`DecodeDiagnostics`.
     """
+    with _obs.span("framing.decode"):
+        result = _decode_framed(stream, decoder, output_length,
+                                recover=recover)
+    if _obs.enabled():
+        diagnostics = result.diagnostics
+        registry = _obs.get_registry()
+        registry.counter("framing.frames_total").inc(diagnostics.frames_total)
+        registry.counter("framing.frames_damaged").inc(
+            diagnostics.frames_damaged
+        )
+        registry.counter("framing.frames_recovered").inc(
+            diagnostics.frames_total - diagnostics.frames_damaged
+        )
+        registry.counter("framing.blocks_lost").inc(diagnostics.blocks_lost)
+        registry.counter("framing.resyncs").inc(
+            len(diagnostics.resync_points)
+        )
+    return result
+
+
+def _decode_framed(
+    stream: TernaryVector,
+    decoder: NineCDecoder,
+    output_length: Optional[int],
+    *,
+    recover: bool,
+) -> FramedDecodeResult:
     if output_length is not None and output_length < 0:
         raise ValueError(f"output_length must be >= 0, got {output_length}")
     diagnostics = DecodeDiagnostics()

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from . import obs as _obs
 from .atpg.flow import AtpgResult, generate_test_cubes
 from .circuits.faults import Fault
 from .circuits.netlist import Netlist
@@ -80,6 +81,7 @@ class TestSession:
         self._response_pad = (-len(netlist.scan_outputs)) % misr_width
 
     # ------------------------------------------------------------------
+    @_obs.traced("session.prepare")
     def prepare(self, cubes: Optional[TestSet] = None,
                 backtrack_limit: int = 500,
                 order_for_power: bool = False) -> "TestSession":
@@ -123,6 +125,7 @@ class TestSession:
         return self
 
     # ------------------------------------------------------------------
+    @_obs.traced("session.signature")
     def signature_of(self, patterns: TestSet,
                      fault: Optional[Fault] = None) -> int:
         """MISR signature of applying ``patterns`` to the (faulty) device.
@@ -143,6 +146,7 @@ class TestSession:
         return misr.signature
 
     # ------------------------------------------------------------------
+    @_obs.traced("session.apply_stream")
     def apply_stream(
         self, stream: TernaryVector, *, framed: bool = False,
         recover: bool = True,
@@ -176,6 +180,7 @@ class TestSession:
         return filled, diagnostics
 
     # ------------------------------------------------------------------
+    @_obs.traced("session.run")
     def run(self, fault: Optional[Fault] = None) -> SessionVerdict:
         """Test one device; ``fault=None`` establishes the golden run."""
         if self.applied_patterns is None:
@@ -183,6 +188,12 @@ class TestSession:
         signature = self.signature_of(self.applied_patterns, fault)
         if fault is None:
             self.golden_signature = signature
+        if _obs.enabled():
+            registry = _obs.get_registry()
+            registry.counter("session.runs").inc()
+            registry.counter("session.patterns_applied").inc(
+                self.applied_patterns.num_patterns
+            )
         return SessionVerdict(
             signature=signature,
             golden_signature=self.golden_signature
@@ -198,7 +209,14 @@ class TestSession:
         """Signature-test many devices; returns fault -> caught bool."""
         if self.golden_signature is None:
             self.run()
-        return {
+        results = {
             fault: self.run(fault).signature != self.golden_signature
             for fault in faults
         }
+        if _obs.enabled():
+            registry = _obs.get_registry()
+            registry.counter("session.faults_screened").inc(len(results))
+            registry.counter("session.faults_caught").inc(
+                sum(results.values())
+            )
+        return results

@@ -183,3 +183,95 @@ class TestAtpgCommand:
     def test_unknown_circuit(self):
         with pytest.raises(SystemExit):
             main(["atpg", "--circuit", "nope"])
+
+
+class TestCompressJson:
+    def test_benchmark_json(self, capsys):
+        import json
+
+        assert main(["compress", "--benchmark", "s5378", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "s5378"
+        assert data["td_bits"] == 23754
+        assert 0 < data["te_bits"] < data["td_bits"]
+        assert data["cr_percent"] == pytest.approx(
+            100.0 * (1 - data["te_bits"] / data["td_bits"]), abs=0.01
+        )
+
+    def test_json_with_output_file(self, tmp_path, capsys):
+        import json
+
+        from repro.testdata import TestSet as TS
+
+        src = tmp_path / "demo.test"
+        TS.from_strings(["00000000", "0000X01X"], name="demo").save(src)
+        dst = tmp_path / "stream.test"
+        assert main(["compress", str(src), "--json", "-o", str(dst)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["output"] == str(dst)
+        assert dst.exists()
+
+
+class TestProfileCommand:
+    def test_profile_json_writes_baseline(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.profile import SCENARIOS, validate_baseline
+
+        out = tmp_path / "BENCH_obs.json"
+        assert main([
+            "profile", "--circuit", "s27", "--scenarios", "compress",
+            "decompress", "--no-fastpath", "--json", "-o", str(out),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_baseline(
+            payload, required_scenarios=("compress", "decompress")
+        ) == []
+        assert json.loads(out.read_text()) == payload
+
+    def test_profile_table(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_obs.json"
+        assert main([
+            "profile", "--circuit", "s27", "--scenarios", "compress",
+            "--no-fastpath", "-o", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "compress" in text and str(out) in text
+        assert out.exists()
+
+    def test_unknown_circuit(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["profile", "--circuit", "nope",
+                  "-o", str(tmp_path / "b.json")])
+
+
+class TestStatsCommand:
+    @pytest.fixture()
+    def baseline(self, tmp_path):
+        path = tmp_path / "BENCH_obs.json"
+        assert main([
+            "profile", "--circuit", "s27", "--scenarios", "compress",
+            "session", "--no-fastpath", "-o", str(path), "--json",
+        ]) == 0
+        return path
+
+    def test_stats_table(self, baseline, capsys):
+        capsys.readouterr()  # drop the profile output
+        assert main(["stats", "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "encode.calls" in out
+        assert "session.runs" in out
+
+    def test_stats_json_scenario_filter(self, baseline, capsys):
+        import json
+
+        capsys.readouterr()
+        assert main(["stats", "--baseline", str(baseline),
+                     "--scenario", "compress", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert list(data) == ["compress"]
+        assert data["compress"]["counters"]["encode.calls"] == 1
+
+    def test_missing_baseline(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["stats", "--baseline", str(tmp_path / "absent.json")])

@@ -11,6 +11,8 @@ from repro.core import (
     analytic_compressed_size,
 )
 
+from repro.testdata.mintest import ISCAS89_PROFILES, load_benchmark
+
 from .conftest import even_block_sizes, ternary_vectors
 
 
@@ -154,3 +156,27 @@ class TestCustomCodebook:
         enc = NineCEncoder(4, book)
         assert enc.select_case(TernaryVector("0001")) is BlockCase.C5
         assert enc.codebook.length(BlockCase.C5) == 4
+
+
+class TestFastPathMatchesReference:
+    """The vectorized ``encode`` must be bit-identical to the per-block
+    oracle ``encode_reference`` — same stream, same block records."""
+
+    @staticmethod
+    def assert_same(fast, slow):
+        assert fast.stream == slow.stream
+        assert fast.blocks == slow.blocks
+        assert fast.original_length == slow.original_length
+        assert fast.case_counts == slow.case_counts
+
+    @given(ternary_vectors(max_size=200), even_block_sizes(max_k=16))
+    @settings(max_examples=150)
+    def test_random_vectors(self, data, k):
+        encoder = NineCEncoder(k)
+        self.assert_same(encoder.encode(data), encoder.encode_reference(data))
+
+    @pytest.mark.parametrize("name", sorted(ISCAS89_PROFILES))
+    def test_full_iscas89_suite(self, name):
+        data = load_benchmark(name).to_stream()
+        encoder = NineCEncoder(8)
+        self.assert_same(encoder.encode(data), encoder.encode_reference(data))
