@@ -45,6 +45,7 @@ from .tat import (
     analyze,
     codeword_time_ate_cycles,
     compressed_time_ate_cycles,
+    compressed_time_soc_cycles,
     sweep_p,
     trace_time_ate_cycles,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "sweep_p",
     "codeword_time_ate_cycles",
     "compressed_time_ate_cycles",
+    "compressed_time_soc_cycles",
     "trace_time_ate_cycles",
     "wtm",
     "test_set_wtm",

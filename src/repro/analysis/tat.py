@@ -52,6 +52,33 @@ def compressed_time_ate_cycles(
     )
 
 
+def compressed_time_soc_cycles(
+    case_counts: Dict[BlockCase, int],
+    k: int,
+    p: int,
+    codebook: Optional[Codebook] = None,
+) -> int:
+    """Exact SoC-cycle total for a whole encoding (integer arithmetic).
+
+    Equals ``p * compressed_time_ate_cycles(...)`` but stays in integer
+    SoC cycles, so it matches the cycle-accurate decompressor traces
+    bit-for-bit: per block, each codeword bit and each mismatch-half bit
+    costs ``p`` SoC cycles (ATE-paced), each uniform-half bit costs one.
+    The trace-free ``expand()`` modes of the decompressors use this in
+    place of simulating the datapath.
+    """
+    codebook = codebook or Codebook.default()
+    half = k // 2
+    total = 0
+    for case, count in case_counts.items():
+        mismatch = case.num_mismatch_halves
+        total += count * (
+            p * (codebook.length(case) + half * mismatch)
+            + half * (2 - mismatch)
+        )
+    return total
+
+
 @dataclass(frozen=True)
 class TATReport:
     """TAT analysis of one test set at one (K, p) point."""

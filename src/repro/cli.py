@@ -102,12 +102,13 @@ def cmd_decompress(args) -> int:
     stream_set = TestSet.load(args.input)
     stream = stream_set.to_stream()
     decoded = NineCDecoder(args.k).decode_stream(
-        stream, output_length=args.length
+        stream, output_length=args.length, fast=not args.reference
     )
     out = TestSet.from_stream(decoded, args.cells, name="decompressed")
     out.save(args.output)
+    path = "reference" if args.reference else "fast"
     print(f"decoded {len(decoded)} bits into {out.num_patterns} patterns "
-          f"-> {args.output}")
+          f"({path} path) -> {args.output}")
     return 0
 
 
@@ -359,6 +360,7 @@ def cmd_profile(args) -> int:
             session_circuit=args.session_circuit,
             resilience_trials=args.trials,
             fastpath_compare=not args.no_fastpath,
+            decode_fast=not args.reference,
         )
     except ValueError as exc:
         raise SystemExit(f"profile: {exc}")
@@ -376,6 +378,14 @@ def cmd_profile(args) -> int:
     if report.encode_fastpath:
         fast = report.encode_fastpath
         print(f"encode fast path  : {fast['speedup']:.1f}x vs reference "
+              f"({fast['vectorized_wall_s'] * 1e3:.2f} ms vs "
+              f"{fast['reference_wall_s'] * 1e3:.2f} ms on "
+              f"{fast['bits']} bits, identical output: "
+              f"{fast['identical_output']})")
+    decode = report.scenarios.get("decode")
+    if decode and "speedup" in decode.extra:
+        fast = decode.extra
+        print(f"decode fast path  : {fast['speedup']:.1f}x vs reference "
               f"({fast['vectorized_wall_s'] * 1e3:.2f} ms vs "
               f"{fast['reference_wall_s'] * 1e3:.2f} ms on "
               f"{fast['bits']} bits, identical output: "
@@ -471,6 +481,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cells", type=int, required=True)
     p.add_argument("--length", type=int, default=None)
     p.add_argument("-o", "--output", required=True)
+    path = p.add_mutually_exclusive_group()
+    path.add_argument("--fast", action="store_true", default=True,
+                      help="vectorized decode path (default)")
+    path.add_argument("--reference", action="store_true",
+                      help="per-bit reference decode path (the oracle)")
     p.set_defaults(func=cmd_decompress)
 
     p = sub.add_parser("sweep", help="CR/LX across block sizes")
@@ -566,7 +581,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="benchmark profile (s9234) or embedded circuit (s27)")
     p.add_argument("--k", type=int, default=8)
     p.add_argument("--scenarios", nargs="+",
-                   choices=["compress", "decompress", "session", "resilience"],
+                   choices=["compress", "decompress", "decode", "session",
+                            "resilience"],
                    help="subset of scenarios to run (default: all)")
     p.add_argument("--session-circuit", default=None,
                    help="netlist for session/resilience when the target is "
@@ -575,6 +591,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resilience-scenario trials")
     p.add_argument("--no-fastpath", action="store_true",
                    help="skip the encode fast-path vs reference comparison")
+    path = p.add_mutually_exclusive_group()
+    path.add_argument("--fast", action="store_true", default=True,
+                      help="decompress scenario uses the vectorized decode "
+                           "path (default)")
+    path.add_argument("--reference", action="store_true",
+                      help="decompress scenario uses the per-bit reference "
+                           "decode path")
     p.add_argument("-o", "--output", default="BENCH_obs.json")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output")

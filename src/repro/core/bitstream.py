@@ -49,13 +49,24 @@ class TernaryStreamWriter:
         self._length += 1
 
     def write_bits(self, values: Iterable[int]) -> None:
-        """Append an iterable of symbols."""
-        arr = np.fromiter((int(v) for v in values), dtype=np.uint8)
-        if arr.size and arr.max(initial=0) > X:
+        """Append an iterable of symbols.
+
+        Any symbol outside {0, 1, 2} raises :class:`ValueError` and
+        leaves the stream untouched.  Validation happens on a wide
+        integer array first — a narrow-dtype cast would let values like
+        256 or -1 escape as numpy ``OverflowError`` instead of the
+        documented contract.
+        """
+        try:
+            wide = np.fromiter((int(v) for v in values), dtype=np.int64)
+        except OverflowError as exc:  # beyond int64: certainly out of range
+            raise ValueError("stream symbols must be in {0, 1, 2}") from exc
+        if wide.size and (wide.min(initial=ZERO) < ZERO
+                          or wide.max(initial=ZERO) > X):
             raise ValueError("stream symbols must be in {0, 1, 2}")
         self._flush_pending()
-        self._chunks.append(arr)
-        self._length += int(arr.size)
+        self._chunks.append(wide.astype(np.uint8))
+        self._length += int(wide.size)
 
     def write_vector(self, vec: TernaryVector) -> None:
         """Append a ternary vector verbatim."""

@@ -166,3 +166,71 @@ class MultiScanDecompressor:
         if encoding.codebook != self.codebook:
             raise ValueError("codebook mismatch between encoder and decoder")
         return self.run(encoding.stream, encoding.original_length, x_fill)
+
+    def expand(self, encoding: Encoding,
+               x_fill: Optional[int] = 0) -> MultiScanTrace:
+        """Trace-free decompression: vectorized decode + analytic cycles.
+
+        Same output, cycle totals and ``loads`` as :meth:`run_encoding`
+        (cross-checked in the tests) without stepping the shifter:
+        output from the vectorized decoder fast path, SoC cycles from
+        :func:`repro.analysis.tat.compressed_time_soc_cycles`, and
+        ``loads`` from the emitted bit count (one broadside load per
+        ``num_chains`` decoded bits).  ``patterns`` and
+        ``weighted_transitions`` are not tracked — those need the
+        per-cycle scan-chain simulation.
+        """
+        if encoding.k != self.k:
+            raise ValueError(f"encoding K={encoding.k} != decoder K={self.k}")
+        if encoding.codebook != self.codebook:
+            raise ValueError("codebook mismatch between encoder and decoder")
+        with _obs.span("decompress.multi_scan.expand"):
+            trace = self._expand_impl(encoding, x_fill)
+        if _obs.enabled():
+            record_trace("decompress.multi_scan", trace)
+            _obs.get_registry().counter(
+                "decompress.multi_scan.loads"
+            ).inc(trace.loads)
+        return trace
+
+    def _expand_impl(self, encoding: Encoding,
+                     x_fill: Optional[int]) -> MultiScanTrace:
+        from ..analysis.tat import compressed_time_soc_cycles
+        from ..core.decoder import NineCDecoder
+
+        half = self.k // 2
+        decoder = NineCDecoder(self.k, self.codebook)
+        output = decoder.decode_stream(encoding.stream,
+                                       encoding.original_length)
+        if x_fill is not None and x_fill != X and output.num_x:
+            output = output.filled(x_fill)
+        counts = encoding.case_counts
+        blocks = len(encoding.blocks)
+        loads = encoding.padded_length // self.num_chains
+        if encoding.original_length == 0:
+            # run() stops before consuming any block when output_length
+            # is 0, even though the encoder pads empty input to one block.
+            counts = {case: 0 for case in counts}
+            blocks = 0
+            loads = 0
+        codeword_ate = sum(self.codebook.length(case) * count
+                           for case, count in counts.items())
+        data_ate = sum(count * half * case.num_mismatch_halves
+                       for case, count in counts.items())
+        uniform_soc = sum(count * half * (2 - case.num_mismatch_halves)
+                          for case, count in counts.items())
+        return MultiScanTrace(
+            output=output,
+            soc_cycles=compressed_time_soc_cycles(
+                counts, self.k, self.p, self.codebook
+            ),
+            ate_cycles=codeword_ate + data_ate,
+            codeword_ate_cycles=codeword_ate,
+            data_ate_cycles=data_ate,
+            uniform_soc_cycles=uniform_soc,
+            blocks=blocks,
+            case_counts=dict(counts),
+            num_chains=self.num_chains,
+            chain_length=self.chain_length,
+            loads=loads,
+        )

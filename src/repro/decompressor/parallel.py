@@ -94,9 +94,13 @@ class ParallelDecompressor:
         encodings = self.compress(test_set)
         traces: List[MultiScanTrace] = []
         for encoding in encodings:
+            # True per-group geometry: K chains of the real chain length.
+            # The group stream is patterns-major, so each K*chain_length
+            # emitted bits complete one pattern and the trace captures
+            # num_patterns patterns (cycle counts are geometry-independent).
             decoder = MultiScanDecompressor(
                 self.k, num_chains=self.k,
-                chain_length=test_set.num_patterns * self.chain_length,
+                chain_length=self.chain_length,
                 codebook=self.codebook, p=self.p,
             )
             traces.append(decoder.run_encoding(encoding, x_fill=x_fill))

@@ -28,6 +28,7 @@ for the metric-name catalog and span naming convention.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Optional, Sequence
 
@@ -37,6 +38,10 @@ from .tracing import NULL_SPAN, SpanNode, Tracer, get_tracer, span, traced
 
 #: The process-wide registry every instrumented module records into.
 _registry = MetricsRegistry()
+
+#: Serializes :func:`reset` so concurrent resets (or a reset racing a
+#: snapshot-taking thread) clear metrics and spans as one unit.
+_reset_lock = threading.Lock()
 
 
 def get_registry() -> MetricsRegistry:
@@ -60,9 +65,13 @@ def histogram(name: str, bounds: Optional[Sequence] = None) -> Histogram:
 
 
 def reset() -> None:
-    """Clear all recorded metrics and spans (the switch is untouched)."""
-    _registry.reset()
-    get_tracer().reset()
+    """Clear all recorded metrics and spans (the switch is untouched).
+
+    Thread-safe: the registry and tracer are cleared under one lock.
+    """
+    with _reset_lock:
+        _registry.reset()
+        get_tracer().reset()
 
 
 @contextmanager

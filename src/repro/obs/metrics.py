@@ -9,10 +9,13 @@ ordinary nested dict of ints/floats, stable under ``json.dumps`` with
 sorted keys, which is what the profile harness commits to
 ``BENCH_obs.json``.
 
-The registry is process-local and intended for single-threaded
-pipelines (the whole library is); instrument creation is lock-guarded
-so concurrent readers cannot observe a half-built registry, but
-increments are plain ``+=``.
+The registry is process-local but safe to share across threads:
+instrument creation, reset and snapshot are guarded by the registry
+lock, and every instrument carries its own lock around state updates,
+so concurrent decode workers (and batch drivers) can record without
+losing increments.  Locks are uncontended in the single-threaded
+pipeline and recording stays post-hoc (per operation, never per bit),
+so the cost is negligible.
 """
 
 from __future__ import annotations
@@ -27,31 +30,35 @@ Number = Union[int, float]
 class Counter:
     """Monotonically increasing count (events, bits, blocks)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value: Number = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: Number = 1) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
         if amount < 0:
             raise ValueError(f"counter {self.name}: negative increment {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """Last-written value (stream length, chunk count, ratio)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value: Number = 0
+        self._lock = threading.Lock()
 
     def set(self, value: Number) -> None:
         """Overwrite the gauge with ``value``."""
-        self.value = value
+        with self._lock:
+            self.value = value
 
 
 class Histogram:
@@ -61,7 +68,8 @@ class Histogram:
     observation above the last bound lands in the ``+inf`` bucket.
     """
 
-    __slots__ = ("name", "bounds", "counts", "overflow", "count", "sum")
+    __slots__ = ("name", "bounds", "counts", "overflow", "count", "sum",
+                 "_lock")
 
     def __init__(self, name: str, bounds: Sequence[Number]):
         edges = tuple(bounds)
@@ -75,25 +83,36 @@ class Histogram:
         self.overflow = 0
         self.count = 0
         self.sum: Number = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: Number, weight: int = 1) -> None:
         """Record ``value`` ``weight`` times."""
         if weight < 0:
             raise ValueError(f"histogram {self.name}: negative weight {weight}")
         index = bisect_left(self.bounds, value)
-        if index == len(self.bounds):
-            self.overflow += weight
-        else:
-            self.counts[index] += weight
-        self.count += weight
-        self.sum += value * weight
+        with self._lock:
+            if index == len(self.bounds):
+                self.overflow += weight
+            else:
+                self.counts[index] += weight
+            self.count += weight
+            self.sum += value * weight
 
     def bucket_dict(self) -> Dict[str, int]:
         """Buckets keyed ``<=bound`` plus ``+inf``, in edge order."""
-        out = {f"<={bound}": count
-               for bound, count in zip(self.bounds, self.counts)}
-        out["+inf"] = self.overflow
+        with self._lock:
+            out = {f"<={bound}": count
+                   for bound, count in zip(self.bounds, self.counts)}
+            out["+inf"] = self.overflow
         return out
+
+    def state(self) -> Dict[str, object]:
+        """Consistent ``{buckets, count, sum}`` snapshot of the histogram."""
+        with self._lock:
+            buckets = {f"<={bound}": count
+                       for bound, count in zip(self.bounds, self.counts)}
+            buckets["+inf"] = self.overflow
+            return {"buckets": buckets, "count": self.count, "sum": self.sum}
 
 
 class MetricsRegistry:
@@ -174,19 +193,14 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """JSON-ready nested dict of every instrument's current state."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
         return {
-            "counters": {name: c.value
-                         for name, c in sorted(self._counters.items())},
-            "gauges": {name: g.value
-                       for name, g in sorted(self._gauges.items())},
-            "histograms": {
-                name: {
-                    "buckets": h.bucket_dict(),
-                    "count": h.count,
-                    "sum": h.sum,
-                }
-                for name, h in sorted(self._histograms.items())
-            },
+            "counters": {name: c.value for name, c in counters},
+            "gauges": {name: g.value for name, g in gauges},
+            "histograms": {name: h.state() for name, h in histograms},
         }
 
     def reset(self) -> None:

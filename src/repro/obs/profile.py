@@ -7,12 +7,19 @@ instrumentation enabled and produces a baseline record::
      "spans": {<span tree>}, "metrics": {<registry snapshot>},
      "extra": {scenario-specific facts}}
 
-The four scenarios:
+The five scenarios:
 
 ``compress``
     9C-encode the target's test data (vectorized fast path).
 ``decompress``
-    Software-decode the compressed stream back to test data.
+    Software-decode the compressed stream back to test data
+    (``decode_fast=False`` reroutes it through the per-bit reference).
+``decode``
+    The decode fast path proper: one instrumented fast decode, plus an
+    uninstrumented fast-vs-``decode_reference`` timing comparison in
+    ``extra`` (``vectorized_wall_s`` / ``reference_wall_s`` /
+    ``speedup`` / ``identical_output``) — the decode twin of the
+    top-level ``encode_fastpath`` record.
 ``session``
     Full :class:`~repro.system.TestSession` flow on a netlist —
     ATPG cubes, encode, cycle-accurate decompression, fill, fault-free
@@ -50,7 +57,9 @@ from . import get_registry, get_tracer, reset as reset_obs
 DEFAULT_BASELINE_PATH = "BENCH_obs.json"
 
 #: Scenario names in run order.
-SCENARIOS: Tuple[str, ...] = ("compress", "decompress", "session", "resilience")
+SCENARIOS: Tuple[str, ...] = (
+    "compress", "decompress", "decode", "session", "resilience"
+)
 
 #: Bump when the baseline layout changes shape.
 SCHEMA_VERSION = 1
@@ -162,6 +171,7 @@ def run_profile(
     resilience_error_rate: float = 1e-3,
     fastpath_compare: bool = True,
     fastpath_repeats: int = 3,
+    decode_fast: bool = True,
     seed: int = 0,
 ) -> ProfileReport:
     """Profile the pipeline on ``target`` and return the baselines.
@@ -229,15 +239,37 @@ def run_profile(
             decoded, baseline = _measure(
                 encoding.original_length,
                 lambda: decoder.decode_stream(
-                    encoding.stream, encoding.original_length
+                    encoding.stream, encoding.original_length,
+                    fast=decode_fast,
                 ),
             )
             baseline.name = "decompress"
             baseline.extra.update(
                 te_bits=encoding.compressed_size,
                 blocks=len(encoding.blocks),
+                fast=decode_fast,
             )
             report.scenarios["decompress"] = baseline
+
+        if "decode" in scenarios:
+            if encoding is None:
+                encoding = encoder.encode(data)
+            decoder = NineCDecoder(k)
+            _, baseline = _measure(
+                encoding.original_length,
+                lambda: decoder.decode_stream(
+                    encoding.stream, encoding.original_length
+                ),
+            )
+            baseline.name = "decode"
+            baseline.extra.update(
+                te_bits=encoding.compressed_size,
+                blocks=len(encoding.blocks),
+                **_compare_decode_fastpath(
+                    decoder, encoding, repeats=fastpath_repeats
+                ),
+            )
+            report.scenarios["decode"] = baseline
 
         if "session" in scenarios:
             def _session():
@@ -306,6 +338,44 @@ def _compare_fastpath(encoder, data, repeats: int = 3) -> dict:
     )
     return {
         "bits": len(data),
+        "vectorized_wall_s": fast,
+        "reference_wall_s": reference,
+        "speedup": reference / fast if fast > 0 else 0.0,
+        "identical_output": identical,
+    }
+
+
+def _compare_decode_fastpath(decoder, encoding, repeats: int = 3) -> dict:
+    """Fast-path vs reference-path decode timing (instrumentation off).
+
+    Beyond timing, re-asserts the fast path's contract on this stream:
+    bit-identical output *and* matching :class:`DecodeDiagnostics`.
+    """
+    def _fast(_):
+        return decoder.decode_stream(encoding.stream,
+                                     encoding.original_length)
+
+    def _reference(_):
+        return decoder.decode_reference(encoding.stream,
+                                        encoding.original_length)
+
+    previous = _state.set_enabled(False)
+    try:
+        fast = min(_time_once(_fast, None) for _ in range(repeats))
+        reference = min(_time_once(_reference, None) for _ in range(repeats))
+        fast_out = _fast(None)
+        fast_diag = decoder.last_diagnostics
+        reference_out = _reference(None)
+        reference_diag = decoder.last_diagnostics
+    finally:
+        _state.set_enabled(previous)
+    identical = (
+        fast_out == reference_out
+        and fast_diag.blocks_decoded == reference_diag.blocks_decoded
+        and fast_diag.blocks_lost == reference_diag.blocks_lost
+    )
+    return {
+        "bits": encoding.original_length,
         "vectorized_wall_s": fast,
         "reference_wall_s": reference,
         "speedup": reference / fast if fast > 0 else 0.0,

@@ -36,6 +36,30 @@ class TestWriter:
         with pytest.raises(ValueError):
             TernaryStreamWriter().write_bits([0, 4])
 
+    @pytest.mark.parametrize(
+        "values", [[3], [256], [-1], [257, 0], [1 << 70], [0, 1, -300]]
+    )
+    def test_write_bits_out_of_range_is_valueerror(self, values):
+        """Regression: the documented error contract for any bad symbol.
+
+        256 and -1 used to escape as numpy ``OverflowError`` because the
+        range check ran after a uint8 cast.
+        """
+        w = TernaryStreamWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(values)
+        # a failed write must not corrupt the stream
+        assert len(w) == 0
+        assert len(w.to_vector()) == 0
+
+    def test_write_bits_after_rejected_write(self):
+        w = TernaryStreamWriter()
+        w.write_bit(1)
+        with pytest.raises(ValueError):
+            w.write_bits([0, 256])
+        w.write_bits([0, 2])
+        assert w.to_vector().to_string() == "10X"
+
     def test_write_vector(self):
         w = TernaryStreamWriter()
         w.write_vector(TernaryVector("0X1"))

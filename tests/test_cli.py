@@ -48,6 +48,33 @@ class TestDecompress:
         ]) == 0
         assert TestSet.load(out).covers(ts)
 
+    def test_fast_and_reference_paths_agree(self, tmp_path, capsys):
+        ts = TestSet.from_strings(["0110X01X", "1111000X"], name="demo")
+        src = tmp_path / "demo.test"
+        ts.save(src)
+        stream = tmp_path / "stream.test"
+        main(["compress", str(src), "--k", "8", "-o", str(stream)])
+        fast_out = tmp_path / "fast.test"
+        reference_out = tmp_path / "reference.test"
+        assert main([
+            "decompress", str(stream), "--k", "8", "--cells", "8",
+            "--length", "16", "--fast", "-o", str(fast_out),
+        ]) == 0
+        assert "fast path" in capsys.readouterr().out
+        assert main([
+            "decompress", str(stream), "--k", "8", "--cells", "8",
+            "--length", "16", "--reference", "-o", str(reference_out),
+        ]) == 0
+        assert "reference path" in capsys.readouterr().out
+        assert TestSet.load(fast_out) == TestSet.load(reference_out)
+
+    def test_fast_and_reference_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "decompress", "whatever.test", "--k", "8", "--cells", "8",
+                "--fast", "--reference", "-o", str(tmp_path / "x.test"),
+            ])
+
 
 class TestAnalysisCommands:
     def test_sweep(self, capsys):
@@ -238,6 +265,30 @@ class TestProfileCommand:
         text = capsys.readouterr().out
         assert "compress" in text and str(out) in text
         assert out.exists()
+
+    def test_decode_scenario_prints_fastpath_line(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_obs.json"
+        assert main([
+            "profile", "--circuit", "s27", "--scenarios", "decode",
+            "--no-fastpath", "-o", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "decode fast path" in text
+        assert "identical output: True" in text
+
+    def test_reference_decode_flag(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_obs.json"
+        assert main([
+            "profile", "--circuit", "s27", "--scenarios", "decompress",
+            "--reference", "--no-fastpath", "--json", "-o", str(out),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        extra = payload["scenarios"]["decompress"]["extra"]
+        assert extra["fast"] is False
+        counters = payload["scenarios"]["decompress"]["metrics"]["counters"]
+        assert counters["decode.reference_calls"] == 1
 
     def test_unknown_circuit(self, tmp_path):
         with pytest.raises(SystemExit):

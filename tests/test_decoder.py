@@ -11,6 +11,7 @@ from repro.core import (
     TernaryVector,
     verify_roundtrip,
 )
+from repro.core.decoder import CodewordScanTable
 
 from .conftest import even_block_sizes, ternary_vectors
 
@@ -124,3 +125,105 @@ class TestRoundTripProperties:
         enc = NineCEncoder(k, book).encode(data)
         decoded = NineCDecoder(k, book).decode(enc)
         assert decoded.covers(data)
+
+
+class TestScanTable:
+    def test_lut_resolves_every_codeword(self):
+        book = Codebook.default()
+        table = CodewordScanTable(book)
+        assert table.max_len == book.max_length
+        for col, case in enumerate(table.cases):
+            bits = list(book.codeword(case))
+            # every window starting with this codeword resolves to it
+            pad = table.max_len - len(bits)
+            value = 0
+            for bit in bits + [0] * pad:
+                value = value * 3 + bit
+            assert table.lut[value] == col
+
+    def test_windows_with_x_in_codeword_need_scalar(self):
+        table = CodewordScanTable(Codebook.default())
+        # window starting with X can never resolve inside a codeword
+        value = 2 * 3 ** (table.max_len - 1)
+        assert table.lut[value] == table.NEEDS_SCALAR
+
+    def test_scan_table_is_lazy_and_cached(self):
+        decoder = NineCDecoder(8)
+        assert decoder._scan_table is None
+        table = decoder.scan_table
+        assert decoder.scan_table is table
+
+
+class TestFastPathDifferential:
+    """decode_stream (fast) vs decode_reference on clean encodings."""
+
+    @given(ternary_vectors(max_size=120), even_block_sizes(max_k=16))
+    @settings(max_examples=120)
+    def test_bit_identical_on_roundtrips(self, data, k):
+        enc = NineCEncoder(k).encode(data)
+        decoder = NineCDecoder(k)
+        fast = decoder.decode_stream(enc.stream, enc.original_length)
+        fast_diag = decoder.last_diagnostics
+        reference = decoder.decode_reference(enc.stream, enc.original_length)
+        reference_diag = decoder.last_diagnostics
+        assert fast == reference
+        assert fast_diag.blocks_decoded == reference_diag.blocks_decoded
+        assert fast_diag.blocks_lost == reference_diag.blocks_lost
+
+    @given(ternary_vectors(max_size=100, x_bias=0.75),
+           even_block_sizes(max_k=12))
+    @settings(max_examples=60)
+    def test_bit_identical_with_reassigned_codebook(self, data, k):
+        from repro.core import assign_lengths_by_frequency
+
+        base = NineCEncoder(k).encode(data)
+        book = Codebook.from_lengths(
+            assign_lengths_by_frequency(base.case_counts)
+        )
+        enc = NineCEncoder(k, book).encode(data)
+        decoder = NineCDecoder(k, book)
+        assert decoder.decode_stream(enc.stream, enc.original_length) == \
+            decoder.decode_reference(enc.stream, enc.original_length)
+
+    def test_fast_false_forces_reference(self):
+        enc = NineCEncoder(8).encode(TernaryVector("01X0" * 8))
+        decoder = NineCDecoder(8)
+        out = decoder.decode_stream(enc.stream, enc.original_length,
+                                    fast=False)
+        assert out == decoder.decode_stream(enc.stream, enc.original_length)
+
+    def test_unbounded_decode_matches(self):
+        enc = NineCEncoder(8).encode(TernaryVector("0X11" * 10))
+        decoder = NineCDecoder(8)
+        assert decoder.decode_stream(enc.stream) == \
+            decoder.decode_reference(enc.stream)
+
+    def test_negative_output_length_rejected_on_both_paths(self):
+        decoder = NineCDecoder(8)
+        stream = TernaryVector([0])
+        with pytest.raises(ValueError):
+            decoder.decode_stream(stream, output_length=-1)
+        with pytest.raises(ValueError):
+            decoder.decode_reference(stream, output_length=-1)
+
+
+class TestFastPathISCAS:
+    """Acceptance: bit-identical fast decode across the ISCAS'89 suite."""
+
+    def test_full_suite_bit_identical(self):
+        from repro.testdata import ISCAS89_PROFILES, load_benchmark
+
+        for name in ISCAS89_PROFILES:
+            data = load_benchmark(name).to_stream()
+            enc = NineCEncoder(8).encode(data)
+            decoder = NineCDecoder(8)
+            fast = decoder.decode_stream(enc.stream, enc.original_length)
+            fast_diag = decoder.last_diagnostics
+            reference = decoder.decode_reference(
+                enc.stream, enc.original_length
+            )
+            reference_diag = decoder.last_diagnostics
+            assert fast == reference, name
+            assert fast.covers(data), name
+            assert fast_diag.blocks_decoded == reference_diag.blocks_decoded
+            assert fast_diag.blocks_lost == reference_diag.blocks_lost

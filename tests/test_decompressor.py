@@ -193,6 +193,86 @@ class TestMultiScan:
             MultiScanDecompressor(8, 4, 4, p=0)
 
 
+class TestExpand:
+    """Trace-free expand() vs the cycle-accurate run_encoding()."""
+
+    def _encoding(self, k=8, fraction=0.05):
+        data = load_benchmark("s5378", fraction=fraction).to_stream()
+        return NineCEncoder(k).encode(data)
+
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_single_scan_matches_cycle_accurate(self, p):
+        encoding = self._encoding()
+        decompressor = SingleScanDecompressor(8, p=p)
+        accurate = decompressor.run_encoding(encoding)
+        fast = decompressor.expand(encoding)
+        assert fast.output == accurate.output
+        assert fast.soc_cycles == accurate.soc_cycles
+        assert fast.ate_cycles == accurate.ate_cycles
+        assert fast.codeword_ate_cycles == accurate.codeword_ate_cycles
+        assert fast.data_ate_cycles == accurate.data_ate_cycles
+        assert fast.uniform_soc_cycles == accurate.uniform_soc_cycles
+        assert fast.blocks == accurate.blocks
+        assert fast.case_counts == accurate.case_counts
+
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_single_scan_matches_tat_analysis(self, p):
+        encoding = self._encoding()
+        trace = SingleScanDecompressor(8, p=p).expand(encoding)
+        assert trace_time_ate_cycles(trace, p) == compressed_time_ate_cycles(
+            encoding.case_counts, 8, p
+        )
+
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_multi_scan_matches_cycle_accurate(self, p):
+        encoding = self._encoding()
+        decompressor = MultiScanDecompressor(
+            8, num_chains=4,
+            chain_length=1 + encoding.original_length // 4, p=p,
+        )
+        accurate = decompressor.run_encoding(encoding)
+        fast = decompressor.expand(encoding)
+        assert fast.output == accurate.output
+        assert fast.soc_cycles == accurate.soc_cycles
+        assert fast.ate_cycles == accurate.ate_cycles
+        assert fast.uniform_soc_cycles == accurate.uniform_soc_cycles
+        assert fast.loads == accurate.loads
+        assert (fast.num_chains, fast.chain_length) == \
+            (accurate.num_chains, accurate.chain_length)
+
+    @given(ternary_vectors(max_size=96), even_block_sizes(max_k=12))
+    @settings(max_examples=60, deadline=None)
+    def test_single_scan_expand_property(self, data, k):
+        encoding = NineCEncoder(k).encode(data)
+        decompressor = SingleScanDecompressor(k, p=2)
+        accurate = decompressor.run_encoding(encoding)
+        fast = decompressor.expand(encoding)
+        assert fast.output == accurate.output
+        assert fast.soc_cycles == accurate.soc_cycles
+
+    def test_x_fill_applied(self):
+        data = TernaryVector("0000X01X" * 4)
+        encoding = NineCEncoder(8).encode(data)
+        decompressor = SingleScanDecompressor(8)
+        accurate = decompressor.run_encoding(encoding, x_fill=1)
+        fast = decompressor.expand(encoding, x_fill=1)
+        assert fast.output == accurate.output
+        assert fast.output.is_fully_specified()
+
+    def test_trace_free_fields(self):
+        encoding = self._encoding()
+        trace = MultiScanDecompressor(8, 4, 4000).expand(encoding)
+        assert trace.patterns == []
+        assert trace.weighted_transitions == 0
+
+    def test_k_mismatch_rejected(self):
+        encoding = self._encoding(k=8)
+        with pytest.raises(ValueError):
+            SingleScanDecompressor(4).expand(encoding)
+        with pytest.raises(ValueError):
+            MultiScanDecompressor(4, 4, 100).expand(encoding)
+
+
 class TestParallel:
     def make_test_set(self):
         rows = ["0110011010100101", "1111000011001100", "0000111101010101"]
@@ -218,6 +298,46 @@ class TestParallel:
         result = ParallelDecompressor(k=4, num_chains=8, chain_length=2).run(ts)
         assert result.num_pins == 2
         assert len(result.group_traces) == 2
+
+    def test_group_trace_geometry(self):
+        """Regression: group decoders must see the true scan geometry.
+
+        `run` used to build each group decoder with
+        ``chain_length = num_patterns * chain_length``, so the group
+        traces reported a fictitious geometry (one giant pattern instead
+        of num_patterns real ones).
+        """
+        rows = ["0110011010100101", "1111000011001100",
+                "0000111101010101", "1010010111110000"]
+        ts = TestSet.from_strings(rows, name="geom")
+        par = ParallelDecompressor(k=4, num_chains=8, chain_length=2)
+        result = par.run(ts)
+        for trace in result.group_traces:
+            assert trace.num_chains == 4          # k chains per group
+            assert trace.chain_length == 2        # the true chain length
+            assert len(trace.patterns) == ts.num_patterns
+            # loads: num_patterns * (k * chain_length) bits / k chains
+            assert trace.loads == ts.num_patterns * 2
+        # each captured pattern is the group's k-wide slice of the rows
+        for group, trace in enumerate(result.group_traces):
+            for row, pattern in zip(rows, trace.patterns):
+                want = "".join(
+                    row[r * 8 + group * 4 : r * 8 + group * 4 + 4]
+                    for r in range(2)
+                )
+                assert pattern.to_string() == want
+
+    def test_geometry_fix_keeps_soc_cycles(self):
+        """Cycle counts are geometry-independent; Figure-4c is unaffected."""
+        from repro.analysis.tat import compressed_time_soc_cycles
+
+        ts = self.make_test_set()
+        par = ParallelDecompressor(k=4, num_chains=8, chain_length=2, p=4)
+        result = par.run(ts)
+        for encoding, trace in zip(par.compress(ts), result.group_traces):
+            assert trace.soc_cycles == compressed_time_soc_cycles(
+                encoding.case_counts, 4, 4
+            )
 
     def test_chain_multiple_required(self):
         with pytest.raises(ValueError):

@@ -135,6 +135,85 @@ class TestAdversarialCorpus:
             assert result.diagnostics.frames_damaged <= 1
 
 
+def _decode_observed(decode, stream, length, recover):
+    """Run one decode; capture (output, error signature) for comparison."""
+    try:
+        out = decode(stream, length, recover=recover)
+        return out, None
+    except StreamError as exc:
+        return None, (type(exc), str(exc), exc.bit_offset, exc.block_index)
+
+
+def _diagnostics_signature(diagnostics):
+    return (
+        diagnostics.blocks_decoded,
+        diagnostics.blocks_lost,
+        [(type(e), str(e), e.bit_offset, e.block_index)
+         for e in diagnostics.errors],
+    )
+
+
+class TestDifferentialFastReference:
+    """The vectorized decode path vs the `decode_reference` oracle.
+
+    On *any* input — clean, random garbage, or every single-symbol flip
+    of a real encoding — the two paths must produce identical outputs,
+    identical `DecodeDiagnostics`, and raise the same error type with
+    the same message and offsets.
+    """
+
+    @staticmethod
+    def _assert_paths_agree(stream, length, context=""):
+        decoder = NineCDecoder(8)
+        for recover in (False, True):
+            out_fast, err_fast = _decode_observed(
+                decoder.decode_stream, stream, length, recover
+            )
+            diag_fast = decoder.last_diagnostics
+            out_ref, err_ref = _decode_observed(
+                decoder.decode_reference, stream, length, recover
+            )
+            diag_ref = decoder.last_diagnostics
+            label = f"{context} recover={recover}"
+            assert err_fast == err_ref, label
+            assert (out_fast is None) == (out_ref is None), label
+            if out_fast is not None:
+                assert out_fast == out_ref, label
+            assert _diagnostics_signature(diag_fast) == \
+                _diagnostics_signature(diag_ref), label
+
+    @given(random_ternary, st.one_of(st.none(), st.integers(0, 96)))
+    @settings(max_examples=150)
+    def test_random_ternary_streams(self, stream, length):
+        self._assert_paths_agree(stream, length)
+
+    @given(random_bits)
+    @settings(max_examples=80)
+    def test_random_bit_streams_unconstrained(self, stream):
+        self._assert_paths_agree(stream, None)
+
+    @pytest.mark.parametrize(
+        "index", range(len(TestAdversarialCorpus.CORPUS))
+    )
+    def test_exhaustive_flip_corpus(self, index):
+        original = TestAdversarialCorpus.CORPUS[index]
+        encoding = NineCEncoder(8).encode(original)
+        length = encoding.padded_length
+        self._assert_paths_agree(encoding.stream, length, "clean")
+        for position in range(len(encoding.stream)):
+            mutated = _flip(encoding.stream.data, position)
+            self._assert_paths_agree(mutated, length, f"flip@{position}")
+
+    def test_truncation_sweep(self):
+        encoding = NineCEncoder(8).encode(TestAdversarialCorpus.CORPUS[4])
+        data = encoding.stream.data
+        length = encoding.padded_length
+        for cut in range(len(data)):
+            self._assert_paths_agree(
+                TernaryVector(data[:cut]), length, f"cut@{cut}"
+            )
+
+
 class TestBaselineFuzz:
     CODES = [GolombCode(4), FDRCode(), VIHCCode(8), LZWCode(code_bits=8)]
 

@@ -239,12 +239,35 @@ class TestProfileHarness:
         assert obs.get_registry().snapshot()["counters"] == {}
 
     def test_two_runs_identical_modulo_walltime(self):
-        kwargs = dict(scenarios=("compress", "decompress"),
+        kwargs = dict(scenarios=("compress", "decompress", "decode"),
                       fastpath_compare=False)
         first = run_profile("s27", **kwargs).to_dict()
         second = run_profile("s27", **kwargs).to_dict()
         assert first != second or first == second  # wall_s may coincide
         assert scrub_volatile(first) == scrub_volatile(second)
+
+    def test_decode_scenario_records_fastpath_comparison(self):
+        report = run_profile("s27", scenarios=("decode",),
+                             fastpath_compare=False)
+        decode = report.scenarios["decode"]
+        assert decode.bits > 0
+        assert "decode.stream" in decode.spans
+        counters = decode.metrics["counters"]
+        assert counters["decode.calls"] == 1
+        assert counters["decode.fast_calls"] == 1
+        extra = decode.extra
+        assert extra["identical_output"] is True
+        assert extra["speedup"] > 0
+        assert extra["vectorized_wall_s"] > 0
+        assert extra["reference_wall_s"] > 0
+
+    def test_decompress_scenario_reference_path(self):
+        report = run_profile("s27", scenarios=("decompress",),
+                             fastpath_compare=False, decode_fast=False)
+        counters = report.scenarios["decompress"].metrics["counters"]
+        assert counters["decode.reference_calls"] == 1
+        assert "decode.fast_calls" not in counters
+        assert report.scenarios["decompress"].extra["fast"] is False
 
     def test_benchmark_target_uses_surrogate_session_circuit(self):
         report = run_profile("s5378", scenarios=("compress",),
@@ -268,6 +291,89 @@ class TestProfileHarness:
         broken = scrub_volatile(good)
         del broken["scenarios"]["compress"]["metrics"]
         assert any("metrics" in p for p in validate_baseline(broken))
+
+
+# ----------------------------------------------------------------------
+class TestThreadSafety:
+    """Concurrent recording must not lose updates or tear snapshots."""
+
+    THREADS = 8
+    PER_THREAD = 2_000
+
+    def _hammer(self, work):
+        import sys
+        import threading
+
+        errors = []
+
+        def runner():
+            try:
+                work()
+            except Exception as exc:  # propagated to the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=runner)
+                   for _ in range(self.THREADS)]
+        interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)  # force frequent preemption
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(interval)
+        assert errors == []
+
+    def test_counter_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+
+        def work():
+            counter = registry.counter("hammered")
+            for _ in range(self.PER_THREAD):
+                counter.inc()
+
+        self._hammer(work)
+        expected = self.THREADS * self.PER_THREAD
+        assert registry.counter("hammered").value == expected
+
+    def test_histogram_observations_are_not_lost(self):
+        registry = MetricsRegistry()
+
+        def work():
+            hist = registry.histogram("hist", bounds=(1, 2, 4))
+            for i in range(self.PER_THREAD):
+                hist.observe(i % 6)
+
+        self._hammer(work)
+        hist = registry.histogram("hist")
+        assert hist.count == self.THREADS * self.PER_THREAD
+        assert sum(hist.counts) + hist.overflow == hist.count
+
+    def test_snapshot_and_reset_race_safely(self):
+        registry = MetricsRegistry()
+        registry.counter("seed").inc()
+
+        def work():
+            for i in range(200):
+                registry.counter("churn").inc()
+                registry.gauge("level").set(i)
+                snap = registry.snapshot()
+                assert set(snap) == {"counters", "gauges", "histograms"}
+                if i % 50 == 0:
+                    registry.reset()
+
+        self._hammer(work)
+
+    def test_obs_reset_is_thread_safe(self):
+        def work():
+            for _ in range(200):
+                obs.counter("reset.race").inc()
+                obs.reset()
+
+        self._hammer(work)
+        obs.reset()
+        assert obs.get_registry().snapshot()["counters"] == {}
 
 
 # ----------------------------------------------------------------------
