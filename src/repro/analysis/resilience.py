@@ -18,7 +18,7 @@ A corrupted ``T_E`` stream can end in one of four ways:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 from .report import Table
 

@@ -100,12 +100,16 @@ def generate_circuit(config: GeneratorConfig) -> Netlist:
     seen = set()
     outputs = [o for o in outputs if not (o in seen or seen.add(o))]
 
-    # Observe dangling logic: any cloud net with no fanout and no PO/FF tap
+    # Observe dangling logic: any net with no fanout and no PO/FF tap
     # would make all faults in its cone untestable, which real circuits
-    # avoid.  Fold the dangling nets into an XOR observation tree (a
-    # space-compactor-like structure) driving one extra primary output.
+    # avoid.  Fold the dangling nets — cloud outputs, never-sampled
+    # primary inputs, unread flip-flop outputs — into an XOR observation
+    # tree (a space-compactor-like structure) driving one extra primary
+    # output.
     used = {f for g in gates for f in g.fanins} | set(outputs)
     dangling = [n for n in gate_outputs if n not in used]
+    dangling += [pi for pi in inputs if pi not in used]
+    dangling += [ff for ff in ff_names if ff not in used]
     observer_index = 0
     while len(dangling) > 1:
         a = dangling.pop(0)

@@ -11,7 +11,7 @@ flip-flop — exactly the vectors the 9C codec compresses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
@@ -205,7 +205,6 @@ class Netlist:
     def transitive_fanout(self, net: str) -> Set[str]:
         """All combinational-core gates reachable from ``net``."""
         fanouts = self.fanouts()
-        sources = set(self.inputs) | set(self.flip_flops)
         seen: Set[str] = set()
         frontier = [net]
         while frontier:

@@ -13,7 +13,9 @@ Subcommands mirror the paper's artifacts:
   silent-escape rate on the single-pin ATE link (docs/resilience.md);
 * ``profile`` — run the perf-baseline scenarios and write
   ``BENCH_obs.json`` (docs/observability.md);
-* ``stats`` — pretty-print the metrics snapshot of a committed baseline.
+* ``stats`` — pretty-print the metrics snapshot of a committed baseline;
+* ``lint`` — static verification of netlists, the decoder FSM, emitted
+  RTL, and the Python codebase itself (docs/lint.md).
 
 Every analysis subcommand accepts ``--json`` for machine-readable
 output; all of them emit through the shared :func:`emit_json` helper
@@ -445,6 +447,24 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .lint import run_lint
+
+    try:
+        report = run_lint(
+            only=args.only,
+            ks=tuple(args.k),
+            circuits=args.circuit,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"lint: {exc}")
+    if args.format == "json":
+        emit_json(report.to_dict())
+    else:
+        print(report.render())
+    return report.exit_code
+
+
 def cmd_benchmarks(_args) -> int:
     table = Table(["name", "cells", "patterns", "|T_D|", "X%"],
                   title="available benchmark profiles")
@@ -613,6 +633,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable output")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "lint",
+        help="static verification: netlists, decoder FSM, emitted RTL, "
+             "and the Python codebase (docs/lint.md)",
+    )
+    p.add_argument("--only", nargs="+", metavar="SECTION",
+                   choices=["netlist", "fsm", "rtl", "python"],
+                   help="subset of lint sections (default: all)")
+    p.add_argument("--k", type=int, nargs="+", default=[4, 8, 16, 32],
+                   help="block sizes swept for decoder netlists and RTL")
+    p.add_argument("--circuit", nargs="+", default=None,
+                   help="library circuits to lint (default: all)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format (exit code is nonzero on errors "
+                        "either way)")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("benchmarks", help="list benchmark profiles")
     p.set_defaults(func=cmd_benchmarks)

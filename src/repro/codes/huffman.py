@@ -43,7 +43,7 @@ def huffman_code_lengths(frequencies: Mapping[Symbol, int]) -> Dict[Symbol, int]
 
 def canonical_codes(lengths: Mapping[Symbol, int]) -> Dict[Symbol, Tuple[int, ...]]:
     """Canonical prefix-free codewords for a Kraft-feasible length map."""
-    kraft = sum(2.0 ** -l for l in lengths.values())
+    kraft = sum(2.0 ** -length for length in lengths.values())
     if kraft > 1.0 + 1e-9:
         raise ValueError(f"lengths violate Kraft inequality (sum={kraft})")
     ordered = sorted(lengths, key=lambda s: (lengths[s], repr(s)))

@@ -92,7 +92,8 @@ class CodewordScanTable:
             len(codebook.codeword(case)) for case in self.cases
         ]
         self.raw_halves: List[Tuple[bool, bool]] = [
-            tuple(kind is HalfKind.MISMATCH for kind in case.halves)
+            (case.halves[0] is HalfKind.MISMATCH,
+             case.halves[1] is HalfKind.MISMATCH)
             for case in self.cases
         ]
         self.lut = self._build_lut()

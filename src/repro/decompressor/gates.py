@@ -17,8 +17,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..circuits.netlist import Gate, GateType, Netlist
 from ..core.codewords import Codebook
 from .fsm import NineCDecoderFSM
 
@@ -138,12 +139,31 @@ class DecoderCost:
         return self.fsm_flops + self.counter_flops + self.shifter_flops
 
 
-def fsm_cost(fsm: Optional[NineCDecoderFSM] = None) -> Tuple[int, int, int, int]:
-    """(states, state flops, minimized terms, literals) of the control FSM.
+@dataclass(frozen=True)
+class FSMLogic:
+    """Truth-table view of the control FSM's combinational logic.
 
-    Inputs to the next-state logic: state bits + Data_in.  Output
-    functions: next-state bits plus a resolved-case strobe per half kind
-    (the Sel lines).  Unreachable input combinations are don't-cares.
+    The input word packs the current state code in the high bits and
+    ``Data_in`` in bit 0.  ``next_state`` maps each state-register bit to
+    its ON-set minterms; ``sel`` maps the two Sel-line bits (00 drive-0,
+    01 drive-1, 1x pass data) to theirs.  Input words that no transition
+    specifies are shared don't-cares.
+    """
+
+    states: Tuple[str, ...]
+    state_bits: int
+    num_vars: int
+    next_state: Dict[int, Tuple[int, ...]]
+    sel: Dict[int, Tuple[int, ...]]
+    dont_cares: Tuple[int, ...]
+
+
+def fsm_logic(fsm: Optional[NineCDecoderFSM] = None) -> FSMLogic:
+    """Extract the FSM's next-state and Sel output functions.
+
+    Shared by the synthesis-cost estimate (:func:`fsm_cost`) and the
+    gate-level netlist builder (:func:`decoder_netlist`) so both views
+    minimize exactly the same logic.
     """
     fsm = fsm or NineCDecoderFSM()
     states = fsm.states()
@@ -151,7 +171,6 @@ def fsm_cost(fsm: Optional[NineCDecoderFSM] = None) -> Tuple[int, int, int, int]
     state_bits = max(1, math.ceil(math.log2(len(states))))
     num_vars = state_bits + 1  # + Data_in
 
-    # next-state bit functions + 2 Sel bits (zero/one/data per resolved case)
     next_state_minterms: Dict[int, List[int]] = {b: [] for b in range(state_bits)}
     sel_minterms: Dict[int, List[int]] = {0: [], 1: []}
     specified: List[int] = []
@@ -165,21 +184,197 @@ def fsm_cost(fsm: Optional[NineCDecoderFSM] = None) -> Tuple[int, int, int, int]
         if case is not None:
             # Sel encoding: 00 drive-0, 01 drive-1, 1x pass data (per half;
             # the half sequencing reuses the same lines under Done).
-            left, right = case.halves
+            left = case.halves[0]
             code = {"0": 0, "1": 1, "U": 2}[left.value]
             for b in range(2):
                 if (code >> b) & 1:
                     sel_minterms[b].append(input_word)
     all_words = set(range(1 << num_vars))
-    dont_cares = sorted(all_words - set(specified))
+    dont_cares = tuple(sorted(all_words - set(specified)))
+    return FSMLogic(
+        states=tuple(states),
+        state_bits=state_bits,
+        num_vars=num_vars,
+        next_state={b: tuple(m) for b, m in next_state_minterms.items()},
+        sel={b: tuple(m) for b, m in sel_minterms.items()},
+        dont_cares=dont_cares,
+    )
 
+
+def fsm_cost(fsm: Optional[NineCDecoderFSM] = None) -> Tuple[int, int, int, int]:
+    """(states, state flops, minimized terms, literals) of the control FSM.
+
+    Inputs to the next-state logic: state bits + Data_in.  Output
+    functions: next-state bits plus a resolved-case strobe per half kind
+    (the Sel lines).  Unreachable input combinations are don't-cares.
+    """
+    logic = fsm_logic(fsm)
     terms = 0
     literals = 0
-    for minterms in list(next_state_minterms.values()) + list(sel_minterms.values()):
-        cost = minimize_function(minterms, num_vars, dont_cares)
+    functions = list(logic.next_state.values()) + list(logic.sel.values())
+    for minterms in functions:
+        cost = minimize_function(minterms, logic.num_vars, logic.dont_cares)
         terms += cost.terms
         literals += cost.literals
-    return len(states), state_bits, terms, literals
+    return len(logic.states), logic.state_bits, terms, literals
+
+
+class _NetlistBuilder:
+    """Accumulates gates with lazily shared inverters and constants."""
+
+    def __init__(self) -> None:
+        self.gates: List[Gate] = []
+        self._inverters: Dict[str, str] = {}
+        self._const0: Optional[str] = None
+        self._const1: Optional[str] = None
+
+    def add(self, name: str, gate_type: GateType, *fanins: str) -> str:
+        self.gates.append(Gate(name, gate_type, tuple(fanins)))
+        return name
+
+    def invert(self, net: str) -> str:
+        """Shared complement of ``net`` (one NOT gate per polarity)."""
+        if net not in self._inverters:
+            self._inverters[net] = self.add(f"{net}_n", GateType.NOT, net)
+        return self._inverters[net]
+
+    def const0(self, reference: str) -> str:
+        """A constant-0 net built from ``reference`` and its complement."""
+        if self._const0 is None:
+            self._const0 = self.add(
+                "const0", GateType.AND, reference, self.invert(reference)
+            )
+        return self._const0
+
+    def const1(self, reference: str) -> str:
+        """A constant-1 net built from ``reference`` and its complement."""
+        if self._const1 is None:
+            self._const1 = self.add(
+                "const1", GateType.OR, reference, self.invert(reference)
+            )
+        return self._const1
+
+    def sum_of_products(
+        self,
+        out: str,
+        cover: Sequence[Implicant],
+        num_vars: int,
+        var_net: Callable[[int], str],
+    ) -> str:
+        """Realize a two-level cover as AND/OR gates named after ``out``.
+
+        ``var_net(j)`` maps variable index ``j`` (bit position in the
+        minterm word) to its true-polarity net name.
+        """
+        terms: List[str] = []
+        for term_index, (value, mask) in enumerate(cover):
+            literals: List[str] = []
+            for j in range(num_vars):
+                if not (mask >> j) & 1:
+                    continue
+                net = var_net(j)
+                literals.append(
+                    net if (value >> j) & 1 else self.invert(net)
+                )
+            if not literals:  # tautological term
+                return self.add(out, GateType.BUF, self.const1(var_net(0)))
+            if len(literals) == 1:
+                terms.append(literals[0])
+            else:
+                terms.append(self.add(
+                    f"{out}_t{term_index}", GateType.AND, *literals
+                ))
+        if not terms:  # empty ON-set
+            return self.add(out, GateType.BUF, self.const0(var_net(0)))
+        if len(terms) == 1:
+            return self.add(out, GateType.BUF, terms[0])
+        return self.add(out, GateType.OR, *terms)
+
+
+def decoder_netlist(
+    k: int,
+    codebook: Optional[Codebook] = None,
+    name: str = "ninec_decoder_gates",
+) -> Netlist:
+    """Build the decoder as a gate-level :class:`Netlist` (Figure 1).
+
+    The three blocks of the paper's decompressor become real gates:
+
+    * **FSM** — state flops ``q*`` plus two-level next-state / Sel logic
+      synthesized from the same Quine-McCluskey covers :func:`fsm_cost`
+      prices (so the estimate and the structure cannot drift apart);
+    * **counter** — the external log2(K/2) ripple counter with its
+      ``done`` (count == K/2 - 1) detector, enabled by ``advance``;
+    * **shifter** — the K/2-bit serial shift register of the
+      multi-scan datapath, fed by ``serial_in``.
+
+    The result is structurally lintable by :mod:`repro.lint.netlist`
+    and simulatable by the circuit engines.  Note the shift register is
+    intentionally flop-to-flop; netlist lint rule NL006 flags such paths
+    as scan-shift hazards, so lint runs over decoder netlists waive it.
+    """
+    if k < 2 or k % 2:
+        raise ValueError("K must be an even integer >= 2")
+    fsm = NineCDecoderFSM(codebook or Codebook.default())
+    logic = fsm_logic(fsm)
+    builder = _NetlistBuilder()
+
+    def var_net(j: int) -> str:
+        return "data_in" if j == 0 else f"q{j - 1}"
+
+    # FSM combinational logic from the minimized covers
+    for bit, minterms in logic.next_state.items():
+        out = f"ns{bit}"
+        if not minterms:
+            builder.sum_of_products(out, [], logic.num_vars, var_net)
+            continue
+        primes = prime_implicants(minterms, logic.dont_cares, logic.num_vars)
+        cover = minimum_cover(minterms, primes)
+        builder.sum_of_products(out, cover, logic.num_vars, var_net)
+    for bit, minterms in logic.sel.items():
+        out = f"sel{bit}"
+        if not minterms:
+            builder.sum_of_products(out, [], logic.num_vars, var_net)
+            continue
+        primes = prime_implicants(minterms, logic.dont_cares, logic.num_vars)
+        cover = minimum_cover(minterms, primes)
+        builder.sum_of_products(out, cover, logic.num_vars, var_net)
+    for bit in range(logic.state_bits):
+        builder.add(f"q{bit}", GateType.DFF, f"ns{bit}")
+
+    # counter: ripple increment under `advance`, done at HALF - 1
+    half = k // 2
+    count_width = max(1, math.ceil(math.log2(half))) if half > 1 else 1
+    carry = "advance"
+    for bit in range(count_width):
+        builder.add(f"cn{bit}", GateType.XOR, f"c{bit}", carry)
+        if bit + 1 < count_width:
+            carry = builder.add(
+                f"carry{bit + 1}", GateType.AND, carry, f"c{bit}"
+            )
+    for bit in range(count_width):
+        builder.add(f"c{bit}", GateType.DFF, f"cn{bit}")
+    target = half - 1
+    done_literals = [
+        f"c{bit}" if (target >> bit) & 1 else builder.invert(f"c{bit}")
+        for bit in range(count_width)
+    ]
+    if len(done_literals) == 1:
+        builder.add("done", GateType.BUF, done_literals[0])
+    else:
+        builder.add("done", GateType.AND, *done_literals)
+
+    # shifter: K/2-bit serial-in shift register
+    previous = "serial_in"
+    for bit in range(half):
+        previous = builder.add(f"sh{bit}", GateType.DFF, previous)
+
+    return Netlist(
+        name=name,
+        inputs=["data_in", "advance", "serial_in"],
+        outputs=["sel0", "sel1", "done", f"sh{half - 1}"],
+        gates=builder.gates,
+    )
 
 
 def decoder_cost(k: int, codebook: Optional[Codebook] = None) -> DecoderCost:

@@ -11,7 +11,8 @@ make about the hardware without an external simulator.
 Supported subset (exactly what ``generate_decoder_verilog`` emits):
 
 * ``module``/``endmodule`` with ``input/output wire|reg [w:0] name``;
-* ``localparam NAME = <int>;``
+* ``localparam NAME = <int expr>;`` (integer arithmetic over earlier
+  localparams);
 * ``reg [w:0] name;`` declarations;
 * ``wire name = expr;`` and ``assign name = expr;`` continuous assigns;
 * one ``always @(posedge clk or negedge rst_n)`` block containing
@@ -296,7 +297,7 @@ class ModuleDef:
 _PORT_RE = re.compile(
     r"(input|output)\s+(wire|reg)?\s*(\[(\d+):0\])?\s*([A-Za-z_]\w*)"
 )
-_LOCALPARAM_RE = re.compile(r"localparam\s+(\w+)\s*=\s*(\d+)\s*;")
+_LOCALPARAM_RE = re.compile(r"localparam\s+(\w+)\s*=\s*([^;]+);")
 _REG_RE = re.compile(r"^\s*reg\s*(\[(\d+):0\])?\s*([A-Za-z_]\w*)\s*;",
                      re.MULTILINE)
 _WIRE_RE = re.compile(
@@ -308,6 +309,23 @@ _ASSIGN_RE = re.compile(r"^\s*assign\s+([A-Za-z_]\w*)\s*=\s*([^;]+);",
 _ALWAYS_RE = re.compile(
     r"always\s*@\s*\(\s*posedge\s+(\w+)\s+or\s+negedge\s+(\w+)\s*\)",
 )
+
+
+def _resolve_localparam(name: str, expr: str, known: Dict[str, int]) -> int:
+    """Evaluate a localparam's integer expression.
+
+    Earlier localparams may be referenced (``localparam HALF = K / 2;``);
+    only integer arithmetic over ``+ - * / ( )`` is accepted, with ``/``
+    truncating like Verilog integer division.
+    """
+    text = expr.strip()
+    for other, value in known.items():
+        text = re.sub(rf"\b{other}\b", str(value), text)
+    if not re.fullmatch(r"[\d\s+\-*/()]+", text):
+        raise ValueError(
+            f"unsupported localparam expression: {name} = {expr.strip()}"
+        )
+    return int(eval(text.replace("/", "//"), {"__builtins__": {}}, {}))
 
 
 def parse_module(source: str) -> ModuleDef:
@@ -325,7 +343,11 @@ def parse_module(source: str) -> ModuleDef:
                                 is_reg=(kind == "reg"))
     body = text[header_end + 2 : text.rindex("endmodule")]
 
-    localparams = {n: int(v) for n, v in _LOCALPARAM_RE.findall(body)}
+    localparams: Dict[str, int] = {}
+    for param_name, param_expr in _LOCALPARAM_RE.findall(body):
+        localparams[param_name] = _resolve_localparam(
+            param_name, param_expr, localparams
+        )
     regs = {m[2]: (int(m[1]) + 1 if m[1] else 1)
             for m in _REG_RE.findall(body)}
     for port in ports.values():

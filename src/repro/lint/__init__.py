@@ -1,0 +1,48 @@
+"""repro.lint: static verification of the repo's hardware and software.
+
+Four analyzers over four artifact classes, all reporting structured
+:class:`~repro.lint.findings.LintFinding` objects with stable rule ids
+(documented in ``docs/lint.md``):
+
+* :mod:`repro.lint.netlist` — gate-level netlists (``NL...``);
+* :mod:`repro.lint.fsm` — the 9C decoder control FSM (``FS...``);
+* :mod:`repro.lint.rtl` — emitted Verilog (``RT...``);
+* :mod:`repro.lint.pycheck` — Python codebase invariants (``PY...``).
+
+:func:`repro.lint.runner.run_lint` sweeps all of them; the CLI exposes
+it as ``repro-9c lint``.
+"""
+
+from .findings import LintFinding, Severity, errors, max_severity
+from .fsm import lint_fsm, verify_transition_rows
+from .netlist import (
+    RawGate,
+    RawNetlist,
+    lint_bench_text,
+    lint_circuits,
+    lint_netlist,
+)
+from .pycheck import lint_python_file, lint_python_source, lint_python_tree
+from .rtl import lint_verilog
+from .runner import SECTIONS, LintReport, run_lint
+
+__all__ = [
+    "LintFinding",
+    "LintReport",
+    "RawGate",
+    "RawNetlist",
+    "SECTIONS",
+    "Severity",
+    "errors",
+    "lint_bench_text",
+    "lint_circuits",
+    "lint_fsm",
+    "lint_netlist",
+    "lint_python_file",
+    "lint_python_source",
+    "lint_python_tree",
+    "lint_verilog",
+    "max_severity",
+    "run_lint",
+    "verify_transition_rows",
+]

@@ -1,0 +1,85 @@
+"""Structured lint findings shared by every analyzer.
+
+A :class:`LintFinding` is one rule violation at one location in one
+artifact.  Analyzers never print or raise on violations — they return
+findings and let the caller (the ``lint`` CLI subcommand, CI, or a test)
+decide severity policy.  Rule identifiers are stable and documented in
+``docs/lint.md``:
+
+* ``NL...`` — netlist structure (:mod:`repro.lint.netlist`);
+* ``FS...`` — decoder FSM / protocol (:mod:`repro.lint.fsm`);
+* ``RT...`` — emitted Verilog (:mod:`repro.lint.rtl`);
+* ``PY...`` — Python codebase invariants (:mod:`repro.lint.pycheck`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Union
+
+
+class Severity(Enum):
+    """How bad a finding is; only errors fail a lint run."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Ordering value: higher is more severe."""
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation.
+
+    ``artifact`` names what was analyzed (``netlist:s27``,
+    ``fsm:default``, ``rtl:ninec_decoder``, ``py:src/repro/core/io.py``);
+    ``location`` is the offending object inside it (a net, state,
+    signal or symbol name); ``line`` is 1-based when the artifact is
+    text (RTL or Python source).
+    """
+
+    rule: str
+    severity: Severity
+    artifact: str
+    location: str
+    message: str
+    line: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Union[str, int, None]]:
+        """JSON-ready representation (stable key set)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "artifact": self.artifact,
+            "location": self.location,
+            "message": self.message,
+            "line": self.line,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        where = self.artifact
+        if self.line is not None:
+            where += f":{self.line}"
+        if self.location:
+            where += f" [{self.location}]"
+        return f"{self.severity.value:7s} {self.rule} {where}: {self.message}"
+
+
+def errors(findings: Iterable[LintFinding]) -> List[LintFinding]:
+    """Only the error-severity findings."""
+    return [f for f in findings if f.severity is Severity.ERROR]
+
+
+def max_severity(findings: Iterable[LintFinding]) -> Optional[Severity]:
+    """The worst severity present, or None for an empty list."""
+    worst: Optional[Severity] = None
+    for finding in findings:
+        if worst is None or finding.severity.rank > worst.rank:
+            worst = finding.severity
+    return worst

@@ -1,0 +1,248 @@
+"""Exhaustive static verification of the 9C decoder control FSM.
+
+The paper's hardware argument (Sections III-IV) rests on the decoder FSM
+being a *complete, deterministic* recognizer of a *Kraft-tight*
+prefix-free code: every state is reachable, every (state, bit) pair has
+exactly one successor, every path from idle resolves to exactly one
+:class:`~repro.core.codewords.BlockCase`, and the resolved codeword set
+is the codebook's.  Rather than trusting the transition table that
+:class:`~repro.decompressor.fsm.NineCDecoderFSM` builds *from* the
+codebook, this verifier re-derives the codeword set by walking the table
+and checks it against the codebook independently — so a bug in the trie
+construction, a hand-edited table, or a corrupted reassigned codebook
+(Table VII) is caught before it reaches RTL or silicon.
+
+Rules (see ``docs/lint.md``):
+
+======  ==========================================================
+FS001   nondeterminism: duplicate (state, bit) transitions
+FS002   input-incomplete: reachable state missing a 0 or 1 arc
+FS003   unreachable state
+FS004   dead state: no emitting transition reachable from it
+FS005   codebook disagreement: emitted case/codeword mismatch
+FS006   Kraft equality violated by the FSM-derived codeword set
+FS007   derived codeword set is not prefix-free
+======  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.codewords import BlockCase, Codebook
+from ..decompressor.fsm import NineCDecoderFSM
+from .findings import LintFinding, Severity
+
+#: One transition-table row: (state, input bit, next state, emitted case).
+Row = Tuple[str, int, str, Optional[BlockCase]]
+
+#: Safety bound on derived-codeword length during path enumeration; any
+#: sane 9C assignment stays <= 8 bits (MAX_TABLE_CODEWORD_LEN is 10).
+MAX_DERIVED_LENGTH = 32
+
+#: Safety bound on total path-enumeration work.  A cycle of non-emitting
+#: arcs makes the path set exponential in MAX_DERIVED_LENGTH; hitting
+#: this cap is itself proof the recognizer does not resolve.
+MAX_ENUMERATION_STEPS = 10_000
+
+
+def lint_fsm(
+    fsm: Optional[NineCDecoderFSM] = None,
+    artifact: str = "",
+) -> List[LintFinding]:
+    """Verify a decoder FSM against its own codebook."""
+    fsm = fsm or NineCDecoderFSM()
+    return verify_transition_rows(
+        fsm.transition_table(),
+        fsm.codebook,
+        idle=fsm.IDLE,
+        artifact=artifact or "fsm:decoder",
+    )
+
+
+def verify_transition_rows(
+    rows: Sequence[Row],
+    codebook: Codebook,
+    idle: str = "S0",
+    artifact: str = "fsm",
+) -> List[LintFinding]:
+    """Run every FSM rule over raw transition rows (empty = clean)."""
+    findings: List[LintFinding] = []
+
+    def report(rule: str, severity: Severity, location: str, message: str) -> None:
+        findings.append(LintFinding(rule, severity, artifact, location, message))
+
+    # --- determinism (FS001) and the transition map -------------------
+    arcs: Dict[Tuple[str, int], Tuple[str, Optional[BlockCase]]] = {}
+    for state, bit, nxt, case in rows:
+        key = (state, bit)
+        if key in arcs and arcs[key] != (nxt, case):
+            report(
+                "FS001", Severity.ERROR, f"{state}/{bit}",
+                f"nondeterministic transition: ({state}, {bit}) goes to "
+                f"both {arcs[key][0]} and {nxt}",
+            )
+            continue
+        if key in arcs:
+            report(
+                "FS001", Severity.WARNING, f"{state}/{bit}",
+                f"duplicate transition row for ({state}, {bit})",
+            )
+            continue
+        arcs[key] = (nxt, case)
+
+    states: Set[str] = {idle}
+    for (state, _bit), (nxt, _case) in arcs.items():
+        states.add(state)
+        states.add(nxt)
+
+    # --- reachability (FS003) -----------------------------------------
+    reachable: Set[str] = {idle}
+    frontier = [idle]
+    while frontier:
+        current = frontier.pop()
+        for bit in (0, 1):
+            entry = arcs.get((current, bit))
+            if entry and entry[0] not in reachable:
+                reachable.add(entry[0])
+                frontier.append(entry[0])
+    for state in sorted(states - reachable):
+        report(
+            "FS003", Severity.ERROR, state,
+            f"state {state} is unreachable from {idle}",
+        )
+
+    # --- input-completeness (FS002) -----------------------------------
+    for state in sorted(reachable):
+        for bit in (0, 1):
+            if (state, bit) not in arcs:
+                report(
+                    "FS002", Severity.ERROR, f"{state}/{bit}",
+                    f"reachable state {state} has no transition for "
+                    f"Data_in={bit}",
+                )
+
+    # --- liveness (FS004): every reachable state must be able to
+    # resolve a codeword eventually ------------------------------------
+    live: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for (state, _bit), (nxt, case) in arcs.items():
+            if state in live:
+                continue
+            if case is not None or nxt in live:
+                live.add(state)
+                changed = True
+    for state in sorted(reachable - live):
+        report(
+            "FS004", Severity.ERROR, state,
+            f"state {state} is dead: no codeword can resolve from it",
+        )
+
+    # --- re-derive the codeword set by path enumeration ---------------
+    derived: List[Tuple[Tuple[int, ...], BlockCase]] = []
+    overflowed = False
+    steps = 0
+    stack: List[Tuple[str, Tuple[int, ...]]] = [(idle, ())]
+    while stack:
+        steps += 1
+        if steps > MAX_ENUMERATION_STEPS:
+            overflowed = True
+            break
+        state, prefix = stack.pop()
+        if len(prefix) >= MAX_DERIVED_LENGTH:
+            overflowed = True
+            continue
+        for bit in (0, 1):
+            entry = arcs.get((state, bit))
+            if entry is None:
+                continue
+            nxt, case = entry
+            bits = prefix + (bit,)
+            if case is not None:
+                derived.append((bits, case))
+                if nxt != idle:
+                    report(
+                        "FS005", Severity.ERROR, state,
+                        f"emitting transition ({state}, {bit}) -> {nxt} "
+                        f"does not return to {idle}",
+                    )
+                    # keep walking: later emissions from here produce
+                    # codewords this one is a prefix of (FS007)
+                    stack.append((nxt, bits))
+                continue
+            stack.append((nxt, bits))
+    if overflowed:
+        report(
+            "FS004", Severity.ERROR, idle,
+            f"codeword paths exceed {MAX_DERIVED_LENGTH} bits "
+            "(non-resolving cycle in the recognizer)",
+        )
+    derived.sort()
+    if overflowed:
+        # The derived set is partial; agreement/prefix/Kraft checks on
+        # it would be noise on top of the FS004 report above.
+        return findings
+
+    # --- prefix-freeness of the derived set (FS007) -------------------
+    for i, (bits, _case) in enumerate(derived):
+        for longer, _other in derived[i + 1:]:
+            if longer == bits:
+                continue
+            if longer[: len(bits)] == bits:
+                report(
+                    "FS007", Severity.ERROR, _render(bits),
+                    f"derived codeword {_render(bits)} is a prefix of "
+                    f"{_render(longer)}",
+                )
+            else:
+                break
+
+    # --- agreement with the codebook (FS005) --------------------------
+    by_case: Dict[BlockCase, List[Tuple[int, ...]]] = {}
+    for bits, case in derived:
+        by_case.setdefault(case, []).append(bits)
+    for case in BlockCase:
+        expected = codebook.codeword(case)
+        got = by_case.get(case, [])
+        if not got:
+            report(
+                "FS005", Severity.ERROR, case.name,
+                f"FSM never emits {case.name} "
+                f"(codebook expects {_render(expected)})",
+            )
+        elif len(got) > 1:
+            report(
+                "FS005", Severity.ERROR, case.name,
+                f"FSM emits {case.name} on {len(got)} distinct paths: "
+                + ", ".join(_render(b) for b in got),
+            )
+        elif got[0] != tuple(expected):
+            report(
+                "FS005", Severity.ERROR, case.name,
+                f"FSM resolves {case.name} on {_render(got[0])} but the "
+                f"codebook assigns {_render(expected)}",
+            )
+    known_cases = set(BlockCase)
+    for bits, case in derived:
+        if case not in known_cases:
+            report(
+                "FS005", Severity.ERROR, str(case),
+                f"FSM emits unknown case {case!r} on {_render(bits)}",
+            )
+
+    # --- Kraft equality of the derived set (FS006) --------------------
+    if derived and not overflowed:
+        kraft = sum(2.0 ** -len(bits) for bits, _case in derived)
+        if abs(kraft - 1.0) > 1e-12:
+            report(
+                "FS006", Severity.ERROR, "kraft",
+                f"derived codeword lengths sum to {kraft:.6f} under "
+                "Kraft (a complete prefix code must sum to exactly 1)",
+            )
+    return findings
+
+
+def _render(bits: Sequence[int]) -> str:
+    return "".join(str(b) for b in bits) or "(empty)"

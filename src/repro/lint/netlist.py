@@ -1,0 +1,335 @@
+"""Structural lint for gate-level netlists.
+
+:class:`repro.circuits.netlist.Netlist` rejects some malformations at
+construction time (undefined fanins, duplicate names, bad arity), but a
+netlist assembled by an external tool, a ``.bench`` file, or a generator
+under development can carry every classic structural defect.  This
+module checks a *raw*, unvalidated gate list — so the seeded-defect test
+corpus can express netlists that :class:`Netlist` itself would refuse to
+build — and accepts a validated :class:`Netlist` through the same entry
+point.
+
+Rules (see ``docs/lint.md``):
+
+======  =========================================================
+NL001   net referenced (fanin or primary output) but never driven
+NL002   net driven more than once
+NL003   combinational loop
+NL004   fan-in arity violation for the gate type
+NL005   combinational gate output floating (drives nothing, not a PO)
+NL006   scan-chain hazard: back-to-back flip-flops with no logic
+NL007   primary input drives nothing
+NL008   flip-flop output unobserved in the combinational core
+======  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple, Union
+
+from ..circuits.netlist import UNARY_TYPES, GateType, Netlist
+from .findings import LintFinding, Severity
+
+#: Minimum fanin count per gate type (None = exact arity in UNARY_TYPES).
+_MIN_FANINS: Dict[GateType, int] = {
+    GateType.AND: 2,
+    GateType.NAND: 2,
+    GateType.OR: 2,
+    GateType.NOR: 2,
+    GateType.XOR: 2,
+    GateType.XNOR: 2,
+}
+
+
+@dataclass(frozen=True)
+class RawGate:
+    """One gate with no construction-time validation."""
+
+    name: str
+    gate_type: GateType
+    fanins: Tuple[str, ...] = ()
+
+
+@dataclass
+class RawNetlist:
+    """An unvalidated netlist description the linter can analyze.
+
+    Unlike :class:`~repro.circuits.netlist.Netlist`, nothing is checked
+    on construction: duplicate drivers, undefined nets and loops are all
+    representable — that is the point.
+    """
+
+    name: str
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    gates: List[RawGate] = field(default_factory=list)
+
+    @classmethod
+    def from_netlist(cls, netlist: Netlist) -> "RawNetlist":
+        """Lossless conversion from a validated netlist."""
+        return cls(
+            name=netlist.name,
+            inputs=list(netlist.inputs),
+            outputs=list(netlist.outputs),
+            gates=[
+                RawGate(g.name, g.gate_type, tuple(g.fanins))
+                for g in netlist.gates.values()
+                if g.gate_type is not GateType.INPUT
+            ],
+        )
+
+
+def lint_netlist(
+    netlist: Union[Netlist, RawNetlist],
+    artifact: str = "",
+    waive: Sequence[str] = (),
+) -> List[LintFinding]:
+    """Run every netlist rule; returns the findings (empty = clean).
+
+    ``waive`` suppresses specific rule ids for structures that are
+    intentional in this netlist (e.g. NL006 on the decoder's serial
+    shift register, which is flop-to-flop *by design*).
+    """
+    waived = set(waive)
+    raw = (
+        netlist
+        if isinstance(netlist, RawNetlist)
+        else RawNetlist.from_netlist(netlist)
+    )
+    artifact = artifact or f"netlist:{raw.name}"
+    findings: List[LintFinding] = []
+
+    def report(rule: str, severity: Severity, location: str, message: str) -> None:
+        if rule not in waived:
+            findings.append(LintFinding(rule, severity, artifact, location, message))
+
+    # --- driver map (NL002: multiple drivers) -------------------------
+    drivers: Dict[str, List[str]] = {}
+    for pi in raw.inputs:
+        drivers.setdefault(pi, []).append("primary input")
+    for gate in raw.gates:
+        drivers.setdefault(gate.name, []).append(f"{gate.gate_type.value} gate")
+    for net, sources in sorted(drivers.items()):
+        if len(sources) > 1:
+            report(
+                "NL002", Severity.ERROR, net,
+                f"net driven {len(sources)} times ({', '.join(sources)})",
+            )
+
+    # --- undriven references (NL001) ----------------------------------
+    for gate in raw.gates:
+        for fanin in gate.fanins:
+            if fanin not in drivers:
+                report(
+                    "NL001", Severity.ERROR, fanin,
+                    f"gate {gate.name} reads undriven net {fanin}",
+                )
+    for po in raw.outputs:
+        if po not in drivers:
+            report(
+                "NL001", Severity.ERROR, po,
+                f"primary output {po} is not driven",
+            )
+
+    # --- arity (NL004) ------------------------------------------------
+    for gate in raw.gates:
+        n = len(gate.fanins)
+        if gate.gate_type is GateType.INPUT:
+            if n:
+                report(
+                    "NL004", Severity.ERROR, gate.name,
+                    f"INPUT {gate.name} has {n} fanins (wants 0)",
+                )
+        elif gate.gate_type in UNARY_TYPES:
+            if n != 1:
+                report(
+                    "NL004", Severity.ERROR, gate.name,
+                    f"{gate.gate_type.value} {gate.name} has {n} fanins "
+                    "(wants exactly 1)",
+                )
+        else:
+            minimum = _MIN_FANINS.get(gate.gate_type, 1)
+            if n < minimum:
+                report(
+                    "NL004", Severity.ERROR, gate.name,
+                    f"{gate.gate_type.value} {gate.name} has {n} fanins "
+                    f"(wants >= {minimum})",
+                )
+
+    # --- fanout / observability (NL005, NL007, NL008) -----------------
+    read_by: Dict[str, Set[str]] = {}
+    for gate in raw.gates:
+        for fanin in gate.fanins:
+            read_by.setdefault(fanin, set()).add(gate.name)
+    pos = set(raw.outputs)
+    for gate in raw.gates:
+        used = gate.name in read_by or gate.name in pos
+        if used:
+            continue
+        if gate.gate_type is GateType.DFF:
+            # Scan stitching still makes the flop observable, so this is
+            # dead functional logic rather than a hard error.
+            report(
+                "NL008", Severity.WARNING, gate.name,
+                f"flip-flop {gate.name} output feeds no combinational "
+                "logic and no primary output (scan-observable only)",
+            )
+        else:
+            report(
+                "NL005", Severity.WARNING, gate.name,
+                f"{gate.gate_type.value} {gate.name} output floats "
+                "(drives nothing, not a primary output)",
+            )
+    for pi in raw.inputs:
+        if pi not in read_by and pi not in pos:
+            report(
+                "NL007", Severity.WARNING, pi,
+                f"primary input {pi} drives nothing",
+            )
+
+    # --- scan-chain hazards (NL006) -----------------------------------
+    gate_by_name = {g.name: g for g in raw.gates}
+    for gate in raw.gates:
+        if gate.gate_type is not GateType.DFF or not gate.fanins:
+            continue
+        data_net = gate.fanins[0]
+        if data_net == gate.name:
+            report(
+                "NL006", Severity.WARNING, gate.name,
+                f"flip-flop {gate.name} data input is its own output "
+                "(state unreachable from functional logic)",
+            )
+        elif (
+            data_net in gate_by_name
+            and gate_by_name[data_net].gate_type is GateType.DFF
+        ):
+            report(
+                "NL006", Severity.WARNING, gate.name,
+                f"flip-flop {gate.name} is fed directly by flip-flop "
+                f"{data_net} with no logic between (shift-path hold "
+                "hazard; insert a lockup element or a buffer)",
+            )
+
+    # --- combinational loops (NL003) ----------------------------------
+    if "NL003" not in waived:
+        findings.extend(_find_loops(raw, artifact))
+    return findings
+
+
+def _find_loops(raw: RawNetlist, artifact: str) -> List[LintFinding]:
+    """Detect cycles in the combinational core (DFF outputs are sources)."""
+    sources = set(raw.inputs) | {
+        g.name for g in raw.gates if g.gate_type is GateType.DFF
+    }
+    gate_names = {g.name for g in raw.gates}
+    comb: Dict[str, List[str]] = {}
+    for gate in raw.gates:
+        if gate.gate_type is GateType.DFF:
+            continue
+        comb[gate.name] = [
+            f for f in gate.fanins if f not in sources and f in gate_names
+        ]
+    findings: List[LintFinding] = []
+    WHITE, GREY, BLACK = 0, 1, 2
+    state: Dict[str, int] = {}
+    reported: Set[frozenset] = set()
+
+    for root in comb:
+        if state.get(root, WHITE) != WHITE:
+            continue
+        path: List[str] = []
+        stack: List[Tuple[str, int]] = [(root, 0)]
+        while stack:
+            node, child_index = stack.pop()
+            if child_index == 0:
+                if state.get(node, WHITE) == BLACK:
+                    continue
+                state[node] = GREY
+                path.append(node)
+            children = comb.get(node, [])
+            if child_index < len(children):
+                stack.append((node, child_index + 1))
+                child = children[child_index]
+                child_state = state.get(child, WHITE)
+                if child_state == GREY:
+                    cycle = path[path.index(child):] + [child]
+                    key = frozenset(cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        findings.append(LintFinding(
+                            "NL003", Severity.ERROR, artifact, child,
+                            "combinational loop: " + " -> ".join(cycle),
+                        ))
+                elif child_state == WHITE and child in comb:
+                    stack.append((child, 0))
+            else:
+                state[node] = BLACK
+                path.pop()
+    return findings
+
+
+def lint_bench_text(text: str, name: str = "bench") -> List[LintFinding]:
+    """Parse ``.bench`` source laxly and lint the raw netlist.
+
+    Unlike :func:`repro.circuits.bench.parse_bench` this never raises on
+    structural problems — unknown gate types and unparsable lines become
+    findings, everything parsable is linted.
+    """
+    import re
+
+    line_re = re.compile(
+        r"^\s*(?P<name>[\w.\[\]$]+)\s*=\s*(?P<type>\w+)\s*"
+        r"\((?P<fanins>[^)]*)\)\s*$"
+    )
+    io_re = re.compile(
+        r"^\s*(?P<kind>INPUT|OUTPUT)\s*\((?P<name>[\w.\[\]$]+)\)\s*$"
+    )
+    raw = RawNetlist(name)
+    findings: List[LintFinding] = []
+    artifact = f"netlist:{name}"
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = io_re.match(line)
+        if io_match:
+            target = raw.inputs if io_match.group("kind") == "INPUT" else raw.outputs
+            target.append(io_match.group("name"))
+            continue
+        gate_match = line_re.match(line)
+        if not gate_match:
+            findings.append(LintFinding(
+                "NL001", Severity.ERROR, artifact, line,
+                f"unparsable .bench line {line_number}: {raw_line.strip()!r}",
+                line=line_number,
+            ))
+            continue
+        type_name = gate_match.group("type").upper()
+        try:
+            gate_type = GateType[type_name]
+        except KeyError:
+            findings.append(LintFinding(
+                "NL004", Severity.ERROR, artifact, gate_match.group("name"),
+                f"unknown gate type {type_name!r} on line {line_number}",
+                line=line_number,
+            ))
+            continue
+        fanins = tuple(
+            token.strip()
+            for token in gate_match.group("fanins").split(",")
+            if token.strip()
+        )
+        raw.gates.append(RawGate(gate_match.group("name"), gate_type, fanins))
+    findings.extend(lint_netlist(raw, artifact=artifact))
+    return findings
+
+
+def lint_circuits(names: Sequence[str]) -> List[LintFinding]:
+    """Lint embedded/generated library circuits by registry name."""
+    from ..circuits.library import load_circuit
+
+    findings: List[LintFinding] = []
+    for name in names:
+        findings.extend(lint_netlist(load_circuit(name)))
+    return findings

@@ -1,0 +1,415 @@
+"""Project-invariant lint for the Python codebase itself.
+
+A handful of correctness conventions in this repository are load-bearing
+but invisible to the type checker:
+
+* **Hot paths stay hook-free** — modules on the encode/decode hot path
+  (``core/encoder.py``, ``core/decoder.py``, ``core/bitstream.py``)
+  must only touch the :mod:`repro.obs` recording API under an
+  ``obs.enabled()`` guard (or inside a ``_record*`` helper that is
+  itself only called under a guard); the <5 % disabled-overhead budget
+  in ``tests/test_obs.py`` depends on it.  ``obs.span(...)`` and
+  ``@obs.traced`` are exempt: they self-gate on the switch.
+* **The stream error contract** — everything ``core/`` raises must be
+  :class:`ValueError` or the documented
+  :class:`~repro.core.errors.StreamError` hierarchy (itself derived
+  from ``ValueError``), so callers can rely on one except clause.
+* **No bare excepts, no mutable defaults, no dead imports** — the
+  classic Python footguns, checked here so they are enforced even when
+  ruff is unavailable.
+
+Rules (see ``docs/lint.md``):
+
+======  ==========================================================
+PY001   obs recording call outside an ``obs.enabled()`` guard in a
+        hot module
+PY002   ``raise`` in ``core/`` outside the documented error contract
+PY003   bare ``except:``
+PY004   mutable default argument value
+PY005   module-level import never used
+======  ==========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from .findings import LintFinding, Severity
+
+#: Modules (relative to the package root) whose obs usage must be guarded.
+HOT_MODULES = (
+    "core/encoder.py",
+    "core/decoder.py",
+    "core/bitstream.py",
+)
+
+#: obs attributes that record data (must be guarded on hot paths).
+RECORDING_API = frozenset({
+    "counter", "gauge", "histogram", "get_registry",
+})
+
+#: obs attributes that are self-gating (always allowed).
+SELF_GATING_API = frozenset({
+    "span", "traced", "enabled", "enable", "disable", "set_enabled",
+    "enabled_scope", "reset", "get_tracer",
+})
+
+#: Exception names core/ may raise besides the StreamError hierarchy.
+BASE_ALLOWED_RAISES = frozenset({"ValueError"})
+
+
+def default_package_root() -> Path:
+    """The ``src/repro`` tree this process imported."""
+    return Path(__file__).resolve().parent.parent
+
+
+def stream_error_hierarchy(package_root: Optional[Path] = None) -> Set[str]:
+    """Exception class names derivable from ``core/errors.py``.
+
+    Parsed statically (not imported) so the contract check works on any
+    checkout, and stays in sync when new error classes are added.
+    """
+    root = package_root or default_package_root()
+    errors_path = root / "core" / "errors.py"
+    allowed = set(BASE_ALLOWED_RAISES)
+    if not errors_path.exists():
+        return allowed
+    tree = ast.parse(errors_path.read_text(), filename=str(errors_path))
+    bases: Dict[str, List[str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            bases[node.name] = [
+                base.id for base in node.bases if isinstance(base, ast.Name)
+            ]
+    grown = True
+    while grown:
+        grown = False
+        for name, parents in bases.items():
+            if name in allowed:
+                continue
+            if any(parent in allowed for parent in parents):
+                allowed.add(name)
+                grown = True
+    return allowed
+
+
+def lint_python_tree(
+    package_root: Optional[Path] = None,
+    hot_modules: Sequence[str] = HOT_MODULES,
+) -> List[LintFinding]:
+    """Lint every ``.py`` file under the package root."""
+    root = package_root or default_package_root()
+    allowed_raises = stream_error_hierarchy(root)
+    findings: List[LintFinding] = []
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        findings.extend(lint_python_file(
+            path, package_root=root,
+            hot_modules=hot_modules, allowed_raises=allowed_raises,
+        ))
+    return findings
+
+
+def lint_python_source(
+    source: str,
+    relative_path: str,
+    hot_modules: Sequence[str] = HOT_MODULES,
+    allowed_raises: Optional[Set[str]] = None,
+    artifact: Optional[str] = None,
+) -> List[LintFinding]:
+    """Lint one Python source string as if it lived at ``relative_path``.
+
+    ``relative_path`` is interpreted relative to the package root (e.g.
+    ``core/encoder.py``), which decides whether the hot-module and
+    ``core/`` raise rules apply.
+    """
+    relative = relative_path.replace("\\", "/")
+    checker = _Checker(
+        artifact=artifact or f"py:{relative}",
+        is_hot=relative in set(hot_modules),
+        check_raises=relative.startswith("core/"),
+        allowed_raises=(
+            allowed_raises if allowed_raises is not None
+            else stream_error_hierarchy()
+        ),
+        is_package_init=relative.endswith("__init__.py"),
+    )
+    try:
+        tree = ast.parse(source, filename=relative)
+    except SyntaxError as exc:
+        return [LintFinding(
+            "PY000", Severity.ERROR, checker.artifact, "",
+            f"syntax error: {exc.msg}", line=exc.lineno,
+        )]
+    checker.visit(tree)
+    checker.finish(tree)
+    return checker.findings
+
+
+def lint_python_file(
+    path: Union[str, Path],
+    package_root: Optional[Path] = None,
+    hot_modules: Sequence[str] = HOT_MODULES,
+    allowed_raises: Optional[Set[str]] = None,
+) -> List[LintFinding]:
+    """Lint one file on disk (path made relative to the package root)."""
+    path = Path(path)
+    root = package_root or default_package_root()
+    try:
+        relative = str(path.resolve().relative_to(root.resolve()))
+    except ValueError:
+        relative = path.name
+    return lint_python_source(
+        path.read_text(),
+        relative.replace("\\", "/"),
+        hot_modules=hot_modules,
+        allowed_raises=allowed_raises,
+        artifact=f"py:{root.name}/{relative.replace(chr(92), '/')}",
+    )
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-file AST pass implementing PY001..PY005."""
+
+    def __init__(
+        self,
+        artifact: str,
+        is_hot: bool,
+        check_raises: bool,
+        allowed_raises: Set[str],
+        is_package_init: bool,
+    ):
+        self.artifact = artifact
+        self.is_hot = is_hot
+        self.check_raises = check_raises
+        self.allowed_raises = allowed_raises
+        self.is_package_init = is_package_init
+        self.findings: List[LintFinding] = []
+        self.obs_aliases: Set[str] = set()
+        self._guard_depth = 0
+        self._record_depth = 0
+        self._module_imports: Dict[str, int] = {}
+        self._used_names: Set[str] = set()
+        self._dunder_all: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    def report(self, rule: str, severity: Severity, location: str,
+               message: str, line: Optional[int]) -> None:
+        self.findings.append(LintFinding(
+            rule, severity, self.artifact, location, message, line=line,
+        ))
+
+    # --- imports ------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if _is_obs_module(alias.name):
+                self.obs_aliases.add(bound)
+            self._note_import(bound, node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "__future__":
+            return  # compiler directives, not bindings
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            if alias.name == "obs" or _is_obs_module(
+                f"{node.module}.{alias.name}" if node.module else alias.name
+            ):
+                self.obs_aliases.add(bound)
+            self._note_import(bound, node)
+
+    def _note_import(self, name: str, node: Union[ast.Import, ast.ImportFrom]) -> None:
+        if getattr(node, "col_offset", 1) == 0:  # module level only
+            self._module_imports.setdefault(name, node.lineno)
+
+    # --- obs guard tracking (PY001) -----------------------------------
+    def visit_If(self, node: ast.If) -> None:
+        guarded = self._is_enabled_test(node.test)
+        if guarded:
+            self._guard_depth += 1
+        for child in node.body:
+            self.visit(child)
+        if guarded:
+            self._guard_depth -= 1
+        self.visit(node.test)
+        for child in node.orelse:
+            self.visit(child)
+
+    def _is_enabled_test(self, test: ast.expr) -> bool:
+        for node in ast.walk(test):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "enabled"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self.obs_aliases
+            ):
+                return True
+            if isinstance(func, ast.Name) and func.id == "enabled":
+                return True
+        return False
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        self._check_defaults(node)
+        is_recorder = node.name.startswith("_record")
+        if is_recorder:
+            self._record_depth += 1
+        outer_guard = self._guard_depth
+        self._guard_depth = 0  # guards do not cross function boundaries
+        self.generic_visit(node)
+        self._guard_depth = outer_guard
+        if is_recorder:
+            self._record_depth -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.is_hot:
+            self._check_obs_call(node)
+        self.generic_visit(node)
+
+    def _check_obs_call(self, node: ast.Call) -> None:
+        func = node.func
+        name: Optional[str] = None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.obs_aliases
+        ):
+            if func.attr in SELF_GATING_API:
+                return
+            if func.attr in RECORDING_API:
+                name = f"{func.value.id}.{func.attr}"
+        if name is None and isinstance(func, ast.Attribute) and \
+                func.attr.startswith("_record"):
+            name = func.attr
+        if name is None and isinstance(func, ast.Name) and \
+                func.id.startswith("_record"):
+            name = func.id
+        if name is None:
+            return
+        if self._guard_depth > 0 or self._record_depth > 0:
+            return
+        self.report(
+            "PY001", Severity.ERROR, name,
+            f"{name}() outside an obs.enabled() guard in a hot module "
+            "(record post-hoc under the switch, or from a _record* "
+            "helper)", node.lineno,
+        )
+
+    # --- raise contract (PY002) ---------------------------------------
+    def visit_Raise(self, node: ast.Raise) -> None:
+        if self.check_raises and node.exc is not None:
+            name = _exception_name(node.exc)
+            if name is not None and name not in self.allowed_raises:
+                self.report(
+                    "PY002", Severity.ERROR, name,
+                    f"core/ raises {name}; the documented contract is "
+                    "ValueError or the StreamError hierarchy",
+                    node.lineno,
+                )
+        self.generic_visit(node)
+
+    # --- bare except (PY003) ------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                "PY003", Severity.ERROR, "except",
+                "bare except: swallows SystemExit/KeyboardInterrupt; "
+                "catch a concrete exception type", node.lineno,
+            )
+        self.generic_visit(node)
+
+    # --- mutable defaults (PY004) -------------------------------------
+    def _check_defaults(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            ):
+                self.report(
+                    "PY004", Severity.ERROR, node.name,
+                    f"function {node.name} has a mutable default "
+                    "argument (shared across calls); default to None "
+                    "and create inside", default.lineno,
+                )
+
+    # --- name usage (PY005 support) -----------------------------------
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._used_names.add(node.id)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                self._dunder_all.update(_string_elements(node.value))
+        self.generic_visit(node)
+
+    def finish(self, tree: ast.Module) -> None:
+        """Module-level post-pass: unused imports (PY005)."""
+        if self.is_package_init:
+            return  # __init__ re-exports are part of the public API
+        docstring_names = self._used_names | self._dunder_all
+        for name, lineno in sorted(self._module_imports.items(),
+                                   key=lambda item: item[1]):
+            if name in docstring_names:
+                continue
+            if name.startswith("_") and name.strip("_") == "":
+                continue
+            self.report(
+                "PY005", Severity.WARNING, name,
+                f"module-level import {name} is never used", lineno,
+            )
+
+
+def _string_elements(value: ast.expr) -> List[str]:
+    """String literals inside an ``__all__`` list/tuple assignment."""
+    if not isinstance(value, (ast.List, ast.Tuple)):
+        return []
+    return [
+        element.value
+        for element in value.elts
+        if isinstance(element, ast.Constant) and isinstance(element.value, str)
+    ]
+
+
+def _is_obs_module(dotted: str) -> bool:
+    parts = dotted.split(".")
+    return parts[-1] == "obs" or "obs" in parts[:-1] and parts[-1] in (
+        "metrics", "tracing", "profile",
+    )
+
+
+def _exception_name(exc: ast.expr) -> Optional[str]:
+    """Class name of a raised expression, or None when not static."""
+    target = exc
+    if isinstance(target, ast.Call):
+        target = target.func
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None

@@ -1,0 +1,432 @@
+"""Static lint for the emitted decoder Verilog.
+
+:mod:`repro.decompressor.verilog` emits a deliberately restricted,
+line-oriented dialect (one declaration or statement per line, localparam
+constants, ``always``/``case`` blocks, named-port instantiation).  This
+linter parses exactly that dialect — the same subset the bundled
+interpreter executes — and statically checks the text a synthesis team
+would receive.  It is text-level on purpose: it must catch bugs in the
+*emitter*, so it shares no code with it.
+
+Rules (see ``docs/lint.md``):
+
+======  ==========================================================
+RT001   identifier used but never declared in the module
+RT002   identifier used before its declaration line
+RT003   width violation: literal wider than its size, or a constant
+        that cannot fit the declared width of its target
+RT004   declared wire/reg never referenced (localparam: info)
+RT005   instantiation port mismatch (unknown or unconnected port)
+RT006   duplicate declaration
+RT007   no module definition found
+======  ==========================================================
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .findings import LintFinding, Severity
+
+_KEYWORDS = frozenset({
+    "module", "endmodule", "input", "output", "inout", "wire", "reg",
+    "localparam", "parameter", "assign", "always", "posedge", "negedge",
+    "begin", "end", "if", "else", "case", "endcase", "default",
+    "integer", "signed", "generate", "endgenerate", "or", "and", "not",
+})
+
+_MODULE_RE = re.compile(r"^\s*module\s+(?P<name>\w+)\s*(?P<rest>.*)$")
+_PORT_RE = re.compile(
+    r"(?P<dir>input|output|inout)\s+(?:wire|reg)?\s*"
+    r"(?P<width>\[[^\]]+\])?\s*(?P<name>\w+)"
+)
+_PARAM_RE = re.compile(
+    r"(?P<kind>parameter|localparam)\s+(?P<name>\w+)\s*=\s*(?P<value>[^,;)]+)"
+)
+_DECL_RE = re.compile(
+    r"^\s*(?P<kind>reg|wire)\s*(?P<width>\[[^\]]+\])?\s*"
+    r"(?P<names>\w+(?:\s*,\s*\w+)*)\s*(?:=\s*(?P<init>.+?))?\s*;\s*$"
+)
+_ASSIGN_RE = re.compile(
+    r"^\s*(?:assign\s+)?(?P<lhs>\w+)(?P<slice>\[[^\]]+\])?\s*"
+    r"(?P<op><=|(?<![<>!=])=(?!=))\s*(?P<rhs>.+?)\s*;\s*$"
+)
+_INSTANCE_RE = re.compile(r"^\s*(?P<module>\w+)\s+(?P<inst>\w+)\s*\(\s*$")
+_CONNECT_RE = re.compile(r"\.(?P<port>\w+)\s*\((?P<expr>[^()]*)\)")
+_SIZED_LITERAL_RE = re.compile(
+    r"(?P<size>\d+)\s*'\s*(?P<base>[bdhoBDHO])(?P<digits>[0-9a-fA-F_xzXZ?]+)"
+)
+_IDENT_RE = re.compile(r"\b[A-Za-z_]\w*\b")
+_SYSTEM_RE = re.compile(r"\$\w+")
+_NUMBER_RE = re.compile(r"^\s*\d+\s*$")
+
+_BASE_RADIX = {"b": 2, "d": 10, "h": 16, "o": 8}
+
+
+@dataclass
+class _Decl:
+    """One named declaration inside a module."""
+
+    name: str
+    kind: str  # port / reg / wire / localparam / parameter / instance
+    line: int
+    width: Optional[int] = None  # bits, when statically resolvable
+    value: Optional[int] = None  # localparam/parameter constant value
+
+
+@dataclass
+class _Module:
+    """Declarations and raw body lines of one module."""
+
+    name: str
+    line: int
+    decls: Dict[str, _Decl] = field(default_factory=dict)
+    order: List[str] = field(default_factory=list)
+    body: List[Tuple[int, str]] = field(default_factory=list)
+    ports: List[str] = field(default_factory=list)
+
+
+class _ConstEvaluator:
+    """Resolve integer-constant expressions over the parameter env."""
+
+    _SAFE_RE = re.compile(r"^[\d\s+\-*/%()]*$")
+
+    def __init__(self, env: Dict[str, int]):
+        self.env = env
+
+    def resolve(self, expr: str) -> Optional[int]:
+        """The expression's integer value, or None when not constant."""
+        text = _SIZED_LITERAL_RE.sub(self._expand_literal, expr)
+        text = text.replace("$clog2", "__clog2__")
+
+        def substitute(match: "re.Match[str]") -> str:
+            word = match.group(0)
+            if word == "__clog2__":
+                return word
+            if word in self.env:
+                return str(self.env[word])
+            return word  # leaves an unsafe token -> unresolvable
+
+        text = _IDENT_RE.sub(substitute, text)
+        probe = text.replace("__clog2__", "")
+        if not self._SAFE_RE.match(probe):
+            return None
+        try:
+            value = eval(  # noqa: S307 - token-validated arithmetic only
+                text,
+                {"__builtins__": {}, "__clog2__": _clog2},
+            )
+        except Exception:
+            return None
+        return int(value) if isinstance(value, int) else None
+
+    @staticmethod
+    def _expand_literal(match: "re.Match[str]") -> str:
+        digits = match.group("digits").replace("_", "")
+        if any(c in "xzXZ?" for c in digits):
+            return match.group(0)  # unknowns stay unresolvable
+        radix = _BASE_RADIX[match.group("base").lower()]
+        try:
+            return str(int(digits, radix))
+        except ValueError:
+            return match.group(0)
+
+
+def _clog2(value: int) -> int:
+    if value <= 1:
+        return 0
+    return (value - 1).bit_length()
+
+
+def lint_verilog(text: str, artifact: str = "rtl") -> List[LintFinding]:
+    """Run every RTL rule over Verilog source text (empty = clean)."""
+    findings: List[LintFinding] = []
+    modules = _split_modules(text)
+    if not modules:
+        findings.append(LintFinding(
+            "RT007", Severity.ERROR, artifact, "",
+            "no module definition found in the RTL text",
+        ))
+        return findings
+    module_defs = {m.name: m for m in modules}
+    for module in modules:
+        findings.extend(_lint_module(module, module_defs, artifact))
+    findings.sort(key=lambda f: (f.line or 0, f.rule))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+
+def _strip_comment(line: str) -> str:
+    return line.split("//", 1)[0]
+
+
+def _split_modules(text: str) -> List[_Module]:
+    modules: List[_Module] = []
+    current: Optional[_Module] = None
+    in_header = False
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line.strip():
+            continue
+        match = _MODULE_RE.match(line)
+        if match and current is None:
+            current = _Module(match.group("name"), line_number)
+            modules.append(current)
+            rest = match.group("rest")
+            in_header = ");" not in rest
+            _parse_header_fragment(current, rest, line_number)
+            continue
+        if current is None:
+            continue
+        if in_header:
+            _parse_header_fragment(current, line, line_number)
+            if ");" in line:
+                in_header = False
+            continue
+        if re.match(r"^\s*endmodule\b", line):
+            current = None
+            continue
+        current.body.append((line_number, line))
+    return modules
+
+
+def _parse_header_fragment(module: _Module, text: str, line: int) -> None:
+    for match in _PARAM_RE.finditer(text):
+        _declare(module, match.group("name"), match.group("kind"), line,
+                 raw_value=match.group("value").strip())
+    for match in _PORT_RE.finditer(text):
+        name = match.group("name")
+        _declare(module, name, "port", line, raw_width=match.group("width"))
+        module.ports.append(name)
+
+
+def _declare(
+    module: _Module,
+    name: str,
+    kind: str,
+    line: int,
+    raw_width: Optional[str] = None,
+    raw_value: Optional[str] = None,
+) -> Optional[_Decl]:
+    if name in module.decls:
+        return None  # duplicate; reported by the module pass
+    decl = _Decl(name, kind, line)
+    decl._raw_width = raw_width  # type: ignore[attr-defined]
+    decl._raw_value = raw_value  # type: ignore[attr-defined]
+    module.decls[name] = decl
+    module.order.append(name)
+    return decl
+
+
+# ----------------------------------------------------------------------
+# per-module checks
+# ----------------------------------------------------------------------
+
+def _lint_module(
+    module: _Module,
+    module_defs: Dict[str, _Module],
+    artifact: str,
+) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+    where = f"{artifact}:{module.name}"
+
+    def report(rule: str, severity: Severity, location: str, message: str,
+               line: Optional[int] = None) -> None:
+        findings.append(LintFinding(
+            rule, severity, where, location, message, line=line,
+        ))
+
+    # pass 1: body declarations + duplicate detection ------------------
+    instances: List[Tuple[int, str, str, List[Tuple[str, str]]]] = []
+    statement_lines: List[Tuple[int, str]] = []
+    pending: Optional[Tuple[int, str, str, List[Tuple[str, str]], List[int]]] = None
+    for line_number, line in module.body:
+        if pending is not None:
+            pending[3].extend(_CONNECT_RE.findall(line))
+            pending[4].append(line_number)
+            if ");" in line:
+                instances.append(pending[:4])
+                pending = None
+            continue
+        param = _PARAM_RE.search(line)
+        if param and line.strip().startswith(("localparam", "parameter")):
+            if param.group("name") in module.decls:
+                report("RT006", Severity.ERROR, param.group("name"),
+                       f"duplicate declaration of {param.group('name')}",
+                       line=line_number)
+            else:
+                _declare(module, param.group("name"), param.group("kind"),
+                         line_number, raw_value=param.group("value").strip())
+            # the value expression may reference earlier parameters
+            statement_lines.append((line_number, param.group("value")))
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            names = [n.strip() for n in decl.group("names").split(",")]
+            for name in names:
+                if name in module.decls:
+                    report("RT006", Severity.ERROR, name,
+                           f"duplicate declaration of {name}",
+                           line=line_number)
+                else:
+                    _declare(module, name, decl.group("kind"), line_number,
+                             raw_width=decl.group("width"))
+            # only the width and init expressions are *uses*; the
+            # declared names themselves must not count as referenced
+            if decl.group("init"):
+                statement_lines.append((line_number, decl.group("init")))
+            if decl.group("width"):
+                statement_lines.append((line_number, decl.group("width")))
+            continue
+        instance = _INSTANCE_RE.match(line)
+        if instance and instance.group("module") not in _KEYWORDS:
+            pending = (line_number, instance.group("module"),
+                       instance.group("inst"), [], [line_number])
+            _declare(module, instance.group("inst"), "instance", line_number)
+            continue
+        statement_lines.append((line_number, line))
+
+    # resolve parameter constants and widths ---------------------------
+    env: Dict[str, int] = {}
+    evaluator = _ConstEvaluator(env)
+    for name in module.order:
+        decl = module.decls[name]
+        raw_value = getattr(decl, "_raw_value", None)
+        if raw_value is not None:
+            decl.value = evaluator.resolve(raw_value)
+            if decl.value is not None:
+                env[name] = decl.value
+    for name in module.order:
+        decl = module.decls[name]
+        raw_width = getattr(decl, "_raw_width", None)
+        decl.width = _resolve_width(raw_width, evaluator)
+        if raw_width is None and decl.kind in ("port", "reg", "wire"):
+            decl.width = 1
+
+    # pass 2: identifier usage -----------------------------------------
+    used: Dict[str, int] = {}
+    reported_undeclared = set()
+    for line_number, line in statement_lines:
+        for name in _identifiers(line):
+            if name in _KEYWORDS:
+                continue
+            decl = module.decls.get(name)
+            if decl is None:
+                if name not in reported_undeclared:
+                    reported_undeclared.add(name)
+                    report("RT001", Severity.ERROR, name,
+                           f"identifier {name} is never declared in "
+                           f"module {module.name}", line=line_number)
+                continue
+            if line_number < decl.line:
+                report("RT002", Severity.ERROR, name,
+                       f"identifier {name} used before its declaration "
+                       f"on line {decl.line}", line=line_number)
+            used.setdefault(name, line_number)
+    for line_number, _mod_name, _inst, connections in instances:
+        for _port, expr in connections:
+            for name in _identifiers(expr):
+                if name in _KEYWORDS:
+                    continue
+                if name not in module.decls:
+                    if name not in reported_undeclared:
+                        reported_undeclared.add(name)
+                        report("RT001", Severity.ERROR, name,
+                               f"identifier {name} is never declared in "
+                               f"module {module.name}", line=line_number)
+                    continue
+                used.setdefault(name, line_number)
+
+    # unreferenced declarations (RT004) --------------------------------
+    for name in module.order:
+        decl = module.decls[name]
+        if name in used or decl.kind in ("port", "instance"):
+            continue
+        if decl.kind in ("localparam", "parameter"):
+            report("RT004", Severity.INFO, name,
+                   f"{decl.kind} {name} is never referenced", line=decl.line)
+        else:
+            report("RT004", Severity.WARNING, name,
+                   f"{decl.kind} {name} is declared but never referenced",
+                   line=decl.line)
+
+    # width checks (RT003) ---------------------------------------------
+    for line_number, line in module.body:
+        for match in _SIZED_LITERAL_RE.finditer(line):
+            size = int(match.group("size"))
+            digits = match.group("digits").replace("_", "")
+            base = match.group("base").lower()
+            if any(c in "xzXZ?" for c in digits):
+                continue
+            value = int(digits, _BASE_RADIX[base])
+            if size < 1 or value >= (1 << size):
+                report("RT003", Severity.ERROR, match.group(0),
+                       f"sized literal {match.group(0).strip()} does not "
+                       f"fit in {size} bit(s)", line=line_number)
+    for line_number, line in statement_lines:
+        assign = _ASSIGN_RE.match(line)
+        if assign is None or assign.group("slice"):
+            continue
+        lhs = assign.group("lhs")
+        decl = module.decls.get(lhs)
+        if decl is None or decl.width is None:
+            continue
+        value = evaluator.resolve(assign.group("rhs"))
+        if value is None:
+            continue
+        if value < 0 or value >= (1 << decl.width):
+            report("RT003", Severity.ERROR, lhs,
+                   f"constant {value} does not fit {lhs} "
+                   f"({decl.width} bit(s) wide)", line=line_number)
+
+    # instantiation checks (RT005) -------------------------------------
+    for line_number, mod_name, inst, connections in instances:
+        target = module_defs.get(mod_name)
+        if target is None:
+            report("RT005", Severity.INFO, inst,
+                   f"instance {inst} of external module {mod_name}: "
+                   "ports not checked", line=line_number)
+            continue
+        connected = set()
+        for port, _expr in connections:
+            if port not in target.ports:
+                report("RT005", Severity.ERROR, f"{inst}.{port}",
+                       f"instance {inst} connects unknown port {port} "
+                       f"of module {mod_name}", line=line_number)
+            connected.add(port)
+        for port in target.ports:
+            if port not in connected:
+                report("RT005", Severity.WARNING, f"{inst}.{port}",
+                       f"instance {inst} leaves port {port} of module "
+                       f"{mod_name} unconnected", line=line_number)
+    return findings
+
+
+def _resolve_width(
+    raw_width: Optional[str],
+    evaluator: _ConstEvaluator,
+) -> Optional[int]:
+    if not raw_width:
+        return None
+    inner = raw_width.strip()
+    if inner.startswith("[") and inner.endswith("]"):
+        inner = inner[1:-1]
+    if ":" not in inner:
+        return None
+    hi_text, lo_text = inner.split(":", 1)
+    hi = evaluator.resolve(hi_text)
+    lo = evaluator.resolve(lo_text)
+    if hi is None or lo is None or hi < lo:
+        return None
+    return hi - lo + 1
+
+
+def _identifiers(text: str) -> List[str]:
+    cleaned = _SIZED_LITERAL_RE.sub(" ", text)
+    cleaned = _SYSTEM_RE.sub(" ", cleaned)
+    return _IDENT_RE.findall(cleaned)

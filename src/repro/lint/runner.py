@@ -1,0 +1,168 @@
+"""Aggregate lint runs over every artifact class the repo produces.
+
+:func:`run_lint` is the single entry point behind ``repro-9c lint`` and
+the CI lint job.  It sweeps:
+
+* **netlist** — every circuit in the embedded/generated library, plus
+  the gate-level decoder from :func:`repro.decompressor.gates.decoder_netlist`
+  for each K (default and Table VII re-assigned codebooks);
+* **fsm** — the decoder control FSM for both codebooks, exhaustively
+  verified against its own codebook;
+* **rtl** — emitted decoder Verilog per K and the multi-scan wrapper;
+* **python** — the AST invariants over ``src/repro`` itself.
+
+The decoder netlists waive NL006: their serial shift register is
+flop-to-flop *by design* (the hold hazard NL006 flags applies to scan
+stitching of functional flops, not a deliberate shifter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.codewords import BlockCase, Codebook
+from ..core.frequency import assign_lengths_by_frequency
+from ..decompressor.fsm import NineCDecoderFSM
+from ..decompressor.gates import decoder_netlist
+from ..decompressor.verilog import (
+    generate_decoder_verilog,
+    generate_multiscan_verilog,
+)
+from .findings import LintFinding, Severity, errors
+from .fsm import lint_fsm
+from .netlist import lint_circuits, lint_netlist
+from .pycheck import lint_python_tree
+from .rtl import lint_verilog
+
+#: Lint section names accepted by ``run_lint(only=...)`` and ``--only``.
+SECTIONS: Tuple[str, ...] = ("netlist", "fsm", "rtl", "python")
+
+#: Block sizes swept for decoder netlists and emitted RTL.
+DEFAULT_KS: Tuple[int, ...] = (4, 8, 16, 32)
+
+#: Rules waived on decoder netlists (see module docstring).
+DECODER_NETLIST_WAIVERS: Tuple[str, ...] = ("NL006",)
+
+
+def reassigned_codebook() -> Codebook:
+    """A deterministic Table VII-style codebook for verification sweeps.
+
+    Reverses the paper's expected case-frequency order (C8/C7 dominant,
+    as the paper reports for s9234/s15850), so the re-assignment genuinely
+    permutes the length map instead of reproducing the default.
+    """
+    counts = {case: index for index, case in enumerate(BlockCase)}
+    return Codebook.from_lengths(assign_lengths_by_frequency(counts))
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run looked at and found."""
+
+    findings: List[LintFinding] = field(default_factory=list)
+    artifacts: List[str] = field(default_factory=list)
+    sections: List[str] = field(default_factory=list)
+
+    @property
+    def error_count(self) -> int:
+        return len(errors(self.findings))
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.WARNING)
+
+    @property
+    def info_count(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.INFO)
+
+    @property
+    def exit_code(self) -> int:
+        """Nonzero iff any error-severity finding exists."""
+        return 1 if self.error_count else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (stable key set)."""
+        return {
+            "sections": list(self.sections),
+            "artifacts": list(self.artifacts),
+            "findings": [f.to_dict() for f in self.findings],
+            "errors": self.error_count,
+            "warnings": self.warning_count,
+            "infos": self.info_count,
+            "exit_code": self.exit_code,
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"checked {len(self.artifacts)} artifacts "
+            f"({', '.join(self.sections)}): "
+            f"{self.error_count} errors, {self.warning_count} warnings, "
+            f"{self.info_count} infos"
+        )
+        return "\n".join(lines)
+
+
+def run_lint(
+    only: Optional[Sequence[str]] = None,
+    ks: Sequence[int] = DEFAULT_KS,
+    circuits: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Run the selected lint sections; default is all of them."""
+    selected = list(only) if only else list(SECTIONS)
+    unknown = [s for s in selected if s not in SECTIONS]
+    if unknown:
+        raise ValueError(
+            f"unknown lint sections {unknown}; choose from {list(SECTIONS)}"
+        )
+    report = LintReport(sections=selected)
+    books = [("default", Codebook.default()),
+             ("reassigned", reassigned_codebook())]
+
+    if "netlist" in selected:
+        from ..circuits.library import available_circuits
+
+        names = list(circuits) if circuits else list(available_circuits())
+        report.artifacts += [f"netlist:{name}" for name in names]
+        report.findings += lint_circuits(names)
+        for label, book in books:
+            for k in ks:
+                name = f"decoder_k{k}_{label}"
+                report.artifacts.append(f"netlist:{name}")
+                report.findings += lint_netlist(
+                    decoder_netlist(k, book, name=name),
+                    waive=DECODER_NETLIST_WAIVERS,
+                )
+
+    if "fsm" in selected:
+        for label, book in books:
+            report.artifacts.append(f"fsm:{label}")
+            report.findings += lint_fsm(
+                NineCDecoderFSM(book), artifact=f"fsm:{label}"
+            )
+
+    if "rtl" in selected:
+        for label, book in books:
+            for k in ks:
+                artifact = f"rtl:decoder_k{k}_{label}"
+                report.artifacts.append(artifact)
+                report.findings += lint_verilog(
+                    generate_decoder_verilog(k, book), artifact=artifact
+                )
+        for chains in (2, 4):
+            artifact = f"rtl:multiscan_m{chains}"
+            report.artifacts.append(artifact)
+            report.findings += lint_verilog(
+                generate_multiscan_verilog(8, chains), artifact=artifact
+            )
+
+    if "python" in selected:
+        report.artifacts.append("py:src/repro")
+        report.findings += lint_python_tree()
+
+    report.findings.sort(
+        key=lambda f: (-f.severity.rank, f.artifact, f.line or 0, f.rule)
+    )
+    return report

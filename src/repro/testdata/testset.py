@@ -20,7 +20,7 @@ from typing import Iterable, Iterator, List, Sequence, Union
 
 import numpy as np
 
-from ..core.bitvec import X, TernaryVector
+from ..core.bitvec import TernaryVector
 
 PathLike = Union[str, Path]
 

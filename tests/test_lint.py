@@ -1,0 +1,750 @@
+"""repro.lint: seeded-defect corpus + clean-tree regression tests.
+
+Every rule must fire on a minimal artifact seeded with exactly that
+defect, and *nothing* may fire on the artifacts the repo generates —
+so the linter is pinned from both sides.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.circuits.library import available_circuits, load_circuit
+from repro.circuits.netlist import GateType
+from repro.core.codewords import BlockCase, Codebook
+from repro.decompressor.fsm import NineCDecoderFSM
+from repro.decompressor.gates import decoder_netlist
+from repro.decompressor.verilog import (
+    generate_decoder_verilog,
+    generate_multiscan_verilog,
+)
+from repro.lint import (
+    LintFinding,
+    RawGate,
+    RawNetlist,
+    Severity,
+    errors,
+    lint_bench_text,
+    lint_fsm,
+    lint_netlist,
+    lint_python_source,
+    lint_verilog,
+    max_severity,
+    run_lint,
+    verify_transition_rows,
+)
+from repro.lint.runner import (
+    DECODER_NETLIST_WAIVERS,
+    LintReport,
+    reassigned_codebook,
+)
+
+
+def rules(findings):
+    return {f.rule for f in findings}
+
+
+def only_rule(findings, rule):
+    """Assert the findings are exactly one or more hits of one rule."""
+    assert findings, f"expected {rule} to fire"
+    assert rules(findings) == {rule}, findings
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# findings plumbing
+# ---------------------------------------------------------------------------
+
+class TestFindings:
+    def test_severity_ordering(self):
+        assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
+
+    def test_to_dict_stable_keys(self):
+        f = LintFinding("NL001", Severity.ERROR, "netlist:x", "n1", "msg")
+        assert list(f.to_dict()) == [
+            "rule", "severity", "artifact", "location", "message", "line",
+        ]
+
+    def test_render_includes_line(self):
+        f = LintFinding("RT001", Severity.ERROR, "rtl:m", "sig", "msg", line=7)
+        assert "rtl:m:7" in f.render() and "RT001" in f.render()
+
+    def test_errors_and_max_severity(self):
+        fs = [
+            LintFinding("A1", Severity.WARNING, "a", "", "w"),
+            LintFinding("A2", Severity.ERROR, "a", "", "e"),
+        ]
+        assert [f.rule for f in errors(fs)] == ["A2"]
+        assert max_severity(fs) is Severity.ERROR
+        assert max_severity([]) is None
+
+
+# ---------------------------------------------------------------------------
+# netlist rules (NL001..NL008)
+# ---------------------------------------------------------------------------
+
+class TestNetlistRules:
+    def test_nl001_undriven_fanin_and_output(self):
+        raw = RawNetlist(
+            "bad", inputs=["a"], outputs=["g1", "missing_po"],
+            gates=[RawGate("g1", GateType.AND, ("a", "ghost"))],
+        )
+        findings = only_rule(lint_netlist(raw), "NL001")
+        assert {f.location for f in findings} == {"ghost", "missing_po"}
+
+    def test_nl002_multiple_drivers(self):
+        raw = RawNetlist(
+            "bad", inputs=["a", "b"], outputs=["n1"],
+            gates=[
+                RawGate("n1", GateType.AND, ("a", "b")),
+                RawGate("n1", GateType.OR, ("a", "b")),
+            ],
+        )
+        findings = [f for f in lint_netlist(raw) if f.rule == "NL002"]
+        assert len(findings) == 1 and findings[0].location == "n1"
+
+    def test_nl002_gate_shadows_primary_input(self):
+        raw = RawNetlist(
+            "bad", inputs=["a", "b"], outputs=["a"],
+            gates=[RawGate("a", GateType.NOT, ("b",))],
+        )
+        assert "NL002" in rules(lint_netlist(raw))
+
+    def test_nl003_combinational_loop(self):
+        raw = RawNetlist(
+            "bad", inputs=["x"], outputs=["u"],
+            gates=[
+                RawGate("u", GateType.AND, ("v", "x")),
+                RawGate("v", GateType.OR, ("u", "x")),
+            ],
+        )
+        findings = [f for f in lint_netlist(raw) if f.rule == "NL003"]
+        assert len(findings) == 1
+        assert "u" in findings[0].message and "v" in findings[0].message
+
+    def test_nl003_loop_through_dff_is_fine(self):
+        raw = RawNetlist(
+            "ok", inputs=["x"], outputs=["q"],
+            gates=[
+                RawGate("d", GateType.XOR, ("q", "x")),
+                RawGate("q", GateType.DFF, ("d",)),
+            ],
+        )
+        assert "NL003" not in rules(lint_netlist(raw))
+
+    def test_nl004_arity(self):
+        raw = RawNetlist(
+            "bad", inputs=["a", "b"], outputs=["g1", "g2"],
+            gates=[
+                RawGate("g1", GateType.AND, ("a",)),          # wants >= 2
+                RawGate("g2", GateType.NOT, ("a", "b")),      # wants exactly 1
+            ],
+        )
+        findings = only_rule(lint_netlist(raw), "NL004")
+        assert {f.location for f in findings} == {"g1", "g2"}
+
+    def test_nl005_floating_combinational_output(self):
+        raw = RawNetlist(
+            "bad", inputs=["a", "b"], outputs=["keep"],
+            gates=[
+                RawGate("keep", GateType.AND, ("a", "b")),
+                RawGate("floater", GateType.OR, ("a", "b")),
+            ],
+        )
+        findings = only_rule(lint_netlist(raw), "NL005")
+        assert findings[0].location == "floater"
+        assert findings[0].severity is Severity.WARNING
+
+    def test_nl006_back_to_back_flops_and_self_loop(self):
+        raw = RawNetlist(
+            "bad", inputs=["x"], outputs=["q2", "q3"],
+            gates=[
+                RawGate("q1", GateType.DFF, ("x",)),
+                RawGate("q2", GateType.DFF, ("q1",)),   # back-to-back
+                RawGate("q3", GateType.DFF, ("q3",)),   # self-loop
+            ],
+        )
+        findings = [f for f in lint_netlist(raw) if f.rule == "NL006"]
+        assert {f.location for f in findings} == {"q2", "q3"}
+
+    def test_nl006_waivable(self):
+        raw = RawNetlist(
+            "ok", inputs=["x"], outputs=["q2"],
+            gates=[
+                RawGate("q1", GateType.DFF, ("x",)),
+                RawGate("q2", GateType.DFF, ("q1",)),
+            ],
+        )
+        assert "NL006" in rules(lint_netlist(raw))
+        assert "NL006" not in rules(lint_netlist(raw, waive=("NL006",)))
+
+    def test_nl007_unused_primary_input(self):
+        raw = RawNetlist(
+            "bad", inputs=["a", "b", "unused"], outputs=["g"],
+            gates=[RawGate("g", GateType.AND, ("a", "b"))],
+        )
+        findings = only_rule(lint_netlist(raw), "NL007")
+        assert findings[0].location == "unused"
+
+    def test_nl008_unobserved_flop(self):
+        raw = RawNetlist(
+            "bad", inputs=["a", "b"], outputs=["g"],
+            gates=[
+                RawGate("g", GateType.AND, ("a", "b")),
+                RawGate("qdead", GateType.DFF, ("g",)),
+            ],
+        )
+        findings = only_rule(lint_netlist(raw), "NL008")
+        assert findings[0].location == "qdead"
+
+    def test_bench_text_unparsable_line_and_unknown_type(self):
+        text = textwrap.dedent("""
+            INPUT(a)
+            INPUT(b)
+            OUTPUT(y)
+            y = MAJ(a, b)
+            this is not bench at all
+        """)
+        findings = lint_bench_text(text, name="corrupt")
+        assert "NL004" in rules(findings)  # unknown gate type MAJ
+        assert any("unparsable" in f.message for f in findings)
+
+    def test_bench_text_clean_roundtrip(self):
+        from repro.circuits.bench import write_bench
+
+        text = write_bench(load_circuit("s27"))
+        assert lint_bench_text(text, name="s27") == []
+
+
+class TestNetlistCleanTree:
+    """Satellite regression: everything the repo generates lints clean."""
+
+    @pytest.mark.parametrize("name", sorted(available_circuits()))
+    def test_library_circuit_lints_clean(self, name):
+        assert lint_netlist(load_circuit(name)) == []
+
+    @pytest.mark.parametrize("k", [2, 4, 8, 16, 32])
+    def test_decoder_netlist_lints_clean(self, k):
+        netlist = decoder_netlist(k)
+        assert lint_netlist(netlist, waive=DECODER_NETLIST_WAIVERS) == []
+        # and it is a valid, loop-free circuit for the simulator
+        assert netlist.topological_order()
+
+    def test_decoder_netlist_shifter_needs_the_waiver(self):
+        # The serial shift register is flop-to-flop by design; without
+        # the documented waiver NL006 fires on it, proving the waiver
+        # is load-bearing rather than dead configuration.
+        findings = lint_netlist(decoder_netlist(8))
+        assert rules(findings) == {"NL006"}
+
+    def test_decoder_netlist_reassigned_codebook(self):
+        netlist = decoder_netlist(8, reassigned_codebook())
+        assert lint_netlist(netlist, waive=DECODER_NETLIST_WAIVERS) == []
+
+    def test_decoder_netlist_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            decoder_netlist(7)
+
+
+# ---------------------------------------------------------------------------
+# FSM rules (FS001..FS007)
+# ---------------------------------------------------------------------------
+
+def default_rows():
+    fsm = NineCDecoderFSM()
+    return list(fsm.transition_table()), fsm.codebook
+
+
+class TestFsmRules:
+    def test_default_fsm_verifies_clean(self):
+        assert lint_fsm() == []
+
+    def test_reassigned_fsm_verifies_clean(self):
+        book = reassigned_codebook()
+        assert lint_fsm(NineCDecoderFSM(book)) == []
+
+    def test_fs001_nondeterminism(self):
+        rows, book = default_rows()
+        state, bit, _nxt, _case = rows[0]
+        rows.append((state, bit, "S0_BOGUS", None))
+        findings = verify_transition_rows(rows, book)
+        assert any(
+            f.rule == "FS001" and f.severity is Severity.ERROR
+            for f in findings
+        )
+
+    def test_fs001_exact_duplicate_is_warning(self):
+        rows, book = default_rows()
+        rows.append(rows[0])
+        findings = verify_transition_rows(rows, book)
+        dups = [f for f in findings if f.rule == "FS001"]
+        assert dups and all(f.severity is Severity.WARNING for f in dups)
+
+    def test_fs002_missing_arc(self):
+        rows, book = default_rows()
+        removed = rows.pop()
+        findings = verify_transition_rows(rows, book)
+        locations = {f.location for f in findings if f.rule == "FS002"}
+        assert f"{removed[0]}/{removed[1]}" in locations
+
+    def test_fs003_unreachable_state(self):
+        rows, book = default_rows()
+        rows.append(("S_ORPHAN", 0, "S_ORPHAN", None))
+        rows.append(("S_ORPHAN", 1, "S0", BlockCase.C1))
+        findings = verify_transition_rows(rows, book)
+        assert any(
+            f.rule == "FS003" and f.location == "S_ORPHAN" for f in findings
+        )
+
+    def test_fs004_dead_state_pair(self):
+        rows = [
+            ("S0", 0, "S0", BlockCase.C1),
+            ("S0", 1, "DEAD_A", None),
+            ("DEAD_A", 0, "DEAD_B", None),
+            ("DEAD_A", 1, "DEAD_B", None),
+            ("DEAD_B", 0, "DEAD_A", None),
+            ("DEAD_B", 1, "DEAD_A", None),
+        ]
+        findings = verify_transition_rows(rows, Codebook.default())
+        dead = {f.location for f in findings if f.rule == "FS004"}
+        assert {"DEAD_A", "DEAD_B"} <= dead
+
+    def test_fs005_wrong_codeword(self):
+        rows, book = default_rows()
+        # swap the cases of two emitting arcs
+        emitting = [i for i, row in enumerate(rows) if row[3] is not None]
+        i, j = emitting[0], emitting[1]
+        rows[i], rows[j] = (
+            (*rows[i][:3], rows[j][3]),
+            (*rows[j][:3], rows[i][3]),
+        )
+        findings = verify_transition_rows(rows, book)
+        assert any(f.rule == "FS005" for f in findings)
+
+    def test_fs005_case_never_emitted(self):
+        rows, book = default_rows()
+        # retarget one emitting arc to also emit a case already taken
+        emitting = [i for i, row in enumerate(rows) if row[3] is not None]
+        victim = rows[emitting[0]]
+        other = rows[emitting[1]]
+        rows[emitting[0]] = (*victim[:3], other[3])
+        findings = verify_transition_rows(rows, book)
+        messages = [f.message for f in findings if f.rule == "FS005"]
+        assert any("never emits" in m for m in messages)
+        assert any("distinct paths" in m for m in messages)
+
+    def test_fs005_and_fs007_arc_not_returning_to_idle(self):
+        rows = [
+            ("S0", 0, "S_MORE", BlockCase.C1),   # emits but keeps going
+            ("S0", 1, "S0", BlockCase.C2),
+            ("S_MORE", 0, "S0", BlockCase.C3),
+            ("S_MORE", 1, "S0", BlockCase.C4),
+        ]
+        findings = verify_transition_rows(rows, Codebook.default())
+        found = rules(findings)
+        assert "FS005" in found  # non-idle return + codebook mismatch
+        assert "FS007" in found  # "0" is a prefix of "00" and "01"
+
+    def test_fs006_kraft_deficit(self):
+        # recognizes only {00, 01, 10}: deterministic and prefix-free
+        # but Kraft sums to 0.75 (and (S_HI, 1) is missing -> FS002)
+        rows = [
+            ("S0", 0, "S_LO", None),
+            ("S0", 1, "S_HI", None),
+            ("S_LO", 0, "S0", BlockCase.C1),
+            ("S_LO", 1, "S0", BlockCase.C2),
+            ("S_HI", 0, "S0", BlockCase.C3),
+        ]
+        findings = verify_transition_rows(rows, Codebook.default())
+        found = rules(findings)
+        assert "FS006" in found and "FS002" in found
+
+    def test_fs004_non_resolving_cycle_overflows(self):
+        # 0 loops back to idle without ever emitting: infinite codewords
+        rows = [
+            ("S0", 0, "S0", None),
+            ("S0", 1, "S0", BlockCase.C1),
+        ]
+        findings = verify_transition_rows(rows, Codebook.default())
+        assert any(
+            f.rule == "FS004" and "exceed" in f.message for f in findings
+        )
+
+
+# ---------------------------------------------------------------------------
+# RTL rules (RT001..RT007)
+# ---------------------------------------------------------------------------
+
+def module(body):
+    return "module m(input wire clk, output wire y);\n" + textwrap.dedent(
+        body
+    ) + "\nendmodule\n"
+
+
+class TestRtlRules:
+    def test_rt001_undeclared_identifier(self):
+        findings = lint_verilog(module("    assign y = ghost;"))
+        findings = only_rule(findings, "RT001")
+        assert findings[0].location == "ghost"
+
+    def test_rt002_use_before_declaration(self):
+        text = module("""\
+            assign y = late;
+            wire late = clk;
+        """)
+        findings = only_rule(lint_verilog(text), "RT002")
+        assert findings[0].location == "late"
+
+    def test_rt003_oversized_literal(self):
+        text = module("""\
+            wire t = clk;
+            assign y = t & 2'd7;
+        """)
+        findings = only_rule(lint_verilog(text), "RT003")
+        assert "2'd7" in findings[0].message
+
+    def test_rt003_constant_exceeds_declared_width(self):
+        text = module("""\
+            localparam BIG = 9;
+            reg [2:0] r;
+            always @(posedge clk or negedge clk) begin
+                r <= BIG;
+            end
+            assign y = r[0];
+        """)
+        findings = [f for f in lint_verilog(text) if f.rule == "RT003"]
+        assert findings and findings[0].location == "r"
+
+    def test_rt004_unused_wire_warns_unused_param_informs(self):
+        text = module("""\
+            wire dead = clk;
+            localparam UNUSED = 3;
+            assign y = clk;
+        """)
+        findings = lint_verilog(text)
+        by_rule = {f.location: f.severity for f in findings}
+        assert by_rule["dead"] is Severity.WARNING
+        assert by_rule["UNUSED"] is Severity.INFO
+        assert rules(findings) == {"RT004"}
+
+    def test_rt004_param_referenced_by_other_param_is_used(self):
+        text = module("""\
+            localparam K = 8;
+            localparam HALF = K / 2;
+            wire [3:0] c;
+            assign c = HALF;
+            assign y = c[0];
+        """)
+        assert "RT004" not in rules(lint_verilog(text))
+
+    def test_rt005_unknown_and_unconnected_ports(self):
+        text = textwrap.dedent("""\
+            module leaf(input wire a, input wire b, output wire z);
+                assign z = a & b;
+            endmodule
+
+            module top(input wire p, output wire q);
+                leaf u0 (
+                    .a(p),
+                    .bogus(p)
+                );
+                assign q = p;
+            endmodule
+        """)
+        findings = [f for f in lint_verilog(text) if f.rule == "RT005"]
+        kinds = {(f.location, f.severity) for f in findings}
+        assert ("u0.bogus", Severity.ERROR) in kinds
+        assert ("u0.b", Severity.WARNING) in kinds
+        assert ("u0.z", Severity.WARNING) in kinds
+
+    def test_rt005_external_module_is_info(self):
+        text = textwrap.dedent("""\
+            module top(input wire p, output wire q);
+                black_box u0 (
+                    .a(p)
+                );
+                assign q = p;
+            endmodule
+        """)
+        findings = [f for f in lint_verilog(text) if f.rule == "RT005"]
+        assert findings and all(f.severity is Severity.INFO for f in findings)
+
+    def test_rt006_duplicate_declaration(self):
+        text = module("""\
+            wire t = clk;
+            wire t = clk;
+            assign y = t;
+        """)
+        findings = [f for f in lint_verilog(text) if f.rule == "RT006"]
+        assert findings and findings[0].location == "t"
+
+    def test_rt007_no_module(self):
+        findings = only_rule(lint_verilog("// nothing here\n"), "RT007")
+        assert findings[0].severity is Severity.ERROR
+
+
+class TestRtlCleanTree:
+    @pytest.mark.parametrize("k", [2, 4, 8, 16, 32])
+    def test_decoder_rtl_lints_clean(self, k):
+        assert lint_verilog(generate_decoder_verilog(k)) == []
+
+    @pytest.mark.parametrize("chains", [2, 4, 8])
+    def test_multiscan_rtl_lints_clean(self, chains):
+        assert lint_verilog(generate_multiscan_verilog(8, chains)) == []
+
+    def test_decoder_rtl_reassigned_codebook(self):
+        rtl = generate_decoder_verilog(8, reassigned_codebook())
+        assert lint_verilog(rtl) == []
+
+
+# ---------------------------------------------------------------------------
+# Python rules (PY000..PY005)
+# ---------------------------------------------------------------------------
+
+def lint_py(source, path="core/encoder.py"):
+    return lint_python_source(textwrap.dedent(source), path)
+
+
+class TestPycheckRules:
+    def test_py000_syntax_error(self):
+        findings = only_rule(lint_py("def broken(:\n"), "PY000")
+        assert findings[0].line == 1
+
+    def test_py001_unguarded_recording_in_hot_module(self):
+        source = """
+        from repro import obs
+
+        def encode():
+            obs.counter("blocks", 1)
+        """
+        findings = [f for f in lint_py(source) if f.rule == "PY001"]
+        assert findings and findings[0].location == "obs.counter"
+
+    def test_py001_guarded_recording_is_fine(self):
+        source = """
+        from repro import obs
+
+        def encode():
+            if obs.enabled():
+                obs.counter("blocks", 1)
+        """
+        assert not [f for f in lint_py(source) if f.rule == "PY001"]
+
+    def test_py001_span_is_self_gating(self):
+        source = """
+        from repro import obs
+
+        def encode():
+            with obs.span("encode"):
+                pass
+        """
+        assert not [f for f in lint_py(source) if f.rule == "PY001"]
+
+    def test_py001_guard_does_not_cross_function_boundary(self):
+        source = """
+        from repro import obs
+
+        def outer():
+            if obs.enabled():
+                def inner():
+                    obs.counter("x", 1)
+        """
+        assert [f for f in lint_py(source) if f.rule == "PY001"]
+
+    def test_py001_record_helper_bodies_exempt_but_callsites_guarded(self):
+        source = """
+        from repro import obs
+
+        def _record_stats(n):
+            obs.counter("n", n)
+
+        def encode():
+            _record_stats(3)
+        """
+        findings = [f for f in lint_py(source) if f.rule == "PY001"]
+        assert findings and findings[0].location == "_record_stats"
+
+    def test_py001_not_enforced_outside_hot_modules(self):
+        source = """
+        from repro import obs
+
+        def report():
+            obs.counter("x", 1)
+        """
+        assert not [
+            f for f in lint_py(source, path="analysis/report.py")
+            if f.rule == "PY001"
+        ]
+
+    def test_py002_off_contract_raise_in_core(self):
+        source = """
+        def f():
+            raise RuntimeError("nope")
+        """
+        findings = [
+            f for f in lint_py(source, path="core/io.py")
+            if f.rule == "PY002"
+        ]
+        assert findings and findings[0].location == "RuntimeError"
+
+    def test_py002_stream_errors_and_bare_reraise_allowed(self):
+        source = """
+        from .errors import TruncatedStreamError
+
+        def f():
+            try:
+                raise TruncatedStreamError(0, 1)
+            except ValueError:
+                raise
+        """
+        assert not [
+            f for f in lint_py(source, path="core/io.py")
+            if f.rule == "PY002"
+        ]
+
+    def test_py002_not_enforced_outside_core(self):
+        source = """
+        def f():
+            raise RuntimeError("fine here")
+        """
+        assert not [
+            f for f in lint_py(source, path="robust/channel.py")
+            if f.rule == "PY002"
+        ]
+
+    def test_py003_bare_except(self):
+        source = """
+        def f():
+            try:
+                pass
+            except:
+                pass
+        """
+        findings = [
+            f for f in lint_py(source, path="analysis/x.py")
+            if f.rule == "PY003"
+        ]
+        assert findings and findings[0].severity is Severity.ERROR
+
+    def test_py004_mutable_defaults(self):
+        source = """
+        def f(a, b=[], c={}, d=set(), e=None):
+            return a
+        """
+        findings = [
+            f for f in lint_py(source, path="analysis/x.py")
+            if f.rule == "PY004"
+        ]
+        assert len(findings) == 3
+
+    def test_py005_unused_import(self):
+        source = """
+        import json
+        import math
+
+        def f():
+            return math.pi
+        """
+        findings = [
+            f for f in lint_py(source, path="analysis/x.py")
+            if f.rule == "PY005"
+        ]
+        assert [f.location for f in findings] == ["json"]
+
+    def test_py005_future_import_exempt(self):
+        source = """
+        from __future__ import annotations
+
+        def f() -> "int":
+            return 1
+        """
+        assert not [
+            f for f in lint_py(source, path="analysis/x.py")
+            if f.rule == "PY005"
+        ]
+
+    def test_py005_dunder_all_counts_as_use(self):
+        source = """
+        from json import dumps
+
+        __all__ = ["dumps"]
+        """
+        assert not [
+            f for f in lint_py(source, path="analysis/x.py")
+            if f.rule == "PY005"
+        ]
+
+    def test_py005_skips_package_inits(self):
+        source = "from json import dumps\n"
+        assert not lint_python_source(source, "analysis/__init__.py")
+
+
+# ---------------------------------------------------------------------------
+# runner + CLI
+# ---------------------------------------------------------------------------
+
+class TestRunner:
+    def test_full_tree_is_lint_clean(self):
+        report = run_lint()
+        assert report.findings == [], report.render()
+        assert report.exit_code == 0
+        assert len(report.artifacts) > 20
+
+    def test_section_selection(self):
+        report = run_lint(only=["fsm"])
+        assert report.sections == ["fsm"]
+        assert report.artifacts == ["fsm:default", "fsm:reassigned"]
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError):
+            run_lint(only=["netlist", "nosuch"])
+
+    def test_reassigned_codebook_differs_from_default(self):
+        book = reassigned_codebook()
+        default = Codebook.default()
+        assert any(
+            book.codeword(c) != default.codeword(c) for c in BlockCase
+        )
+
+    def test_exit_code_reflects_errors(self):
+        report = LintReport(findings=[
+            LintFinding("NL001", Severity.WARNING, "a", "", "w"),
+        ])
+        assert report.exit_code == 0
+        report.findings.append(
+            LintFinding("NL001", Severity.ERROR, "a", "", "e")
+        )
+        assert report.exit_code == 1
+
+    def test_report_dict_roundtrips_through_json(self):
+        report = run_lint(only=["fsm"])
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["exit_code"] == 0
+        assert payload["errors"] == 0
+
+
+class TestCli:
+    def test_lint_subcommand_clean_exit(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--only", "fsm"]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out
+
+    def test_lint_subcommand_json(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--only", "fsm", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["sections"] == ["fsm"]
+
+    def test_lint_subcommand_k_and_circuit_filters(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "lint", "--only", "netlist", "--k", "8", "--circuit", "s27",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out

@@ -385,7 +385,8 @@ class TestDisabledOverheadGuard:
         ``encode`` is the instrumented entry (one enabled() check plus a
         null span per call); ``_encode_fast`` is the identical hook-free
         control.  Timings take the min of interleaved repeats to shed
-        scheduler noise.
+        scheduler noise, and the whole measurement retries a few times
+        before failing so a transiently loaded machine cannot flake it.
         """
         rng = np.random.default_rng(99)
         data = TernaryVector(
@@ -394,16 +395,26 @@ class TestDisabledOverheadGuard:
         )
         encoder = NineCEncoder(8)
         encoder.encode(data)  # warm caches before timing
-        hooked, control = [], []
-        for _ in range(3):
-            start = time.perf_counter()
-            encoder.encode(data)
-            hooked.append(time.perf_counter() - start)
-            start = time.perf_counter()
-            encoder._encode_fast(data)
-            control.append(time.perf_counter() - start)
         assert not obs.enabled()
-        assert min(hooked) <= min(control) * 1.05, (
-            f"disabled-instrumentation overhead too high: "
-            f"hooked={min(hooked):.4f}s control={min(control):.4f}s"
-        )
+
+        def measure():
+            hooked, control = [], []
+            for _ in range(3):
+                start = time.perf_counter()
+                encoder.encode(data)
+                hooked.append(time.perf_counter() - start)
+                start = time.perf_counter()
+                encoder._encode_fast(data)
+                control.append(time.perf_counter() - start)
+            return min(hooked), min(control)
+
+        for _attempt in range(3):
+            hooked_s, control_s = measure()
+            if hooked_s <= control_s * 1.05:
+                break
+        else:
+            pytest.fail(
+                f"disabled-instrumentation overhead too high after 3 "
+                f"measurement rounds: hooked={hooked_s:.4f}s "
+                f"control={control_s:.4f}s"
+            )

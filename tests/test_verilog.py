@@ -23,7 +23,7 @@ class TestDecoderVerilog:
     def test_parameters_track_k(self):
         rtl = generate_decoder_verilog(16)
         assert "localparam K = 16;" in rtl
-        assert "localparam HALF = 8;" in rtl
+        assert "localparam HALF = K / 2;" in rtl
 
     def test_every_state_declared(self):
         rtl = generate_decoder_verilog(8)
