@@ -15,7 +15,9 @@ Subcommands mirror the paper's artifacts:
   ``BENCH_obs.json`` (docs/observability.md);
 * ``stats`` — pretty-print the metrics snapshot of a committed baseline;
 * ``lint`` — static verification of netlists, the decoder FSM, emitted
-  RTL, and the Python codebase itself (docs/lint.md).
+  RTL, and the Python codebase itself (docs/lint.md);
+* ``serve`` / ``loadgen`` — the fault-tolerant compression service and
+  its closed-loop load generator (docs/serving.md).
 
 Every analysis subcommand accepts ``--json`` for machine-readable
 output; all of them emit through the shared :func:`emit_json` helper
@@ -465,6 +467,90 @@ def cmd_lint(args) -> int:
     return report.exit_code
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import CompressionService, ServeServer, ServiceConfig
+
+    config = ServiceConfig(
+        k=args.k,
+        executor=args.executor,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        allow_chaos=args.chaos,
+    )
+
+    async def run() -> None:
+        server = ServeServer(CompressionService(config), args.host, args.port)
+        await server.start()
+        print(f"repro-9c serve: listening on {server.host}:{server.port} "
+              f"(executor={config.executor}, workers={config.workers}, "
+              f"chaos={'on' if config.allow_chaos else 'off'})",
+              flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    import asyncio
+
+    from .serve.loadgen import run_loadgen
+    from .serve.server import TCPClient
+
+    async def factory() -> TCPClient:
+        client = TCPClient(args.host, args.port)
+        await client.connect()
+        return client
+
+    crashes = sum(1 for name in (args.inject or []) if name == "worker-crash")
+    report = asyncio.run(run_loadgen(
+        factory,
+        circuit=args.circuit,
+        k=args.k,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        batch=args.batch,
+        mix=args.mix,
+        request_deadline_ms=args.deadline_ms,
+        inject_worker_crashes=crashes,
+    ))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_baseline_dict(), handle,
+                      indent=2, sort_keys=True)
+            handle.write("\n")
+    stats = report.stats()
+    if args.json:
+        emit_json({**stats, "passed": report.passed,
+                   "violation_details": report.violations,
+                   "output": args.output})
+    else:
+        print(f"loadgen {report.circuit} K={report.k}: "
+              f"{stats['requests']} requests @ concurrency "
+              f"{stats['concurrency']}, batch {stats['batch']}")
+        print(f"  ok {stats['ok']}  degraded {stats['degraded']}  "
+              f"errors {stats['errors']}  shed {stats['shed']}")
+        print(f"  p50 {stats['p50_ms']:.2f} ms  p95 {stats['p95_ms']:.2f} ms  "
+              f"p99 {stats['p99_ms']:.2f} ms  ({stats['rps']:.0f} req/s)")
+        print(f"  cache hit rate {stats['cache_hit_rate'] * 100:.1f}%")
+        if report.violations:
+            print(f"  VIOLATIONS ({len(report.violations)}):")
+            for violation in report.violations:
+                print(f"    - {violation}")
+        if args.output:
+            print(f"  report written: {args.output}")
+    return 0 if report.passed else 1
+
+
 def cmd_benchmarks(_args) -> int:
     table = Table(["name", "cells", "patterns", "|T_D|", "X%"],
                   title="available benchmark profiles")
@@ -651,6 +737,47 @@ def build_parser() -> argparse.ArgumentParser:
                         "either way)")
     p.set_defaults(func=cmd_lint)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the compression service over TCP (docs/serving.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9127,
+                   help="0 picks a free port (printed on the ready line)")
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--executor", choices=["process", "thread", "inline"],
+                   default="process")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--max-inflight", type=int, default=8)
+    p.add_argument("--max-queue", type=int, default=16)
+    p.add_argument("--chaos", action="store_true",
+                   help="accept chaos-op fault injection (testing only)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="closed-loop load generator against a running serve instance",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9127)
+    p.add_argument("--circuit", default="s27")
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--requests", type=int, default=100)
+    p.add_argument("--concurrency", type=int, default=4)
+    p.add_argument("--batch", type=int, default=1,
+                   help="items per compress request (> 1 uses the batch API)")
+    p.add_argument("--mix", choices=["compress", "decompress", "both"],
+                   default="both")
+    p.add_argument("--deadline-ms", type=float, default=10_000.0)
+    p.add_argument("--inject", action="append", choices=["worker-crash"],
+                   help="arm a service fault mid-run (server needs --chaos); "
+                        "repeatable")
+    p.add_argument("-o", "--output", default=None,
+                   help="write a BENCH_obs.json-schema report here")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.set_defaults(func=cmd_loadgen)
+
     p = sub.add_parser("benchmarks", help="list benchmark profiles")
     p.set_defaults(func=cmd_benchmarks)
 
@@ -659,7 +786,30 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if not getattr(args, "json", False):
+        return args.func(args)
+    # under --json even failures must be machine-readable: a structured
+    # {"error": ...} object on stdout and a nonzero exit, never a bare
+    # traceback a pipeline consumer would have to scrape.
+    try:
+        return args.func(args)
+    except SystemExit as exc:
+        if exc.code is None or isinstance(exc.code, int):
+            raise  # already a clean numeric exit (argparse, etc.)
+        print(json.dumps(
+            {"error": {"command": args.command, "message": str(exc.code)}},
+            indent=2, sort_keys=True,
+        ))
+        return 2
+    except Exception as exc:  # noqa: BLE001 - CLI boundary: anything
+        # unexpected still has to come out as structured JSON here
+        print(json.dumps(
+            {"error": {"command": args.command,
+                       "type": type(exc).__name__,
+                       "message": str(exc)}},
+            indent=2, sort_keys=True,
+        ))
+        return 2
 
 
 if __name__ == "__main__":

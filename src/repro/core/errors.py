@@ -10,6 +10,13 @@ context (bit offset, block index, frame index) to localize the damage.
 ``StreamError`` subclasses :class:`ValueError` so pre-existing callers
 that catch ``ValueError`` keep working; :class:`TruncatedStreamError`
 additionally subclasses :class:`EOFError` for the same reason.
+
+The :class:`ServeError` hierarchy below belongs to the serving layer
+(:mod:`repro.serve`): typed, wire-serializable failures — bad frames,
+deadlines, shed load, open breakers, crashed workers — with a
+``retryable`` hint per class.  It lives here, next to the stream
+errors, so one module documents every failure type the pipeline can
+surface.
 """
 
 from __future__ import annotations
@@ -72,6 +79,95 @@ class FrameSyncError(StreamError):
 
 class FrameCRCError(StreamError):
     """A frame's CRC check failed (header or payload corruption)."""
+
+
+# ----------------------------------------------------------------------
+# serving-layer errors (repro.serve)
+# ----------------------------------------------------------------------
+class ServeError(Exception):
+    """Base class for failures of the compression service.
+
+    Every subclass carries a stable wire identifier (``code``) and a
+    ``retryable`` hint so clients can distinguish "back off and retry"
+    (overload, open breaker, crashed worker) from "fix the request"
+    (bad frame, unknown op).  :meth:`to_wire` is the JSON shape the
+    protocol layer puts in error responses — a request is never lost
+    without one of these.
+    """
+
+    code = "serve_error"
+    retryable = False
+
+    def __init__(self, message: str, **context: object):
+        super().__init__(message)
+        self.message = message
+        self.context = context
+
+    def __str__(self) -> str:
+        if self.context:
+            detail = ", ".join(
+                f"{key}={value}" for key, value in sorted(self.context.items())
+            )
+            return f"{self.message} ({detail})"
+        return self.message
+
+    def to_wire(self) -> dict:
+        """JSON-safe error object for the protocol's error responses."""
+        payload: dict = {
+            "code": self.code,
+            "message": self.message,
+            "retryable": self.retryable,
+        }
+        if self.context:
+            payload["context"] = {
+                key: value for key, value in sorted(self.context.items())
+            }
+        return payload
+
+
+class BadRequestError(ServeError):
+    """The request frame or its parameters are malformed."""
+
+    code = "bad_request"
+
+
+class MalformedFrameError(BadRequestError):
+    """A wire frame is not valid newline-delimited JSON of the schema."""
+
+    code = "malformed_frame"
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline elapsed before a result was produced."""
+
+    code = "deadline_exceeded"
+
+
+class ServiceOverloadedError(ServeError):
+    """Load was shed: the admission queue is full (429-style)."""
+
+    code = "overloaded"
+    retryable = True
+
+
+class CircuitOpenError(ServeError):
+    """The route's circuit breaker is open; the request fast-failed."""
+
+    code = "circuit_open"
+    retryable = True
+
+
+class WorkerCrashError(ServeError):
+    """A pool worker died (or was killed) while running the request."""
+
+    code = "worker_crash"
+    retryable = True
+
+
+class DegradedResultError(ServeError):
+    """Both the fast path and the reference fallback failed."""
+
+    code = "degraded_result"
 
 
 @dataclass

@@ -33,7 +33,13 @@ from contextlib import contextmanager
 from typing import Optional, Sequence
 
 from ._state import disable, enable, enabled, set_enabled
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus_text,
+)
 from .tracing import NULL_SPAN, SpanNode, Tracer, get_tracer, span, traced
 
 #: The process-wide registry every instrumented module records into.
@@ -102,6 +108,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "render_prometheus_text",
     "SpanNode",
     "Tracer",
     "NULL_SPAN",

@@ -20,11 +20,16 @@ so the cost is negligible.
 
 from __future__ import annotations
 
+import re
 import threading
 from bisect import bisect_left
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 Number = Union[int, float]
+
+#: Characters legal in an exposition metric name, per the Prometheus
+#: data model; everything else is folded to ``_`` by :func:`_expo_name`.
+_EXPO_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 
 
 class Counter:
@@ -209,3 +214,65 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+
+# ----------------------------------------------------------------------
+# text exposition (Prometheus format)
+# ----------------------------------------------------------------------
+def _expo_name(name: str) -> str:
+    """Dotted registry name -> Prometheus-legal metric name.
+
+    Dots become underscores (``encode.bits_in`` -> ``encode_bits_in``);
+    any other illegal character is folded to ``_`` and a leading digit
+    gets a ``_`` prefix.
+    """
+    expo = _EXPO_NAME_OK.sub("_", name.replace(".", "_"))
+    if expo and expo[0].isdigit():
+        expo = "_" + expo
+    return expo
+
+
+def _expo_value(value: Number) -> str:
+    """Render a sample value; integers stay integral for readability."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render a registry snapshot in Prometheus text exposition format.
+
+    Counters and gauges become single samples; histograms become the
+    canonical cumulative ``_bucket{le="..."}`` series plus ``_sum`` and
+    ``_count``.  Names are sanitized by :func:`_expo_name` and emitted
+    in sorted order, so output is diff-stable.  When ``registry`` is
+    omitted the process-wide registry is rendered — this is exactly
+    what the serving layer's ``metrics`` handler returns.
+    """
+    if registry is None:
+        from . import get_registry
+
+        registry = get_registry()
+    snapshot = registry.snapshot()
+    lines: list = []
+    for name, value in sorted(snapshot["counters"].items()):
+        expo = _expo_name(name)
+        lines.append(f"# TYPE {expo} counter")
+        lines.append(f"{expo} {_expo_value(value)}")
+    for name, value in sorted(snapshot["gauges"].items()):
+        expo = _expo_name(name)
+        lines.append(f"# TYPE {expo} gauge")
+        lines.append(f"{expo} {_expo_value(value)}")
+    for name, state in sorted(snapshot["histograms"].items()):
+        expo = _expo_name(name)
+        lines.append(f"# TYPE {expo} histogram")
+        cumulative = 0
+        for edge, count in state["buckets"].items():
+            cumulative += count
+            le = "+Inf" if edge == "+inf" else edge[2:]
+            lines.append(f'{expo}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{expo}_sum {_expo_value(state['sum'])}")
+        lines.append(f"{expo}_count {state['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

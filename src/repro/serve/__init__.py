@@ -1,0 +1,75 @@
+"""repro.serve: a fault-tolerant, batching 9C compression service.
+
+The paper's decompressor lives on-chip; everything upstream of it —
+preparing codebooks, compressing test sets, validating streams — runs
+off-chip in EDA/test infrastructure that must behave like a service:
+many concurrent callers, bounded latency, partial failures.  This
+package wraps the repro pipeline in exactly that shape:
+
+* :mod:`~repro.serve.protocol` — newline-delimited JSON frames and the
+  typed request/response contract;
+* :mod:`~repro.serve.service` — the asyncio core: worker-pool
+  dispatch, micro-batching, deadlines, backpressure with explicit
+  load-shedding, retries, per-route circuit breakers, and the
+  fast-path -> reference degradation ladder;
+* :mod:`~repro.serve.server` — TCP transport plus the in-process
+  :class:`Client` and socket :class:`TCPClient`;
+* :mod:`~repro.serve.cache` — LRU :class:`PreparedArtifactCache` for
+  codebooks, scan tables and circuit streams;
+* :mod:`~repro.serve.breaker` / :mod:`~repro.serve.retry` — the
+  resilience primitives, individually testable;
+* :mod:`~repro.serve.chaos` — the fault-injection campaign that
+  asserts the service's invariants (no lost requests, no silent
+  corruption, typed errors only, breaker discipline);
+* :mod:`~repro.serve.loadgen` — closed-loop load generator emitting
+  ``BENCH_obs.json``-schema reports.
+
+See ``docs/serving.md`` for the protocol and failure-mode reference.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
+from .cache import PreparedArtifactCache
+from .chaos import ChaosReport, check_response_shape, run_chaos_campaign
+from .loadgen import LoadReport, run_loadgen
+from .protocol import (
+    MAX_FRAME_BYTES,
+    OPS,
+    Request,
+    encode_frame,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .retry import RetryPolicy, run_with_retry
+from .server import Client, ServeServer, TCPClient, start_server
+from .service import CompressionService, ServiceConfig, ServiceFault
+
+__all__ = [
+    "BreakerBoard",
+    "CLOSED",
+    "ChaosReport",
+    "CircuitBreaker",
+    "Client",
+    "CompressionService",
+    "HALF_OPEN",
+    "LoadReport",
+    "MAX_FRAME_BYTES",
+    "OPEN",
+    "OPS",
+    "PreparedArtifactCache",
+    "Request",
+    "RetryPolicy",
+    "ServeServer",
+    "ServiceConfig",
+    "ServiceFault",
+    "TCPClient",
+    "check_response_shape",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "run_chaos_campaign",
+    "run_loadgen",
+    "run_with_retry",
+    "start_server",
+]

@@ -1,0 +1,173 @@
+"""Per-route circuit breaker: CLOSED -> OPEN -> HALF_OPEN -> CLOSED.
+
+When a route — one (op, circuit, K) combination — keeps failing with
+retryable errors, hammering it just burns workers and queue slots.
+The breaker trips after ``failure_threshold`` consecutive failures,
+fast-fails everything for ``recovery_s`` (callers get a retryable
+:class:`~repro.core.errors.CircuitOpenError` without touching a
+worker), then lets at most ``half_open_max`` concurrent probes
+through.  A successful probe closes the breaker; a failed probe
+reopens it for a fresh ``recovery_s`` window.
+
+The clock is injected (any ``() -> float`` callable) so the state
+machine is testable without sleeping, and every transition is counted
+in the obs registry (``serve.breaker.opened`` etc.) plus kept in a
+local transition log the chaos suite asserts against.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Hashable, List, Tuple
+
+from .. import obs as _obs
+from ..core.errors import CircuitOpenError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One route's breaker; see the module docstring for the protocol.
+
+    Usage::
+
+        breaker.before_call()          # may raise CircuitOpenError
+        try:    ... do the work ...
+        except RetryableFailure: breaker.record_failure()
+        else:   breaker.record_success()
+    """
+
+    def __init__(
+        self,
+        route: str = "",
+        *,
+        failure_threshold: int = 5,
+        recovery_s: float = 5.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if half_open_max < 1:
+            raise ValueError("half_open_max must be >= 1")
+        self.route = route
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self.half_open_max = half_open_max
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+        #: ``(timestamp, from_state, to_state)`` log for chaos assertions.
+        self.transitions: List[Tuple[float, str, str]] = []
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing OPEN -> HALF_OPEN when its window ends."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _transition(self, to_state: str) -> None:
+        from_state = self._state
+        if from_state == to_state:
+            return
+        self._state = to_state
+        self.transitions.append((self._clock(), from_state, to_state))
+        if _obs.enabled():
+            _obs.counter(f"serve.breaker.{to_state}").inc()
+
+    def _maybe_half_open(self) -> None:
+        if (self._state == OPEN
+                and self._clock() - self._opened_at >= self.recovery_s):
+            self._transition(HALF_OPEN)
+            self._half_open_inflight = 0
+
+    def before_call(self) -> None:
+        """Admission check; raises :class:`CircuitOpenError` when tripped.
+
+        In HALF_OPEN, admits up to ``half_open_max`` concurrent probes
+        and rejects the rest (still as open-circuit failures).
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return
+            state = self._state
+            if state == HALF_OPEN:
+                if self._half_open_inflight < self.half_open_max:
+                    self._half_open_inflight += 1
+                    return
+                retry_in = None
+            else:
+                retry_in = max(
+                    0.0, self.recovery_s - (self._clock() - self._opened_at)
+                )
+        context: dict = {"route": self.route, "state": state}
+        if retry_in is not None:
+            context["retry_in_s"] = round(retry_in, 3)
+        raise CircuitOpenError("circuit breaker is open", **context)
+
+    def record_success(self) -> None:
+        """A call completed: reset the failure run, close from HALF_OPEN."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._half_open_inflight = max(
+                    0, self._half_open_inflight - 1
+                )
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """A retryable failure: trip from CLOSED at threshold, reopen a probe."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                self._half_open_inflight = max(
+                    0, self._half_open_inflight - 1
+                )
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+            elif (self._state == CLOSED
+                    and self._consecutive_failures >= self.failure_threshold):
+                self._opened_at = self._clock()
+                self._transition(OPEN)
+
+    def snapshot(self) -> dict:
+        """JSON-ready state for ``health`` responses."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "route": self.route,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "transitions": len(self.transitions),
+            }
+
+
+class BreakerBoard:
+    """Lazily-created :class:`CircuitBreaker` per route key."""
+
+    def __init__(self, **breaker_kwargs):
+        self._kwargs = breaker_kwargs
+        self._lock = threading.Lock()
+        self._breakers: Dict[Hashable, CircuitBreaker] = {}
+
+    def breaker(self, route: Hashable) -> CircuitBreaker:
+        with self._lock:
+            if route not in self._breakers:
+                self._breakers[route] = CircuitBreaker(
+                    route=str(route), **self._kwargs
+                )
+            return self._breakers[route]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {str(route): breaker.snapshot()
+                for route, breaker in breakers.items()}

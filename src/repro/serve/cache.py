@@ -1,0 +1,131 @@
+"""LRU cache of prepared pipeline artifacts.
+
+Every service call used to pay for its own setup: codebooks,
+:class:`~repro.core.decoder.CodewordScanTable` LUTs, encoder/decoder
+instances, ATPG-derived test streams and gate-level decoder netlists
+were rebuilt per request.  :class:`PreparedArtifactCache` keeps them
+hot: a thread-safe LRU keyed by structured tuples
+(``("scan_table", 8, "default")``), with hit/miss/eviction counters
+both local (for ``health`` snapshots) and mirrored into the
+:mod:`repro.obs` registry when instrumentation is on.
+
+The cache is deliberately generic — ``get_or_build(key, builder)`` —
+so worker processes reuse the same class for their private per-process
+caches, and tests can cache arbitrary sentinels.  Builders run outside
+the lock (two threads may race to build the same artifact; the first
+insert wins and the loser's build is discarded), so a slow build never
+blocks unrelated lookups.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional, Tuple
+
+from .. import obs as _obs
+
+#: Default capacity: artifacts are small (tables, netlists, streams),
+#: but unbounded growth across a (circuit, K, codebook) product is not.
+DEFAULT_CAPACITY = 128
+
+
+class PreparedArtifactCache:
+    """Thread-safe LRU with hit/miss counters.
+
+    ``name`` prefixes the obs counters (``serve.cache.hits`` for the
+    default name), so the service cache and worker-local caches stay
+    distinguishable in one registry.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 name: str = "serve.cache"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> Tuple[bool, Optional[object]]:
+        """``(found, value)`` — a found key moves to most-recently-used."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                hit = True
+                value = self._entries[key]
+            else:
+                self.misses += 1
+                hit = False
+                value = None
+        if _obs.enabled():
+            _obs.counter(f"{self.name}.hits" if hit
+                         else f"{self.name}.misses").inc()
+        return hit, value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry when full."""
+        evicted = False
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted = True
+        if evicted and _obs.enabled():
+            _obs.counter(f"{self.name}.evictions").inc()
+
+    def get_or_build(self, key: Hashable,
+                     builder: Callable[[], object]) -> object:
+        """The cached value for ``key``, building it on a miss.
+
+        The builder runs outside the cache lock; when two threads race,
+        the first completed insert wins and both callers get a usable
+        artifact (the loser's is returned to it but not cached over the
+        winner's — artifacts are deterministic, so either is correct).
+        """
+        found, value = self.get(key)
+        if found:
+            return value
+        built = builder()
+        with self._lock:
+            if key in self._entries:
+                return self._entries[key]
+            self._entries[key] = built
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return built
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they are lifetime totals)."""
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / lookups over the cache's lifetime (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """JSON-ready snapshot for ``health`` responses and load reports."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hit_rate,
+            }

@@ -1,0 +1,293 @@
+"""Closed-loop load generator with client-side verification.
+
+``concurrency`` workers each run a request loop against a client
+(in-process :class:`~repro.serve.server.Client` or one
+:class:`~repro.serve.server.TCPClient` per worker) until the target
+request count is reached — closed-loop, so offered load adapts to
+service latency instead of overrunning it.  Every response is checked
+against locally pre-computed expectations (the pipeline is
+deterministic, so the generator *is* an end-to-end oracle): an
+unflagged wrong answer, a lost request or an untyped failure is an
+invariant violation, and the CLI exits nonzero on any.
+
+Latency lands in a local :class:`~repro.obs.metrics.MetricsRegistry`
+histogram plus an exact per-request list for p50/p95/p99, and the
+result serializes through the ``BENCH_obs.json`` schema
+(:mod:`repro.obs.profile`) as a ``serve`` scenario — the same file
+format, validator and trajectory the rest of the bench suite uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, List, Optional
+
+from ..core.decoder import NineCDecoder
+from ..core.encoder import NineCEncoder
+from ..obs.metrics import MetricsRegistry
+from ..obs.profile import SCHEMA_VERSION
+from .service import LATENCY_BOUNDS_MS
+
+#: Client factory type: one fresh client per loadgen worker.
+ClientFactory = Callable[[], Awaitable[object]]
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    rank = max(1, -(-len(sorted_values) * q // 100))
+    return sorted_values[int(rank) - 1]
+
+
+@dataclass
+class LoadReport:
+    """Everything one loadgen run measured."""
+
+    circuit: str
+    k: int
+    requests: int
+    concurrency: int
+    batch: int
+    wall_s: float = 0.0
+    bits: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+    ok: int = 0
+    degraded: int = 0
+    errors: int = 0
+    shed: int = 0
+    violations: List[str] = field(default_factory=list)
+    cache: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def stats(self) -> dict:
+        ordered = sorted(self.latencies_ms)
+        return {
+            "requests": self.requests,
+            "concurrency": self.concurrency,
+            "batch": self.batch,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "errors": self.errors,
+            "shed": self.shed,
+            "p50_ms": percentile(ordered, 50),
+            "p95_ms": percentile(ordered, 95),
+            "p99_ms": percentile(ordered, 99),
+            "rps": self.requests / self.wall_s if self.wall_s > 0 else 0.0,
+            "cache_hit_rate": self.cache.get("hit_rate", 0.0),
+            "violations": len(self.violations),
+        }
+
+    def to_baseline_dict(self) -> dict:
+        """Serialize through the ``BENCH_obs.json`` schema."""
+        stats = self.stats()
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "target": self.circuit,
+            "k": self.k,
+            "session_circuit": self.circuit,
+            "scenarios": {
+                "serve": {
+                    "wall_s": self.wall_s,
+                    "bits": self.bits,
+                    "bits_per_s": (self.bits / self.wall_s
+                                   if self.wall_s > 0 else 0.0),
+                    "spans": {},
+                    "metrics": self.metrics,
+                    "extra": stats,
+                },
+            },
+        }
+
+
+async def run_loadgen(
+    client_factory: ClientFactory,
+    *,
+    circuit: str = "s27",
+    k: int = 8,
+    requests: int = 100,
+    concurrency: int = 4,
+    batch: int = 1,
+    mix: str = "both",
+    request_deadline_ms: float = 10_000.0,
+    inject_worker_crashes: int = 0,
+    verify: bool = True,
+) -> LoadReport:
+    """Run the closed loop; see the module docstring.
+
+    ``mix`` is ``compress`` / ``decompress`` / ``both`` (alternating).
+    ``batch > 1`` sends that many items per compress request (the
+    ``items`` form), exercising the service's batch path end-to-end.
+    ``inject_worker_crashes`` arms that many worker-kill faults via the
+    server's ``chaos`` op partway through the run (the server must run
+    with chaos enabled).
+    """
+    if mix not in ("compress", "decompress", "both"):
+        raise ValueError(f"mix must be compress|decompress|both, got {mix!r}")
+    if requests < 1 or concurrency < 1 or batch < 1:
+        raise ValueError("requests, concurrency and batch must be >= 1")
+
+    # local oracle: same deterministic pipeline the server runs
+    from ..atpg.flow import generate_test_cubes
+    from ..circuits.library import available_circuits, load_circuit
+
+    if circuit not in available_circuits():
+        raise ValueError(
+            f"unknown circuit {circuit!r}; available: "
+            f"{', '.join(available_circuits())}"
+        )
+    data = generate_test_cubes(load_circuit(circuit)).test_set.to_stream()
+    data_str = data.to_string()
+    encoder = NineCEncoder(k)
+    encoding = encoder.encode(data)
+    expected_stream = encoding.stream.to_string()
+    expected_data = NineCDecoder(k).decode_stream(
+        encoding.stream, encoding.original_length
+    ).to_string()
+
+    registry = MetricsRegistry()
+    latency_hist = registry.histogram("loadgen.latency_ms",
+                                      LATENCY_BOUNDS_MS)
+    report = LoadReport(circuit=circuit, k=k, requests=requests,
+                        concurrency=concurrency, batch=batch)
+    counter = {"next": 0}
+    crash_at = (set(range(requests // 3,
+                          requests // 3 + inject_worker_crashes))
+                if inject_worker_crashes else set())
+
+    def claim() -> Optional[int]:
+        index = counter["next"]
+        if index >= requests:
+            return None
+        counter["next"] = index + 1
+        return index
+
+    def record(index: int, response: dict, latency_ms: float) -> None:
+        report.latencies_ms.append(latency_ms)
+        latency_hist.observe(latency_ms)
+        if not isinstance(response, dict) or "ok" not in response:
+            report.violations.append(
+                f"request {index}: malformed response {response!r}"
+            )
+            return
+        if response["ok"]:
+            report.ok += 1
+            degraded = bool(response.get("degraded"))
+            flags = response.get("flags", [])
+            if degraded:
+                report.degraded += 1
+                if not flags:
+                    report.violations.append(
+                        f"request {index}: degraded response without flags"
+                    )
+            if verify:
+                _verify(index, response, degraded)
+        else:
+            error = response.get("error")
+            if not isinstance(error, dict) or "code" not in error:
+                report.violations.append(
+                    f"request {index}: error response without typed error"
+                )
+                return
+            report.errors += 1
+            if error["code"] == "overloaded":
+                report.shed += 1
+
+    def _verify(index: int, response: dict, degraded: bool) -> None:
+        result = response.get("result", {})
+        if "items" in result:
+            streams = [item.get("stream") for item in result["items"]]
+            wrong = [s for s in streams if s != expected_stream]
+            if wrong and not degraded:
+                report.violations.append(
+                    f"request {index}: unflagged wrong compress batch item"
+                )
+        elif "stream" in result:
+            if result["stream"] != expected_stream and not degraded:
+                report.violations.append(
+                    f"request {index}: unflagged wrong compress stream"
+                )
+        elif "data" in result:
+            if result["data"] != expected_data and not degraded:
+                report.violations.append(
+                    f"request {index}: unflagged wrong decompress data"
+                )
+
+    async def worker() -> None:
+        client = await client_factory()
+        try:
+            while True:
+                index = claim()
+                if index is None:
+                    return
+                if index in crash_at:
+                    await client.call(
+                        "chaos", {"fault": "worker_crash", "times": 1}
+                    )
+                op = ("compress" if mix == "compress"
+                      or (mix == "both" and index % 2 == 0)
+                      else "decompress")
+                if op == "compress":
+                    # batch == 1 uses the circuit form so the run also
+                    # exercises the server's prepared-artifact cache
+                    params = ({"circuit": circuit, "k": k} if batch == 1
+                              else {"items": [data_str] * batch, "k": k})
+                    bits = len(data) * batch
+                else:
+                    params = {"stream": expected_stream, "k": k,
+                              "output_length": encoding.original_length}
+                    bits = encoding.original_length
+                started = time.perf_counter()
+                try:
+                    response = await client.call(
+                        op, params, deadline_ms=request_deadline_ms
+                    )
+                except Exception as exc:  # noqa: BLE001 - a raised
+                    # exception (vs typed response) is itself a finding
+                    report.violations.append(
+                        f"request {index}: client raised "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    continue
+                record(index, response,
+                       (time.perf_counter() - started) * 1e3)
+                if isinstance(response, dict) and response.get("ok"):
+                    report.bits += bits
+        finally:
+            close = getattr(client, "close", None)
+            if close is not None:
+                await close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*[worker() for _ in range(concurrency)])
+    report.wall_s = time.perf_counter() - started
+
+    answered = report.ok + report.errors
+    if answered != requests:
+        report.violations.append(
+            f"lost requests: {requests} sent, {answered} answered"
+        )
+
+    # pull server-side cache stats when the client can reach health
+    probe = await client_factory()
+    try:
+        health = await probe.call("health", {})
+        if isinstance(health, dict) and health.get("ok"):
+            report.cache = health["result"].get("cache", {})
+    except Exception:  # noqa: BLE001 - health probe is best-effort
+        pass
+    finally:
+        close = getattr(probe, "close", None)
+        if close is not None:
+            await close()
+
+    report.metrics = registry.snapshot()
+    return report

@@ -1,0 +1,90 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+Worker failures (a killed pool process, a broken executor) are
+transient: the right response is to rebuild and try again, a bounded
+number of times, waiting longer each attempt, with jitter so a fleet
+of callers does not retry in lockstep.  Only :class:`ServeError`
+subclasses whose ``retryable`` flag is set are retried — a malformed
+stream fails identically every time and is surfaced immediately.
+
+Jitter is drawn from a seeded :class:`random.Random`, so a test (or a
+chaos campaign triage) can replay the exact backoff schedule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Awaitable, Callable, List, Optional, TypeVar
+
+from ..core.errors import ServeError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry and how long to wait between attempts.
+
+    Backoff for attempt ``n`` (0-based) is
+    ``min(base_s * multiplier**n, max_backoff_s)`` scaled by a jitter
+    factor drawn uniformly from ``[1 - jitter, 1 + jitter]``.
+    """
+
+    max_attempts: int = 3
+    base_s: float = 0.02
+    multiplier: float = 2.0
+    max_backoff_s: float = 1.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """The wait before retry number ``attempt`` (0-based)."""
+        raw = min(self.base_s * self.multiplier ** attempt,
+                  self.max_backoff_s)
+        if self.jitter == 0.0:
+            return raw
+        return raw * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+
+    def schedule(self) -> List[float]:
+        """The full deterministic backoff schedule (for docs and tests)."""
+        rng = random.Random(self.seed)
+        return [self.backoff_s(attempt, rng)
+                for attempt in range(self.max_attempts - 1)]
+
+
+async def run_with_retry(
+    fn: Callable[[], Awaitable[T]],
+    policy: RetryPolicy,
+    *,
+    rng: Optional[random.Random] = None,
+    on_retry: Optional[Callable[[int, ServeError], None]] = None,
+) -> T:
+    """Run ``fn`` up to ``policy.max_attempts`` times.
+
+    Retries only on retryable :class:`ServeError`; any other exception
+    (including non-retryable serve errors) propagates immediately.  The
+    final retryable failure propagates with an ``attempts`` entry added
+    to its context.  ``on_retry(attempt, error)`` is called before each
+    backoff sleep — the service uses it to count retries.
+    """
+    rng = rng if rng is not None else random.Random(policy.seed)
+    attempt = 0
+    while True:
+        try:
+            return await fn()
+        except ServeError as exc:
+            if not exc.retryable or attempt >= policy.max_attempts - 1:
+                exc.context.setdefault("attempts", attempt + 1)
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            await asyncio.sleep(policy.backoff_s(attempt, rng))
+            attempt += 1

@@ -1,0 +1,225 @@
+"""Transport layer: asyncio TCP server and the two client flavors.
+
+The server speaks the newline-delimited JSON protocol of
+:mod:`repro.serve.protocol` over TCP.  Per connection, every request
+line becomes its own task, so a slow request does not head-of-line
+block pipelined peers; responses carry the request ``id`` and may
+arrive out of order.  Writes go through a per-connection lock and a
+drain timeout — a client that stops reading (slow-loris on the
+response side) is disconnected instead of wedging the writer task.
+
+Two clients share one calling convention (``await call(op, params)``):
+
+* :class:`Client` — in-process, wraps a :class:`CompressionService`
+  directly.  Tests and the benchmark harness use it: the exact dicts
+  of the wire path, none of the sockets.
+* :class:`TCPClient` — one TCP connection, sequential request/response
+  (the load generator opens one per concurrent worker).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Optional
+
+from ..core.errors import MalformedFrameError, ServeError
+from .protocol import MAX_FRAME_BYTES, encode_frame, error_response, parse_request
+from .service import CompressionService, ServiceConfig
+
+#: How long one response write may take before the client is dropped.
+WRITE_TIMEOUT_S = 10.0
+
+
+class ServeServer:
+    """Owns the listening socket and the service behind it."""
+
+    def __init__(self, service: CompressionService,
+                 host: str = "127.0.0.1", port: int = 9127):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> "ServeServer":
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_FRAME_BYTES + 2,
+        )
+        sockets = self._server.sockets or ()
+        if sockets:
+            self.port = sockets[0].getsockname()[1]  # resolve port 0
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        tasks = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # frame larger than the read limit: answer once, drop
+                    await self._send(
+                        writer, write_lock,
+                        error_response("", MalformedFrameError(
+                            "frame exceeds size limit",
+                            limit=MAX_FRAME_BYTES,
+                        )),
+                    )
+                    break
+                if not line:
+                    break  # EOF
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            for task in tasks:
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(self, line: bytes, writer: asyncio.StreamWriter,
+                           write_lock: asyncio.Lock) -> None:
+        try:
+            request = parse_request(line)
+        except ServeError as exc:
+            response = error_response(_best_effort_id(line), exc)
+        else:
+            response = await self.service.handle_request(request)
+        await self._send(writer, write_lock, response)
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    write_lock: asyncio.Lock, response: dict) -> None:
+        async with write_lock:
+            if writer.is_closing():
+                return
+            writer.write(encode_frame(response))
+            try:
+                await asyncio.wait_for(writer.drain(), WRITE_TIMEOUT_S)
+            except (asyncio.TimeoutError, ConnectionError, OSError):
+                writer.close()  # slow or gone client: cut it loose
+
+
+def _best_effort_id(line: bytes) -> str:
+    """Recover the request id from a frame that failed validation."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+        if isinstance(payload, dict):
+            return str(payload.get("id", ""))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        pass
+    return ""
+
+
+class Client:
+    """In-process client over a :class:`CompressionService`."""
+
+    def __init__(self, service: CompressionService):
+        self.service = service
+        self._ids = itertools.count(1)
+
+    async def call(self, op: str, params: Optional[dict] = None,
+                   deadline_ms: Optional[float] = None) -> dict:
+        request = {"id": f"c{next(self._ids)}", "op": op,
+                   "params": params or {}}
+        if deadline_ms is not None:
+            request["deadline_ms"] = deadline_ms
+        return await self.service.handle_request(request)
+
+    async def close(self) -> None:
+        """Symmetry with :class:`TCPClient`; the service owns shutdown."""
+
+
+class TCPClient:
+    """One TCP connection; sequential ``call`` with matching by id."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 9127):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._ids = itertools.count(1)
+        self._lock = asyncio.Lock()
+
+    async def connect(self) -> "TCPClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_FRAME_BYTES + 2
+        )
+        return self
+
+    async def call(self, op: str, params: Optional[dict] = None,
+                   deadline_ms: Optional[float] = None) -> dict:
+        if self._reader is None or self._writer is None:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        request_id = f"t{next(self._ids)}"
+        frame: dict = {"id": request_id, "op": op, "params": params or {}}
+        if deadline_ms is not None:
+            frame["deadline_ms"] = deadline_ms
+        async with self._lock:
+            self._writer.write(encode_frame(frame))
+            await self._writer.drain()
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                response = json.loads(line.decode("utf-8"))
+                if response.get("id") == request_id:
+                    return response
+                # a response to a different (pipelined) request: with
+                # the sequential lock this should not happen; skip it.
+
+    async def send_raw(self, payload: bytes) -> dict:
+        """Send raw bytes (chaos: malformed frames) and read one reply."""
+        if self._reader is None or self._writer is None:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        async with self._lock:
+            self._writer.write(payload)
+            await self._writer.drain()
+            line = await self._reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            return json.loads(line.decode("utf-8"))
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+
+async def start_server(host: str = "127.0.0.1", port: int = 9127,
+                       config: Optional[ServiceConfig] = None) -> ServeServer:
+    """Convenience: build service + server, start both, return the server."""
+    service = CompressionService(config)
+    server = ServeServer(service, host, port)
+    return await server.start()

@@ -239,6 +239,36 @@ class TestCompressJson:
         assert dst.exists()
 
 
+class TestJsonErrorPaths:
+    """Under --json, failures are structured objects, never tracebacks."""
+
+    def test_nonexistent_input_emits_structured_error(self, tmp_path,
+                                                      capsys):
+        import json
+
+        missing = tmp_path / "does_not_exist.test"
+        exit_code = main(["compress", str(missing), "--json"])
+        assert exit_code != 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["command"] == "compress"
+        assert payload["error"]["type"] == "FileNotFoundError"
+        assert "does_not_exist.test" in payload["error"]["message"]
+
+    def test_missing_input_emits_structured_error(self, capsys):
+        import json
+
+        exit_code = main(["compress", "--json"])
+        assert exit_code != 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["command"] == "compress"
+        assert "benchmark" in payload["error"]["message"]
+
+    def test_non_json_path_still_raises(self, tmp_path):
+        missing = tmp_path / "does_not_exist.test"
+        with pytest.raises(FileNotFoundError):
+            main(["compress", str(missing)])
+
+
 class TestProfileCommand:
     def test_profile_json_writes_baseline(self, tmp_path, capsys):
         import json

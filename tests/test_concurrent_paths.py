@@ -1,0 +1,155 @@
+"""Thread-safety of the hot pipeline paths and the metrics registry.
+
+The serving layer dispatches encode/decode to worker pools and, in
+thread-executor mode, runs them concurrently inside one process.  These
+tests hammer shared :class:`NineCEncoder` / :class:`NineCDecoder`
+instances from a thread pool and assert the outputs stay bit-identical
+to a single-threaded run, and that concurrent metrics recording loses
+no counts.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro import obs
+from repro.core.bitvec import TernaryVector
+from repro.core.decoder import NineCDecoder
+from repro.core.encoder import NineCEncoder
+from repro.obs.metrics import MetricsRegistry
+
+THREADS = 8
+ROUNDS = 12
+
+
+def make_inputs(count: int = 24, bits: int = 256, seed: int = 99):
+    rng = np.random.default_rng(seed)
+    inputs = []
+    for _ in range(count):
+        data = rng.integers(0, 2, size=bits).astype(np.uint8)
+        data[rng.random(bits) < 0.4] = 2  # sprinkle don't-cares
+        inputs.append(TernaryVector(data))
+    return inputs
+
+
+class TestConcurrentEncode:
+    def test_shared_encoder_is_bit_identical_under_threads(self):
+        encoder = NineCEncoder(8)
+        inputs = make_inputs()
+        expected = [encoder.encode(vector).stream.to_string()
+                    for vector in inputs]
+
+        def job(index: int) -> tuple:
+            vector = inputs[index % len(inputs)]
+            return index, encoder.encode(vector).stream.to_string()
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            results = list(pool.map(job, range(len(inputs) * ROUNDS)))
+        for index, stream in results:
+            assert stream == expected[index % len(inputs)]
+
+    def test_fast_and_reference_agree_under_threads(self):
+        encoder = NineCEncoder(8)
+        inputs = make_inputs(count=12)
+
+        def job(index: int) -> bool:
+            vector = inputs[index % len(inputs)]
+            fast = encoder.encode(vector)
+            reference = encoder.encode_reference(vector)
+            return fast.stream.to_string() == reference.stream.to_string()
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            assert all(pool.map(job, range(len(inputs) * 4)))
+
+
+class TestConcurrentDecode:
+    def test_shared_decoder_scan_table_under_threads(self):
+        encoder = NineCEncoder(8)
+        decoder = NineCDecoder(8)  # one shared CodewordScanTable inside
+        inputs = make_inputs()
+        encodings = [encoder.encode(vector) for vector in inputs]
+        expected = [
+            decoder.decode_stream(
+                encoding.stream, encoding.original_length).to_string()
+            for encoding in encodings
+        ]
+
+        def job(index: int) -> tuple:
+            encoding = encodings[index % len(encodings)]
+            decoded = decoder.decode_stream(
+                encoding.stream, encoding.original_length)
+            return index, decoded.to_string()
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            results = list(pool.map(job, range(len(inputs) * ROUNDS)))
+        for index, decoded in results:
+            assert decoded == expected[index % len(encodings)]
+
+    def test_fast_and_reference_decode_agree_under_threads(self):
+        encoder = NineCEncoder(8)
+        decoder = NineCDecoder(8)
+        inputs = make_inputs(count=12)
+        encodings = [encoder.encode(vector) for vector in inputs]
+
+        def job(index: int) -> bool:
+            encoding = encodings[index % len(encodings)]
+            fast = decoder.decode_stream(
+                encoding.stream, encoding.original_length, fast=True)
+            reference = decoder.decode_stream(
+                encoding.stream, encoding.original_length, fast=False)
+            return fast.to_string() == reference.to_string()
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            assert all(pool.map(job, range(len(inputs) * 4)))
+
+
+class TestConcurrentMetrics:
+    def test_counter_increments_are_race_free(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammered")
+
+        def job(_):
+            for _ in range(1_000):
+                counter.inc()
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(job, range(THREADS)))
+        assert counter.value == THREADS * 1_000
+
+    def test_histogram_counts_are_race_free(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("hist", (1, 2, 4, 8))
+
+        def job(worker: int):
+            for index in range(1_000):
+                histogram.observe((worker + index) % 10)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(job, range(THREADS)))
+        state = registry.snapshot()["histograms"]["hist"]
+        assert state["count"] == THREADS * 1_000
+        assert sum(state["buckets"].values()) == THREADS * 1_000
+
+    def test_instrumented_encode_under_threads_keeps_counts(self):
+        """Metrics recorded by concurrent encodes stay consistent."""
+        encoder = NineCEncoder(8)
+        inputs = make_inputs(count=8, bits=128)
+        with obs.enabled_scope(True):
+            obs.reset()
+            try:
+                single = [encoder.encode(vector) for vector in inputs]
+                baseline = obs.get_registry().snapshot()
+                obs.reset()
+
+                def job(index: int):
+                    return encoder.encode(inputs[index % len(inputs)])
+
+                with ThreadPoolExecutor(max_workers=THREADS) as pool:
+                    list(pool.map(job, range(len(inputs))))
+                threaded = obs.get_registry().snapshot()
+                assert threaded["counters"] == baseline["counters"]
+                assert len(single) == len(inputs)
+            finally:
+                obs.reset()

@@ -1,0 +1,84 @@
+"""Tests for the Prometheus text exposition of the metrics registry."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry, render_prometheus_text
+
+
+def registry_with(counters=(), gauges=(), histograms=()):
+    registry = MetricsRegistry()
+    for name, value in counters:
+        registry.counter(name).inc(value)
+    for name, value in gauges:
+        registry.gauge(name).set(value)
+    for name, bounds, observations in histograms:
+        histogram = registry.histogram(name, bounds)
+        for value in observations:
+            histogram.observe(value)
+    return registry
+
+
+class TestRenderPrometheusText:
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus_text(MetricsRegistry()) == ""
+
+    def test_counter_sample(self):
+        text = render_prometheus_text(
+            registry_with(counters=[("encode.blocks", 42)]))
+        assert "# TYPE encode_blocks counter" in text
+        assert "encode_blocks 42" in text
+
+    def test_gauge_sample(self):
+        text = render_prometheus_text(
+            registry_with(gauges=[("stream.bits", 1337)]))
+        assert "# TYPE stream_bits gauge" in text
+        assert "stream_bits 1337" in text
+
+    def test_histogram_is_cumulative_with_inf_sum_count(self):
+        text = render_prometheus_text(registry_with(
+            histograms=[("latency", (1, 5, 10), [0.5, 0.7, 3, 99])]))
+        lines = text.splitlines()
+        assert "# TYPE latency histogram" in lines
+        # cumulative counts: <=1 has 2, <=5 has 3, <=10 has 3, +Inf 4
+        assert 'latency_bucket{le="1"} 2' in lines
+        assert 'latency_bucket{le="5"} 3' in lines
+        assert 'latency_bucket{le="10"} 3' in lines
+        assert 'latency_bucket{le="+Inf"} 4' in lines
+        assert "latency_count 4" in lines
+        assert any(line.startswith("latency_sum ") for line in lines)
+
+    def test_names_sanitized_for_exposition(self):
+        text = render_prometheus_text(registry_with(
+            counters=[("serve.cache.hits", 1),
+                      ("weird-name with spaces", 2)]))
+        assert "serve_cache_hits 1" in text
+        assert "weird_name_with_spaces 2" in text
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name = line.split(" ", 1)[0].split("{", 1)[0]
+            assert all(c.isalnum() or c in "_:" for c in name), name
+
+    def test_output_sorted_and_newline_terminated(self):
+        text = render_prometheus_text(registry_with(
+            counters=[("zeta", 1), ("alpha", 2)]))
+        assert text.endswith("\n")
+        assert text.index("alpha") < text.index("zeta")
+        assert text == render_prometheus_text(registry_with(
+            counters=[("alpha", 2), ("zeta", 1)]))
+
+    def test_default_registry_is_the_process_registry(self):
+        with obs.enabled_scope(True):
+            obs.reset()
+            try:
+                obs.counter("prom.test.counter").inc(7)
+                text = render_prometheus_text()
+                assert "prom_test_counter 7" in text
+            finally:
+                obs.reset()
+
+    def test_float_values_render_plainly(self):
+        text = render_prometheus_text(registry_with(
+            gauges=[("ratio", 0.25)]))
+        assert "ratio 0.25" in text

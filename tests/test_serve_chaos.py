@@ -1,0 +1,279 @@
+"""Chaos suite: fault-injection campaigns against the service invariants.
+
+Every test drives :func:`repro.serve.chaos.run_chaos_campaign` (or the
+TCP transport directly) through a fault plan and asserts the report's
+``violations`` list is empty: no lost requests, no silent corruption,
+typed errors only, breaker transitions as specified.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.robust.channel import BitFlipChannel, BurstErrorChannel
+from repro.serve import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    Client,
+    CompressionService,
+    RetryPolicy,
+    ServeServer,
+    ServiceConfig,
+    ServiceFault,
+    TCPClient,
+    run_chaos_campaign,
+)
+
+DATA = ("00000000" + "11111111" + "0110X01X" + "0000X0X0") * 3
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def chaos_config(**overrides) -> ServiceConfig:
+    overrides.setdefault("executor", "inline")
+    overrides.setdefault("enable_obs", False)
+    overrides.setdefault("allow_chaos", True)
+    # campaigns fire their whole request burst concurrently; keep the
+    # admission queue wide so only overload tests exercise shedding
+    overrides.setdefault("max_inflight", 16)
+    overrides.setdefault("max_queue", 64)
+    overrides.setdefault(
+        "retry", RetryPolicy(max_attempts=3, base_s=0.0, jitter=0.0))
+    return ServiceConfig(**overrides)
+
+
+async def with_service(config, action):
+    service = CompressionService(config)
+    await service.start()
+    try:
+        return await action(service)
+    finally:
+        await service.close()
+
+
+class TestCleanCampaign:
+    def test_no_faults_no_violations(self):
+        async def scenario(service):
+            report = await run_chaos_campaign(
+                service, requests=20, data=DATA)
+            assert report.passed, report.violations
+            assert report.ok == 20
+            assert report.degraded == 0
+            return report
+
+        report = run(with_service(chaos_config(), scenario))
+        assert "PASS" in report.summary()
+
+
+class TestServiceFaults:
+    def test_synthetic_worker_failures_absorbed_or_typed(self):
+        async def scenario(service):
+            report = await run_chaos_campaign(
+                service, requests=30, data=DATA,
+                faults=[ServiceFault(kind="fail", times=4)])
+            assert report.passed, report.violations
+            # retries (3 attempts per request) absorb the 4 failures
+            assert report.ok == 30
+            assert service.totals["retries"] >= 2
+
+        run(with_service(chaos_config(), scenario))
+
+    def test_latency_fault_terminates_within_deadline(self):
+        async def scenario(service):
+            report = await run_chaos_campaign(
+                service, requests=10, data=DATA,
+                faults=[ServiceFault(kind="latency", seconds=0.4,
+                                     times=2)],
+                request_deadline_ms=150.0,
+                deadline_s=20.0)
+            assert report.passed, report.violations
+            # the slow requests died as typed deadline errors, not hangs
+            assert report.ok + sum(report.errors_by_code.values()) == 10
+            if report.errors_by_code:
+                assert set(report.errors_by_code) <= {"deadline_exceeded"}
+
+        run(with_service(chaos_config(), scenario))
+
+    def test_fastpath_corruption_is_flagged_never_silent(self):
+        async def scenario(service):
+            report = await run_chaos_campaign(
+                service, requests=20, data=DATA,
+                faults=[ServiceFault(kind="corrupt_fast",
+                                     op="decompress", times=3)])
+            assert report.passed, report.violations
+            # each corruption tripped the differential contract: the
+            # response was flagged degraded, and every payload stayed
+            # correct because the reference result is what got served
+            assert report.degraded >= 1
+
+        run(with_service(chaos_config(differential_every=1), scenario))
+
+    def test_real_worker_kill_under_process_pool(self):
+        async def scenario(service):
+            report = await run_chaos_campaign(
+                service, requests=12, data=DATA,
+                faults=[ServiceFault(kind="worker_crash", times=1)],
+                request_deadline_ms=60_000.0,
+                deadline_s=120.0)
+            assert report.passed, report.violations
+            assert service.totals["worker_crashes"] >= 1
+
+        run(with_service(
+            chaos_config(executor="process", workers=1), scenario))
+
+
+class TestChannelFaults:
+    def test_bitflip_channel_no_silent_service_corruption(self):
+        async def scenario(service):
+            report = await run_chaos_campaign(
+                service, requests=40, data=DATA,
+                channel=BitFlipChannel(rate=0.05, seed=7),
+                corrupt_every=2)
+            assert report.passed, report.violations
+            # corrupted streams must surface as typed stream errors or
+            # (rarely) decode clean-but-wrong — counted, not hidden
+            assert report.ok + sum(report.errors_by_code.values()) == 40
+            return report
+
+        report = run(with_service(chaos_config(), scenario))
+        if report.errors_by_code:
+            assert set(report.errors_by_code) <= {"bad_request"}
+
+    def test_burst_channel_campaign_terminates(self):
+        async def scenario(service):
+            report = await run_chaos_campaign(
+                service, requests=24, data=DATA,
+                channel=BurstErrorChannel(rate=0.02, burst_length=5,
+                                          seed=11),
+                corrupt_every=3,
+                deadline_s=30.0)
+            assert report.passed, report.violations
+
+        run(with_service(chaos_config(), scenario))
+
+    def test_composed_service_and_channel_faults(self):
+        async def scenario(service):
+            report = await run_chaos_campaign(
+                service, requests=30, data=DATA,
+                faults=[ServiceFault(kind="fail", times=2),
+                        ServiceFault(kind="corrupt_fast",
+                                     op="decompress", times=2)],
+                channel=BitFlipChannel(rate=0.03, seed=3),
+                corrupt_every=4)
+            assert report.passed, report.violations
+
+        run(with_service(chaos_config(differential_every=1), scenario))
+
+
+class TestBreakerDiscipline:
+    def test_breaker_opens_half_opens_closes_under_fault_burst(self):
+        async def scenario(service):
+            client = Client(service)
+            # exactly enough consecutive failures to trip the breaker;
+            # once open, no worker is touched, so nothing else is armed
+            service.fault_plan.arm(ServiceFault(kind="fail", times=3))
+            for _ in range(6):
+                response = await client.call(
+                    "compress", {"data": DATA, "k": 8})
+                assert response["ok"] is False
+            breaker = service.breakers.breaker(("compress", 8))
+            assert breaker.state == OPEN
+            # while open: fast-fail with a typed, retryable error
+            response = await client.call("compress", {"data": DATA, "k": 8})
+            assert response["error"]["code"] == "circuit_open"
+            assert response["error"]["retryable"] is True
+            # recovery window elapses -> half-open probe -> closed
+            await asyncio.sleep(0.12)
+            assert breaker.state == HALF_OPEN
+            response = await client.call("compress", {"data": DATA, "k": 8})
+            assert response["ok"], response
+            assert breaker.state == CLOSED
+            states = [(a, b) for _, a, b in breaker.transitions]
+            assert states == [(CLOSED, OPEN), (OPEN, HALF_OPEN),
+                              (HALF_OPEN, CLOSED)]
+
+        run(with_service(
+            chaos_config(
+                retry=RetryPolicy(max_attempts=1, base_s=0.0),
+                breaker_failure_threshold=3,
+                breaker_recovery_s=0.1,
+                max_batch=1),
+            scenario))
+
+    def test_failed_probe_reopens_breaker(self):
+        async def scenario(service):
+            client = Client(service)
+            service.fault_plan.arm(ServiceFault(kind="fail", times=4))
+            for _ in range(3):
+                await client.call("compress", {"data": DATA, "k": 8})
+            breaker = service.breakers.breaker(("compress", 8))
+            assert breaker.state == OPEN
+            await asyncio.sleep(0.12)
+            # the probe consumes the 4th armed failure and reopens
+            response = await client.call("compress", {"data": DATA, "k": 8})
+            assert response["ok"] is False
+            assert breaker.state == OPEN
+            states = [(a, b) for _, a, b in breaker.transitions]
+            assert states == [(CLOSED, OPEN), (OPEN, HALF_OPEN),
+                              (HALF_OPEN, OPEN)]
+
+        run(with_service(
+            chaos_config(
+                retry=RetryPolicy(max_attempts=1, base_s=0.0),
+                breaker_failure_threshold=3,
+                breaker_recovery_s=0.1,
+                max_batch=1),
+            scenario))
+
+
+class TestMalformedFramesOverTCP:
+    def test_garbage_frames_get_typed_errors_and_service_survives(self):
+        async def scenario():
+            service = CompressionService(chaos_config())
+            server = await ServeServer(service, port=0).start()
+            client = TCPClient(port=server.port)
+            try:
+                for garbage in (b"\x00\x01\x02 garbage\n",
+                                b"[1,2,3]\n",
+                                b'{"op": "rm -rf"}\n',
+                                b'{"op": "compress", "params": 5}\n'):
+                    response = await client.send_raw(garbage)
+                    assert response["ok"] is False
+                    assert response["error"]["code"] == "malformed_frame"
+                # the connection and service still work afterwards
+                response = await client.call(
+                    "compress", {"data": DATA, "k": 8})
+                assert response["ok"]
+            finally:
+                await client.close()
+                await server.close()
+
+        run(scenario())
+
+
+class TestOverloadChaos:
+    def test_flood_sheds_explicitly_and_recovers(self):
+        async def scenario(service):
+            client = Client(service)
+            service.fault_plan.arm(
+                ServiceFault(kind="latency", seconds=0.2, times=2))
+            responses = await asyncio.gather(*[
+                client.call("compress", {"data": DATA, "k": 8},
+                            deadline_ms=5_000)
+                for _ in range(12)
+            ])
+            codes = [r["error"]["code"] for r in responses if not r["ok"]]
+            # every non-ok outcome is an explicit, typed shed
+            assert all(code == "overloaded" for code in codes)
+            assert codes, "expected the flood to shed something"
+            assert service.totals["shed"] == len(codes)
+            # after the burst the service accepts work again
+            response = await client.call("compress", {"data": DATA, "k": 8})
+            assert response["ok"]
+
+        run(with_service(
+            chaos_config(max_inflight=1, max_queue=2, max_batch=1),
+            scenario))
