@@ -1,0 +1,122 @@
+"""X-tolerant response compaction: detection loss vs X density
+(docs/compaction.md).
+
+The paper compresses the stimulus side of reduced-pin-count test; this
+bench closes the loop on the response side.  For each circuit the sweep
+grades every baseline-detected fault through four compaction
+disciplines while an :class:`repro.compaction.XPlacement` degrades
+response bits to unknown.  The headline shape claims:
+
+* at X density 0 **every** compactor keeps full detection — compaction
+  alone must not lose faults;
+* at nonzero X density the X-compact spatial code strictly beats the
+  plain MISR (which must drop whole X-carrying cycles) while using a
+  fraction of the output pins.
+
+Timed kernel: one full s27 sweep (ATPG + fill + fault grading across
+all densities and compactors — the ``repro-9c compact`` hot path).
+"""
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from repro.analysis import Table
+from repro.circuits.library import load_circuit
+from repro.compaction import CompactionReport, run_sweep
+
+CIRCUITS = ("s27", "g64", "g256")
+DENSITIES = (0.0, 0.01, 0.02, 0.05, 0.10)
+NONZERO = tuple(d for d in DENSITIES if d > 0)
+MAX_FAULTS = 48
+SEED = 0
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_compaction.json"
+
+_reports: Dict[str, CompactionReport] = {}
+
+
+def sweep_of(name: str) -> CompactionReport:
+    """Cached full sweep of one circuit (ATPG runs once per circuit)."""
+    if name not in _reports:
+        _reports[name] = run_sweep(
+            load_circuit(name),
+            densities=DENSITIES,
+            max_faults=MAX_FAULTS,
+            seed=SEED,
+            circuit_name=name,
+        )
+    return _reports[name]
+
+
+def test_compaction(benchmark):
+    benchmark(lambda: run_sweep(
+        load_circuit("s27"), densities=DENSITIES,
+        max_faults=MAX_FAULTS, seed=SEED, circuit_name="s27",
+    ).points)
+
+    table = Table(
+        ["circuit", "chains", "compactor", "pins"]
+        + [f"det@{density:g}" for density in DENSITIES],
+        title=f"detection rate vs X density "
+              f"({MAX_FAULTS}-fault sample, seed {SEED})",
+    )
+    scenarios = {}
+    for name in CIRCUITS:
+        report = sweep_of(name)
+        scenarios[f"compaction:{name}"] = (
+            report.to_baseline_dict()["scenarios"]["compaction"]
+        )
+        for compactor in report.compactors:
+            table.add_row(
+                name, report.num_outputs, compactor,
+                report.point(0.0, compactor).output_pins,
+                *(f"{report.point(d, compactor).detection_rate:.3f}"
+                  for d in DENSITIES),
+            )
+
+        # --- zero X density: compaction alone loses nothing ----------
+        for compactor in report.compactors:
+            point = report.point(0.0, compactor)
+            assert point.detection_rate == 1.0, (
+                f"{name}/{compactor} lost detection with no X at all"
+            )
+
+        # --- X-compact dominates the cycle-dropping MISR -------------
+        strict = 0
+        for density in NONZERO:
+            xc = report.point(density, "xcompact").detected
+            misr = report.point(density, "misr").detected
+            assert xc >= misr, (
+                f"{name}@{density}: xcompact ({xc}) below misr ({misr})"
+            )
+            strict += xc > misr
+        assert strict >= 1, (
+            f"{name}: xcompact never strictly beat the plain MISR"
+        )
+
+        # --- the spatial codes actually reduce pins -------------------
+        # (on tiny circuits cw3's (2,1)-tolerance can cost pins; at
+        # realistic widths both codes must compress the output side)
+        assert report.point(0.0, "xcompact").output_pins <= report.num_outputs
+        if report.num_outputs >= 16:
+            for compactor in ("xcompact", "cw3"):
+                pins = report.point(0.0, compactor).output_pins
+                assert pins < report.num_outputs, (
+                    f"{name}/{compactor}: no pin reduction "
+                    f"({pins} of {report.num_outputs})"
+                )
+
+    table.print()
+
+    payload = {
+        "schema_version": 1,
+        "target": "compaction",
+        "k": 8,
+        "session_circuit": "+".join(CIRCUITS),
+        "scenarios": scenarios,
+    }
+    from repro.obs.profile import scrub_volatile, validate_baseline
+
+    payload = scrub_volatile(payload)
+    assert validate_baseline(payload) == []
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")

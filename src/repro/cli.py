@@ -11,6 +11,9 @@ Subcommands mirror the paper's artifacts:
   optionally compress them end-to-end;
 * ``resilience`` — channel-fault injection campaign: detection rate vs
   silent-escape rate on the single-pin ATE link (docs/resilience.md);
+* ``compact`` — X-tolerant response-compaction sweep: detection loss
+  across X density for every compactor, plus exhaustive X-code
+  property verification (docs/compaction.md);
 * ``profile`` — run the perf-baseline scenarios and write
   ``BENCH_obs.json`` (docs/observability.md);
 * ``stats`` — pretty-print the metrics snapshot of a committed baseline;
@@ -38,6 +41,7 @@ from .core.codewords import coding_table
 from .core.decoder import NineCDecoder
 from .core.encoder import NineCEncoder
 from .core.metrics import sweep_block_sizes
+from .compaction.compactor import COMPACTOR_KINDS
 from .robust.channel import CHANNEL_KINDS
 from .robust.framing import DEFAULT_BLOCKS_PER_FRAME
 from .testdata.mintest import ALL_PROFILES, TABLE2_BLOCK_SIZES, load_benchmark
@@ -351,6 +355,88 @@ def cmd_resilience(args) -> int:
           f"{report.overall_silent_escape_rate * 100:.2f}% "
           "of corrupted streams still reported PASS")
     return 0
+
+
+def cmd_compact(args) -> int:
+    from .circuits.library import available_circuits, load_circuit
+    from .compaction import (
+        build_compactor,
+        build_matrix,
+        default_compactors,
+        run_sweep,
+        verify_x_code,
+    )
+
+    if args.circuit not in available_circuits():
+        raise SystemExit(
+            f"unknown circuit {args.circuit!r}; available: "
+            f"{', '.join(available_circuits())}"
+        )
+    circuit = load_circuit(args.circuit)
+    width = len(circuit.scan_outputs)
+    try:
+        compactors = (
+            [build_compactor(kind, width) for kind in args.compactor]
+            if args.compactor else default_compactors(width)
+        )
+        report = run_sweep(
+            circuit,
+            compactors,
+            densities=tuple(args.x_density),
+            max_faults=args.faults,
+            seed=args.seed,
+            circuit_name=args.circuit,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"compact: {exc}")
+
+    # Exhaustive (x, e)-property verification of the shipped matrix
+    # constructions at small parameters — the combinatorial guarantee
+    # behind the sweep numbers (and the CI gate).
+    checks = []
+    for kind, x, e in (("parity", 0, 1), ("xcompact", 1, 1), ("cw3", 2, 1)):
+        matrix = build_matrix(kind, 8)
+        violations = verify_x_code(matrix, x, e)
+        checks.append({
+            "matrix": kind,
+            "num_chains": matrix.num_chains,
+            "num_outputs": matrix.num_outputs,
+            "x": x,
+            "e": e,
+            "holds": not violations,
+            "violations": [str(v) for v in violations],
+        })
+
+    payload = report.to_baseline_dict(k=args.k)
+    payload["scenarios"]["compaction"]["extra"]["xcode_checks"] = checks
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        return emit_json(payload)
+    table = Table(
+        ["X density", "compactor", "pins", "detected", "detection %",
+         "escape %"],
+        title=f"{args.circuit}: response-compaction sweep "
+              f"({report.baseline_detected} baseline-detected faults)",
+    )
+    for point in report.points:
+        table.add_row(
+            point.density, point.compactor, point.output_pins,
+            f"{point.detected}/{point.sample_size}",
+            point.detection_rate * 100, point.silent_escape_rate * 100,
+        )
+    print(table.render())
+    for check in checks:
+        status = "holds" if check["holds"] else "VIOLATED"
+        print(f"({check['x']}, {check['e']})-detection on "
+              f"{check['matrix']} [{check['num_chains']} chains -> "
+              f"{check['num_outputs']} outputs]: {status} "
+              "(exhaustive)")
+    if args.output:
+        print(f"report written: {args.output}")
+    return 0 if all(check["holds"] for check in checks) else 1
 
 
 def cmd_profile(args) -> int:
@@ -680,6 +766,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_resilience)
 
     p = sub.add_parser(
+        "compact",
+        help="X-tolerant response-compaction sweep (docs/compaction.md)",
+    )
+    p.add_argument("--circuit", default="s27")
+    p.add_argument("--k", type=int, default=8,
+                   help="recorded in the report for schema compatibility")
+    p.add_argument("--x-density", type=float, nargs="+",
+                   default=[0.0, 0.01, 0.05, 0.10],
+                   help="fractions of response bits degraded to X")
+    p.add_argument("--compactor", nargs="+",
+                   choices=sorted(COMPACTOR_KINDS),
+                   help="compactors to sweep (default: one of each kind)")
+    p.add_argument("--faults", type=int, default=32,
+                   help="cap on the baseline-detected fault sample")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", default=None,
+                   help="write a BENCH_obs.json-schema report here")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.set_defaults(func=cmd_compact)
+
+    p = sub.add_parser(
         "profile",
         help="run perf-baseline scenarios and write BENCH_obs.json",
     )
@@ -688,7 +796,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=8)
     p.add_argument("--scenarios", nargs="+",
                    choices=["compress", "decompress", "decode", "session",
-                            "resilience"],
+                            "resilience", "compaction"],
                    help="subset of scenarios to run (default: all)")
     p.add_argument("--session-circuit", default=None,
                    help="netlist for session/resilience when the target is "

@@ -1,0 +1,80 @@
+"""X-tolerant response compaction: the output side of reduced pin count.
+
+The paper compresses stimulus through one pin; this package closes the
+loop on the response side.  :mod:`~repro.compaction.xcodes` constructs
+and exhaustively verifies X-code matrices, :mod:`.compactor` puts the
+spatial X-compactor and the MISR behind one interface with an X-masking
+front end, :mod:`.sweep` measures detection loss across X density, and
+:mod:`.gates` emits the compactors as lint-clean netlists cosimulated
+against the Python models.
+"""
+
+from .compactor import (
+    COMPACTOR_KINDS,
+    MaskedMISRCompactor,
+    MISRCompactor,
+    ResponseCompactor,
+    SignatureObservation,
+    SpatialObservation,
+    SpatialXCompactor,
+    build_compactor,
+    default_compactors,
+    split_ternary,
+)
+from .gates import (
+    compactor_netlist,
+    cosimulate_compactor,
+    cosimulate_misr,
+    misr_netlist,
+)
+from .sweep import (
+    DEFAULT_DENSITIES,
+    CompactionReport,
+    SweepPoint,
+    XPlacement,
+    response_matrix,
+    run_sweep,
+)
+from .xcodes import (
+    MATRIX_KINDS,
+    XCodeMatrix,
+    XCodeViolation,
+    build_matrix,
+    constant_weight_matrix,
+    holds,
+    parity_matrix,
+    verify_x_code,
+    xcompact_matrix,
+)
+
+__all__ = [
+    "COMPACTOR_KINDS",
+    "CompactionReport",
+    "DEFAULT_DENSITIES",
+    "MATRIX_KINDS",
+    "MISRCompactor",
+    "MaskedMISRCompactor",
+    "ResponseCompactor",
+    "SignatureObservation",
+    "SpatialObservation",
+    "SpatialXCompactor",
+    "SweepPoint",
+    "XCodeMatrix",
+    "XCodeViolation",
+    "XPlacement",
+    "build_compactor",
+    "build_matrix",
+    "compactor_netlist",
+    "constant_weight_matrix",
+    "cosimulate_compactor",
+    "cosimulate_misr",
+    "default_compactors",
+    "holds",
+    "misr_netlist",
+    "parity_matrix",
+    "response_matrix",
+    "run_sweep",
+    "split_ternary",
+    "verify_x_code",
+    "xcompact_matrix",
+]

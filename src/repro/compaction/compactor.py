@@ -1,0 +1,312 @@
+"""Response compactors behind one interface: spatial X-codes and MISRs.
+
+Every compactor consumes a response matrix — one row per applied
+pattern, one column per scan output — together with a same-shape X
+mask marking positions whose value is unknown, and produces an
+*observation*: whatever the tester actually gets to compare.  The
+defining guarantee (and the property the tests pin down) is that the
+observation is invariant under arbitrary values at masked positions.
+
+Three compaction disciplines close the output side of the paper's
+reduced-pin-count channel:
+
+* :class:`SpatialXCompactor` — XOR an X-code matrix per cycle; only the
+  output bits an X row touches become unobservable;
+* :class:`MISRCompactor` — the classic unmasked signature register: any
+  cycle containing an X would corrupt the signature forever, so the
+  whole cycle is dropped (the detection loss the X-codes fix);
+* :class:`MaskedMISRCompactor` — a MISR behind a per-bit X-masking
+  front end: masked bits are forced to 0 on both good and faulty
+  machines, so only detections *at* masked positions are lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import obs as _obs
+from ..core.bitvec import X, TernaryVector
+from ..decompressor.misr import MISR, default_taps
+from .xcodes import XCodeMatrix
+
+
+def split_ternary(responses: TernaryVector, width: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Split a ternary response stream into (values, xmask) matrices.
+
+    X symbols become mask=True with value 0; the value at a masked
+    position is by definition arbitrary, which is exactly what the
+    invariance property tests exploit.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if len(responses) % width:
+        raise ValueError(
+            f"stream length {len(responses)} is not a multiple of {width}"
+        )
+    data = responses.data.reshape(-1, width)
+    xmask = data == X
+    values = np.where(xmask, 0, data).astype(np.uint8)
+    return values, xmask
+
+
+def _check_shapes(values: np.ndarray, xmask: np.ndarray, width: int) -> None:
+    if values.ndim != 2 or values.shape != xmask.shape:
+        raise ValueError("values and xmask must be equal-shape 2-D arrays")
+    if values.shape[1] != width:
+        raise ValueError(
+            f"expected {width} response columns, got {values.shape[1]}"
+        )
+
+
+@dataclass(frozen=True)
+class SpatialObservation:
+    """Per-cycle compactor outputs plus which of them are unobservable."""
+
+    bits: np.ndarray     # (cycles, pins) uint8
+    masked: np.ndarray   # (cycles, pins) bool
+
+    def matches(self, other: "SpatialObservation") -> bool:
+        """Equal on every position observable in both observations."""
+        if self.bits.shape != other.bits.shape:
+            return False
+        visible = ~(self.masked | other.masked)
+        return bool(np.array_equal(self.bits[visible], other.bits[visible]))
+
+    @property
+    def observable_bits(self) -> int:
+        """How many output bits the tester can actually compare."""
+        return int((~self.masked).sum())
+
+
+@dataclass(frozen=True)
+class SignatureObservation:
+    """A MISR signature plus how much response survived into it."""
+
+    signature: int
+    cycles_absorbed: int
+    cycles_dropped: int
+
+    def matches(self, other: "SignatureObservation") -> bool:
+        """Signatures compare only when built from the same cycles."""
+        return (self.signature == other.signature
+                and self.cycles_absorbed == other.cycles_absorbed)
+
+
+class ResponseCompactor:
+    """Interface: a named compactor with a fixed output-pin count."""
+
+    name = "identity"
+
+    def __init__(self, width: int):
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.width = width
+
+    @property
+    def output_pins(self) -> int:
+        """Output pins the compactor needs (the RPCT cost metric)."""
+        return self.width
+
+    def compact(self, values: np.ndarray, xmask: np.ndarray):
+        """Compact a (cycles, width) response under a same-shape X mask."""
+        raise NotImplementedError
+
+    def compact_stream(self, responses: TernaryVector):
+        """Convenience: compact a ternary stream of whole cycles."""
+        values, xmask = split_ternary(responses, self.width)
+        return self.compact(values, xmask)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(width={self.width})"
+
+
+class SpatialXCompactor(ResponseCompactor):
+    """XOR-tree spatial compactor defined by an :class:`XCodeMatrix`."""
+
+    name = "xcompact"
+
+    def __init__(self, matrix: XCodeMatrix):
+        super().__init__(matrix.num_chains)
+        self.matrix = matrix
+        self.name = matrix.name
+        self._array = matrix.to_array()  # (chains, outputs)
+
+    @property
+    def output_pins(self) -> int:
+        return self.matrix.num_outputs
+
+    def compact(self, values: np.ndarray, xmask: np.ndarray) -> SpatialObservation:
+        _check_shapes(values, xmask, self.width)
+        with _obs.span("compaction.spatial"):
+            bits = (values.astype(np.int64) @ self._array) & 1
+            masked = (xmask.astype(np.int64) @ self._array) > 0
+            bits = np.where(masked, 0, bits).astype(np.uint8)
+        if _obs.enabled():
+            registry = _obs.get_registry()
+            registry.counter("compaction.cycles").inc(values.shape[0])
+            registry.counter("compaction.masked_outputs").inc(
+                int(masked.sum())
+            )
+        return SpatialObservation(bits=bits, masked=masked)
+
+
+class MISRCompactor(ResponseCompactor):
+    """Unmasked MISR: cycles containing any X are dropped wholesale.
+
+    A real unmasked MISR would absorb the X and carry an unknown state
+    forever; the only recovery is to blank the offending cycle out of
+    the test, which is exactly the detection loss modelled here.
+    """
+
+    name = "misr"
+
+    def __init__(self, width: int, misr_width: int = 16,
+                 taps: Optional[Sequence[int]] = None):
+        super().__init__(width)
+        self.misr_width = misr_width
+        self.taps = tuple(taps) if taps is not None else tuple(
+            default_taps(misr_width)
+        )
+        self._pad = (-width) % misr_width
+
+    @property
+    def output_pins(self) -> int:
+        return 1  # the signature is shifted out serially after the test
+
+    def _select(self, xmask: np.ndarray) -> np.ndarray:
+        """Boolean keep-mask over cycles: True where the cycle is clean."""
+        return ~xmask.any(axis=1)
+
+    def _masked_values(self, values: np.ndarray, xmask: np.ndarray) -> np.ndarray:
+        return values
+
+    def _pack_words(self, values: np.ndarray) -> np.ndarray:
+        """Each cycle as MISR-width ints, MSB-first like :meth:`MISR.absorb`."""
+        if self._pad:
+            values = np.concatenate(
+                [values,
+                 np.zeros((values.shape[0], self._pad), dtype=np.uint8)],
+                axis=1,
+            )
+        if values.shape[0] == 0:
+            return np.zeros((0, values.shape[1] // self.misr_width),
+                            dtype=np.int64)
+        shaped = values.reshape(values.shape[0], -1, self.misr_width)
+        weights = np.left_shift(
+            1, np.arange(self.misr_width - 1, -1, -1, dtype=np.int64)
+        )
+        return shaped.astype(np.int64) @ weights
+
+    def compact(self, values: np.ndarray, xmask: np.ndarray) -> SignatureObservation:
+        _check_shapes(values, xmask, self.width)
+        keep = self._select(xmask)
+        usable = self._masked_values(values, xmask)
+        with _obs.span("compaction.misr"):
+            # Word-packed fast path: same recurrence as MISR.absorb, but
+            # one int per word instead of one call per bit (the
+            # differential test pins down the equivalence).
+            w = self.misr_width
+            state_mask = (1 << w) - 1
+            tap_mask = 0
+            for tap in self.taps:
+                tap_mask |= 1 << (w - tap)
+            kept_words = self._pack_words(usable[keep])
+            state = 0
+            for word in kept_words.reshape(-1).tolist():
+                feedback = bin(state & tap_mask).count("1") & 1
+                state = (((state >> 1) | (feedback << (w - 1)))
+                         ^ word) & state_mask
+            absorbed = int(kept_words.shape[0])
+        dropped = values.shape[0] - absorbed
+        if _obs.enabled():
+            registry = _obs.get_registry()
+            registry.counter("compaction.cycles").inc(values.shape[0])
+            registry.counter("compaction.cycles_dropped").inc(dropped)
+        return SignatureObservation(
+            signature=state,
+            cycles_absorbed=absorbed,
+            cycles_dropped=dropped,
+        )
+
+    def reference_signature(self, values: np.ndarray,
+                            xmask: np.ndarray) -> SignatureObservation:
+        """Bit-at-a-time reference through :class:`MISR` (differential
+        oracle for the packed fast path in :meth:`compact`)."""
+        _check_shapes(values, xmask, self.width)
+        keep = self._select(xmask)
+        usable = self._masked_values(values, xmask)
+        misr = MISR(self.misr_width, self.taps)
+        absorbed = 0
+        for index in np.flatnonzero(keep):
+            row = usable[index]
+            if self._pad:
+                row = np.concatenate(
+                    [row, np.zeros(self._pad, dtype=np.uint8)]
+                )
+            for start in range(0, row.shape[0], self.misr_width):
+                misr.absorb(
+                    [int(b) for b in row[start:start + self.misr_width]]
+                )
+            absorbed += 1
+        return SignatureObservation(
+            signature=misr.signature,
+            cycles_absorbed=absorbed,
+            cycles_dropped=values.shape[0] - absorbed,
+        )
+
+
+class MaskedMISRCompactor(MISRCompactor):
+    """MISR with a per-bit X-masking front end (AND gates before the
+    register): masked positions are forced to 0 on every machine, so
+    the signature stays deterministic and only faults observable
+    exclusively at masked positions are lost."""
+
+    name = "masked-misr"
+
+    def _select(self, xmask: np.ndarray) -> np.ndarray:
+        return np.ones(xmask.shape[0], dtype=bool)
+
+    def _masked_values(self, values: np.ndarray, xmask: np.ndarray) -> np.ndarray:
+        return np.where(xmask, 0, values).astype(np.uint8)
+
+
+#: Registry of compactor builders: name -> factory(num_chains).
+def _build_xcompact(width: int) -> SpatialXCompactor:
+    from .xcodes import xcompact_matrix
+
+    return SpatialXCompactor(xcompact_matrix(width))
+
+
+def _build_cw3(width: int) -> SpatialXCompactor:
+    from .xcodes import constant_weight_matrix
+
+    return SpatialXCompactor(constant_weight_matrix(width, weight=3))
+
+
+COMPACTOR_KINDS = {
+    "xcompact": _build_xcompact,
+    "cw3": _build_cw3,
+    "misr": lambda width: MISRCompactor(width),
+    "masked-misr": lambda width: MaskedMISRCompactor(width),
+}
+
+
+def build_compactor(kind: str, width: int) -> ResponseCompactor:
+    """Build a registered compactor by name for ``width`` scan outputs."""
+    try:
+        factory = COMPACTOR_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown compactor kind {kind!r}; available: "
+            f"{', '.join(sorted(COMPACTOR_KINDS))}"
+        ) from None
+    return factory(width)
+
+
+def default_compactors(width: int) -> List[ResponseCompactor]:
+    """The standard sweep lineup, one of each discipline."""
+    return [build_compactor(kind, width) for kind in
+            ("misr", "masked-misr", "xcompact", "cw3")]

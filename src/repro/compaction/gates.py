@@ -1,0 +1,190 @@
+"""Emit compactors as gate-level netlists and cosimulate them.
+
+Two emitters close the hardware half of the response side:
+
+* :func:`compactor_netlist` — an :class:`XCodeMatrix` as balanced
+  2-input XOR trees, one tree per output pin;
+* :func:`misr_netlist` — the signature register as DFFs plus XOR
+  feedback, the structural twin of :class:`repro.decompressor.MISR`.
+
+Both are plain :class:`~repro.circuits.netlist.Netlist` objects, so the
+existing three-valued simulator executes them and ``repro.lint``'s NL
+rules apply unchanged (the emitters are registered in the lint runner's
+artifact sweep).  The ``cosimulate_*`` helpers are the differential
+oracles: they drive the same slices through the Python model and the
+gate-level model and return every disagreement — the test suite and CI
+assert the lists come back empty.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.netlist import Gate, GateType, Netlist
+from ..circuits.simulator import output_values, simulate
+from ..core.bitvec import ONE, X, ZERO, TernaryVector
+from ..decompressor.misr import MISR, default_taps
+from .compactor import SpatialXCompactor
+from .xcodes import XCodeMatrix
+
+
+def _xor_tree(gates: List[Gate], nets: Sequence[str], prefix: str) -> str:
+    """Balanced 2-input XOR reduction; returns the root net name."""
+    level = list(nets)
+    stage = 0
+    while len(level) > 1:
+        nxt: List[str] = []
+        for i in range(0, len(level) - 1, 2):
+            name = f"{prefix}_x{stage}_{i // 2}"
+            gates.append(Gate(name, GateType.XOR, (level[i], level[i + 1])))
+            nxt.append(name)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+        stage += 1
+    return level[0]
+
+
+def compactor_netlist(matrix: XCodeMatrix,
+                      name: Optional[str] = None) -> Netlist:
+    """The spatial compactor as XOR trees: ``chain_i`` -> ``out_j``.
+
+    Output ``out_j`` is the XOR of every chain with a 1 in column j of
+    the matrix; single-chain columns become BUFs.  Matrix invariants
+    (no zero row, no undriven column) are exactly what keeps the result
+    free of NL005/NL007 findings.
+    """
+    inputs = [f"chain_{i}" for i in range(matrix.num_chains)]
+    gates: List[Gate] = []
+    outputs: List[str] = []
+    for j, column in enumerate(matrix.columns()):
+        out = f"out_{j}"
+        feeds = [inputs[i] for i in column]
+        if len(feeds) == 1:
+            gates.append(Gate(out, GateType.BUF, (feeds[0],)))
+        else:
+            root = _xor_tree(gates, feeds, f"c{j}")
+            gates.append(Gate(out, GateType.BUF, (root,)))
+        outputs.append(out)
+    return Netlist(name or f"{matrix.name}_{matrix.num_chains}",
+                   inputs, outputs, gates)
+
+
+def misr_netlist(width: int,
+                 taps: Optional[Sequence[int]] = None,
+                 name: Optional[str] = None) -> Netlist:
+    """The MISR as a netlist: ``in_*`` response pins, ``m_*`` DFFs.
+
+    State bit j's next value ``ns_j`` mirrors :meth:`MISR.absorb`:
+    ``ns_j = m_{j+1} ^ in_{w-1-j}`` for j < w-1 and
+    ``ns_{w-1} = feedback ^ in_0`` with the feedback the XOR of
+    ``m_{w-tap}`` over the taps.  Under the full-scan convention the
+    ``ns_j`` nets are the scan outputs, so one ``simulate`` call per
+    cycle steps the register (see :func:`cosimulate_misr`).
+    """
+    taps = tuple(taps) if taps is not None else tuple(default_taps(width))
+    if max(taps) != width:
+        raise ValueError("taps must include the width")
+    inputs = [f"in_{i}" for i in range(width)]
+    gates: List[Gate] = []
+    state = [f"m_{j}" for j in range(width)]
+    feedback_nets = sorted({f"m_{width - tap}" for tap in taps})
+    if len(feedback_nets) == 1:
+        feedback = "fb"
+        gates.append(Gate(feedback, GateType.BUF, (feedback_nets[0],)))
+    else:
+        feedback = _xor_tree(gates, feedback_nets, "fb")
+    for j in range(width - 1):
+        gates.append(Gate(f"ns_{j}", GateType.XOR,
+                          (state[j + 1], f"in_{width - 1 - j}")))
+    gates.append(Gate(f"ns_{width - 1}", GateType.XOR, (feedback, "in_0")))
+    for j in range(width):
+        gates.append(Gate(state[j], GateType.DFF, (f"ns_{j}",)))
+    return Netlist(name or f"misr_w{width}", inputs, [], gates)
+
+
+# ----------------------------------------------------------------------
+# differential cosimulation: Python model vs emitted gates
+# ----------------------------------------------------------------------
+
+def _ternary(bits: Sequence[int]) -> TernaryVector:
+    return TernaryVector(np.array(list(bits), dtype=np.uint8))
+
+
+def cosimulate_compactor(
+    netlist: Netlist,
+    matrix: XCodeMatrix,
+    slices: Sequence[Sequence[int]],
+) -> List[str]:
+    """Drive ternary slices through gates and model; list mismatches.
+
+    The three-valued simulator's XOR X-propagation is exactly the
+    masking rule of :class:`SpatialXCompactor` — an output touched by
+    any X chain must come back X, every other output must equal the
+    model's bit.
+    """
+    model = SpatialXCompactor(matrix)
+    mismatches: List[str] = []
+    for index, raw in enumerate(slices):
+        bits = list(raw)
+        if len(bits) != matrix.num_chains:
+            raise ValueError(
+                f"slice {index}: expected {matrix.num_chains} values"
+            )
+        xmask = np.array([b == X for b in bits], dtype=bool)[None, :]
+        values = np.array(
+            [0 if b == X else b for b in bits], dtype=np.uint8
+        )[None, :]
+        observation = model.compact(values, xmask)
+        gate_out = output_values(netlist, simulate(netlist, _ternary(bits)))
+        for j in range(matrix.num_outputs):
+            expected = X if observation.masked[0, j] else int(
+                observation.bits[0, j]
+            )
+            actual = int(gate_out[j])
+            if actual != expected:
+                mismatches.append(
+                    f"slice {index} out_{j}: gates={actual} model={expected}"
+                )
+    return mismatches
+
+
+def cosimulate_misr(
+    netlist: Netlist,
+    width: int,
+    slices: Sequence[Sequence[int]],
+    taps: Optional[Sequence[int]] = None,
+) -> Tuple[List[str], int]:
+    """Clock specified slices through the MISR gates vs the Python MISR.
+
+    Returns (mismatches, gate_signature).  Slices must be fully
+    specified — a real MISR has no X handling; that is the point of the
+    spatial compactors.
+    """
+    taps = tuple(taps) if taps is not None else tuple(default_taps(width))
+    model = MISR(width, taps)
+    state = [ZERO] * width
+    mismatches: List[str] = []
+    for index, raw in enumerate(slices):
+        bits = list(raw)
+        if len(bits) != width:
+            raise ValueError(f"slice {index}: expected {width} values")
+        if any(b not in (ZERO, ONE) for b in bits):
+            raise ValueError(f"slice {index}: MISR slices must be specified")
+        model.absorb(bits)
+        values = simulate(netlist, _ternary(list(bits) + state))
+        state = [values[f"ns_{j}"] for j in range(width)]
+        gate_sig = 0
+        for j in range(width):
+            gate_sig |= state[j] << j
+        if gate_sig != model.signature:
+            mismatches.append(
+                f"cycle {index}: gates={gate_sig:#x} "
+                f"model={model.signature:#x}"
+            )
+    gate_sig = 0
+    for j in range(width):
+        gate_sig |= state[j] << j
+    return mismatches, gate_sig

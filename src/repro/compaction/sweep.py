@@ -1,0 +1,332 @@
+"""Aliasing / detection-loss sweeps: X density × compactor × circuit.
+
+The measurement that justifies the X-codes: fill a circuit's ATPG
+cubes, fault-simulate the filled patterns to find the faults the
+*uncompacted* responses detect, then re-grade each fault through every
+compactor while an :class:`XPlacement` degrades response positions to
+unknown.  A fault whose compacted observation still differs from the
+good machine's is *detected*; one that no longer differs is a *silent
+escape* — detection the compactor lost to X masking or aliasing.
+
+``XPlacement`` is the shared-geometry piece: the same (seed, cycle)
+draw can be projected onto the stimulus stream (``stream_positions``)
+and handed to :class:`repro.robust.XErasureChannel`, so stimulus-side
+LX don't-cares and response-side X's land on the same test cycles the
+way the paper's Section III-C free-bit accounting implies, instead of
+being independently random.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import obs as _obs
+from ..atpg.flow import generate_test_cubes
+from ..circuits.fault_sim import fault_simulate
+from ..circuits.faults import Fault, collapsed_faults
+from ..circuits.netlist import Netlist
+from ..circuits.simulator import PackedSimulator
+from ..testdata.fill import fill_test_set
+from ..testdata.testset import TestSet
+from .compactor import ResponseCompactor, default_compactors
+
+#: Default X densities swept (fraction of response bits degraded to X).
+DEFAULT_DENSITIES: Tuple[float, ...] = (0.0, 0.01, 0.05, 0.10)
+
+
+@dataclass(frozen=True)
+class XPlacement:
+    """A reproducible set of (cycle, column) positions degraded to X.
+
+    ``from_density`` draws the *cycles* from a seed-only generator and
+    the *columns* from a (seed, width) generator, so two placements
+    with the same seed but different widths — e.g. the response side
+    (width = scan outputs) and the stimulus side (width = scan length)
+    — hit the same test cycles: correlated erasures, not independent
+    ones.  ``companion`` builds exactly that projection.
+    """
+
+    num_cycles: int
+    width: int
+    positions: Tuple[Tuple[int, int], ...]
+    seed: int = 0
+
+    @property
+    def density(self) -> float:
+        """Fraction of the response matrix degraded to X."""
+        total = self.num_cycles * self.width
+        return len(self.positions) / total if total else 0.0
+
+    @classmethod
+    def from_density(cls, num_cycles: int, width: int, density: float,
+                     seed: int = 0) -> "XPlacement":
+        """Place exactly ``round(density * bits)`` X's (at least one
+        when the density is nonzero), so sparse sweeps on tiny circuits
+        cannot silently round down to a no-op placement."""
+        if not 0.0 <= density <= 1.0:
+            raise ValueError(f"density must be in [0, 1], got {density}")
+        total = num_cycles * width
+        count = int(round(density * total))
+        if density > 0 and count == 0 and total > 0:
+            count = 1
+        if count == 0:
+            return cls(num_cycles, width, (), seed)
+        cycle_rng = np.random.default_rng(seed)
+        column_rng = np.random.default_rng((seed + 1) * 100003 + width)
+        cycles = cycle_rng.integers(0, num_cycles, size=count)
+        columns = column_rng.integers(0, width, size=count)
+        positions = tuple(sorted({
+            (int(c), int(j)) for c, j in zip(cycles, columns)
+        }))
+        return cls(num_cycles, width, positions, seed)
+
+    def companion(self, width: int) -> "XPlacement":
+        """The same cycle draw projected onto a different word width —
+        the stimulus-side twin of a response-side placement."""
+        if width == self.width:
+            return self
+        count = len(self.positions)
+        if count == 0:
+            return XPlacement(self.num_cycles, width, (), self.seed)
+        cycle_rng = np.random.default_rng(self.seed)
+        column_rng = np.random.default_rng((self.seed + 1) * 100003 + width)
+        cycles = cycle_rng.integers(0, self.num_cycles, size=count)
+        columns = column_rng.integers(0, width, size=count)
+        positions = tuple(sorted({
+            (int(c), int(j)) for c, j in zip(cycles, columns)
+        }))
+        return XPlacement(self.num_cycles, width, positions, self.seed)
+
+    def mask(self) -> np.ndarray:
+        """The placement as a (num_cycles, width) boolean matrix."""
+        out = np.zeros((self.num_cycles, self.width), dtype=bool)
+        for cycle, column in self.positions:
+            out[cycle, column] = True
+        return out
+
+    def stream_positions(self) -> List[int]:
+        """Flat stream indices (cycle-major) for the erasure channel."""
+        return [cycle * self.width + column
+                for cycle, column in self.positions]
+
+    @property
+    def cycles_touched(self) -> List[int]:
+        """Distinct cycles carrying at least one X."""
+        return sorted({cycle for cycle, _ in self.positions})
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (density, compactor) cell of the sweep."""
+
+    density: float
+    compactor: str
+    output_pins: int
+    sample_size: int
+    detected: int
+    masked_bits: int
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of the baseline-detected fault sample still caught."""
+        return self.detected / self.sample_size if self.sample_size else 1.0
+
+    @property
+    def silent_escape_rate(self) -> float:
+        """1 - detection rate: faults the compactor lost."""
+        return 1.0 - self.detection_rate
+
+    def to_dict(self) -> dict:
+        return {
+            "density": self.density,
+            "compactor": self.compactor,
+            "output_pins": self.output_pins,
+            "sample_size": self.sample_size,
+            "detected": self.detected,
+            "detection_rate": self.detection_rate,
+            "silent_escape_rate": self.silent_escape_rate,
+            "masked_bits": self.masked_bits,
+        }
+
+
+@dataclass
+class CompactionReport:
+    """A full sweep on one circuit, serializable to the baseline schema."""
+
+    circuit: str
+    num_outputs: int
+    num_patterns: int
+    baseline_detected: int
+    total_faults: int
+    points: List[SweepPoint] = field(default_factory=list)
+    wall_s: float = 0.0
+    seed: int = 0
+    metrics: dict = field(default_factory=dict)
+    spans: dict = field(default_factory=dict)
+
+    @property
+    def densities(self) -> List[float]:
+        return sorted({point.density for point in self.points})
+
+    @property
+    def compactors(self) -> List[str]:
+        seen: List[str] = []
+        for point in self.points:
+            if point.compactor not in seen:
+                seen.append(point.compactor)
+        return seen
+
+    def point(self, density: float, compactor: str) -> SweepPoint:
+        """Look up one sweep cell (raises if absent)."""
+        for candidate in self.points:
+            if (candidate.compactor == compactor
+                    and abs(candidate.density - density) < 1e-12):
+                return candidate
+        raise KeyError(f"no sweep point ({density}, {compactor})")
+
+    def to_dict(self) -> dict:
+        return {
+            "circuit": self.circuit,
+            "num_outputs": self.num_outputs,
+            "num_patterns": self.num_patterns,
+            "baseline_detected": self.baseline_detected,
+            "total_faults": self.total_faults,
+            "seed": self.seed,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    def to_baseline_dict(self, k: int = 8) -> dict:
+        """Render in the ``BENCH_obs.json`` schema (scenario
+        ``compaction``) so existing validators and tooling apply."""
+        bits = self.num_patterns * self.num_outputs * max(
+            1, len(self.densities)
+        )
+        return {
+            "schema_version": 1,
+            "target": self.circuit,
+            "k": k,
+            "session_circuit": self.circuit,
+            "scenarios": {
+                "compaction": {
+                    "wall_s": self.wall_s,
+                    "bits": bits,
+                    "bits_per_s": bits / self.wall_s if self.wall_s else 0.0,
+                    "spans": self.spans,
+                    "metrics": self.metrics or {
+                        "counters": {}, "gauges": {}, "histograms": {}
+                    },
+                    "extra": self.to_dict(),
+                }
+            },
+        }
+
+
+def response_matrix(netlist: Netlist, patterns: TestSet,
+                    fault: Optional[Fault] = None) -> np.ndarray:
+    """(patterns, scan outputs) 0/1 response matrix, bit-parallel."""
+    matrix = patterns.to_matrix()
+    n = matrix.shape[0]
+    simulator = PackedSimulator(netlist)
+    packed = PackedSimulator.pack(matrix)
+    values = simulator.run_packed(
+        packed, n, fault.injection if fault is not None else None
+    )
+    out = np.zeros((n, len(netlist.scan_outputs)), dtype=np.uint8)
+    for j, net in enumerate(netlist.scan_outputs):
+        word = values[net]
+        for i in range(n):
+            out[i, j] = (word >> i) & 1
+    return out
+
+
+def run_sweep(
+    netlist: Netlist,
+    compactors: Optional[Sequence[ResponseCompactor]] = None,
+    densities: Sequence[float] = DEFAULT_DENSITIES,
+    *,
+    max_faults: Optional[int] = None,
+    seed: int = 0,
+    fill_strategy: str = "random",
+    circuit_name: str = "",
+    cubes: Optional[TestSet] = None,
+) -> CompactionReport:
+    """Measure detection loss for every (density, compactor) pair.
+
+    The fault sample is the set of faults the *uncompacted* filled
+    patterns detect (optionally capped at ``max_faults``), so every
+    loss reported is attributable to the compactor + X placement, not
+    to the test set.  Fully deterministic for a given seed.
+    """
+    if not densities:
+        raise ValueError("provide at least one density")
+    started = time.perf_counter()
+    with _obs.span("compaction.sweep"):
+        atpg = None
+        if cubes is None:
+            atpg = generate_test_cubes(netlist)
+            cubes = atpg.test_set
+        patterns = fill_test_set(cubes, fill_strategy, seed=seed)
+        faults = (atpg.detected if atpg is not None
+                  else collapsed_faults(netlist))
+        baseline = fault_simulate(netlist, patterns, faults)
+        sample = baseline.detected
+        if max_faults is not None:
+            sample = sample[:max_faults]
+        width = len(netlist.scan_outputs)
+        if compactors is None:
+            compactors = default_compactors(width)
+        for compactor in compactors:
+            if compactor.width != width:
+                raise ValueError(
+                    f"compactor {compactor.name!r} is sized for "
+                    f"{compactor.width} chains, circuit has {width}"
+                )
+        good = response_matrix(netlist, patterns)
+        faulty = {fault: response_matrix(netlist, patterns, fault)
+                  for fault in sample}
+        num_patterns = good.shape[0]
+
+        points: List[SweepPoint] = []
+        for density in densities:
+            placement = XPlacement.from_density(
+                num_patterns, width, density, seed=seed
+            )
+            xmask = placement.mask()
+            for compactor in compactors:
+                good_obs = compactor.compact(good, xmask)
+                detected = sum(
+                    1 for fault in sample
+                    if not good_obs.matches(
+                        compactor.compact(faulty[fault], xmask)
+                    )
+                )
+                points.append(SweepPoint(
+                    density=density,
+                    compactor=compactor.name,
+                    output_pins=compactor.output_pins,
+                    sample_size=len(sample),
+                    detected=detected,
+                    masked_bits=len(placement.positions),
+                ))
+    report = CompactionReport(
+        circuit=circuit_name or getattr(netlist, "name", "") or "custom",
+        num_outputs=width,
+        num_patterns=num_patterns,
+        baseline_detected=len(sample),
+        total_faults=len(faults),
+        points=points,
+        wall_s=time.perf_counter() - started,
+        seed=seed,
+    )
+    if _obs.enabled():
+        registry = _obs.get_registry()
+        registry.counter("compaction.sweep_points").inc(len(points))
+        registry.counter("compaction.faults_graded").inc(
+            len(sample) * len(points)
+        )
+        report.metrics = registry.snapshot()
+    return report

@@ -11,7 +11,15 @@ from .gates import (
     minimum_cover,
     prime_implicants,
 )
-from .misr import LFSR, MISR, AliasingEstimate, default_taps, signature_of
+from .misr import (
+    LFSR,
+    MISR,
+    AliasingEstimate,
+    default_taps,
+    find_primitive_taps,
+    is_primitive,
+    signature_of,
+)
 from .multi_scan import MultiScanDecompressor, MultiScanTrace
 from .parallel import ParallelDecompressor, ParallelTrace
 from .rtlsim import RTLSimulator, parse_module, run_decoder_rtl
@@ -45,6 +53,8 @@ __all__ = [
     "MISR",
     "AliasingEstimate",
     "default_taps",
+    "find_primitive_taps",
+    "is_primitive",
     "signature_of",
     "TestbenchBundle",
     "generate_testbench",

@@ -13,7 +13,8 @@ signature.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.bitvec import TernaryVector
 
@@ -21,21 +22,141 @@ from ..core.bitvec import TernaryVector
 PRIMITIVE_TAPS = {
     4: (4, 3),
     8: (8, 6, 5, 4),
+    12: (12, 6, 4, 1),
     16: (16, 15, 13, 4),
+    20: (20, 3),
     24: (24, 23, 22, 17),
     32: (32, 22, 2, 1),
+    48: (48, 47, 21, 20),
+    64: (64, 63, 61, 60),
 }
+
+#: Largest width :func:`default_taps` will brute-force-search a primitive
+#: polynomial for when the table has no entry.  The bound keeps the
+#: factorization of 2^w - 1 (needed by the primitivity test) to trial
+#: division of small cofactors.
+MAX_SEARCH_WIDTH = 32
+
+#: Cache of brute-force search results: width -> taps.
+_SEARCHED_TAPS: Dict[int, Tuple[int, ...]] = {}
+
+
+# ----------------------------------------------------------------------
+# GF(2) polynomial arithmetic (ints: bit i = coefficient of x^i)
+# ----------------------------------------------------------------------
+
+def _poly_mulmod(a: int, b: int, mod: int, degree: int) -> int:
+    """(a * b) mod ``mod`` over GF(2); operands already reduced."""
+    result = 0
+    top = 1 << degree
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a & top:
+            a ^= mod
+    return result
+
+
+def _poly_powmod(base: int, exponent: int, mod: int, degree: int) -> int:
+    """base**exponent mod ``mod`` over GF(2) by square-and-multiply."""
+    result = 1
+    while exponent:
+        if exponent & 1:
+            result = _poly_mulmod(result, base, mod, degree)
+        base = _poly_mulmod(base, base, mod, degree)
+        exponent >>= 1
+    return result
+
+
+def _prime_factors(n: int) -> Set[int]:
+    """Distinct prime factors by trial division (callers keep n modest)."""
+    factors: Set[int] = set()
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.add(d)
+            n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.add(n)
+    return factors
+
+
+_FACTOR_CACHE: Dict[int, Set[int]] = {}
+
+
+def is_primitive(taps: Sequence[int], width: Optional[int] = None) -> bool:
+    """Is the feedback polynomial of ``taps`` primitive over GF(2)?
+
+    ``taps`` are the nonzero exponents of the polynomial besides x^0
+    (the table convention: ``(4, 3)`` means x^4 + x^3 + 1) and must
+    include the width.  Primitivity is checked algebraically — x has
+    multiplicative order 2^w - 1 modulo the polynomial — which proves
+    the maximal LFSR/MISR period without stepping 2^w - 1 cycles.
+    """
+    taps = tuple(taps)
+    width = width if width is not None else max(taps)
+    if width < 2 or max(taps) != width or min(taps) < 1:
+        return False
+    poly = 1
+    for t in set(taps):
+        poly |= 1 << t
+    order = (1 << width) - 1
+    if order not in _FACTOR_CACHE:
+        _FACTOR_CACHE[order] = _prime_factors(order)
+    if _poly_powmod(2, order, poly, width) != 1:
+        return False
+    return all(
+        _poly_powmod(2, order // q, poly, width) != 1
+        for q in _FACTOR_CACHE[order]
+    )
+
+
+def find_primitive_taps(width: int) -> Tuple[int, ...]:
+    """Brute-force the lightest primitive polynomial for ``width``.
+
+    Tries trinomials x^w + x^a + 1 first, then pentanomials; every
+    width up to :data:`MAX_SEARCH_WIDTH` has one of the two.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    if width > MAX_SEARCH_WIDTH:
+        raise ValueError(
+            f"primitivity search is bounded to width <= {MAX_SEARCH_WIDTH}"
+        )
+    for a in range(width - 1, 0, -1):
+        if is_primitive((width, a)):
+            return (width, a)
+    for combo in combinations(range(width - 1, 0, -1), 3):
+        taps = (width,) + combo
+        if is_primitive(taps):
+            return taps
+    raise ValueError(  # pragma: no cover - unreachable for w <= 32
+        f"no primitive tri/pentanomial found for width {width}"
+    )
 
 
 def default_taps(width: int) -> Sequence[int]:
-    """A primitive feedback polynomial for ``width`` (raises if unknown)."""
-    try:
+    """A primitive feedback polynomial for ``width``.
+
+    Table widths return the catalogued polynomial; unknown widths up to
+    :data:`MAX_SEARCH_WIDTH` fall back to a (cached) brute-force
+    primitivity search.  Wider unknown widths raise — pass explicit
+    ``taps`` there.
+    """
+    if width in PRIMITIVE_TAPS:
         return PRIMITIVE_TAPS[width]
-    except KeyError:
-        raise ValueError(
-            f"no default primitive polynomial for width {width}; "
-            f"choose from {sorted(PRIMITIVE_TAPS)}"
-        ) from None
+    if 2 <= width <= MAX_SEARCH_WIDTH:
+        if width not in _SEARCHED_TAPS:
+            _SEARCHED_TAPS[width] = find_primitive_taps(width)
+        return _SEARCHED_TAPS[width]
+    raise ValueError(
+        f"no default primitive polynomial for width {width}; choose from "
+        f"{sorted(PRIMITIVE_TAPS)}, a width <= {MAX_SEARCH_WIDTH} "
+        "(searched automatically), or pass taps explicitly"
+    )
 
 
 class LFSR:

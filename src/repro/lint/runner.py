@@ -5,7 +5,9 @@ the CI lint job.  It sweeps:
 
 * **netlist** — every circuit in the embedded/generated library, plus
   the gate-level decoder from :func:`repro.decompressor.gates.decoder_netlist`
-  for each K (default and Table VII re-assigned codebooks);
+  for each K (default and Table VII re-assigned codebooks), plus the
+  emitted response compactors (X-compact XOR trees and the MISR) from
+  :mod:`repro.compaction.gates`;
 * **fsm** — the decoder control FSM for both codebooks, exhaustively
   verified against its own codebook;
 * **rtl** — emitted decoder Verilog per K and the multi-scan wrapper;
@@ -135,6 +137,17 @@ def run_lint(
                     decoder_netlist(k, book, name=name),
                     waive=DECODER_NETLIST_WAIVERS,
                 )
+        from ..compaction.gates import compactor_netlist, misr_netlist
+        from ..compaction.xcodes import build_matrix
+
+        for kind, chains in (("xcompact", 8), ("xcompact", 16), ("cw3", 8)):
+            netlist = compactor_netlist(build_matrix(kind, chains))
+            report.artifacts.append(f"netlist:{netlist.name}")
+            report.findings += lint_netlist(netlist)
+        for width in (16, 24):
+            netlist = misr_netlist(width)
+            report.artifacts.append(f"netlist:{netlist.name}")
+            report.findings += lint_netlist(netlist)
 
     if "fsm" in selected:
         for label, book in books:

@@ -26,6 +26,9 @@ The five scenarios:
     device simulation, MISR signature.
 ``resilience``
     A small framed channel-fault campaign on the same netlist.
+``compaction``
+    An X-density × compactor detection-loss sweep
+    (:func:`repro.compaction.run_sweep`) on the same netlist.
 
 The target may be a benchmark profile name (``s9234`` — scenarios that
 need a gate-level netlist then run on a small surrogate circuit,
@@ -58,7 +61,8 @@ DEFAULT_BASELINE_PATH = "BENCH_obs.json"
 
 #: Scenario names in run order.
 SCENARIOS: Tuple[str, ...] = (
-    "compress", "decompress", "decode", "session", "resilience"
+    "compress", "decompress", "decode", "session", "resilience",
+    "compaction",
 )
 
 #: Bump when the baseline layout changes shape.
@@ -206,7 +210,9 @@ def run_profile(
             f"({available_circuits()})"
         )
 
-    needs_netlist = bool({"session", "resilience"} & set(scenarios))
+    needs_netlist = bool(
+        {"session", "resilience", "compaction"} & set(scenarios)
+    )
     netlist = (load_circuit(circuit_name)
                if needs_netlist or data is None else None)
     if data is None:
@@ -311,6 +317,42 @@ def run_profile(
                 silent_escape_rate=result.overall_silent_escape_rate,
             )
             report.scenarios["resilience"] = baseline
+
+        if "compaction" in scenarios:
+            from ..compaction import run_sweep
+
+            sweep, baseline = _measure(
+                0,
+                lambda: run_sweep(
+                    netlist,
+                    densities=(0.0, 0.05),
+                    max_faults=16,
+                    seed=seed,
+                    circuit_name=circuit_name,
+                ),
+            )
+            baseline.bits = (sweep.num_patterns * sweep.num_outputs
+                             * len(sweep.densities))
+            baseline.name = "compaction"
+            baseline.extra.update(
+                circuit=circuit_name,
+                densities=sweep.densities,
+                sample_size=sweep.baseline_detected,
+                detection_rates={
+                    name: {
+                        str(density): sweep.point(density, name).detection_rate
+                        for density in sweep.densities
+                    }
+                    for name in sweep.compactors
+                },
+                output_pins={
+                    name: sweep.points[
+                        [p.compactor for p in sweep.points].index(name)
+                    ].output_pins
+                    for name in sweep.compactors
+                },
+            )
+            report.scenarios["compaction"] = baseline
     finally:
         _state.set_enabled(previous)
         reset_obs()

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
+import numpy as np
+
 from .. import obs as _obs
 from ..analysis.resilience import (
     ResilienceReport,
@@ -44,6 +46,8 @@ def run_campaign(
     fill_strategy: str = "random",
     seed: int = 0,
     circuit_name: str = "",
+    response_compactor=None,
+    response_placement=None,
 ) -> ResilienceReport:
     """Run a full resilience campaign on one circuit.
 
@@ -51,11 +55,24 @@ def run_campaign(
     custom fault models (e.g. a :class:`CompositeChannel`).  Trials are
     independently seeded from ``seed`` so the whole campaign replays
     bit-identically.
+
+    ``response_compactor`` (any object with the
+    ``repro.compaction.ResponseCompactor`` shape) reroutes the device
+    observation through a compactor instead of the session MISR, and
+    ``response_placement`` (an ``XPlacement``) degrades response
+    positions to X for *every* device — both good and corrupted — so
+    the campaign faults the channel's stimulus direction and the
+    response direction at once.  The parameters are duck-typed so this
+    module keeps no import of :mod:`repro.compaction`.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
     if not error_rates:
         raise ValueError("provide at least one error rate")
+    if response_placement is not None and response_compactor is None:
+        raise ValueError(
+            "response_placement needs a response_compactor to consume it"
+        )
     factory = channel_factory or (
         lambda rate, s: make_channel(channel, rate, seed=s)
     )
@@ -64,7 +81,11 @@ def run_campaign(
                               seed=seed)
         session.prepare(cubes)
         session.run()  # golden signature from the uncorrupted stream
-        golden = session.golden_signature
+        observe = _make_observer(
+            session, response_compactor, response_placement
+        )
+        golden = (session.golden_signature if response_compactor is None
+                  else observe(session.applied_patterns))
         base_stream = (
             frame_stream(session.encoding, blocks_per_frame)
             if framed else session.encoding.stream
@@ -75,7 +96,8 @@ def run_campaign(
                 trial_seed = seed + 7919 * rate_index + trial + 1
                 result = factory(rate, trial_seed).apply(base_stream)
                 outcomes.append(
-                    _run_trial(session, result, golden, rate, trial, framed)
+                    _run_trial(session, result, golden, rate, trial, framed,
+                               observe)
                 )
     if _obs.enabled():
         registry = _obs.get_registry()
@@ -101,8 +123,37 @@ def run_campaign(
     )
 
 
-def _run_trial(session, channel_result, golden, rate, trial, framed):
-    """Push one corrupted stream through decode -> fill -> device -> MISR."""
+def _make_observer(session, response_compactor, response_placement):
+    """Device-observation function: session MISR or a response compactor."""
+    if response_compactor is None:
+        return session.signature_of
+
+    def observe(patterns):
+        responses = session.response_matrix(patterns)
+        if response_placement is not None:
+            xmask = response_placement.mask()
+            if xmask.shape != responses.shape:
+                raise ValueError(
+                    f"response placement shape {xmask.shape} does not "
+                    f"match response matrix {responses.shape}"
+                )
+        else:
+            xmask = np.zeros(responses.shape, dtype=bool)
+        return response_compactor.compact(responses, xmask)
+
+    return observe
+
+
+def _same_observation(a, b) -> bool:
+    """Observation equality: compactor observations define ``matches``."""
+    if hasattr(a, "matches"):
+        return bool(a.matches(b))
+    return a == b
+
+
+def _run_trial(session, channel_result, golden, rate, trial, framed, observe):
+    """Push one corrupted stream through decode -> fill -> device ->
+    observation (MISR signature or compactor output)."""
     if not channel_result.corrupted:
         return TrialOutcome(rate, trial, 0, "clean")
     injections = len(channel_result.injections)
@@ -114,8 +165,8 @@ def _run_trial(session, channel_result, golden, rate, trial, framed):
         return TrialOutcome(rate, trial, injections, "detected_stream",
                             stream_errors=1, blocks_lost=0)
     stream_detected = diagnostics.detected
-    signature = session.signature_of(patterns)
-    if signature == golden:
+    signature = observe(patterns)
+    if _same_observation(signature, golden):
         outcome = "detected_stream" if stream_detected else "silent_escape"
         if not stream_detected and patterns == session.applied_patterns:
             # the corruption only touched redundancy the code ignores

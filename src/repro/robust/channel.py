@@ -251,17 +251,37 @@ class XErasureChannel(Channel):
 
     Models the receiver knowing a symbol arrived but not what it was —
     the erasure/unknown-value model of X-tolerant response compaction.
+
+    Pass ``positions`` (flat stream indices) to erase exactly those
+    symbols instead of sampling: this is how a campaign correlates the
+    stimulus-side erasures with a response-side
+    :class:`repro.compaction.XPlacement` — project the placement onto
+    the stimulus word width with ``companion()`` and hand its
+    ``stream_positions()`` here, so both directions of the channel are
+    faulted on the same test cycles rather than independently.
     """
 
     kind = "erase"
 
-    def __init__(self, rate: float = 0.0, seed: int = 0):
+    def __init__(self, rate: float = 0.0, seed: int = 0, *,
+                 positions: Optional[Sequence[int]] = None):
         super().__init__(seed)
         self.rate = rate
+        self.positions = tuple(positions) if positions is not None else None
 
     def _apply(self, stream, rng):
         n = len(stream)
-        hits = np.flatnonzero((rng.random(n) < self.rate) & (stream.data != X))
+        if self.positions is not None:
+            hits = np.array(
+                sorted({p for p in self.positions if 0 <= p < n}),
+                dtype=np.int64,
+            )
+            if hits.size:
+                hits = hits[stream.data[hits] != X]
+        else:
+            hits = np.flatnonzero(
+                (rng.random(n) < self.rate) & (stream.data != X)
+            )
         data = stream.data.copy()
         injections = []
         for pos in (int(p) for p in hits):

@@ -146,6 +146,20 @@ class TestSession:
         return misr.signature
 
     # ------------------------------------------------------------------
+    def response_matrix(self, patterns: TestSet,
+                        fault: Optional[Fault] = None):
+        """(patterns, scan outputs) 0/1 response matrix of the device.
+
+        The raw-response twin of :meth:`signature_of`: response
+        compactors (:mod:`repro.compaction`) consume this matrix plus
+        an X mask, which lets a resilience campaign fault both the
+        stimulus stream and the response observability at once.
+        """
+        from .compaction.sweep import response_matrix as _response_matrix
+
+        return _response_matrix(self.netlist, patterns, fault)
+
+    # ------------------------------------------------------------------
     @_obs.traced("session.apply_stream")
     def apply_stream(
         self, stream: TernaryVector, *, framed: bool = False,

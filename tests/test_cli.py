@@ -356,3 +356,61 @@ class TestStatsCommand:
     def test_missing_baseline(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["stats", "--baseline", str(tmp_path / "absent.json")])
+
+
+class TestCompact:
+    def test_compact_table(self, capsys):
+        assert main(["compact", "--circuit", "s27", "--faults", "8",
+                     "--x-density", "0.0", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "xcompact" in out and "misr" in out
+        assert "holds" in out  # X-code verifier status lines
+
+    def test_compact_json_schema_and_checks(self, capsys):
+        import json
+
+        from repro.obs.profile import validate_baseline
+
+        assert main(["compact", "--circuit", "s27", "--faults", "8",
+                     "--x-density", "0.0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_baseline(payload) == []
+        extra = payload["scenarios"]["compaction"]["extra"]
+        checks = extra["xcode_checks"]
+        assert {c["matrix"] for c in checks} == {"parity", "xcompact", "cw3"}
+        assert all(c["holds"] for c in checks)
+        assert all(p["detection_rate"] == 1.0
+                   for p in extra["points"] if p["density"] == 0.0)
+
+    def test_compact_writes_output_file(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "compaction.json"
+        assert main(["compact", "--circuit", "s27", "--faults", "4",
+                     "--x-density", "0.0", "--json",
+                     "-o", str(out_file)]) == 0
+        emitted = json.loads(capsys.readouterr().out)
+        assert json.loads(out_file.read_text()) == emitted
+
+    def test_compact_compactor_selection(self, capsys):
+        import json
+
+        assert main(["compact", "--circuit", "s27", "--faults", "4",
+                     "--x-density", "0.0", "--compactor", "misr",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        points = payload["scenarios"]["compaction"]["extra"]["points"]
+        assert {p["compactor"] for p in points} == {"misr"}
+
+    def test_unknown_circuit_structured_error(self, capsys):
+        import json
+
+        exit_code = main(["compact", "--circuit", "nosuch", "--json"])
+        assert exit_code != 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["command"] == "compact"
+        assert "nosuch" in payload["error"]["message"]
+
+    def test_unknown_circuit_non_json_raises(self):
+        with pytest.raises(SystemExit):
+            main(["compact", "--circuit", "nosuch"])

@@ -1,0 +1,294 @@
+"""Response compaction: observations, MISR fast path, gates, sweeps.
+
+The two properties that make the subsystem trustworthy:
+
+* **X-invariance** — an observation may not depend on the value a
+  masked position happens to take (that is what "unknown" means);
+* **differential equality** — the word-packed MISR fast path, the
+  bit-serial reference, and the gate-level netlists all agree.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compaction import (
+    MISRCompactor,
+    MaskedMISRCompactor,
+    SpatialXCompactor,
+    XPlacement,
+    build_compactor,
+    build_matrix,
+    compactor_netlist,
+    constant_weight_matrix,
+    cosimulate_compactor,
+    cosimulate_misr,
+    default_compactors,
+    misr_netlist,
+    run_sweep,
+    split_ternary,
+    xcompact_matrix,
+)
+from repro.core.bitvec import TernaryVector, X
+
+
+def random_case(seed, cycles=6, width=8, density=0.2):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 2, (cycles, width)).astype(np.uint8)
+    xmask = rng.random((cycles, width)) < density
+    return values, xmask
+
+
+class TestSplitTernary:
+    def test_roundtrip(self):
+        stream = TernaryVector("10X10X01")
+        values, xmask = split_ternary(stream, 4)
+        assert values.shape == (2, 4)
+        assert xmask.tolist() == [[False, False, True, False],
+                                  [False, True, False, False]]
+        assert values[xmask].sum() == 0  # X positions carry value 0
+
+    def test_rejects_partial_cycle(self):
+        with pytest.raises(ValueError):
+            split_ternary(TernaryVector("101"), 2)
+
+
+class TestXInvariance:
+    """Flipping bits under the mask must never change an observation."""
+
+    @pytest.mark.parametrize("kind", ["xcompact", "cw3", "misr",
+                                      "masked-misr"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_masked_positions_are_dont_cares(self, kind, seed):
+        values, xmask = random_case(seed)
+        compactor = build_compactor(kind, 8)
+        baseline = compactor.compact(values, xmask)
+        rng = np.random.default_rng(seed + 100)
+        for _ in range(8):
+            flipped = values.copy()
+            flips = xmask & (rng.random(xmask.shape) < 0.5)
+            flipped[flips] ^= 1
+            other = compactor.compact(flipped, xmask)
+            assert baseline.matches(other), (
+                f"{kind}: observation changed under X-only flips"
+            )
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_spatial_invariance_hypothesis(self, data):
+        values, xmask = random_case(data.draw(st.integers(0, 2**16)))
+        compactor = build_compactor("xcompact", 8)
+        flips = np.array(
+            [[data.draw(st.booleans()) for _ in row] for row in xmask]
+        )
+        flipped = values.copy()
+        flipped[xmask & flips] ^= 1
+        assert compactor.compact(values, xmask).matches(
+            compactor.compact(flipped, xmask)
+        )
+
+    @pytest.mark.parametrize("kind", ["xcompact", "cw3", "misr",
+                                      "masked-misr"])
+    def test_unmasked_single_bit_flip_detected(self, kind):
+        values, _ = random_case(7)
+        xmask = np.zeros(values.shape, dtype=bool)
+        compactor = build_compactor(kind, 8)
+        baseline = compactor.compact(values, xmask)
+        flipped = values.copy()
+        flipped[3, 5] ^= 1
+        assert not baseline.matches(compactor.compact(flipped, xmask))
+
+
+class TestObservations:
+    def test_spatial_matches_uses_mutually_visible_positions(self):
+        """Positions masked on either side are excluded from comparison."""
+        compactor = SpatialXCompactor(xcompact_matrix(8))
+        values, _ = random_case(11)
+        mask_a = np.zeros(values.shape, dtype=bool)
+        mask_a[0, 0] = True
+        mask_b = np.zeros(values.shape, dtype=bool)
+        mask_b[2, 3] = True
+        a = compactor.compact(values, mask_a)
+        b = compactor.compact(values, mask_b)
+        assert a.matches(b) and b.matches(a)
+        assert a.matches(a)
+
+    def test_signature_matches_requires_same_cycle_count(self):
+        compactor = MISRCompactor(4)
+        values, _ = random_case(5, width=4)
+        none = np.zeros(values.shape, dtype=bool)
+        one_cycle = none.copy()
+        one_cycle[2, :] = True
+        a = compactor.compact(values, none)
+        b = compactor.compact(values, one_cycle)
+        assert a.cycles_absorbed != b.cycles_absorbed
+        assert not a.matches(b)
+
+    def test_output_pins(self):
+        assert MISRCompactor(18).output_pins == 1
+        assert MaskedMISRCompactor(18).output_pins == 1
+        assert SpatialXCompactor(xcompact_matrix(18)).output_pins < 18
+
+    def test_compact_stream_equals_compact(self):
+        compactor = build_compactor("xcompact", 4)
+        stream = TernaryVector("10X1" "0110")
+        values, xmask = split_ternary(stream, 4)
+        assert compactor.compact_stream(stream).matches(
+            compactor.compact(values, xmask)
+        )
+
+    def test_build_compactor_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_compactor("nosuch", 8)
+
+
+class TestMISRDifferential:
+    """Word-packed fast path == bit-serial reference MISR."""
+
+    @pytest.mark.parametrize("width", [3, 7, 16, 23])
+    @pytest.mark.parametrize("misr_width", [8, 16, 24])
+    @pytest.mark.parametrize("cls", [MISRCompactor, MaskedMISRCompactor])
+    def test_packed_equals_reference(self, width, misr_width, cls):
+        compactor = cls(width, misr_width=misr_width)
+        values, xmask = random_case(width * misr_width, cycles=9,
+                                    width=width)
+        observation = compactor.compact(values, xmask)
+        reference = compactor.reference_signature(values, xmask)
+        assert observation == reference
+        assert observation.matches(reference)
+
+    def test_all_x_stream(self):
+        compactor = MISRCompactor(4)
+        values = np.zeros((3, 4), dtype=np.uint8)
+        xmask = np.ones((3, 4), dtype=bool)
+        observation = compactor.compact(values, xmask)
+        assert observation.cycles_absorbed == 0
+        assert observation.cycles_dropped == 3
+        assert observation == compactor.reference_signature(values, xmask)
+
+
+class TestGateCosimulation:
+    """Python models vs emitted netlists, including X propagation."""
+
+    @pytest.mark.parametrize("kind,n", [("xcompact", 8), ("xcompact", 16),
+                                        ("cw3", 8)])
+    def test_compactor_gates_match_model(self, kind, n):
+        matrix = build_matrix(kind, n)
+        netlist = compactor_netlist(matrix)
+        rng = np.random.default_rng(n)
+        slices = [
+            [int(b) if rng.random() > 0.2 else X
+             for b in rng.integers(0, 2, n)]
+            for _ in range(12)
+        ]
+        assert cosimulate_compactor(netlist, matrix, slices) == []
+
+    @pytest.mark.parametrize("width", [4, 8, 12, 16])
+    def test_misr_gates_match_model(self, width):
+        netlist = misr_netlist(width)
+        rng = np.random.default_rng(width)
+        slices = rng.integers(0, 2, (10, width)).tolist()
+        mismatches, signature = cosimulate_misr(netlist, width, slices)
+        assert mismatches == []
+        assert 0 <= signature < (1 << width)
+
+    def test_misr_cosim_rejects_x(self):
+        netlist = misr_netlist(4)
+        with pytest.raises(ValueError):
+            cosimulate_misr(netlist, 4, [[0, 1, X, 0]])
+
+    def test_lint_clean(self):
+        from repro.lint import lint_netlist
+
+        for netlist in (compactor_netlist(xcompact_matrix(8)),
+                        compactor_netlist(constant_weight_matrix(8)),
+                        misr_netlist(16)):
+            assert lint_netlist(netlist) == []
+
+
+class TestXPlacement:
+    def test_exact_count(self):
+        placement = XPlacement.from_density(100, 10, 0.05, seed=1)
+        assert len(placement.positions) <= 50  # dedupe can only shrink
+        assert len(placement.positions) >= 45
+        assert placement.density == pytest.approx(0.05, abs=0.01)
+
+    def test_nonzero_density_places_at_least_one(self):
+        placement = XPlacement.from_density(2, 2, 0.01)
+        assert len(placement.positions) == 1
+
+    def test_zero_density_places_none(self):
+        assert XPlacement.from_density(50, 8, 0.0).positions == ()
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ValueError):
+            XPlacement.from_density(10, 4, 1.5)
+
+    def test_deterministic(self):
+        a = XPlacement.from_density(64, 9, 0.1, seed=3)
+        b = XPlacement.from_density(64, 9, 0.1, seed=3)
+        assert a == b
+
+    def test_companion_shares_cycles(self):
+        """Same seed, different width: the Section III-C correlation —
+        stimulus-side and response-side X's hit the same test cycles."""
+        response = XPlacement.from_density(64, 9, 0.1, seed=5)
+        stimulus = response.companion(33)
+        assert stimulus.width == 33
+        assert stimulus.positions
+        # the companion re-draws the same cycle stream, so its cycles
+        # are a subset of the response-side cycles (never independent)
+        assert set(stimulus.cycles_touched) <= set(response.cycles_touched)
+        assert response.companion(9) is response
+
+    def test_stream_positions_are_flat_indices(self):
+        placement = XPlacement.from_density(8, 4, 0.2, seed=2)
+        flat = placement.stream_positions()
+        assert flat == sorted(flat)
+        for (cycle, column), index in zip(placement.positions, flat):
+            assert index == cycle * 4 + column
+
+    def test_mask_matches_positions(self):
+        placement = XPlacement.from_density(16, 6, 0.1, seed=7)
+        mask = placement.mask()
+        assert mask.sum() == len(placement.positions)
+        for cycle, column in placement.positions:
+            assert mask[cycle, column]
+
+
+class TestRunSweep:
+    def test_s27_shape(self):
+        from repro.circuits.library import load_circuit
+
+        report = run_sweep(
+            load_circuit("s27"), densities=(0.0, 0.05),
+            max_faults=8, seed=0, circuit_name="s27",
+        )
+        assert report.circuit == "s27"
+        assert report.densities == [0.0, 0.05]
+        assert set(report.compactors) == {"misr", "masked-misr",
+                                          "xcompact", "cw3"}
+        for name in report.compactors:
+            assert report.point(0.0, name).detection_rate == 1.0
+        payload = report.to_baseline_dict()
+        from repro.obs.profile import validate_baseline
+
+        assert validate_baseline(payload) == []
+
+    def test_rejects_mismatched_compactor(self):
+        from repro.circuits.library import load_circuit
+
+        with pytest.raises(ValueError):
+            run_sweep(load_circuit("s27"),
+                      compactors=[MISRCompactor(99)])
+
+    def test_rejects_empty_densities(self):
+        from repro.circuits.library import load_circuit
+
+        with pytest.raises(ValueError):
+            run_sweep(load_circuit("s27"), densities=())
+
+    def test_default_compactors_lineup(self):
+        names = [c.name for c in default_compactors(8)]
+        assert names == ["misr", "masked-misr", "xcompact", "cw3"]

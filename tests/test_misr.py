@@ -9,8 +9,11 @@ from repro.decompressor import (
     MISR,
     AliasingEstimate,
     default_taps,
+    find_primitive_taps,
+    is_primitive,
     signature_of,
 )
+from repro.decompressor.misr import MAX_SEARCH_WIDTH, PRIMITIVE_TAPS
 
 
 class TestLFSR:
@@ -32,12 +35,44 @@ class TestLFSR:
         with pytest.raises(ValueError):
             LFSR(8, taps=(9,))
         with pytest.raises(ValueError):
-            default_taps(5)
+            default_taps(MAX_SEARCH_WIDTH + 8)
 
     def test_output_balance(self):
         # A maximal LFSR emits 2^(w-1) ones per period.
         bits = LFSR(8).bits(255)
         assert sum(bits) == 128
+
+
+class TestPrimitivity:
+    """Every shipped tap set yields a maximal-period LFSR."""
+
+    @pytest.mark.parametrize("width", sorted(PRIMITIVE_TAPS))
+    def test_table_entries_primitive(self, width):
+        # is_primitive is the algebraic maximal-period proof: x has
+        # order 2^w - 1 in GF(2)[x]/(p), exactly when period = 2^w - 1.
+        assert is_primitive(PRIMITIVE_TAPS[width], width)
+
+    @pytest.mark.parametrize("width", [4, 7, 8, 12, 16])
+    def test_small_widths_maximal_by_stepping(self, width):
+        # Cross-check the algebra by literally counting states.
+        assert LFSR(width, taps=default_taps(width)).period() == 2**width - 1
+
+    @pytest.mark.parametrize("width", [5, 6, 11, 18, 30])
+    def test_search_fallback_fills_table_gaps(self, width):
+        assert width not in PRIMITIVE_TAPS
+        taps = default_taps(width)
+        assert is_primitive(taps, width)
+        assert max(taps) == width
+        # cached: the search runs once per width
+        assert default_taps(width) is taps or default_taps(width) == taps
+
+    def test_find_primitive_taps_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            find_primitive_taps(1)
+
+    def test_non_primitive_rejected(self):
+        # x^4 + x^2 + 1 = (x^2 + x + 1)^2 is not even irreducible.
+        assert not is_primitive((4, 2), 4)
 
 
 class TestMISR:

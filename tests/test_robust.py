@@ -361,3 +361,109 @@ class TestCampaign:
         patterns, diag = session.apply_stream(session.encoding.stream)
         assert diag.clean
         assert patterns == session.applied_patterns
+
+
+# ----------------------------------------------------------------------
+# correlated X-erasure + bidirectional campaign (repro.compaction)
+# ----------------------------------------------------------------------
+class TestXErasurePositions:
+    def test_positions_override_rate(self):
+        data = TernaryVector("01" * 10)
+        result = XErasureChannel(positions=[1, 3, 99]).apply(data)
+        erased = sorted(i.position for i in result.injections)
+        assert erased == [1, 3]  # out-of-range positions are ignored
+        assert result.stream.data[1] == 2 and result.stream.data[3] == 2
+
+    def test_positions_skip_existing_x(self):
+        data = TernaryVector("0X1X")
+        result = XErasureChannel(positions=[0, 1, 2, 3]).apply(data)
+        erased = sorted(i.position for i in result.injections)
+        assert erased == [0, 2]
+
+    def test_positions_deterministic(self):
+        data = TernaryVector("0101010101")
+        a = XErasureChannel(positions=[2, 4]).apply(data)
+        b = XErasureChannel(positions=[2, 4]).apply(data)
+        assert a.stream == b.stream and a.injections == b.injections
+
+    def test_placement_drives_channel(self):
+        """A compaction XPlacement projects onto the stimulus stream —
+        the shared-geometry path the bidirectional campaign uses."""
+        from repro.compaction import XPlacement
+
+        placement = XPlacement.from_density(8, 4, 0.2, seed=3)
+        data = TernaryVector.zeros(8 * 4)
+        result = XErasureChannel(
+            positions=placement.stream_positions()
+        ).apply(data)
+        erased = sorted(i.position for i in result.injections)
+        assert erased == placement.stream_positions()
+
+
+class TestBidirectionalCampaign:
+    @classmethod
+    def setup_class(cls):
+        from repro.circuits.library import load_circuit
+
+        cls.circuit = load_circuit("s27")
+
+    def test_placement_requires_compactor(self):
+        from repro.compaction import XPlacement
+
+        with pytest.raises(ValueError):
+            run_campaign(
+                self.circuit, k=4, trials=2,
+                response_placement=XPlacement.from_density(1, 1, 0.0),
+            )
+
+    def test_compactor_observation_campaign(self):
+        from repro.compaction import build_compactor
+
+        width = len(self.circuit.scan_outputs)
+        report = run_campaign(
+            self.circuit, k=4, error_rates=[1e-2], trials=6,
+            framed=True, seed=1, circuit_name="s27",
+            response_compactor=build_compactor("xcompact", width),
+        )
+        (summary,) = report.summaries
+        assert summary.corrupted > 0
+        assert summary.detected + summary.silent_escapes == summary.corrupted
+
+    def test_bidirectional_faults_both_directions(self):
+        """Stimulus-side erasures and response-side X's share geometry
+        and the campaign still detects corruption end to end."""
+        from repro.compaction import XPlacement, build_compactor
+        from repro.system import TestSession
+
+        width = len(self.circuit.scan_outputs)
+        session = TestSession(self.circuit, k=4).prepare()
+        cycles = len(session.applied_patterns)
+        placement = XPlacement.from_density(cycles, width, 0.05, seed=2)
+        report = run_campaign(
+            self.circuit, k=4, error_rates=[1e-2], trials=6,
+            framed=True, seed=2, circuit_name="s27",
+            channel_factory=lambda rate, s: XErasureChannel(
+                positions=placement.companion(
+                    self.circuit.scan_length
+                ).stream_positions(),
+            ),
+            response_compactor=build_compactor("xcompact", width),
+            response_placement=placement,
+        )
+        (summary,) = report.summaries
+        assert summary.trials == 6
+        assert summary.corrupted + summary.clean == summary.trials
+
+    def test_bidirectional_reproducible(self):
+        from repro.compaction import build_compactor
+
+        width = len(self.circuit.scan_outputs)
+
+        def run():
+            return run_campaign(
+                self.circuit, k=4, error_rates=[5e-2], trials=4,
+                framed=False, seed=7, circuit_name="s27",
+                response_compactor=build_compactor("cw3", width),
+            ).to_dict()
+
+        assert run() == run()

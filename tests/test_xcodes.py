@@ -1,0 +1,121 @@
+"""X-code matrix constructions and the exhaustive (x, e) verifier."""
+
+import pytest
+
+from repro.compaction import (
+    MATRIX_KINDS,
+    XCodeMatrix,
+    build_matrix,
+    constant_weight_matrix,
+    holds,
+    parity_matrix,
+    verify_x_code,
+    xcompact_matrix,
+)
+
+
+class TestMatrixInvariants:
+    def test_rejects_zero_row(self):
+        with pytest.raises(ValueError):
+            XCodeMatrix("bad", (0b01, 0b00), 2)
+
+    def test_rejects_undriven_column(self):
+        with pytest.raises(ValueError):
+            XCodeMatrix("bad", (0b001, 0b001), 3)
+
+    def test_rejects_row_overflow(self):
+        with pytest.raises(ValueError):
+            XCodeMatrix("bad", (0b100, 0b011), 2)
+
+    def test_columns_roundtrip(self):
+        matrix = xcompact_matrix(9)
+        array = matrix.to_array()
+        assert array.shape == (matrix.num_chains, matrix.num_outputs)
+        for j, column in enumerate(matrix.columns()):
+            assert column == [i for i in range(matrix.num_chains)
+                              if array[i, j]]
+
+
+class TestVerifier:
+    def test_parity_holds_0_1(self):
+        assert holds(parity_matrix(6), 0, 1)
+
+    def test_parity_fails_1_1(self):
+        """One X on a shared output hides every single error."""
+        violations = verify_x_code(parity_matrix(6), 1, 1)
+        assert violations
+        first = violations[0]
+        assert len(first.x_rows) == 1 and len(first.error_rows) == 1
+
+    def test_counterexample_is_genuine(self):
+        """The reported violation really is masked: the error XOR has
+        no support outside the X rows' union."""
+        matrix = parity_matrix(4)
+        violation = verify_x_code(matrix, 1, 1)[0]
+        x_union = 0
+        for row in violation.x_rows:
+            x_union |= matrix.rows[row]
+        error = 0
+        for row in violation.error_rows:
+            error ^= matrix.rows[row]
+        assert error & ~x_union == 0
+
+    def test_max_violations_caps_output(self):
+        violations = verify_x_code(parity_matrix(8), 1, 1, max_violations=3)
+        assert len(violations) == 3
+
+    def test_single_error_no_x_always_detected_by_any_matrix(self):
+        # (0, 1) holds for every matrix because zero rows are rejected.
+        for kind in sorted(MATRIX_KINDS):
+            assert holds(build_matrix(kind, 6), 0, 1)
+
+
+class TestXCompact:
+    @pytest.mark.parametrize("n", [2, 4, 8, 9, 16, 32])
+    def test_1_1_and_0_2_hold(self, n):
+        matrix = xcompact_matrix(n)
+        assert holds(matrix, 1, 1)
+        assert holds(matrix, 0, 2)
+
+    def test_canonical_nine_chain_case(self):
+        """Mitra & Kim's canonical example: 9 chains into 5 outputs."""
+        assert xcompact_matrix(9).num_outputs == 5
+
+    def test_rows_have_one_odd_weight(self):
+        matrix = xcompact_matrix(16)
+        weights = {bin(row).count("1") for row in matrix.rows}
+        assert len(weights) == 1
+        assert next(iter(weights)) % 2 == 1
+
+    def test_rows_distinct(self):
+        matrix = xcompact_matrix(32)
+        assert len(set(matrix.rows)) == matrix.num_chains
+
+
+class TestConstantWeight:
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_2_1_holds(self, n):
+        assert holds(constant_weight_matrix(n, weight=3, x=2), 2, 1)
+
+    def test_packing_is_subquadratic(self):
+        # Partial-Steiner admission packs ~q^2/6 rows for weight 3.
+        assert constant_weight_matrix(42, weight=3, x=2).num_outputs <= 24
+
+    def test_rejects_x_at_least_weight(self):
+        with pytest.raises(ValueError):
+            constant_weight_matrix(8, weight=3, x=3)
+
+    def test_exact_check_engages_for_e2(self):
+        matrix = constant_weight_matrix(6, weight=3, x=1, e=2)
+        assert holds(matrix, 1, 2)
+
+
+class TestBuildMatrix:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_matrix("nosuch", 8)
+
+    @pytest.mark.parametrize("kind", sorted(MATRIX_KINDS))
+    def test_all_kinds_build(self, kind):
+        matrix = build_matrix(kind, 8)
+        assert matrix.num_chains == 8
