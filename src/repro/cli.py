@@ -20,7 +20,12 @@ Subcommands mirror the paper's artifacts:
 * ``lint`` — static verification of netlists, the decoder FSM, emitted
   RTL, and the Python codebase itself (docs/lint.md);
 * ``serve`` / ``loadgen`` — the fault-tolerant compression service and
-  its closed-loop load generator (docs/serving.md).
+  its closed-loop load generator (docs/serving.md);
+* ``trace`` — run traced requests and export merged per-request span
+  trees as Chrome trace-event JSON (docs/observability.md);
+* ``regress`` — noise-aware perf gate: fresh profile runs compared
+  against a committed ``BENCH_*.json`` baseline, appending to
+  ``BENCH_trajectory.json``; nonzero exit on regression.
 
 Every analysis subcommand accepts ``--json`` for machine-readable
 output; all of them emit through the shared :func:`emit_json` helper
@@ -637,6 +642,130 @@ def cmd_loadgen(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_trace(args) -> int:
+    import asyncio
+
+    from .obs.tracing import chrome_trace
+    from .serve import CompressionService, ServiceConfig
+    from .serve.server import Client, TCPClient
+
+    async def run() -> dict:
+        service = None
+        if args.connect:
+            host, _, port = args.connect.rpartition(":")
+            if not port.isdigit():
+                raise SystemExit(
+                    f"trace: --connect wants HOST:PORT, got {args.connect!r}"
+                )
+            client = TCPClient(host or "127.0.0.1", int(port))
+            await client.connect()
+        else:
+            service = CompressionService(ServiceConfig(
+                k=args.k, executor=args.executor, workers=args.workers,
+            ))
+            await service.start()
+            client = Client(service)
+        try:
+            if args.requests:
+                from .atpg.flow import generate_test_cubes
+                from .circuits.library import load_circuit
+
+                data = generate_test_cubes(
+                    load_circuit(args.circuit)).test_set.to_stream()
+                encoding = NineCEncoder(args.k).encode(data)
+                stream = encoding.stream.to_string()
+                for index in range(args.requests):
+                    if index % 2 == 0:
+                        response = await client.call(
+                            "compress", {"circuit": args.circuit, "k": args.k}
+                        )
+                    else:
+                        response = await client.call("decompress", {
+                            "stream": stream, "k": args.k,
+                            "output_length": encoding.original_length,
+                        })
+                    if not response.get("ok"):
+                        raise SystemExit(
+                            f"trace: request failed: {response.get('error')}"
+                        )
+            params: dict = {"limit": args.limit}
+            if args.trace_id:
+                params["trace_id"] = args.trace_id
+            response = await client.call("trace", params)
+        finally:
+            await client.close()
+            if service is not None:
+                await service.close()
+        if not response.get("ok"):
+            raise SystemExit(f"trace: {response.get('error')}")
+        return response["result"]
+
+    result = asyncio.run(run())
+    if not result["traces"]:
+        note = ("the server runs with tracing disabled"
+                if not result.get("tracing") else "no traces recorded yet")
+        raise SystemExit(f"trace: nothing to export ({note})")
+    if args.format == "chrome":
+        # snapshot is most-recent-first; reverse so Perfetto lanes read
+        # in chronological order
+        payload = chrome_trace([
+            {"name": f"{t['op']} {t['trace_id']}", "events": t["events"]}
+            for t in reversed(result["traces"])
+        ])
+    else:
+        payload = result
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"trace: wrote {len(result['traces'])} trace(s) to "
+              f"{args.output} ({args.format})")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_regress(args) -> int:
+    from .obs.regress import run_regress
+
+    try:
+        report = run_regress(
+            args.baseline,
+            target=args.circuit,
+            k=args.k,
+            tolerance=args.tolerance,
+            repeats=args.repeats,
+            scenarios=args.scenario,
+            trajectory_path=None if args.no_trajectory else args.trajectory,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"regress: {exc}")
+    if args.json:
+        emit_json(report.to_dict())
+    else:
+        table = Table(
+            ["scenario", "baseline", "fresh (median)", "ratio", "verdict"],
+            title=f"perf gate: {report.target} K={report.k} vs "
+                  f"{report.baseline_path} "
+                  f"(tolerance {report.tolerance:.0%}, "
+                  f"{report.repeats} repeats)",
+        )
+        for name, comparison in sorted(report.comparisons.items()):
+            table.add_row(
+                name,
+                f"{comparison.baseline_wall_s:.6f}",
+                f"{comparison.fresh_wall_s:.6f}",
+                f"{comparison.ratio:.2f}x",
+                "REGRESSED" if comparison.regressed
+                else ("skipped" if "skipped" in comparison.note else "ok"),
+            )
+        print(table.render())
+        if not args.no_trajectory:
+            print(f"trajectory appended: {args.trajectory}")
+        print("verdict: " + ("REGRESSED" if report.regressed else "ok"))
+    return 1 if report.regressed else 0
+
+
 def cmd_benchmarks(_args) -> int:
     table = Table(["name", "cells", "patterns", "|T_D|", "X%"],
                   title="available benchmark profiles")
@@ -885,6 +1014,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable output")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "trace",
+        help="run traced requests and export Chrome trace-event JSON "
+             "(docs/observability.md)",
+    )
+    p.add_argument("--connect", metavar="HOST:PORT", default=None,
+                   help="use a running serve instance instead of spinning "
+                        "an in-process service")
+    p.add_argument("--circuit", default="s27")
+    p.add_argument("--k", type=int, default=8)
+    p.add_argument("--requests", type=int, default=2,
+                   help="traced requests to issue before exporting "
+                        "(0 fetches only what is already recorded)")
+    p.add_argument("--executor", choices=["process", "thread", "inline"],
+                   default="process",
+                   help="executor of the in-process service (ignored with "
+                        "--connect)")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--limit", type=int, default=16,
+                   help="most-recent traces to export")
+    p.add_argument("--trace-id", default=None,
+                   help="export one specific trace by id")
+    p.add_argument("--format", choices=["chrome", "json"], default="chrome",
+                   help="chrome: trace-event JSON for Perfetto / "
+                        "chrome://tracing; json: the raw trace-op result")
+    p.add_argument("-o", "--output", default=None,
+                   help="write here instead of stdout")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "regress",
+        help="perf-regression gate: fresh profile runs vs a committed "
+             "BENCH_*.json baseline (docs/observability.md)",
+    )
+    p.add_argument("--baseline", default="BENCH_obs.json")
+    p.add_argument("--circuit", default=None,
+                   help="profile target (default: the baseline's)")
+    p.add_argument("--k", type=int, default=None,
+                   help="block size (default: the baseline's)")
+    p.add_argument("--tolerance", type=float, default=1.0,
+                   help="allowed fractional slowdown before the gate trips "
+                        "(1.0 = fresh may take up to 2x the baseline)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="fresh runs feeding the per-scenario median")
+    p.add_argument("--scenario", nargs="+", default=None,
+                   help="scenarios to run (default: those in the baseline)")
+    p.add_argument("--trajectory", default="BENCH_trajectory.json",
+                   help="history file the run is appended to")
+    p.add_argument("--no-trajectory", action="store_true",
+                   help="skip appending this run to the trajectory file")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.set_defaults(func=cmd_regress)
 
     p = sub.add_parser("benchmarks", help="list benchmark profiles")
     p.set_defaults(func=cmd_benchmarks)

@@ -46,6 +46,19 @@ class StreamError(ValueError):
         self.bit_offset = bit_offset
         self.block_index = block_index
         self.frame_index = frame_index
+        # Every stream failure is a structured log event with its full
+        # localization context.  The obs.log switch is checked first so
+        # the disabled cost is one flag read; recovery paths that raise
+        # and swallow many of these per decode still log each (that is
+        # the point — silent recovery is how corruption hides).
+        from ..obs import log as _log
+
+        if _log.enabled():
+            _log.warning(
+                "stream.error", type=type(self).__name__, message=message,
+                bit_offset=bit_offset, block_index=block_index,
+                frame_index=frame_index,
+            )
 
     def __str__(self) -> str:
         context = []

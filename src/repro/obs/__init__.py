@@ -40,7 +40,18 @@ from .metrics import (
     MetricsRegistry,
     render_prometheus_text,
 )
-from .tracing import NULL_SPAN, SpanNode, Tracer, get_tracer, span, traced
+from . import log
+from .tracing import (
+    NULL_SPAN,
+    SpanNode,
+    Tracer,
+    capture_events,
+    chrome_trace,
+    get_tracer,
+    mint_trace_id,
+    span,
+    traced,
+)
 
 #: The process-wide registry every instrumented module records into.
 _registry = MetricsRegistry()
@@ -112,4 +123,8 @@ __all__ = [
     "SpanNode",
     "Tracer",
     "NULL_SPAN",
+    "capture_events",
+    "chrome_trace",
+    "mint_trace_id",
+    "log",
 ]

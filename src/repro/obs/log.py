@@ -1,0 +1,184 @@
+"""Structured JSON event logging with request-ID correlation.
+
+One event is one JSON object on one line: ``{"ts": ..., "level": ...,
+"event": ..., <bound context>, <event fields>}``.  Events are *named*
+(``serve.shed``, ``campaign.trial``, ``stream.error``) rather than
+free-text, so a fleet's logs are greppable and machine-parseable
+without regexes.
+
+Correlation rides on a :mod:`contextvars` context: :func:`bind`
+attaches fields (``request_id``, ``trace_id``, ``op``) to everything
+logged inside its scope — including across ``await`` boundaries, since
+contextvars follow asyncio tasks.  The serving layer binds once per
+request; every shed/retry/breaker/degradation event then carries the
+request id for free.
+
+Logging is **off by default** and costs one flag check when off, the
+same discipline as the metrics/tracing switch (``REPRO_OBS``).  Enable
+with ``REPRO_LOG=1`` (or ``REPRO_LOG=debug`` etc. to pick a level), or
+programmatically via :func:`configure` / :func:`log_scope`.  Output
+goes to ``sys.stderr`` by default — never stdout, which the CLI owns
+for ``--json`` payloads.  :func:`capture` redirects events to an
+in-memory list for tests and the trace CLI.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import io
+import json
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, TextIO
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+#: Bound correlation fields for the current (async) context.
+_context: contextvars.ContextVar[Dict[str, Any]] = contextvars.ContextVar(
+    "repro_log_context", default={}
+)
+
+_lock = threading.Lock()
+
+
+class _LogState:
+    """Process-local switch + sink, initialized from ``REPRO_LOG``."""
+
+    __slots__ = ("enabled", "threshold", "stream")
+
+    def __init__(self) -> None:
+        raw = os.environ.get("REPRO_LOG", "").strip().lower()
+        self.enabled = raw not in ("", "0", "false", "off")
+        self.threshold = LEVELS.get(raw, LEVELS["info"])
+        self.stream: Optional[TextIO] = None  # None -> sys.stderr at emit
+
+
+_state = _LogState()
+
+
+def enabled() -> bool:
+    """Whether structured logging is currently on."""
+    return _state.enabled
+
+
+def configure(enabled: Optional[bool] = None, level: Optional[str] = None,
+              stream: Optional[TextIO] = None) -> None:
+    """Adjust the switch, minimum level, and/or output stream."""
+    if enabled is not None:
+        _state.enabled = enabled
+    if level is not None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        _state.threshold = LEVELS[level]
+    if stream is not None:
+        _state.stream = stream
+
+
+@contextmanager
+def log_scope(enabled: bool = True, level: str = "info") -> Iterator[None]:
+    """Temporarily force the logging switch (tests, CLI verbose modes)."""
+    prev_enabled, prev_threshold = _state.enabled, _state.threshold
+    configure(enabled=enabled, level=level)
+    try:
+        yield
+    finally:
+        _state.enabled, _state.threshold = prev_enabled, prev_threshold
+
+
+@contextmanager
+def bind(**fields: Any) -> Iterator[None]:
+    """Attach correlation fields to every event logged in this scope."""
+    current = _context.get()
+    token = _context.set({**current, **fields})
+    try:
+        yield
+    finally:
+        _context.reset(token)
+
+
+def bound_fields() -> Dict[str, Any]:
+    """The correlation fields currently in scope (a copy)."""
+    return dict(_context.get())
+
+
+def log(level: str, event: str, **fields: Any) -> None:
+    """Emit one structured event if the switch and level allow it.
+
+    Bound context fields come first; explicit ``fields`` override them
+    on key collision.  Non-JSON-serializable values fall back to
+    ``str``; one malformed field never loses the event.
+    """
+    if not _state.enabled:
+        return
+    severity = LEVELS.get(level, LEVELS["info"])
+    if severity < _state.threshold:
+        return
+    record: Dict[str, Any] = {"ts": round(time.time(), 6), "level": level,
+                              "event": event}
+    record.update(_context.get())
+    record.update(fields)
+    line = json.dumps(record, default=str, sort_keys=False)
+    stream = _state.stream if _state.stream is not None else sys.stderr
+    with _lock:
+        try:
+            stream.write(line + "\n")
+            stream.flush()
+        except (ValueError, OSError):
+            pass  # closed stream at interpreter teardown: drop, don't raise
+
+
+def debug(event: str, **fields: Any) -> None:
+    """``log("debug", ...)``."""
+    log("debug", event, **fields)
+
+
+def info(event: str, **fields: Any) -> None:
+    """``log("info", ...)``."""
+    log("info", event, **fields)
+
+
+def warning(event: str, **fields: Any) -> None:
+    """``log("warning", ...)``."""
+    log("warning", event, **fields)
+
+
+def error(event: str, **fields: Any) -> None:
+    """``log("error", ...)``."""
+    log("error", event, **fields)
+
+
+class _RecordSink(io.TextIOBase):
+    """Stream adapter parsing each emitted line back into a dict."""
+
+    def __init__(self, records: List[dict]):
+        super().__init__()
+        self._records = records
+
+    def write(self, text: str) -> int:
+        for line in text.splitlines():
+            if line.strip():
+                self._records.append(json.loads(line))
+        return len(text)
+
+    def flush(self) -> None:
+        return None
+
+
+@contextmanager
+def capture(level: str = "debug") -> Iterator[List[dict]]:
+    """Capture events into a live list of parsed dicts (enables logging).
+
+    The previous switch, level and stream are restored on exit; the
+    yielded list fills as events are emitted, so assertions inside the
+    scope see them immediately.
+    """
+    records: List[dict] = []
+    prev = (_state.enabled, _state.threshold, _state.stream)
+    configure(enabled=True, level=level, stream=_RecordSink(records))
+    try:
+        yield records
+    finally:
+        _state.enabled, _state.threshold, _state.stream = prev

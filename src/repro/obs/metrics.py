@@ -119,6 +119,36 @@ class Histogram:
             buckets["+inf"] = self.overflow
             return {"buckets": buckets, "count": self.count, "sum": self.sum}
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated ``q``-quantile of the observed values.
+
+        Linear interpolation inside the containing bucket, Prometheus
+        ``histogram_quantile`` style: the first bucket's lower edge is
+        0, and any mass in the ``+inf`` bucket clamps to the last
+        finite bound (the histogram does not know how far overflow
+        observations went).  Returns 0.0 on an empty histogram.
+        Accuracy is bounded by bucket width — callers pick bounds to
+        match the latency range they care about.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"histogram {self.name}: quantile {q} not in [0, 1]")
+        with self._lock:
+            total = self.count
+            if total == 0:
+                return 0.0
+            target = q * total
+            cumulative = 0
+            for index, bucket_count in enumerate(self.counts):
+                if cumulative + bucket_count >= target:
+                    lower = float(self.bounds[index - 1]) if index else 0.0
+                    upper = float(self.bounds[index])
+                    if bucket_count == 0:
+                        return upper
+                    fraction = (target - cumulative) / bucket_count
+                    return lower + fraction * (upper - lower)
+                cumulative += bucket_count
+            return float(self.bounds[-1])
+
 
 class MetricsRegistry:
     """Name -> instrument store with get-or-create accessors."""
@@ -232,6 +262,13 @@ def _expo_name(name: str) -> str:
     return expo
 
 
+def _expo_label_value(value: str) -> str:
+    """Escape a label value per the exposition format (``\\``, ``"``, LF)."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
 def _expo_value(value: Number) -> str:
     """Render a sample value; integers stay integral for readability."""
     if isinstance(value, bool):
@@ -250,28 +287,42 @@ def render_prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
     in sorted order, so output is diff-stable.  When ``registry`` is
     omitted the process-wide registry is rendered — this is exactly
     what the serving layer's ``metrics`` handler returns.
+
+    Two distinct registry names that sanitize to the same exposition
+    name (``serve.shed`` vs ``serve/shed``) would otherwise emit
+    duplicate series; collisions get a ``_2``, ``_3``… suffix so every
+    sample keeps its own identity.  Label values go through
+    :func:`_expo_label_value`.
     """
     if registry is None:
         from . import get_registry
 
         registry = get_registry()
     snapshot = registry.snapshot()
+    used: Dict[str, int] = {}
+
+    def unique(name: str) -> str:
+        expo = _expo_name(name)
+        seen = used.get(expo, 0)
+        used[expo] = seen + 1
+        return expo if seen == 0 else f"{expo}_{seen + 1}"
+
     lines: list = []
     for name, value in sorted(snapshot["counters"].items()):
-        expo = _expo_name(name)
+        expo = unique(name)
         lines.append(f"# TYPE {expo} counter")
         lines.append(f"{expo} {_expo_value(value)}")
     for name, value in sorted(snapshot["gauges"].items()):
-        expo = _expo_name(name)
+        expo = unique(name)
         lines.append(f"# TYPE {expo} gauge")
         lines.append(f"{expo} {_expo_value(value)}")
     for name, state in sorted(snapshot["histograms"].items()):
-        expo = _expo_name(name)
+        expo = unique(name)
         lines.append(f"# TYPE {expo} histogram")
         cumulative = 0
         for edge, count in state["buckets"].items():
             cumulative += count
-            le = "+Inf" if edge == "+inf" else edge[2:]
+            le = "+Inf" if edge == "+inf" else _expo_label_value(edge[2:])
             lines.append(f'{expo}_bucket{{le="{le}"}} {cumulative}')
         lines.append(f"{expo}_sum {_expo_value(state['sum'])}")
         lines.append(f"{expo}_count {state['count']}")

@@ -73,10 +73,13 @@ SCHEMA_VERSION = 1
 DEFAULT_SESSION_CIRCUIT = "g64"
 
 #: Keys whose values are timing-dependent; everything else in a baseline
-#: must be bit-identical between two runs of the same profile.
+#: must be bit-identical between two runs of the same profile.  The
+#: trailing group belongs to the ``BENCH_trajectory.json`` entries the
+#: regression gate appends (:mod:`repro.obs.regress`), which share this
+#: scrubbing discipline.
 VOLATILE_KEYS = frozenset(
     {"wall_s", "bits_per_s", "reference_wall_s", "vectorized_wall_s",
-     "speedup"}
+     "speedup", "baseline_wall_s", "fresh_wall_s", "ratio", "timestamp"}
 )
 
 

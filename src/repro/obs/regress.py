@@ -1,0 +1,366 @@
+"""Noise-aware perf-regression gate over committed ``BENCH_*.json``.
+
+The repo commits perf baselines (``BENCH_obs.json``) but, before this
+module, nothing *compared* against them — a PR could halve the encode
+fast path's speedup and every correctness test would stay green.  The
+gate closes that hole:
+
+1. load + schema-validate the committed baseline,
+2. run ``run_profile`` freshly ``repeats`` times on the same target,
+3. per scenario, compare the **median** fresh wall time against the
+   baseline's wall time with a tolerance band — fresh is a regression
+   when ``fresh > baseline * (1 + tolerance)``,
+4. optionally append the comparison to ``BENCH_trajectory.json`` so
+   the bench history finally accumulates across PRs,
+5. exit nonzero (via the CLI) on any regression.
+
+Noise handling is deliberate and explicit: wall clocks on shared CI
+runners are noisy, so the gate takes medians over repeats (min-repeat
+discipline) and a wide default tolerance; the committed defaults catch
+order-of-magnitude regressions (a lost fast path), not 5 % drifts.
+Speedup claims (``encode_fastpath`` / decode ``extra.speedup``) are
+checked the same way on the ratio, which is self-normalizing and much
+less machine-dependent than absolute wall time.
+
+``BENCH_trajectory.json`` schema (:data:`TRAJECTORY_SCHEMA_VERSION`)::
+
+    {"schema_version": 1,
+     "entries": [{"timestamp": ..., "target": ..., "k": ...,
+                  "tolerance": ..., "repeats": ..., "regressed": ...,
+                  "scenarios": {name: {"baseline_wall_s": ...,
+                                       "fresh_wall_s": ...,
+                                       "ratio": ...,
+                                       "regressed": ...}}}, ...]}
+
+Timing fields in an entry are in :data:`~repro.obs.profile.VOLATILE_KEYS`,
+so :func:`~repro.obs.profile.scrub_volatile` applies to trajectories
+exactly as it does to baselines.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import median
+from typing import Dict, List, Optional, Sequence, Union
+
+from . import log as _log
+from .profile import (
+    DEFAULT_BASELINE_PATH,
+    SCENARIOS,
+    load_baseline,
+    run_profile,
+    validate_baseline,
+)
+
+#: Trajectory file the gate appends to (committed alongside baselines).
+DEFAULT_TRAJECTORY_PATH = "BENCH_trajectory.json"
+
+#: Bump when the trajectory layout changes shape.
+TRAJECTORY_SCHEMA_VERSION = 1
+
+#: Default tolerance band: fresh wall time may exceed the baseline by
+#: up to 100 % before the gate trips.  Wide on purpose — the gate hunts
+#: lost fast paths and quadratic blowups across heterogeneous machines,
+#: not single-digit drift.
+DEFAULT_TOLERANCE = 1.0
+
+#: Default fresh-run repeats feeding the median.
+DEFAULT_REPEATS = 3
+
+
+@dataclass
+class ScenarioComparison:
+    """One scenario's baseline-vs-fresh verdict."""
+
+    scenario: str
+    baseline_wall_s: float
+    fresh_wall_s: float
+    tolerance: float
+    regressed: bool
+    note: str = ""
+
+    @property
+    def ratio(self) -> float:
+        """fresh / baseline wall time (> 1 means slower than baseline)."""
+        if self.baseline_wall_s <= 0:
+            return 0.0
+        return self.fresh_wall_s / self.baseline_wall_s
+
+    def to_dict(self) -> dict:
+        out = {
+            "baseline_wall_s": self.baseline_wall_s,
+            "fresh_wall_s": self.fresh_wall_s,
+            "ratio": self.ratio,
+            "regressed": self.regressed,
+        }
+        if self.note:
+            out["note"] = self.note
+        return out
+
+
+@dataclass
+class RegressReport:
+    """A full gate run: per-scenario comparisons plus run parameters."""
+
+    target: str
+    k: int
+    tolerance: float
+    repeats: int
+    baseline_path: str
+    comparisons: Dict[str, ScenarioComparison] = field(default_factory=dict)
+
+    @property
+    def regressed(self) -> bool:
+        """True when any scenario tripped the gate."""
+        return any(c.regressed for c in self.comparisons.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "k": self.k,
+            "tolerance": self.tolerance,
+            "repeats": self.repeats,
+            "baseline_path": self.baseline_path,
+            "regressed": self.regressed,
+            "environment": {
+                "python": platform.python_version(),
+                "implementation": platform.python_implementation(),
+            },
+            "scenarios": {
+                name: comparison.to_dict()
+                for name, comparison in sorted(self.comparisons.items())
+            },
+        }
+
+    def trajectory_entry(self) -> dict:
+        """The entry :func:`append_trajectory` records for this run."""
+        return {
+            "timestamp": round(time.time(), 3),
+            "target": self.target,
+            "k": self.k,
+            "tolerance": self.tolerance,
+            "repeats": self.repeats,
+            "regressed": self.regressed,
+            "scenarios": {
+                name: comparison.to_dict()
+                for name, comparison in sorted(self.comparisons.items())
+            },
+        }
+
+
+def compare_to_baseline(baseline: dict, fresh_runs: Sequence[dict],
+                        tolerance: float = DEFAULT_TOLERANCE,
+                        ) -> Dict[str, ScenarioComparison]:
+    """Compare fresh profile dicts against a committed baseline.
+
+    ``fresh_runs`` are ``ProfileReport.to_dict()`` payloads from
+    repeated runs of the same profile; the median wall time per
+    scenario is what faces the tolerance band.  Scenarios present in
+    only one side are skipped with a note (a new scenario has no
+    baseline yet; a retired one has no fresh data) — the gate judges
+    only what both sides measured.  Speedup ratios, when both sides
+    carry them, regress when the fresh median falls below
+    ``baseline_speedup * (1 - min(tolerance, 0.9))``.
+    """
+    if not fresh_runs:
+        raise ValueError("compare_to_baseline: no fresh runs supplied")
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    comparisons: Dict[str, ScenarioComparison] = {}
+    base_scenarios = baseline.get("scenarios", {})
+    fresh_scenarios = [run.get("scenarios", {}) for run in fresh_runs]
+
+    for name, base in sorted(base_scenarios.items()):
+        walls = [s[name]["wall_s"] for s in fresh_scenarios if name in s]
+        if not walls:
+            comparisons[name] = ScenarioComparison(
+                scenario=name, baseline_wall_s=base.get("wall_s", 0.0),
+                fresh_wall_s=0.0, tolerance=tolerance, regressed=False,
+                note="not measured in fresh runs; skipped",
+            )
+            continue
+        base_wall = float(base.get("wall_s", 0.0))
+        fresh_wall = float(median(walls))
+        regressed = base_wall > 0 and fresh_wall > base_wall * (1 + tolerance)
+        note = ""
+        if regressed:
+            note = (f"median wall {fresh_wall:.6f}s exceeds baseline "
+                    f"{base_wall:.6f}s by more than {tolerance:.0%}")
+        comparisons[name] = ScenarioComparison(
+            scenario=name, baseline_wall_s=base_wall,
+            fresh_wall_s=fresh_wall, tolerance=tolerance,
+            regressed=regressed, note=note,
+        )
+
+    # Speedup guards: ratios are machine-normalized, so a collapsed
+    # fast path shows up here even when absolute walls are incomparable.
+    floor = 1.0 - min(tolerance, 0.9)
+    for key, label in (("encode_fastpath", "encode_fastpath"),):
+        base_fp = baseline.get(key) or {}
+        fresh_speedups = [run[key]["speedup"] for run in fresh_runs
+                          if isinstance(run.get(key), dict)
+                          and "speedup" in run[key]]
+        if "speedup" not in base_fp or not fresh_speedups:
+            continue
+        base_speedup = float(base_fp["speedup"])
+        fresh_speedup = float(median(fresh_speedups))
+        regressed = base_speedup > 0 and fresh_speedup < base_speedup * floor
+        note = ""
+        if regressed:
+            note = (f"median speedup {fresh_speedup:.2f}x fell below "
+                    f"baseline {base_speedup:.2f}x by more than "
+                    f"{min(tolerance, 0.9):.0%}")
+        comparisons[label] = ScenarioComparison(
+            scenario=label, baseline_wall_s=base_speedup,
+            fresh_wall_s=fresh_speedup, tolerance=tolerance,
+            regressed=regressed,
+            note=note or "speedup ratio (baseline_wall_s/fresh_wall_s "
+                         "fields hold the speedups)",
+        )
+    return comparisons
+
+
+def run_regress(
+    baseline_path: Union[str, Path] = DEFAULT_BASELINE_PATH,
+    *,
+    target: Optional[str] = None,
+    k: Optional[int] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    repeats: int = DEFAULT_REPEATS,
+    scenarios: Optional[Sequence[str]] = None,
+    trajectory_path: Optional[Union[str, Path]] = DEFAULT_TRAJECTORY_PATH,
+) -> RegressReport:
+    """Run the full gate: load baseline, profile freshly, compare, append.
+
+    ``target``/``k`` default to what the baseline recorded, so the
+    fresh runs measure the same workload the baseline did.  Pass
+    ``trajectory_path=None`` to skip the history append (tests).
+    Raises ``ValueError`` on a missing or schema-invalid baseline.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    path = Path(baseline_path)
+    if not path.exists():
+        raise ValueError(f"baseline file not found: {path}")
+    baseline = load_baseline(path)
+    problems = validate_baseline(baseline)
+    if problems:
+        raise ValueError(
+            f"baseline {path} failed schema validation: {problems}"
+        )
+    target = target or baseline["target"]
+    k = k if k is not None else int(baseline["k"])
+    run_scenarios = tuple(
+        scenarios if scenarios is not None
+        else [s for s in SCENARIOS if s in baseline["scenarios"]]
+    )
+    _log.info("regress.start", target=target, k=k, tolerance=tolerance,
+              repeats=repeats, baseline=str(path))
+    fresh_runs = []
+    for attempt in range(repeats):
+        report = run_profile(target, k=k, scenarios=run_scenarios)
+        fresh_runs.append(report.to_dict())
+        _log.debug("regress.fresh_run", attempt=attempt + 1, repeats=repeats)
+
+    report = RegressReport(
+        target=target, k=k, tolerance=tolerance, repeats=repeats,
+        baseline_path=str(path),
+        comparisons=compare_to_baseline(baseline, fresh_runs, tolerance),
+    )
+    for name, comparison in sorted(report.comparisons.items()):
+        _log.log(
+            "warning" if comparison.regressed else "info",
+            "regress.scenario", scenario=name,
+            baseline_wall_s=comparison.baseline_wall_s,
+            fresh_wall_s=comparison.fresh_wall_s,
+            ratio=round(comparison.ratio, 4),
+            regressed=comparison.regressed,
+        )
+    if trajectory_path is not None:
+        append_trajectory(trajectory_path, report.trajectory_entry())
+    _log.info("regress.done", regressed=report.regressed)
+    return report
+
+
+# ----------------------------------------------------------------------
+# trajectory I/O + schema validation
+# ----------------------------------------------------------------------
+def _empty_trajectory() -> dict:
+    return {"schema_version": TRAJECTORY_SCHEMA_VERSION, "entries": []}
+
+
+def load_trajectory(
+    path: Union[str, Path] = DEFAULT_TRAJECTORY_PATH,
+) -> dict:
+    """Read a trajectory file; a missing file yields an empty skeleton.
+
+    An unreadable or schema-invalid file raises ``ValueError`` — the
+    history is append-only and silently replacing it would lose it.
+    """
+    target = Path(path)
+    if not target.exists():
+        return _empty_trajectory()
+    try:
+        payload = json.loads(target.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"trajectory {target} is not valid JSON: {exc}")
+    problems = validate_trajectory(payload)
+    if problems:
+        raise ValueError(
+            f"trajectory {target} failed schema validation: {problems}"
+        )
+    return payload
+
+
+def validate_trajectory(payload) -> List[str]:
+    """Schema-check a trajectory dict; returns a list of problems."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["trajectory must be a JSON object"]
+    if "schema_version" not in payload:
+        problems.append("missing top-level key 'schema_version'")
+    elif payload["schema_version"] != TRAJECTORY_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {payload['schema_version']} != "
+            f"{TRAJECTORY_SCHEMA_VERSION}"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        problems.append("'entries' must be a list")
+        return problems
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            problems.append(f"entry {index}: must be an object")
+            continue
+        for key in ("timestamp", "target", "k", "regressed", "scenarios"):
+            if key not in entry:
+                problems.append(f"entry {index}: missing key {key!r}")
+        scenarios = entry.get("scenarios")
+        if not isinstance(scenarios, dict):
+            if "scenarios" in entry:
+                problems.append(f"entry {index}: 'scenarios' must be an object")
+            continue
+        for name, record in scenarios.items():
+            for key in ("baseline_wall_s", "fresh_wall_s", "ratio",
+                        "regressed"):
+                if key not in record:
+                    problems.append(
+                        f"entry {index} scenario {name!r}: missing {key!r}"
+                    )
+    return problems
+
+
+def append_trajectory(path: Union[str, Path], entry: dict) -> Path:
+    """Append one gate run to the trajectory file (validated both ways)."""
+    target = Path(path)
+    payload = load_trajectory(target)
+    payload["entries"].append(entry)
+    problems = validate_trajectory(payload)
+    if problems:
+        raise ValueError(f"refusing to write invalid trajectory: {problems}")
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target

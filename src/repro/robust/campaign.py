@@ -16,6 +16,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from .. import obs as _obs
+from ..obs import log as _log
 from ..analysis.resilience import (
     ResilienceReport,
     TrialOutcome,
@@ -90,15 +91,29 @@ def run_campaign(
             frame_stream(session.encoding, blocks_per_frame)
             if framed else session.encoding.stream
         )
+        _log.info("campaign.start",
+                  circuit=circuit_name or getattr(netlist, "name", ""),
+                  k=k, channel=channel if channel_factory is None else "custom",
+                  framed=framed, error_rates=list(error_rates), trials=trials,
+                  stream_bits=len(base_stream))
         outcomes = []
         for rate_index, rate in enumerate(error_rates):
             for trial in range(trials):
                 trial_seed = seed + 7919 * rate_index + trial + 1
                 result = factory(rate, trial_seed).apply(base_stream)
-                outcomes.append(
-                    _run_trial(session, result, golden, rate, trial, framed,
-                               observe)
+                outcome = _run_trial(session, result, golden, rate, trial,
+                                     framed, observe)
+                outcomes.append(outcome)
+                _log.log(
+                    "error" if outcome.outcome == "silent_escape" else "debug",
+                    "campaign.trial", error_rate=rate, trial=trial,
+                    injections=outcome.injections, outcome=outcome.outcome,
                 )
+        _log.info("campaign.done", trials=len(outcomes), outcomes={
+            name: sum(1 for o in outcomes if o.outcome == name)
+            for name in ("clean", "detected_stream", "detected_signature",
+                         "silent_escape")
+        })
     if _obs.enabled():
         registry = _obs.get_registry()
         registry.counter("resilience.trials").inc(len(outcomes))

@@ -11,8 +11,9 @@ reopens it for a fresh ``recovery_s`` window.
 
 The clock is injected (any ``() -> float`` callable) so the state
 machine is testable without sleeping, and every transition is counted
-in the obs registry (``serve.breaker.opened`` etc.) plus kept in a
-local transition log the chaos suite asserts against.
+in the obs registry (``serve.breaker.opened`` etc.), emitted as a
+structured ``serve.breaker`` log event, and kept in a local transition
+log the chaos suite asserts against.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ import time
 from typing import Callable, Dict, Hashable, List, Tuple
 
 from .. import obs as _obs
+from ..obs import log as _log
 from ..core.errors import CircuitOpenError
 
 CLOSED = "closed"
@@ -81,6 +83,12 @@ class CircuitBreaker:
         self.transitions.append((self._clock(), from_state, to_state))
         if _obs.enabled():
             _obs.counter(f"serve.breaker.{to_state}").inc()
+        _log.log(
+            "warning" if to_state == OPEN else "info",
+            "serve.breaker", route=str(self.route),
+            from_state=from_state, to_state=to_state,
+            failures=self._consecutive_failures,
+        )
 
     def _maybe_half_open(self) -> None:
         if (self._state == OPEN

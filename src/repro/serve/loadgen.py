@@ -11,8 +11,10 @@ unflagged wrong answer, a lost request or an untyped failure is an
 invariant violation, and the CLI exits nonzero on any.
 
 Latency lands in a local :class:`~repro.obs.metrics.MetricsRegistry`
-histogram plus an exact per-request list for p50/p95/p99, and the
-result serializes through the ``BENCH_obs.json`` schema
+histogram whose bucket-interpolated ``quantile`` answers p50/p95/p99
+in O(buckets) memory regardless of run length — a million-request soak
+costs the same fixed footprint as a smoke run — and the result
+serializes through the ``BENCH_obs.json`` schema
 (:mod:`repro.obs.profile`) as a ``serve`` scenario — the same file
 format, validator and trajectory the rest of the bench suite uses.
 """
@@ -26,22 +28,12 @@ from typing import Awaitable, Callable, List, Optional
 
 from ..core.decoder import NineCDecoder
 from ..core.encoder import NineCEncoder
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import Histogram, MetricsRegistry
 from ..obs.profile import SCHEMA_VERSION
 from .service import LATENCY_BOUNDS_MS
 
 #: Client factory type: one fresh client per loadgen worker.
 ClientFactory = Callable[[], Awaitable[object]]
-
-
-def percentile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank percentile of an already-sorted sample (0 when empty)."""
-    if not sorted_values:
-        return 0.0
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"q must be in [0, 100], got {q}")
-    rank = max(1, -(-len(sorted_values) * q // 100))
-    return sorted_values[int(rank) - 1]
 
 
 @dataclass
@@ -55,7 +47,7 @@ class LoadReport:
     batch: int
     wall_s: float = 0.0
     bits: int = 0
-    latencies_ms: List[float] = field(default_factory=list)
+    latency: Optional[Histogram] = None
     ok: int = 0
     degraded: int = 0
     errors: int = 0
@@ -69,7 +61,7 @@ class LoadReport:
         return not self.violations
 
     def stats(self) -> dict:
-        ordered = sorted(self.latencies_ms)
+        hist = self.latency
         return {
             "requests": self.requests,
             "concurrency": self.concurrency,
@@ -78,9 +70,11 @@ class LoadReport:
             "degraded": self.degraded,
             "errors": self.errors,
             "shed": self.shed,
-            "p50_ms": percentile(ordered, 50),
-            "p95_ms": percentile(ordered, 95),
-            "p99_ms": percentile(ordered, 99),
+            "p50_ms": hist.quantile(0.50) if hist is not None else 0.0,
+            "p95_ms": hist.quantile(0.95) if hist is not None else 0.0,
+            "p99_ms": hist.quantile(0.99) if hist is not None else 0.0,
+            "mean_ms": (hist.sum / hist.count
+                        if hist is not None and hist.count else 0.0),
             "rps": self.requests / self.wall_s if self.wall_s > 0 else 0.0,
             "cache_hit_rate": self.cache.get("hit_rate", 0.0),
             "violations": len(self.violations),
@@ -157,7 +151,8 @@ async def run_loadgen(
     latency_hist = registry.histogram("loadgen.latency_ms",
                                       LATENCY_BOUNDS_MS)
     report = LoadReport(circuit=circuit, k=k, requests=requests,
-                        concurrency=concurrency, batch=batch)
+                        concurrency=concurrency, batch=batch,
+                        latency=latency_hist)
     counter = {"next": 0}
     crash_at = (set(range(requests // 3,
                           requests // 3 + inject_worker_crashes))
@@ -171,7 +166,6 @@ async def run_loadgen(
         return index
 
     def record(index: int, response: dict, latency_ms: float) -> None:
-        report.latencies_ms.append(latency_ms)
         latency_hist.observe(latency_ms)
         if not isinstance(response, dict) or "ok" not in response:
             report.violations.append(

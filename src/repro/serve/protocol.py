@@ -37,7 +37,7 @@ from ..core.errors import MalformedFrameError, ServeError
 
 #: Known operation names; the service rejects anything else up front.
 OPS = ("compress", "decompress", "profile", "resilience", "health",
-       "metrics", "chaos")
+       "metrics", "chaos", "trace")
 
 #: Hard per-frame byte ceiling: a slow-loris / runaway client sending an
 #: endless line is cut off instead of growing the read buffer forever.

@@ -25,6 +25,7 @@ import json
 from typing import Optional
 
 from ..core.errors import MalformedFrameError, ServeError
+from ..obs import log as _log
 from .protocol import MAX_FRAME_BYTES, encode_frame, error_response, parse_request
 from .service import CompressionService, ServiceConfig
 
@@ -71,6 +72,8 @@ class ServeServer:
                                  writer: asyncio.StreamWriter) -> None:
         write_lock = asyncio.Lock()
         tasks = set()
+        peer = writer.get_extra_info("peername")
+        _log.debug("serve.connection_open", peer=str(peer))
         try:
             while True:
                 try:
@@ -95,6 +98,8 @@ class ServeServer:
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
         finally:
+            _log.debug("serve.connection_close", peer=str(peer),
+                       inflight=len(tasks))
             for task in tasks:
                 task.cancel()
             writer.close()

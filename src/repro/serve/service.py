@@ -1,9 +1,9 @@
 """The compression service: handlers, worker pool, robustness ladder.
 
-:class:`CompressionService` answers the five public operations
+:class:`CompressionService` answers the public operations
 (``compress`` / ``decompress`` / ``profile`` / ``resilience`` /
-``health``, plus ``metrics`` and the opt-in ``chaos`` arm) defined by
-:mod:`repro.serve.protocol`.  CPU-bound encode/decode runs in an
+``health``, plus the ``metrics`` / ``trace`` control plane and the
+opt-in ``chaos`` arm) defined by :mod:`repro.serve.protocol`.  CPU-bound encode/decode runs in an
 executor (``process`` by default; ``thread`` and ``inline`` exist for
 tests and chaos experiments), through a robustness ladder applied in
 order on every request:
@@ -33,15 +33,32 @@ Compress requests are micro-batched: single-item requests on the same
 (K, codebook) route coalesce for ``batch_window_ms`` (or until
 ``max_batch``) and run as one worker call, amortizing dispatch and
 letting the worker-local :class:`PreparedArtifactCache` stay hot.
+
+Every data-plane request is traced end to end when observability is on
+(``enable_obs`` + ``trace_requests``): a :class:`RequestTrace` mints a
+trace id, opens a ``request.<op>`` root span, and collects
+``admission.wait`` / ``batch.wait`` / ``worker.<op>`` service spans;
+workers capture the library's own spans (``encode``,
+``decode.stream``) behind the ``capture`` flag and ship them back with
+results, where they are grafted into the request's tree — one merged
+trace per request even though the work crossed a process boundary.
+The last ``trace_capacity`` traces are served by the ``trace`` op and
+exported as Chrome trace-event JSON by ``repro-9c trace``.  Structured
+log events (:mod:`repro.obs.log`) fire at every ladder decision —
+shed, deadline, retry, breaker transition, degradation — correlated by
+the bound ``request_id``/``trace_id``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import contextvars
 import os
 import random
 import threading
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -49,6 +66,8 @@ from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from .. import obs as _obs
+from ..obs import log as _log
+from ..obs import tracing as _tracing
 from ..core.decoder import NineCDecoder
 from ..core.encoder import NineCEncoder
 from ..core.errors import (
@@ -94,82 +113,112 @@ def _cached_decoder(k: int) -> NineCDecoder:
     return _WORKER_CACHE.get_or_build(("decoder", k), build)
 
 
-def _worker_compress_batch(k: int, items: Sequence[str]) -> List[dict]:
+@contextlib.contextmanager
+def _capture_scope(capture: bool):
+    """Record this call's library spans when the caller asked for them.
+
+    Yields the capturing tracer (or ``None``).  Runs in the pool worker:
+    instrumentation is force-enabled for the duration and the spans go
+    into a thread-local tracer, so a thread-pool worker never pollutes
+    the service process's own aggregate tree.
+    """
+    if not capture:
+        yield None
+        return
+    with _obs.enabled_scope(True), _tracing.capture_events() as tracer:
+        yield tracer
+
+
+def _worker_compress_batch(k: int, items: Sequence[str],
+                           capture: bool = False) -> dict:
     """Encode every ternary string in ``items`` with one cached encoder.
 
     Per-item failures come back as ``{"error": ...}`` entries instead
     of exceptions so one bad item cannot poison its batch peers (and so
-    nothing exotic has to cross the pickle boundary).
+    nothing exotic has to cross the pickle boundary).  Returns
+    ``{"items": [...], "trace": events-or-None}``; with ``capture`` the
+    batch's span events (one ``encode`` per item) ride back for the
+    service to graft into the requesting traces.
     """
     from ..core.bitvec import TernaryVector
 
     encoder = _cached_encoder(k)
     results: List[dict] = []
-    for item in items:
-        try:
-            encoding = encoder.encode(TernaryVector(item))
-            results.append({
-                "stream": encoding.stream.to_string(),
-                "td_bits": encoding.original_length,
-                "te_bits": encoding.compressed_size,
-                "cr_percent": encoding.compression_ratio,
-                "leftover_x": encoding.leftover_x,
-            })
-        except ValueError as exc:
-            results.append({"error": {
-                "type": type(exc).__name__, "message": str(exc),
-            }})
-    return results
+    with _capture_scope(capture) as tracer:
+        for item in items:
+            try:
+                encoding = encoder.encode(TernaryVector(item))
+                results.append({
+                    "stream": encoding.stream.to_string(),
+                    "td_bits": encoding.original_length,
+                    "te_bits": encoding.compressed_size,
+                    "cr_percent": encoding.compression_ratio,
+                    "leftover_x": encoding.leftover_x,
+                })
+            except ValueError as exc:
+                results.append({"error": {
+                    "type": type(exc).__name__, "message": str(exc),
+                }})
+    return {"items": results,
+            "trace": tracer.events() if tracer is not None else None}
 
 
 def _worker_decompress(k: int, stream: str,
                        output_length: Optional[int],
                        mode: str, recover: bool,
-                       corrupt_fast: bool = False) -> dict:
+                       corrupt_fast: bool = False,
+                       capture: bool = False) -> dict:
     """Decode one stream; ``mode`` picks fast/reference/verify.
 
     ``verify`` runs both paths and reports a mismatch instead of
     trusting the fast path — the runtime differential contract.
     ``corrupt_fast`` is the chaos hook: it deliberately damages the
     fast path's output so the contract visibly trips.  Stream errors
-    are returned as data (see :func:`_worker_compress_batch`).
+    are returned as data (see :func:`_worker_compress_batch`).  With
+    ``capture`` the result carries the worker's span events under
+    ``"trace"`` (also on the stream-error path — a failing decode's
+    spans are exactly the ones worth seeing).
     """
     from ..core.bitvec import TernaryVector
 
     decoder = _cached_decoder(k)
     vector = TernaryVector(stream)
-    try:
-        if mode == "reference":
-            decoded = decoder.decode_reference(
-                vector, output_length, recover=recover
-            )
-            used = "reference"
-            mismatch = False
-        else:
-            decoded = decoder.decode_stream(
-                vector, output_length, recover=recover
-            )
-            used = "fast"
-            mismatch = False
-            if corrupt_fast and len(decoded) > 0:
-                damaged = decoded.data.copy()
-                damaged[0] ^= 1
-                decoded = TernaryVector(damaged)
-            if mode == "verify":
-                reference = decoder.decode_reference(
+    with _capture_scope(capture) as tracer:
+        try:
+            if mode == "reference":
+                decoded = decoder.decode_reference(
                     vector, output_length, recover=recover
                 )
-                if decoded != reference:
-                    decoded = reference
-                    used = "reference"
-                    mismatch = True
-    except StreamError as exc:
-        return {"stream_error": {
-            "type": type(exc).__name__,
-            "message": str(exc),
-            "bit_offset": exc.bit_offset,
-            "block_index": exc.block_index,
-        }}
+                used = "reference"
+                mismatch = False
+            else:
+                decoded = decoder.decode_stream(
+                    vector, output_length, recover=recover
+                )
+                used = "fast"
+                mismatch = False
+                if corrupt_fast and len(decoded) > 0:
+                    damaged = decoded.data.copy()
+                    damaged[0] ^= 1
+                    decoded = TernaryVector(damaged)
+                if mode == "verify":
+                    reference = decoder.decode_reference(
+                        vector, output_length, recover=recover
+                    )
+                    if decoded != reference:
+                        decoded = reference
+                        used = "reference"
+                        mismatch = True
+        except StreamError as exc:
+            return {
+                "stream_error": {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "bit_offset": exc.bit_offset,
+                    "block_index": exc.block_index,
+                },
+                "trace": tracer.events() if tracer is not None else None,
+            }
     diagnostics = decoder.last_diagnostics
     return {
         "data": decoded.to_string(),
@@ -178,14 +227,16 @@ def _worker_decompress(k: int, stream: str,
         "mismatch": mismatch,
         "recovered_errors": len(diagnostics.errors) if diagnostics else 0,
         "blocks_lost": diagnostics.blocks_lost if diagnostics else 0,
+        "trace": tracer.events() if tracer is not None else None,
     }
 
 
-def _worker_profile(k: int, data: str) -> dict:
+def _worker_profile(k: int, data: str, capture: bool = False) -> dict:
     """Size/statistics-only measurement of one stream (no encode)."""
     from ..core.bitvec import TernaryVector
 
-    measurement = _cached_encoder(k).measure(TernaryVector(data))
+    with _capture_scope(capture) as tracer:
+        measurement = _cached_encoder(k).measure(TernaryVector(data))
     return {
         "k": k,
         "td_bits": measurement.original_length,
@@ -199,11 +250,13 @@ def _worker_profile(k: int, data: str) -> dict:
                 measurement.case_counts.items(), key=lambda kv: kv[0].name
             ) if count
         },
+        "trace": tracer.events() if tracer is not None else None,
     }
 
 
 def _worker_resilience(circuit: str, k: int, error_rate: float,
-                       trials: int, channel: str, seed: int) -> dict:
+                       trials: int, channel: str, seed: int,
+                       capture: bool = False) -> dict:
     """One small channel-fault campaign (loaded via the worker cache)."""
     from ..circuits.library import load_circuit
     from ..robust.campaign import run_campaign
@@ -211,16 +264,18 @@ def _worker_resilience(circuit: str, k: int, error_rate: float,
     netlist = _WORKER_CACHE.get_or_build(
         ("netlist", circuit), lambda: load_circuit(circuit)
     )
-    report = run_campaign(
-        netlist, k=k, error_rates=(error_rate,), trials=trials,
-        channel=channel, seed=seed, circuit_name=circuit,
-    )
+    with _capture_scope(capture) as tracer:
+        report = run_campaign(
+            netlist, k=k, error_rates=(error_rate,), trials=trials,
+            channel=channel, seed=seed, circuit_name=circuit,
+        )
     return {
         "circuit": circuit,
         "k": k,
         "stream_bits": report.stream_bits,
         "detection_rate": report.overall_detection_rate,
         "silent_escape_rate": report.overall_silent_escape_rate,
+        "trace": tracer.events() if tracer is not None else None,
     }
 
 
@@ -252,6 +307,8 @@ class ServiceConfig:
     breaker_half_open_max: int = 1
     cache_capacity: int = 128
     enable_obs: bool = True            # a service wants its metrics on
+    trace_requests: bool = True        # per-request trace trees (needs obs)
+    trace_capacity: int = 64           # recent traces kept for the trace op
 
     def __post_init__(self):
         if self.executor not in ("process", "thread", "inline"):
@@ -330,16 +387,72 @@ class FaultPlan:
 
 
 # ----------------------------------------------------------------------
+# per-request tracing
+# ----------------------------------------------------------------------
+#: The request trace active in the current asyncio context, if any.
+#: Contextvars follow tasks, so everything awaited on behalf of one
+#: request — admission, batching, executor round-trips — sees its trace.
+_request_trace: contextvars.ContextVar[Optional["RequestTrace"]] = \
+    contextvars.ContextVar("repro_request_trace", default=None)
+
+
+class RequestTrace:
+    """One request's trace: a minted id plus an event-recording tracer."""
+
+    __slots__ = ("trace_id", "request_id", "op", "tracer", "started")
+
+    def __init__(self, request_id: str, op: str):
+        self.trace_id = _tracing.mint_trace_id()
+        self.request_id = request_id
+        self.op = op
+        self.tracer = _tracing.Tracer(record_events=True)
+        self.started = time.time()
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "request_id": self.request_id,
+            "op": self.op,
+            "started": self.started,
+            "events": self.tracer.events(),
+            "tree": self.tracer.tree(),
+        }
+
+
+class TraceStore:
+    """Bounded ring of recently completed request traces."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._traces: deque = deque(maxlen=max(1, capacity))
+        self.recorded = 0
+
+    def add(self, trace: RequestTrace) -> None:
+        self._traces.append(trace)
+        self.recorded += 1
+
+    def snapshot(self, limit: Optional[int] = None,
+                 trace_id: Optional[str] = None) -> List[dict]:
+        """Most-recent-first trace dicts, optionally filtered by id."""
+        traces = [t for t in reversed(self._traces)
+                  if trace_id is None or t.trace_id == trace_id]
+        if limit is not None:
+            traces = traces[:limit]
+        return [t.to_dict() for t in traces]
+
+
+# ----------------------------------------------------------------------
 # the service
 # ----------------------------------------------------------------------
 class _Batch:
     """One pending compress micro-batch on a route."""
 
-    __slots__ = ("items", "futures", "handle")
+    __slots__ = ("items", "futures", "traces", "handle")
 
     def __init__(self):
         self.items: List[str] = []
         self.futures: List[asyncio.Future] = []
+        self.traces: List[Optional[RequestTrace]] = []
         self.handle: Optional[asyncio.TimerHandle] = None
 
 
@@ -365,6 +478,7 @@ class CompressionService:
         self._route_counts: Dict[Tuple, int] = {}
         self._batches: Dict[Tuple, _Batch] = {}
         self._retry_rng = random.Random(self.config.retry.seed)
+        self.traces = TraceStore(self.config.trace_capacity)
         self._started = False
         self.totals = {
             "requests": 0, "ok": 0, "errors": 0, "degraded": 0,
@@ -379,6 +493,9 @@ class CompressionService:
                 _obs.enable()
             self._executor = self._new_executor()
             self._started = True
+            _log.info("serve.start", executor=self.config.executor,
+                      workers=self.config.workers, k=self.config.k,
+                      tracing=self._tracing_active())
         return self
 
     async def close(self) -> None:
@@ -390,6 +507,7 @@ class CompressionService:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
         self._started = False
+        _log.info("serve.close", totals=dict(self.totals))
 
     def _new_executor(self) -> Optional[Any]:
         if self.config.executor == "process":
@@ -415,6 +533,7 @@ class CompressionService:
             self.totals["worker_crashes"] += 1
             if _obs.enabled():
                 _obs.counter("serve.worker_crashes").inc()
+            _log.error("serve.worker_crash", generation=generation)
             await self._rebuild_executor(generation)
             raise WorkerCrashError(
                 "worker process pool broke during the call"
@@ -430,8 +549,28 @@ class CompressionService:
             if broken is not None:
                 broken.shutdown(wait=False, cancel_futures=True)
 
-    async def _run_job(self, route: Tuple, fn: Callable, *args) -> Any:
-        """breaker -> bounded retry -> executor, for one worker job."""
+    def _tracing_active(self) -> bool:
+        """Whether per-request trace trees are being recorded."""
+        return self.config.trace_requests and _obs.enabled()
+
+    def _req_span(self, name: str):
+        """A span on the current request's trace, or the shared no-op."""
+        trace = _request_trace.get()
+        if trace is None:
+            return _tracing.NULL_SPAN
+        return trace.tracer.span(name)
+
+    async def _run_job(self, route: Tuple, fn: Callable, *args,
+                       on_trace: Optional[Callable] = None) -> Any:
+        """breaker -> bounded retry -> executor, for one worker job.
+
+        Dict results may carry a ``"trace"`` event list from the worker
+        (see :func:`_capture_scope`); it is popped here — never leaked
+        into a response — and grafted into the current request's trace
+        under this job's ``worker.<op>`` span, or handed to ``on_trace``
+        when the caller routes it elsewhere (the batch seam, where one
+        worker call serves several requests).
+        """
         breaker = self.breakers.breaker(route)
         breaker.before_call()
 
@@ -451,17 +590,30 @@ class CompressionService:
             self.totals["retries"] += 1
             if _obs.enabled():
                 _obs.counter("serve.retries").inc()
+            _log.warning("serve.retry", route=list(route),
+                         attempt=attempt_index, error=exc.code)
 
-        try:
-            result = await run_with_retry(
-                attempt, self.config.retry,
-                rng=self._retry_rng, on_retry=count_retry,
-            )
-        except ServeError as exc:
-            if exc.retryable:
-                breaker.record_failure()
-            raise
-        breaker.record_success()
+        trace = _request_trace.get()
+        with (trace.tracer.span(f"worker.{route[0]}")
+              if trace is not None else _tracing.NULL_SPAN):
+            try:
+                result = await run_with_retry(
+                    attempt, self.config.retry,
+                    rng=self._retry_rng, on_retry=count_retry,
+                )
+            except ServeError as exc:
+                if exc.retryable:
+                    breaker.record_failure()
+                raise
+            breaker.record_success()
+            if isinstance(result, dict):
+                events = result.pop("trace", None)
+                if events:
+                    if on_trace is not None:
+                        on_trace(events)
+                    elif trace is not None:
+                        # anchored at the still-open worker span's start
+                        trace.tracer.graft_events(events)
         return result
 
     # -- admission + deadline wrapper -----------------------------------
@@ -477,29 +629,54 @@ class CompressionService:
         if _obs.enabled():
             _obs.counter("serve.requests").inc()
             _obs.counter(f"serve.requests.{request.op}").inc()
-        try:
-            response = await self._admit_and_dispatch(request)
-        except ServeError as exc:
-            self._count_response(ok=False, code=exc.code)
-            response = error_response(request.id, exc)
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:  # noqa: BLE001 - the contract boundary:
-            # no request may die without a typed response.
-            error = ServeError(
-                f"internal error: {type(exc).__name__}: {exc}"
-            )
-            self._count_response(ok=False, code=error.code)
-            response = error_response(request.id, error)
-        else:
-            self._count_response(
-                ok=True, degraded=bool(response.get("degraded"))
-            )
+        trace: Optional[RequestTrace] = None
+        if (self._tracing_active()
+                and request.op not in ("health", "metrics", "chaos", "trace")):
+            trace = RequestTrace(request.id, request.op)
+        bound = {"request_id": request.id, "op": request.op}
+        if trace is not None:
+            bound["trace_id"] = trace.trace_id
+        with _log.bind(**bound):
+            try:
+                response = await self._dispatch_traced(request, trace)
+            except ServeError as exc:
+                self._count_response(ok=False, code=exc.code)
+                _log.warning("serve.request_error", code=exc.code,
+                             message=str(exc))
+                response = error_response(request.id, exc)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - the contract boundary:
+                # no request may die without a typed response.
+                error = ServeError(
+                    f"internal error: {type(exc).__name__}: {exc}"
+                )
+                self._count_response(ok=False, code=error.code)
+                _log.error("serve.internal_error",
+                           type=type(exc).__name__, message=str(exc))
+                response = error_response(request.id, error)
+            else:
+                self._count_response(
+                    ok=True, degraded=bool(response.get("degraded"))
+                )
         if _obs.enabled():
             _obs.histogram("serve.latency_ms", LATENCY_BOUNDS_MS).observe(
                 (time.perf_counter() - started) * 1e3
             )
         return response
+
+    async def _dispatch_traced(self, request: Request,
+                               trace: Optional[RequestTrace]) -> dict:
+        """Run one request under its trace's root span (when traced)."""
+        if trace is None:
+            return await self._admit_and_dispatch(request)
+        token = _request_trace.set(trace)
+        try:
+            with trace.tracer.span(f"request.{request.op}"):
+                return await self._admit_and_dispatch(request)
+        finally:
+            _request_trace.reset(token)
+            self.traces.add(trace)
 
     def _coerce_request(self, payload) -> Request:
         if isinstance(payload, Request):
@@ -516,7 +693,7 @@ class CompressionService:
 
     async def _admit_and_dispatch(self, request: Request) -> dict:
         deadline_ms = request.deadline_ms or self.config.default_deadline_ms
-        if request.op in ("health", "metrics", "chaos"):
+        if request.op in ("health", "metrics", "chaos", "trace"):
             # the control plane must answer even under full load-shed
             return await asyncio.wait_for(
                 self._dispatch(request), timeout=deadline_ms / 1e3
@@ -525,6 +702,9 @@ class CompressionService:
             self.totals["shed"] += 1
             if _obs.enabled():
                 _obs.counter("serve.shed").inc()
+            _log.warning("serve.shed", inflight=self._inflight,
+                         waiting=self._waiting,
+                         max_queue=self.config.max_queue)
             raise ServiceOverloadedError(
                 "request shed: admission queue full",
                 inflight=self._inflight,
@@ -536,7 +716,9 @@ class CompressionService:
 
         async def admitted() -> dict:
             nonlocal dequeued
-            async with self._semaphore:
+            with self._req_span("admission.wait"):
+                await self._semaphore.acquire()
+            try:
                 self._waiting -= 1
                 dequeued = True
                 self._inflight += 1
@@ -544,6 +726,8 @@ class CompressionService:
                     return await self._dispatch(request)
                 finally:
                     self._inflight -= 1
+            finally:
+                self._semaphore.release()
 
         try:
             # the deadline covers queue wait *and* execution: a request
@@ -552,6 +736,7 @@ class CompressionService:
                 admitted(), timeout=deadline_ms / 1e3
             )
         except asyncio.TimeoutError:
+            _log.warning("serve.deadline", deadline_ms=deadline_ms)
             raise DeadlineExceededError(
                 "deadline elapsed", deadline_ms=deadline_ms, op=request.op
             ) from None
@@ -641,7 +826,14 @@ class CompressionService:
         return payload, False, ()
 
     async def _enqueue_compress(self, k: int, data: str) -> dict:
-        """Join the route's micro-batch; resolves to this item's result."""
+        """Join the route's micro-batch; resolves to this item's result.
+
+        A traced request registers its :class:`RequestTrace` with the
+        batch; when the shared worker call returns, the batch's span
+        events are grafted under this request's ``batch.wait`` span (a
+        member of a batch sees the whole batch's ``encode`` spans —
+        that *is* its latency story).
+        """
         route = ("compress", k)
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
@@ -650,6 +842,7 @@ class CompressionService:
             batch = self._batches[route] = _Batch()
         batch.items.append(data)
         batch.futures.append(future)
+        batch.traces.append(_request_trace.get())
         if len(batch.items) >= self.config.max_batch:
             self._flush_batch(route)
         elif batch.handle is None:
@@ -657,7 +850,12 @@ class CompressionService:
                 self.config.batch_window_ms / 1e3,
                 self._flush_batch, route,
             )
-        return await future
+        with self._req_span("batch.wait"):
+            result, events = await future
+            trace = _request_trace.get()
+            if trace is not None and events:
+                trace.tracer.graft_events(events)
+        return result
 
     def _flush_batch(self, route: Tuple) -> None:
         batch = self._batches.pop(route, None)
@@ -669,12 +867,22 @@ class CompressionService:
             _obs.histogram(
                 "serve.batch_size", (1, 2, 4, 8, 16, 32)
             ).observe(len(batch.items))
+        _log.debug("serve.batch", route=list(route), size=len(batch.items))
         asyncio.ensure_future(self._run_batch(route, batch))
 
     async def _run_batch(self, route: Tuple, batch: _Batch) -> None:
+        # This task inherits the context of whichever member triggered
+        # the flush; the batch belongs to all members equally, so drop
+        # the request trace — members graft the captured events under
+        # their own ``batch.wait`` spans instead.
+        _request_trace.set(None)
+        capture = any(trace is not None for trace in batch.traces)
+        captured: List[Optional[list]] = [None]
         try:
-            results = await self._run_job(
-                route, _worker_compress_batch, route[1], batch.items
+            payload = await self._run_job(
+                route, _worker_compress_batch, route[1], batch.items,
+                capture,
+                on_trace=lambda events: captured.__setitem__(0, events),
             )
         except BaseException as exc:  # noqa: BLE001 - fan the failure out
             # to every waiter; the batch seam must not swallow errors.
@@ -682,9 +890,9 @@ class CompressionService:
                 if not future.done():
                     future.set_exception(exc)
             return
-        for future, result in zip(batch.futures, results):
+        for future, result in zip(batch.futures, payload["items"]):
             if not future.done():
-                future.set_result(result)
+                future.set_result((result, captured[0]))
 
     # -- op: decompress -------------------------------------------------
     async def _op_decompress(self, params: dict):
@@ -713,16 +921,21 @@ class CompressionService:
             self._route_counts[route] = count
             every = self.config.differential_every
             mode = "verify" if every and count % every == 0 else "fast"
+        if mode == "verify":
+            _log.debug("serve.differential", route=list(route))
         corrupt = self.fault_plan.take(
             "decompress", kind="corrupt_fast"
         ) is not None
 
         result = await self._run_job(
             route, _worker_decompress, k, stream, output_length,
-            mode, recover, corrupt,
+            mode, recover, corrupt, _request_trace.get() is not None,
         )
         if "stream_error" in result:
             info = result["stream_error"]
+            _log.warning("serve.stream_error", type=info["type"],
+                         bit_offset=info["bit_offset"],
+                         block_index=info["block_index"])
             raise BadRequestError(
                 f"stream error: {info['message']}",
                 stream_error=info["type"],
@@ -737,6 +950,8 @@ class CompressionService:
             degraded = True
             if _obs.enabled():
                 _obs.counter("serve.fastpath_mismatches").inc()
+            _log.error("serve.fastpath_mismatch", route=list(route),
+                       action="route pinned to reference path")
         if result.get("recovered_errors") or result.get("blocks_lost"):
             flags.append("recovered_with_loss")
             degraded = True
@@ -753,7 +968,10 @@ class CompressionService:
         if circuit is not None:
             data = self._circuit_stream(str(circuit))
         route = ("profile", k)
-        result = await self._run_job(route, _worker_profile, k, str(data))
+        result = await self._run_job(
+            route, _worker_profile, k, str(data),
+            _request_trace.get() is not None,
+        )
         return result, False, ()
 
     # -- op: resilience -------------------------------------------------
@@ -793,6 +1011,7 @@ class CompressionService:
         result = await self._run_job(
             route, _worker_resilience, circuit, k,
             float(error_rate), trials, channel, seed,
+            _request_trace.get() is not None,
         )
         return result, False, ()
 
@@ -812,6 +1031,7 @@ class CompressionService:
                 for route in self._degraded_routes
             ),
             "chaos_pending": self.fault_plan.pending(),
+            "traces_recorded": self.traces.recorded,
         }
         return result, False, ()
 
@@ -819,6 +1039,29 @@ class CompressionService:
         from ..obs.metrics import render_prometheus_text
 
         return {"text": render_prometheus_text()}, False, ()
+
+    async def _op_trace(self, params: dict):
+        """Recent request traces (control plane, bypasses admission).
+
+        ``limit`` bounds how many most-recent traces come back;
+        ``trace_id`` filters to one.  Each trace carries both the raw
+        span events (Chrome-trace-ready via
+        :func:`repro.obs.tracing.chrome_trace`) and the aggregated tree.
+        """
+        limit = params.get("limit", 16)
+        if not isinstance(limit, int) or limit < 1:
+            raise BadRequestError("limit must be a positive integer",
+                                  got=repr(limit))
+        trace_id = params.get("trace_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise BadRequestError("trace_id must be a string")
+        result = {
+            "traces": self.traces.snapshot(limit=limit, trace_id=trace_id),
+            "recorded": self.traces.recorded,
+            "capacity": self.traces.capacity,
+            "tracing": self._tracing_active(),
+        }
+        return result, False, ()
 
     async def _op_chaos(self, params: dict):
         if not self.config.allow_chaos:

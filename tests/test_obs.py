@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import copy
+import json
 import time
 
 import numpy as np
@@ -10,6 +12,7 @@ import pytest
 from repro import obs
 from repro.core.bitvec import TernaryVector
 from repro.core.encoder import NineCEncoder
+from repro.obs import log as oblog
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.profile import (
     SCENARIOS,
@@ -17,7 +20,15 @@ from repro.obs.profile import (
     scrub_volatile,
     validate_baseline,
 )
-from repro.obs.tracing import Tracer, traced
+from repro.obs.regress import (
+    TRAJECTORY_SCHEMA_VERSION,
+    append_trajectory,
+    compare_to_baseline,
+    load_trajectory,
+    run_regress,
+    validate_trajectory,
+)
+from repro.obs.tracing import Tracer, capture_events, get_tracer, traced
 
 
 @pytest.fixture(autouse=True)
@@ -174,6 +185,423 @@ class TestTracing:
         with obs.span("visible"):
             pass
         assert "visible" in obs.get_tracer().tree()
+
+
+# ----------------------------------------------------------------------
+class TestHistogramQuantile:
+    def test_quantile_rejects_out_of_range(self):
+        hist = Histogram("h", (1, 2))
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_empty_histogram_returns_zero(self):
+        assert Histogram("h", (1, 2)).quantile(0.5) == 0.0
+
+    def test_quantile_interpolates_bucket_tops(self):
+        hist = Histogram("h", (1, 2, 4, 8))
+        for value in (0.5, 1.5, 3.0, 6.0):  # one per bucket
+            hist.observe(value)
+        assert hist.quantile(0.25) == 1.0
+        assert hist.quantile(0.50) == 2.0
+        assert hist.quantile(1.00) == 8.0
+
+    def test_quantile_interpolates_within_a_bucket(self):
+        hist = Histogram("h", (100,))
+        for _ in range(10):
+            hist.observe(50)
+        # all mass sits in [0, 100]; the median interpolates halfway
+        assert hist.quantile(0.5) == pytest.approx(50.0)
+        assert hist.quantile(0.1) == pytest.approx(10.0)
+
+    def test_overflow_clamps_to_top_bound(self):
+        hist = Histogram("h", (1, 2))
+        for _ in range(10):
+            hist.observe(100)
+        assert hist.quantile(0.99) == 2.0
+
+    def test_quantile_tracks_true_percentile_on_uniform_data(self):
+        bounds = tuple(range(10, 1010, 10))
+        hist = Histogram("h", bounds)
+        rng = np.random.default_rng(7)
+        values = rng.uniform(0, 1000, size=5_000)
+        for value in values:
+            hist.observe(value)
+        for q in (0.5, 0.95, 0.99):
+            true = float(np.quantile(values, q))
+            assert hist.quantile(q) == pytest.approx(true, rel=0.05)
+
+
+# ----------------------------------------------------------------------
+class TestInterleavedSpans:
+    """Non-LIFO span lifetimes, as interleaved asyncio handlers on one
+    loop thread produce: request A's span closes while request B's span
+    (opened later) is still running.  A pop-the-top stack would pop B's
+    frame when A exits, attributing B's remaining time to the wrong
+    parent and corrupting every span that follows."""
+
+    def test_out_of_order_close_keeps_stack_sane(self):
+        tracer = Tracer()
+        ctx_a = tracer.span("req.a")
+        ctx_b = tracer.span("req.b")
+        ctx_a.__enter__()
+        ctx_b.__enter__()                 # b nests under a
+        ctx_a.__exit__(None, None, None)  # a closes first (non-LIFO)
+        assert tracer.depth == 1          # b still open, untouched
+        ctx_b.__exit__(None, None, None)
+        assert tracer.depth == 0
+        tree = tracer.tree()
+        assert tree["req.a"]["calls"] == 1
+        assert tree["req.a"]["children"]["req.b"]["calls"] == 1
+        # the tracer stays usable: new spans attach at the root
+        with tracer.span("after"):
+            pass
+        assert "after" in tracer.tree()
+
+    def test_interleaved_events_keep_parent_links(self):
+        tracer = Tracer(record_events=True)
+        ctx_a = tracer.span("a")
+        ctx_b = tracer.span("b")
+        ctx_a.__enter__()
+        ctx_b.__enter__()
+        ctx_a.__exit__(None, None, None)
+        with tracer.span("c"):  # opens while only b remains open
+            pass
+        ctx_b.__exit__(None, None, None)
+        by_name = {ev["name"]: ev for ev in tracer.events()}
+        assert by_name["a"]["parent"] == 0
+        assert by_name["b"]["parent"] == by_name["a"]["id"]
+        assert by_name["c"]["parent"] == by_name["b"]["id"]
+
+    def test_pop_after_reset_is_a_noop(self):
+        tracer = Tracer()
+        ctx = tracer.span("orphan")
+        ctx.__enter__()
+        tracer.reset()
+        ctx.__exit__(None, None, None)  # frame gone: must not raise
+        assert tracer.depth == 0
+
+
+# ----------------------------------------------------------------------
+class TestSpanEvents:
+    def test_events_record_close_order_and_parents(self):
+        tracer = Tracer(record_events=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        events = tracer.events()
+        # children close before parents
+        assert [ev["name"] for ev in events] == ["inner", "outer"]
+        inner, outer = events
+        assert inner["parent"] == outer["id"]
+        assert outer["parent"] == 0
+        assert inner["ts"] >= outer["ts"]
+        assert inner["dur"] <= outer["dur"]
+
+    def test_event_cap_counts_drops_but_keeps_aggregate(self):
+        tracer = Tracer(record_events=True, max_events=3)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.events()) == 3
+        assert tracer.events_dropped == 2
+        assert tracer.tree()["s"]["calls"] == 5
+
+    def test_graft_events_rebases_ids_times_and_tree(self):
+        worker = Tracer(record_events=True)
+        with worker.span("worker.outer"):
+            with worker.span("worker.inner"):
+                pass
+        shipped = worker.events()
+
+        service = Tracer(record_events=True)
+        with service.span("request"):
+            assert service.graft_events(shipped, offset_s=1.0) == 2
+        # aggregate tree: worker subtree hangs under the request span
+        tree = service.tree()
+        outer = tree["request"]["children"]["worker.outer"]
+        assert outer["calls"] == 1
+        assert outer["children"]["worker.inner"]["calls"] == 1
+        # events: foreign ids remapped, foreign root re-parented onto
+        # the open request span, timestamps shifted by the anchor
+        by_name = {ev["name"]: ev for ev in service.events()}
+        assert by_name["worker.outer"]["parent"] == by_name["request"]["id"]
+        assert (by_name["worker.inner"]["parent"]
+                == by_name["worker.outer"]["id"])
+        assert by_name["worker.outer"]["ts"] >= 1.0
+
+    def test_graft_defaults_to_current_span_start_anchor(self):
+        service = Tracer(record_events=True)
+        worker = Tracer(record_events=True)
+        with worker.span("work"):
+            time.sleep(0.001)
+        with service.span("request"):
+            time.sleep(0.001)
+            anchor = service.current_span_start_s()
+            service.graft_events(worker.events())
+        by_name = {ev["name"]: ev for ev in service.events()}
+        # the grafted span cannot start before its enclosing span did
+        assert by_name["work"]["ts"] >= anchor
+        assert by_name["work"]["ts"] >= by_name["request"]["ts"]
+
+    def test_chrome_trace_structure(self):
+        tracer = Tracer(record_events=True)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        doc = tracer.to_chrome_trace(name="req-1")
+        assert doc["displayTimeUnit"] == "ms"
+        meta = [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
+        spans = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        assert meta[0]["args"]["name"] == "req-1"
+        assert {ev["name"] for ev in spans} == {"a", "b"}
+        lane_a = next(ev for ev in spans if ev["name"] == "a")
+        lane_b = next(ev for ev in spans if ev["name"] == "b")
+        assert lane_a["ts"] <= lane_b["ts"]  # parent opened first
+        for ev in spans:
+            assert ev["ts"] >= 0 and ev["dur"] >= 0
+        json.dumps(doc)  # must be plain-JSON serializable
+
+    def test_capture_events_isolates_worker_thread(self):
+        import threading
+
+        obs.enable()
+        main_tracer = obs.get_tracer()
+        seen: dict = {}
+
+        def worker():
+            with capture_events() as tracer:
+                assert get_tracer() is tracer
+                with obs.span("worker.only"):
+                    pass
+                seen["events"] = tracer.events()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert [ev["name"] for ev in seen["events"]] == ["worker.only"]
+        # the process-wide tracer never saw the captured span, and the
+        # worker thread's override did not leak into this thread
+        assert "worker.only" not in main_tracer.tree()
+        assert obs.get_tracer() is main_tracer
+
+
+# ----------------------------------------------------------------------
+class TestStructuredLog:
+    def test_off_by_default_and_capture_restores(self):
+        assert not oblog.enabled()
+        oblog.info("should.vanish")  # disabled: silent no-op
+        with oblog.capture() as records:
+            oblog.info("hello", x=1)
+            # the list fills live, inside the with-block
+            assert records[-1]["event"] == "hello"
+            assert records[-1]["x"] == 1
+            assert records[-1]["level"] == "info"
+            assert "ts" in records[-1]
+        assert not oblog.enabled()
+
+    def test_level_threshold_filters(self):
+        with oblog.capture(level="warning") as records:
+            oblog.debug("d")
+            oblog.info("i")
+            oblog.warning("w")
+            oblog.error("e")
+        assert [r["event"] for r in records] == ["w", "e"]
+
+    def test_bind_correlation_nesting_and_override(self):
+        with oblog.capture() as records:
+            with oblog.bind(request_id="r1", op="compress"):
+                oblog.info("inner")
+                with oblog.bind(op="decompress"):
+                    oblog.info("nested", op="explicit")
+            oblog.info("outer")
+        inner, nested, outer = records
+        assert inner["request_id"] == "r1" and inner["op"] == "compress"
+        assert nested["request_id"] == "r1"
+        assert nested["op"] == "explicit"  # call-site fields win
+        assert "request_id" not in outer   # bind scope ended
+
+    def test_non_serializable_field_falls_back_to_str(self):
+        with oblog.capture() as records:
+            oblog.info("obj", thing=object())
+        assert records[0]["thing"].startswith("<object object")
+
+    def test_configure_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            oblog.configure(level="loud")
+
+    def test_stream_error_logs_localization_context(self):
+        from repro.core.errors import CodewordDesyncError
+
+        with oblog.capture() as records:
+            with pytest.raises(CodewordDesyncError):
+                raise CodewordDesyncError("lost sync", bit_offset=17,
+                                          block_index=2)
+        assert records[0]["event"] == "stream.error"
+        assert records[0]["level"] == "warning"
+        assert records[0]["type"] == "CodewordDesyncError"
+        assert records[0]["bit_offset"] == 17
+        assert records[0]["block_index"] == 2
+
+    def test_stream_error_is_silent_when_logging_off(self):
+        from repro.core.errors import TruncatedStreamError
+
+        assert not oblog.enabled()
+        with pytest.raises(TruncatedStreamError):
+            raise TruncatedStreamError("short", bit_offset=3)
+
+
+# ----------------------------------------------------------------------
+def _profile_dict():
+    return run_profile("s27", scenarios=("compress",),
+                       fastpath_compare=False).to_dict()
+
+
+class TestRegressGate:
+    def test_self_comparison_passes(self):
+        base = _profile_dict()
+        comparisons = compare_to_baseline(base, [base], tolerance=0.5)
+        assert comparisons and not any(
+            c.regressed for c in comparisons.values()
+        )
+
+    def test_ten_x_degradation_trips_the_gate(self):
+        base = _profile_dict()
+        degraded = copy.deepcopy(base)
+        for record in degraded["scenarios"].values():
+            record["wall_s"] /= 10.0  # baseline pretends to be 10x faster
+        comparisons = compare_to_baseline(degraded, [base], tolerance=1.0)
+        assert comparisons["compress"].regressed
+        assert "exceeds baseline" in comparisons["compress"].note
+        assert comparisons["compress"].ratio > 2.0
+
+    def test_median_of_repeats_shrugs_off_one_outlier(self):
+        base = _profile_dict()
+        slow = copy.deepcopy(base)
+        slow["scenarios"]["compress"]["wall_s"] *= 100
+        comparisons = compare_to_baseline(base, [base, slow, base],
+                                          tolerance=0.5)
+        assert not comparisons["compress"].regressed
+
+    def test_scenario_missing_from_fresh_is_skipped_not_failed(self):
+        base = _profile_dict()
+        fresh = copy.deepcopy(base)
+        del fresh["scenarios"]["compress"]
+        comparisons = compare_to_baseline(base, [fresh])
+        assert comparisons["compress"].regressed is False
+        assert "skipped" in comparisons["compress"].note
+
+    def test_speedup_ratio_guard(self):
+        base = {"scenarios": {}, "encode_fastpath": {"speedup": 10.0}}
+        fine = {"scenarios": {}, "encode_fastpath": {"speedup": 9.0}}
+        collapsed = {"scenarios": {}, "encode_fastpath": {"speedup": 0.5}}
+        ok = compare_to_baseline(base, [fine], tolerance=0.5)
+        assert not ok["encode_fastpath"].regressed
+        bad = compare_to_baseline(base, [collapsed], tolerance=0.5)
+        assert bad["encode_fastpath"].regressed
+        assert "fell below" in bad["encode_fastpath"].note
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            compare_to_baseline({"scenarios": {}}, [{}], tolerance=-0.1)
+        with pytest.raises(ValueError):
+            compare_to_baseline({"scenarios": {}}, [])
+
+    def test_run_regress_end_to_end_appends_trajectory(self, tmp_path):
+        report = run_profile("s27", scenarios=("compress",),
+                             fastpath_compare=False)
+        baseline_path = report.write(tmp_path / "BENCH_obs.json")
+        trajectory_path = tmp_path / "BENCH_trajectory.json"
+        result = run_regress(baseline_path, repeats=1,
+                             scenarios=("compress",),
+                             trajectory_path=trajectory_path)
+        assert result.regressed is False
+        assert result.target == "s27"
+        payload = json.loads(trajectory_path.read_text())
+        assert validate_trajectory(payload) == []
+        assert len(payload["entries"]) == 1
+        entry = payload["entries"][0]
+        assert entry["target"] == "s27"
+        assert entry["scenarios"]["compress"]["regressed"] is False
+        # a second run appends, never overwrites
+        run_regress(baseline_path, repeats=1, scenarios=("compress",),
+                    trajectory_path=trajectory_path)
+        assert len(load_trajectory(trajectory_path)["entries"]) == 2
+
+    def test_run_regress_rejects_missing_or_invalid_baseline(self, tmp_path):
+        with pytest.raises(ValueError, match="not found"):
+            run_regress(tmp_path / "nope.json", repeats=1,
+                        trajectory_path=None)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema_version": 1}')
+        with pytest.raises(ValueError, match="schema"):
+            run_regress(bad, repeats=1, trajectory_path=None)
+
+    def test_run_regress_rejects_bad_repeats(self, tmp_path):
+        with pytest.raises(ValueError, match="repeats"):
+            run_regress(tmp_path / "whatever.json", repeats=0,
+                        trajectory_path=None)
+
+
+# ----------------------------------------------------------------------
+class TestTrajectorySchema:
+    def test_missing_file_yields_empty_skeleton(self, tmp_path):
+        payload = load_trajectory(tmp_path / "none.json")
+        assert payload == {"schema_version": TRAJECTORY_SCHEMA_VERSION,
+                           "entries": []}
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_trajectory(path)
+
+    def test_old_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"schema_version": 0, "entries": []}))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_trajectory(path)
+
+    def test_validate_flags_shape_problems(self):
+        assert validate_trajectory([]) != []
+        assert any("schema_version" in p
+                   for p in validate_trajectory({"entries": []}))
+        assert any("entries" in p for p in validate_trajectory(
+            {"schema_version": TRAJECTORY_SCHEMA_VERSION}))
+        missing_scenario_keys = {
+            "schema_version": TRAJECTORY_SCHEMA_VERSION,
+            "entries": [{"timestamp": 1.0, "target": "s27", "k": 8,
+                         "regressed": False,
+                         "scenarios": {"compress": {"ratio": 1.0}}}],
+        }
+        problems = validate_trajectory(missing_scenario_keys)
+        assert any("baseline_wall_s" in p for p in problems)
+
+    def test_append_refuses_invalid_entry_and_leaves_no_file(self, tmp_path):
+        path = tmp_path / "t.json"
+        with pytest.raises(ValueError, match="invalid trajectory"):
+            append_trajectory(path, {"nope": True})
+        assert not path.exists()
+
+    def test_scrub_volatile_covers_trajectory_entries(self):
+        entry = {
+            "timestamp": 123.4, "target": "s27", "k": 8,
+            "tolerance": 1.0, "repeats": 3, "regressed": False,
+            "scenarios": {"compress": {
+                "baseline_wall_s": 0.1, "fresh_wall_s": 0.2,
+                "ratio": 2.0, "regressed": False,
+            }},
+        }
+        scrubbed = scrub_volatile(entry)
+        assert scrubbed["timestamp"] == 0
+        record = scrubbed["scenarios"]["compress"]
+        assert record["baseline_wall_s"] == 0
+        assert record["fresh_wall_s"] == 0
+        assert record["ratio"] == 0
+        # non-volatile fields survive untouched
+        assert scrubbed["target"] == "s27"
+        assert record["regressed"] is False
 
 
 # ----------------------------------------------------------------------

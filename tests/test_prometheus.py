@@ -82,3 +82,69 @@ class TestRenderPrometheusText:
         text = render_prometheus_text(registry_with(
             gauges=[("ratio", 0.25)]))
         assert "ratio 0.25" in text
+
+
+def parse_exposition(text):
+    """Minimal exposition-format parser for round-trip checks."""
+    types, samples = {}, {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unexpected comment: {line}"
+        name_part, value = line.rsplit(" ", 1)
+        assert name_part not in samples, f"duplicate series: {name_part}"
+        samples[name_part] = float(value)
+    return types, samples
+
+
+class TestExpositionRoundTrip:
+    def test_round_trip_against_snapshot(self):
+        registry = registry_with(
+            counters=[("encode.bits_in", 24), ("encode.calls", 3)],
+            gauges=[("stream.bits", 17.5)],
+            histograms=[("latency.ms", (1, 5, 10), [0.5, 0.7, 3, 99])],
+        )
+        types, samples = parse_exposition(render_prometheus_text(registry))
+        snapshot = registry.snapshot()
+        assert types == {
+            "encode_bits_in": "counter", "encode_calls": "counter",
+            "stream_bits": "gauge", "latency_ms": "histogram",
+        }
+        for name, value in snapshot["counters"].items():
+            assert samples[name.replace(".", "_")] == value
+        assert samples["stream_bits"] == 17.5
+        hist = snapshot["histograms"]["latency.ms"]
+        assert samples["latency_ms_count"] == hist["count"]
+        assert samples["latency_ms_sum"] == hist["sum"]
+        # cumulative buckets decumulate back to the snapshot's buckets
+        cumulative = []
+        for edge in hist["buckets"]:
+            le = "+Inf" if edge == "+inf" else edge[2:]
+            cumulative.append(samples[f'latency_ms_bucket{{le="{le}"}}'])
+        per_bucket = [after - before for before, after
+                      in zip([0] + cumulative[:-1], cumulative)]
+        assert per_bucket == list(hist["buckets"].values())
+        assert cumulative[-1] == hist["count"]
+
+    def test_sanitized_name_collisions_stay_distinct_series(self):
+        registry = registry_with(counters=[
+            ("serve.shed", 1), ("serve/shed", 3), ("serve_shed", 2),
+        ])
+        text = render_prometheus_text(registry)
+        lines = text.splitlines()
+        # sorted registry order: "serve.shed" < "serve/shed" < "serve_shed"
+        assert "serve_shed 1" in lines
+        assert "serve_shed_2 3" in lines
+        assert "serve_shed_3 2" in lines
+        _, samples = parse_exposition(text)  # asserts no duplicate series
+        assert len(samples) == 3
+
+    def test_label_value_escaping(self):
+        from repro.obs.metrics import _expo_label_value
+
+        assert _expo_label_value('a"b') == 'a\\"b'
+        assert _expo_label_value("a\\b") == "a\\\\b"
+        assert _expo_label_value("a\nb") == "a\\nb"
+        assert _expo_label_value("1.5") == "1.5"  # bucket edges untouched

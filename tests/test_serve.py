@@ -564,6 +564,132 @@ class TestServiceRobustness:
 # ----------------------------------------------------------------------
 # process-pool integration (slower; one real crash/recovery cycle)
 # ----------------------------------------------------------------------
+class TestRequestTracing:
+    """End-to-end trace trees: worker spans grafted under request roots."""
+
+    @staticmethod
+    def traced_config(**overrides) -> ServiceConfig:
+        overrides.setdefault("executor", "inline")
+        overrides.setdefault("enable_obs", True)
+        return ServiceConfig(**overrides)
+
+    @pytest.fixture(autouse=True)
+    def _restore_obs(self):
+        """``enable_obs=True`` flips the process switch; restore it."""
+        from repro import obs
+
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_decompress_trace_merges_worker_decode_span(self):
+        encoding = NineCEncoder(8).encode(TernaryVector(DATA))
+
+        async def action(service, client):
+            response = await client.call("decompress", {
+                "stream": encoding.stream.to_string(), "k": 8,
+                "output_length": encoding.original_length,
+            })
+            assert response["ok"]
+            # trace payloads never leak into the response itself
+            assert "trace" not in response["result"]
+            return await client.call("trace", {"limit": 4})
+
+        response = run(with_service(self.traced_config(), action))
+        assert response["ok"]
+        result = response["result"]
+        assert result["tracing"] is True
+        assert result["recorded"] >= 1
+        trace = next(t for t in result["traces"] if t["op"] == "decompress")
+        assert len(trace["trace_id"]) == 16
+        root = trace["tree"]["request.decompress"]
+        worker = root["children"]["worker.decompress"]
+        assert "decode.stream" in worker["children"]
+        # raw events: unique ids, every parent resolvable, root at 0
+        events = trace["events"]
+        ids = {ev["id"] for ev in events}
+        assert len(ids) == len(events)
+        assert all(ev["parent"] in ids or ev["parent"] == 0
+                   for ev in events)
+        assert {ev["name"] for ev in events} >= {
+            "request.decompress", "worker.decompress", "decode.stream",
+        }
+
+    def test_compress_batch_members_each_get_own_tree(self):
+        async def action(service, client):
+            responses = await asyncio.gather(
+                client.call("compress", {"data": DATA, "k": 8}),
+                client.call("compress", {"data": DATA, "k": 8}),
+            )
+            assert all(r["ok"] for r in responses)
+            return await client.call("trace", {"limit": 8})
+
+        config = self.traced_config(batch_window_ms=5.0, max_batch=4)
+        response = run(with_service(config, action))
+        compress_traces = [t for t in response["result"]["traces"]
+                           if t["op"] == "compress"]
+        assert len(compress_traces) == 2
+        for trace in compress_traces:
+            root = trace["tree"]["request.compress"]
+            batch_wait = root["children"]["batch.wait"]
+            # the worker's encode span lands under this member's own
+            # batch.wait, even though one batched worker call served both
+            assert "encode" in batch_wait["children"]
+
+    def test_trace_op_filters_by_id_and_validates_limit(self):
+        async def action(service, client):
+            await client.call("compress", {"data": DATA, "k": 8})
+            await client.call("compress", {"data": DATA, "k": 8})
+            everything = await client.call("trace", {})
+            wanted = everything["result"]["traces"][-1]["trace_id"]
+            single = await client.call("trace", {"trace_id": wanted})
+            assert [t["trace_id"]
+                    for t in single["result"]["traces"]] == [wanted]
+            bad = await client.call("trace", {"limit": 0})
+            assert bad["ok"] is False
+            assert bad["error"]["code"] == "bad_request"
+            return everything
+
+        response = run(with_service(self.traced_config(), action))
+        assert response["ok"]
+
+    def test_control_plane_ops_are_not_traced(self):
+        async def action(service, client):
+            await client.call("health", {})
+            await client.call("metrics", {})
+            response = await client.call("trace", {})
+            assert response["result"]["traces"] == []
+            health = await client.call("health", {})
+            assert health["result"]["traces_recorded"] == 0
+            return response
+
+        run(with_service(self.traced_config(), action))
+
+    def test_tracing_disabled_records_nothing(self):
+        async def action(service, client):
+            assert (await client.call(
+                "compress", {"data": DATA, "k": 8}))["ok"]
+            return await client.call("trace", {})
+
+        response = run(with_service(inline_config(), action))
+        assert response["ok"]
+        assert response["result"]["tracing"] is False
+        assert response["result"]["traces"] == []
+
+    def test_trace_capacity_bounds_the_store(self):
+        async def action(service, client):
+            for _ in range(5):
+                await client.call("compress", {"data": DATA, "k": 8})
+            return await client.call("trace", {"limit": 16})
+
+        config = self.traced_config(trace_capacity=2)
+        response = run(with_service(config, action))
+        result = response["result"]
+        assert len(result["traces"]) == 2  # ring keeps the newest
+        assert result["recorded"] == 5
+        assert result["capacity"] == 2
+
+
 class TestProcessPool:
     def test_real_worker_crash_is_absorbed(self):
         async def scenario():
@@ -591,6 +717,44 @@ class TestProcessPool:
                 await service.close()
 
         run(scenario())
+
+    def test_trace_spans_cross_the_process_boundary(self):
+        """Worker-side spans (decode.stream) recorded in a *separate
+        process* must come back grafted under the request's root."""
+        from repro import obs
+
+        async def scenario():
+            encoding = NineCEncoder(8).encode(TernaryVector(DATA))
+            service = CompressionService(
+                ServiceConfig(executor="process", workers=1))
+            await service.start()
+            try:
+                client = Client(service)
+                response = await client.call("decompress", {
+                    "stream": encoding.stream.to_string(), "k": 8,
+                    "output_length": encoding.original_length,
+                }, deadline_ms=60_000)
+                assert response["ok"]
+                traces = await client.call("trace", {})
+                trace = next(t for t in traces["result"]["traces"]
+                             if t["op"] == "decompress")
+                root = trace["tree"]["request.decompress"]
+                worker = root["children"]["worker.decompress"]
+                assert "decode.stream" in worker["children"]
+                # grafted events sit inside the worker span's window
+                by_name = {ev["name"]: ev for ev in trace["events"]}
+                outer = by_name["worker.decompress"]
+                inner = by_name["decode.stream"]
+                assert inner["parent"] == outer["id"]
+                assert inner["ts"] >= outer["ts"]
+            finally:
+                await service.close()
+
+        try:
+            run(scenario())
+        finally:
+            obs.disable()
+            obs.reset()
 
 
 # ----------------------------------------------------------------------
