@@ -86,7 +86,14 @@ def cmd_coding_table(args) -> int:
 
 def cmd_compress(args) -> int:
     test_set = _load_data(args)
-    encoding = NineCEncoder(args.k).encode(test_set.to_stream())
+    if args.workers > 1:
+        from .parallel import parallel_encode
+
+        encoding = parallel_encode(
+            test_set.to_stream(), args.k, workers=args.workers
+        )
+    else:
+        encoding = NineCEncoder(args.k).encode(test_set.to_stream())
     if args.output:
         TestSet([encoding.stream], name="compressed").save(args.output)
     if args.json:
@@ -98,6 +105,7 @@ def cmd_compress(args) -> int:
             "cr_percent": encoding.compression_ratio,
             "leftover_x": encoding.leftover_x,
             "leftover_x_percent": encoding.leftover_x_percent,
+            "workers": args.workers,
             "output": args.output,
         })
     print(f"test set      : {test_set.name or args.input}")
@@ -114,12 +122,22 @@ def cmd_compress(args) -> int:
 def cmd_decompress(args) -> int:
     stream_set = TestSet.load(args.input)
     stream = stream_set.to_stream()
-    decoded = NineCDecoder(args.k).decode_stream(
-        stream, output_length=args.length, fast=not args.reference
-    )
+    if args.workers > 1 and args.reference:
+        raise SystemExit("--workers requires the fast path (not --reference)")
+    if args.workers > 1:
+        from .parallel import parallel_decode
+
+        decoded = parallel_decode(
+            stream, args.k, output_length=args.length, workers=args.workers
+        )
+        path = f"fast, {args.workers} workers"
+    else:
+        decoded = NineCDecoder(args.k).decode_stream(
+            stream, output_length=args.length, fast=not args.reference
+        )
+        path = "reference" if args.reference else "fast"
     out = TestSet.from_stream(decoded, args.cells, name="decompressed")
     out.save(args.output)
-    path = "reference" if args.reference else "fast"
     print(f"decoded {len(decoded)} bits into {out.num_patterns} patterns "
           f"({path} path) -> {args.output}")
     return 0
@@ -792,6 +810,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--benchmark", choices=sorted(ALL_PROFILES))
     p.add_argument("--k", type=int, default=8)
     p.add_argument("-o", "--output")
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the encode across N worker processes "
+                        "(bit-identical to --workers 1)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output")
     p.set_defaults(func=cmd_compress)
@@ -802,6 +823,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cells", type=int, required=True)
     p.add_argument("--length", type=int, default=None)
     p.add_argument("-o", "--output", required=True)
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the decode across N worker processes "
+                        "(fast path only; bit-identical to --workers 1)")
     path = p.add_mutually_exclusive_group()
     path.add_argument("--fast", action="store_true", default=True,
                       help="vectorized decode path (default)")
@@ -925,7 +949,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=8)
     p.add_argument("--scenarios", nargs="+",
                    choices=["compress", "decompress", "decode", "session",
-                            "resilience", "compaction"],
+                            "resilience", "compaction", "parallel"],
                    help="subset of scenarios to run (default: all)")
     p.add_argument("--session-circuit", default=None,
                    help="netlist for session/resilience when the target is "

@@ -16,7 +16,7 @@ import numpy as np
 
 from .. import obs as _obs
 from .bitvec import ONE, X, ZERO, TernaryVector
-from .errors import TruncatedStreamError
+from .errors import StreamError, TruncatedStreamError
 
 
 class TernaryStreamWriter:
@@ -64,14 +64,23 @@ class TernaryStreamWriter:
         if wide.size and (wide.min(initial=ZERO) < ZERO
                           or wide.max(initial=ZERO) > X):
             raise ValueError("stream symbols must be in {0, 1, 2}")
+        if not wide.size:
+            return
         self._flush_pending()
         self._chunks.append(wide.astype(np.uint8))
         self._length += int(wide.size)
 
     def write_vector(self, vec: TernaryVector) -> None:
-        """Append a ternary vector verbatim."""
+        """Append a ternary vector's symbols.
+
+        The symbols are copied: a caller that mutates or reuses the
+        vector's buffer after writing cannot retroactively corrupt a
+        later :meth:`to_vector` snapshot.
+        """
+        if not len(vec):
+            return
         self._flush_pending()
-        self._chunks.append(vec.data)
+        self._chunks.append(vec.data.copy())
         self._length += len(vec)
 
     def write_uint(self, value: int, width: int) -> None:
@@ -137,8 +146,6 @@ class TernaryStreamReader:
 
     def read_uint(self, width: int) -> int:
         """Read ``width`` specified bits MSB-first as an unsigned int."""
-        from .errors import StreamError
-
         value = 0
         for _ in range(width):
             offset = self.position

@@ -72,6 +72,20 @@ class TernaryVector:
     # constructors
     # ------------------------------------------------------------------
     @classmethod
+    def _wrap(cls, data: np.ndarray) -> "TernaryVector":
+        """Wrap a trusted uint8 code array without validation or copy.
+
+        The range check in ``__init__`` reads every element, which on a
+        memory-mapped file faults in every page — exactly what the
+        bounded-RSS ingestion path in :mod:`repro.core.io` exists to
+        avoid.  Only for arrays whose provenance guarantees codes in
+        {0, 1, 2} (e.g. a validated on-disk container).
+        """
+        vec = object.__new__(cls)
+        vec.data = data
+        return vec
+
+    @classmethod
     def zeros(cls, n: int) -> "TernaryVector":
         """A vector of ``n`` specified zeros."""
         return cls(np.full(n, ZERO, dtype=np.uint8))

@@ -223,10 +223,38 @@ class NineCDecoder:
             raise ValueError(f"output_length must be >= 0, got {output_length}")
         diagnostics = DecodeDiagnostics()
         data = stream.data
+        starts, cols, pos, block_index = self._scan_blocks(
+            data, output_length, diagnostics, recover=recover
+        )
+        decoded = self._assemble(data, starts, cols, self.k // 2)
+        return self._finalize(
+            decoded, output_length, diagnostics, block_index, pos,
+            recover=recover,
+        )
+
+    def _scan_blocks(
+        self,
+        data: np.ndarray,
+        output_length: Optional[int],
+        diagnostics: DecodeDiagnostics,
+        *,
+        recover: bool,
+    ) -> Tuple[List[int], List[int], int, int]:
+        """Pass 1 of the fast path: ``(starts, cols, pos, block_index)``.
+
+        Resolves every block's start offset and case column over the
+        pre-classified windows.  Error semantics are the reference
+        loop's, verbatim: in strict mode the typed :class:`StreamError`
+        is raised (diagnostics filed under :attr:`last_diagnostics`
+        first); with ``recover`` the error is recorded in
+        ``diagnostics`` and the scan stops.  The sharded decoder in
+        :mod:`repro.parallel` runs this exact scan on its coordinator,
+        which is why error offsets and diagnostics are identical for
+        any worker count.
+        """
         n = int(data.size)
         half = self.k // 2
         table = self.scan_table
-        # --- pass 1: per-block scan over the pre-classified windows ---
         cols_at = table.lut[table.window_codes(data)].tolist()
         limit = len(cols_at) - 1  # last position with a full window
         advance = [
@@ -261,11 +289,7 @@ class NineCDecoder:
             block_index += 1
             if output_length is not None and produced >= output_length:
                 break
-        decoded = self._assemble(data, starts, cols, half)
-        return self._finalize(
-            decoded, output_length, diagnostics, block_index, pos,
-            recover=recover,
-        )
+        return starts, cols, pos, block_index
 
     def _resolve_block_scalar(
         self, data: np.ndarray, n: int, pos: int

@@ -55,6 +55,9 @@ class Encoding:
     original_length: int
     stream: TernaryVector
     blocks: List[BlockRecord] = field(repr=False)
+    _case_counts: Optional[Dict[BlockCase, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def padded_length(self) -> int:
@@ -68,11 +71,19 @@ class Encoding:
 
     @property
     def case_counts(self) -> Dict[BlockCase, int]:
-        """Occurrence frequency N_i of each codeword (Table VI)."""
-        counts = {case: 0 for case in BlockCase}
-        for record in self.blocks:
-            counts[record.case] += 1
-        return counts
+        """Occurrence frequency N_i of each codeword (Table VI).
+
+        Computed once from ``blocks`` and cached — TAT analysis and the
+        Table VI report hit this per codeword, and the O(blocks) walk
+        dominated on Mbit-scale encodings.  A fresh dict is returned on
+        each access so callers may mutate their copy freely.
+        """
+        if self._case_counts is None:
+            counts = {case: 0 for case in BlockCase}
+            for record in self.blocks:
+                counts[record.case] += 1
+            self._case_counts = counts
+        return dict(self._case_counts)
 
     @property
     def compression_ratio(self) -> float:
@@ -177,39 +188,67 @@ class NineCEncoder:
         """The uninstrumented fast path (the overhead-guard control)."""
         original_length = len(data)
         padded = self._pad(data)
-        half = self.k // 2
         grid = padded.data.reshape(-1, self.k)
         chosen = self._classify(grid)
+        stream = TernaryVector(self._assemble_stream(grid, chosen))
+        return Encoding(
+            k=self.k,
+            codebook=self.codebook,
+            original_length=original_length,
+            stream=stream,
+            blocks=self._block_records(chosen),
+        )
+
+    def _assemble_stream(self, grid: np.ndarray,
+                         chosen: np.ndarray) -> np.ndarray:
+        """Concatenated codeword/mismatch chunks for classified blocks.
+
+        ``grid`` is the padded input reshaped to ``(n_blocks, K)`` and
+        ``chosen`` the case column per row (from :meth:`_classify`).
+        Because blocks are independent given (K, codebook), assembling
+        any contiguous row range yields exactly that slice of the full
+        stream — the property :mod:`repro.parallel` shards on.
+        """
+        half = self.k // 2
         cases = list(BlockCase)
         codewords = [np.asarray(self.codebook.codeword(case), dtype=np.uint8)
                      for case in cases]
         left_raw = [case.halves[0] is HalfKind.MISMATCH for case in cases]
         right_raw = [case.halves[1] is HalfKind.MISMATCH for case in cases]
         chunks: List[np.ndarray] = []
-        blocks: List[BlockRecord] = []
-        offset = 0
         for index, column in enumerate(chosen):
-            case = cases[column]
-            blocks.append(BlockRecord(index, case, offset))
-            codeword = codewords[column]
-            chunks.append(codeword)
-            offset += codeword.size
+            chunks.append(codewords[column])
             if left_raw[column]:
                 chunks.append(grid[index, :half])
-                offset += half
             if right_raw[column]:
                 chunks.append(grid[index, half:])
-                offset += half
-        stream = TernaryVector(
-            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.uint8)
+        if not chunks:
+            return np.empty(0, dtype=np.uint8)
+        return np.concatenate(chunks)
+
+    def _block_records(self, chosen: np.ndarray) -> List[BlockRecord]:
+        """Block records for a full run of classified case columns.
+
+        Stream offsets fall out of a cumulative sum of per-case encoded
+        sizes, so records for shard-concatenated ``chosen`` arrays come
+        out globally correct without any per-shard offset fixup.
+        """
+        cases = list(BlockCase)
+        sizes = np.asarray(
+            [self.codebook.encoded_size(case, self.k) for case in cases],
+            dtype=np.int64,
         )
-        return Encoding(
-            k=self.k,
-            codebook=self.codebook,
-            original_length=original_length,
-            stream=stream,
-            blocks=blocks,
+        columns = np.asarray(chosen, dtype=np.int64)
+        if not columns.size:
+            return []
+        offsets = np.concatenate(
+            ([0], np.cumsum(sizes[columns])[:-1])
         )
+        return [
+            BlockRecord(index, cases[column], int(offset))
+            for index, (column, offset)
+            in enumerate(zip(columns.tolist(), offsets.tolist()))
+        ]
 
     def encode_reference(self, data: TernaryVector) -> Encoding:
         """Per-block reference encoder (the fast path's oracle)."""

@@ -1,4 +1,4 @@
-"""Serialization of 9C encodings (.9c container).
+"""Serialization of 9C encodings (.9c container) and raw test sets.
 
 An ATE work-flow needs the compressed stream on disk together with the
 decoder configuration.  The ``.9c`` container is a small line-oriented
@@ -13,14 +13,26 @@ text format:
 The codebook travels as its length assignment only — canonical
 codewords are reconstructed on load, which is exactly the information a
 frequency-directed decoder needs (Table VII).
+
+For the *uncompressed* side, :func:`save_test_set_binary` writes a raw
+binary container (``.9ct``): a 13-byte header followed by one uint8
+ternary code per scan cell, row-major.  Unlike the text format it can
+be **memory-mapped** — :func:`memmap_stream` yields a zero-copy
+read-only :class:`TernaryVector` over the payload, so a multi-GB
+``T_D`` encodes in bounded RSS (each :mod:`repro.parallel` shard
+touches only its own block range's pages).
 """
 
 from __future__ import annotations
 
+import struct
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import Tuple, Union
 
-from .bitvec import TernaryVector
+import numpy as np
+
+from .bitvec import X, TernaryVector
 from .codewords import BlockCase, Codebook, canonical_codewords
 from .decoder import NineCDecoder
 from .encoder import Encoding
@@ -28,6 +40,108 @@ from .encoder import Encoding
 PathLike = Union[str, Path]
 
 _MAGIC = "#9C v1"
+
+#: Binary test-set container magic + version (``.9ct``).
+BINARY_MAGIC = b"9CTS"
+BINARY_VERSION = 1
+_BINARY_HEADER = struct.Struct("<4sBII")  # magic, version, patterns, cells
+
+
+@dataclass(frozen=True)
+class BinaryTestSetHeader:
+    """Parsed header of a ``.9ct`` binary test-set container."""
+
+    num_patterns: int
+    num_cells: int
+    payload_offset: int
+
+    @property
+    def total_bits(self) -> int:
+        """Total scan cells in the payload (|T_D|)."""
+        return self.num_patterns * self.num_cells
+
+
+def save_test_set_binary(test_set, path: PathLike) -> None:
+    """Write a :class:`~repro.testdata.testset.TestSet` as ``.9ct``.
+
+    The payload is the same pattern concatenation ``to_stream`` yields,
+    one uint8 code per cell, so ``memmap_stream(path)`` is bit-for-bit
+    ``test_set.to_stream()``.
+    """
+    header = _BINARY_HEADER.pack(
+        BINARY_MAGIC, BINARY_VERSION,
+        test_set.num_patterns, test_set.num_cells,
+    )
+    payload = test_set.to_stream().data.tobytes()
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(payload)
+
+
+def read_binary_header(path: PathLike) -> BinaryTestSetHeader:
+    """Parse and validate a ``.9ct`` header (payload size checked)."""
+    target = Path(path)
+    size = target.stat().st_size
+    if size < _BINARY_HEADER.size:
+        raise ValueError(f"{target}: too short for a .9ct header")
+    with open(target, "rb") as handle:
+        raw = handle.read(_BINARY_HEADER.size)
+    magic, version, num_patterns, num_cells = _BINARY_HEADER.unpack(raw)
+    if magic != BINARY_MAGIC:
+        raise ValueError(f"{target}: not a .9ct container (bad magic)")
+    if version != BINARY_VERSION:
+        raise ValueError(
+            f"{target}: unsupported .9ct version {version} "
+            f"(expected {BINARY_VERSION})"
+        )
+    header = BinaryTestSetHeader(
+        num_patterns=num_patterns, num_cells=num_cells,
+        payload_offset=_BINARY_HEADER.size,
+    )
+    expected = header.payload_offset + header.total_bits
+    if size != expected:
+        raise ValueError(
+            f"{target}: payload size mismatch "
+            f"(file is {size} bytes, header implies {expected})"
+        )
+    return header
+
+
+def memmap_stream(
+    path: PathLike, *, validate: bool = False
+) -> Tuple[TernaryVector, BinaryTestSetHeader]:
+    """Zero-copy read-only view over a ``.9ct`` payload.
+
+    Returns ``(stream, header)`` where ``stream`` wraps an
+    ``np.memmap`` — no page of the payload is read until touched, so
+    callers that process block ranges keep RSS bounded by their working
+    set, not the file size.  ``validate=True`` range-checks every code,
+    which pages in the whole file; leave it off for the streaming path
+    (the header's size check already rejects structurally bad files,
+    and the decoder rejects out-of-range symbols where they matter).
+    """
+    header = read_binary_header(path)
+    payload = np.memmap(
+        path, dtype=np.uint8, mode="r",
+        offset=header.payload_offset, shape=(header.total_bits,),
+    )
+    if validate and payload.size and payload.max(initial=0) > X:
+        raise ValueError(
+            f"{path}: payload contains codes outside {{0, 1, 2}}"
+        )
+    return TernaryVector._wrap(payload), header
+
+
+def load_test_set_binary(path: PathLike):
+    """Read a ``.9ct`` container fully into a validated TestSet."""
+    from ..testdata.testset import TestSet
+
+    stream, header = memmap_stream(path, validate=True)
+    # materialize off the map so the returned object owns its memory
+    data = TernaryVector(np.asarray(stream.data).copy())
+    return TestSet.from_stream(
+        data, header.num_cells, name=Path(path).stem
+    )
 
 
 def dumps(encoding: Encoding) -> str:

@@ -1,0 +1,72 @@
+"""One object tying sharded encode and decode together."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.bitvec import TernaryVector
+from ..core.codewords import Codebook
+from ..core.encoder import Encoding
+from ..core.errors import DecodeDiagnostics
+from .decoder import ShardedDecoder
+from .encoder import parallel_encode, parallel_encode_file
+
+
+class ShardedCodec:
+    """Multicore drop-in for the ``NineCEncoder``/``NineCDecoder`` pair.
+
+    Every operation is bit-identical to its single-core counterpart
+    (the differential proof in :mod:`repro.parallel.proof` is the
+    executable statement of that contract); ``workers`` and
+    ``executor`` only change *how* the work is scheduled.
+    """
+
+    def __init__(self, k: int, codebook: Optional[Codebook] = None, *,
+                 workers: int, executor: str = "process"):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.k = k
+        self.workers = workers
+        self.executor = executor
+        self._decoder = ShardedDecoder(
+            k, codebook, workers=workers, executor=executor
+        )
+        self.codebook = self._decoder.codebook
+
+    @property
+    def last_diagnostics(self) -> Optional[DecodeDiagnostics]:
+        """Diagnostics of the most recent decode call."""
+        return self._decoder.last_diagnostics
+
+    def encode(self, data: TernaryVector) -> Encoding:
+        """Sharded encode; bit-identical to ``NineCEncoder.encode``."""
+        return parallel_encode(
+            data, self.k, workers=self.workers, codebook=self.codebook,
+            executor=self.executor,
+        )
+
+    def encode_file(self, path) -> Encoding:
+        """Bounded-RSS encode of a ``.9ct`` binary test-set file."""
+        return parallel_encode_file(
+            path, self.k, workers=self.workers, codebook=self.codebook,
+            executor=self.executor,
+        )
+
+    def decode_stream(
+        self,
+        stream: TernaryVector,
+        output_length: Optional[int] = None,
+        *,
+        recover: bool = False,
+        block_offsets: Optional[Sequence[int]] = None,
+    ) -> TernaryVector:
+        """Sharded decode; bit-identical to ``NineCDecoder.decode_stream``."""
+        return self._decoder.decode_stream(
+            stream, output_length, recover=recover,
+            block_offsets=block_offsets,
+        )
+
+    def decode(self, encoding: Encoding, *,
+               recover: bool = False) -> TernaryVector:
+        """Decode an Encoding, sharding on its own block records."""
+        return self._decoder.decode(encoding, recover=recover)

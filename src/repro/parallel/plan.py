@@ -1,0 +1,52 @@
+"""Shard planning: contiguous, balanced block ranges.
+
+9C blocks are independent given a (K, codebook) pair, so the only
+planning question is how to cut ``n_blocks`` into contiguous ranges.
+Contiguity matters twice over: shard streams concatenate back into the
+oracle stream in block order, and contiguous input ranges keep each
+worker's shared-memory view a single zero-copy slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's contiguous block range ``[block_start, block_stop)``."""
+
+    index: int
+    block_start: int
+    block_stop: int
+
+    @property
+    def num_blocks(self) -> int:
+        """Blocks assigned to this shard."""
+        return self.block_stop - self.block_start
+
+
+def plan_shards(n_blocks: int, workers: int) -> List[Shard]:
+    """Cut ``n_blocks`` into at most ``workers`` contiguous shards.
+
+    Balanced to within one block: with ``q, r = divmod(n_blocks,
+    num_shards)`` the first ``r`` shards take ``q + 1`` blocks.  Fewer
+    blocks than workers yields one single-block shard per block; zero
+    blocks yields no shards.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if n_blocks < 0:
+        raise ValueError(f"n_blocks must be >= 0, got {n_blocks}")
+    if n_blocks == 0:
+        return []
+    num_shards = min(workers, n_blocks)
+    base, extra = divmod(n_blocks, num_shards)
+    shards: List[Shard] = []
+    start = 0
+    for index in range(num_shards):
+        size = base + (1 if index < extra else 0)
+        shards.append(Shard(index, start, start + size))
+        start += size
+    return shards

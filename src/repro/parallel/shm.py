@@ -1,0 +1,105 @@
+"""Shared-memory ndarrays for zero-copy shard views.
+
+The coordinator copies the padded input into a
+:mod:`multiprocessing.shared_memory` segment exactly once; every worker
+attaches by name and takes a numpy *view* of its own block range —
+no per-shard serialization, no per-shard copies.  Output segments work
+the same way in reverse: workers write disjoint slices in place and
+the coordinator reads the assembled whole.
+
+Lifecycle rules (enforced by :class:`SharedUint8Array`):
+
+* the creating process owns the segment and must :meth:`unlink` it
+  (``close`` alone only drops this process's mapping);
+* attachers ``close`` when done and never unlink;
+* numpy views must be dropped before ``close`` — a live view holds an
+  exported buffer pointer and ``close`` would raise ``BufferError``.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+
+class SharedUint8Array:
+    """A 1-D uint8 array in a named shared-memory segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, size: int,
+                 owner: bool):
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self.size = size
+        self.owner = owner
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach by."""
+        if self._shm is None:
+            raise ValueError("shared array is closed")
+        return self._shm.name
+
+    @classmethod
+    def create(cls, size: int) -> "SharedUint8Array":
+        """Allocate an owned segment of ``size`` bytes (uninitialized).
+
+        ``SharedMemory`` refuses zero-byte segments, so a zero-size
+        array still allocates one page; :attr:`size` stays authoritative
+        for views.
+        """
+        shm = shared_memory.SharedMemory(create=True, size=max(size, 1))
+        return cls(shm, size, owner=True)
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "SharedUint8Array":
+        """Owned segment initialized with ``array`` (the one copy in)."""
+        if array.dtype != np.uint8 or array.ndim != 1:
+            raise ValueError("expected a 1-D uint8 array")
+        shared = cls.create(int(array.size))
+        if array.size:
+            view = shared.view()
+            view[:] = array
+            del view
+        return shared
+
+    @classmethod
+    def attach(cls, name: str, size: int) -> "SharedUint8Array":
+        """Attach to an existing segment by name (non-owning)."""
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, size, owner=False)
+
+    def view(self, start: int = 0, stop: Optional[int] = None) -> np.ndarray:
+        """Zero-copy numpy view of ``[start, stop)``.
+
+        The view borrows the segment's buffer: drop every view before
+        :meth:`close`.
+        """
+        if self._shm is None:
+            raise ValueError("shared array is closed")
+        stop = self.size if stop is None else stop
+        if not 0 <= start <= stop <= self.size:
+            raise ValueError(
+                f"view [{start}, {stop}) outside array of size {self.size}"
+            )
+        return np.frombuffer(
+            self._shm.buf, dtype=np.uint8, count=stop - start, offset=start
+        )
+
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent)."""
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only; call after workers finish)."""
+        if self._shm is not None and self.owner:
+            self._shm.unlink()
+
+    def __enter__(self) -> "SharedUint8Array":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.unlink()
+        self.close()

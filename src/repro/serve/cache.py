@@ -90,22 +90,38 @@ class PreparedArtifactCache:
         """The cached value for ``key``, building it on a miss.
 
         The builder runs outside the cache lock; when two threads race,
-        the first completed insert wins and both callers get a usable
-        artifact (the loser's is returned to it but not cached over the
-        winner's — artifacts are deterministic, so either is correct).
+        the first completed insert wins and the loser receives the
+        winner's entry exactly as a late hit would — recency refreshed,
+        hit counted — while its own build is discarded (artifacts are
+        deterministic, so either is correct).
         """
         found, value = self.get(key)
         if found:
             return value
         built = builder()
+        race_hit = False
+        evicted = False
         with self._lock:
             if key in self._entries:
-                return self._entries[key]
-            self._entries[key] = built
-            if len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-        return built
+                # Lost the build race: behave exactly like a hit on the
+                # winner's entry.
+                self._entries.move_to_end(key)
+                self.hits += 1
+                race_hit = True
+                value = self._entries[key]
+            else:
+                self._entries[key] = built
+                value = built
+                if len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+                    evicted = True
+        if _obs.enabled():
+            if race_hit:
+                _obs.counter(f"{self.name}.hits").inc()
+            if evicted:
+                _obs.counter(f"{self.name}.evictions").inc()
+        return value
 
     def clear(self) -> None:
         """Drop every entry (counters are kept — they are lifetime totals)."""

@@ -1,5 +1,6 @@
 """Unit tests for repro.core.bitstream."""
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -77,6 +78,32 @@ class TestWriter:
 
     def test_empty_snapshot(self):
         assert len(TernaryStreamWriter().to_vector()) == 0
+
+    def test_write_vector_copies_symbols(self):
+        # regression: write_vector used to append a *reference* to the
+        # vector's buffer, so mutating the vector afterwards silently
+        # corrupted an already-written stream snapshot
+        w = TernaryStreamWriter()
+        vec = TernaryVector("0X1")
+        w.write_vector(vec)
+        vec.data[:] = 1
+        assert w.to_vector().to_string() == "0X1"
+
+    def test_write_vector_empty_adds_no_chunk(self):
+        w = TernaryStreamWriter()
+        w.write_vector(TernaryVector(""))
+        assert w._chunks == [] and len(w) == 0
+
+    def test_write_bits_empty_adds_no_chunk(self):
+        # regression: empty iterables used to append zero-length numpy
+        # chunks, growing the chunk list without adding any symbols
+        w = TernaryStreamWriter()
+        w.write_bits([])
+        w.write_bits([1, 0])
+        w.write_bits([])
+        w.write_bits(np.array([], dtype=np.uint8))
+        assert len(w._chunks) == 1
+        assert w.to_vector().to_string() == "10"
 
 
 class TestReader:

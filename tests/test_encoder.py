@@ -103,6 +103,16 @@ class TestEncode:
         assert counts[BlockCase.C2] == 1
         assert counts[BlockCase.C9] == 1
 
+    def test_case_counts_cached_and_isolated(self):
+        # the tally over blocks is computed once and memoized; callers
+        # get an independent copy so mutating it cannot poison the cache
+        enc = NineCEncoder(8).encode(TernaryVector("01100110" * 8))
+        first = enc.case_counts
+        first[BlockCase.C1] = 999
+        second = enc.case_counts
+        assert second.get(BlockCase.C1) != 999
+        assert second == enc.case_counts
+
     def test_stream_offsets_monotonic(self):
         data = TernaryVector("0000000011111111" * 4)
         enc = NineCEncoder(8).encode(data)

@@ -86,3 +86,67 @@ class TestDumpLoad:
             encoding.compression_ratio
         )
         assert back.case_counts == encoding.case_counts
+
+
+class TestBinaryContainer:
+    """The .9ct binary test-set container + memmap ingestion."""
+
+    def _sample_set(self):
+        from repro.testdata.testset import TestSet
+
+        return TestSet(
+            [TernaryVector("01X0110X"), TernaryVector("X1101XX0"),
+             TernaryVector("00011X10")],
+            name="sample",
+        )
+
+    def test_roundtrip(self, tmp_path):
+        from repro.core.io import (load_test_set_binary,
+                                   save_test_set_binary)
+
+        original = self._sample_set()
+        path = tmp_path / "sample.9ct"
+        save_test_set_binary(original, path)
+        back = load_test_set_binary(path)
+        assert back.num_patterns == original.num_patterns
+        assert back.num_cells == original.num_cells
+        assert back.to_stream() == original.to_stream()
+
+    def test_memmap_stream_matches_in_memory(self, tmp_path):
+        from repro.core.io import memmap_stream, save_test_set_binary
+
+        original = self._sample_set()
+        path = tmp_path / "sample.9ct"
+        save_test_set_binary(original, path)
+        stream, header = memmap_stream(path)
+        assert header.num_patterns == 3 and header.num_cells == 8
+        assert header.total_bits == 24
+        assert stream.to_string() == original.to_stream().to_string()
+
+    def test_bad_magic_rejected(self, tmp_path):
+        from repro.core.io import read_binary_header
+
+        path = tmp_path / "bad.9ct"
+        path.write_bytes(b"NOPE" + bytes(20))
+        with pytest.raises(ValueError, match="bad magic"):
+            read_binary_header(path)
+
+    def test_size_mismatch_rejected(self, tmp_path):
+        from repro.core.io import save_test_set_binary, read_binary_header
+
+        path = tmp_path / "short.9ct"
+        save_test_set_binary(self._sample_set(), path)
+        path.write_bytes(path.read_bytes()[:-1])
+        with pytest.raises(ValueError, match="size mismatch"):
+            read_binary_header(path)
+
+    def test_validate_rejects_out_of_range(self, tmp_path):
+        from repro.core.io import memmap_stream, save_test_set_binary
+
+        path = tmp_path / "corrupt.9ct"
+        save_test_set_binary(self._sample_set(), path)
+        raw = bytearray(path.read_bytes())
+        raw[-1] = 7  # outside {0, 1, 2}
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="outside"):
+            memmap_stream(path, validate=True)

@@ -175,6 +175,70 @@ class TestPreparedArtifactCache:
         with pytest.raises(ValueError):
             PreparedArtifactCache(capacity=0)
 
+    def test_build_race_loser_behaves_like_hit(self):
+        # regression: the race-loser branch used to return the winner's
+        # entry without refreshing recency or counting the hit
+        cache = PreparedArtifactCache(capacity=2)
+        cache.put("other", 0)
+
+        def builder_that_loses():
+            # simulates another thread winning the build while ours runs
+            cache.put("k", "winner")
+            return "loser"
+
+        assert cache.get_or_build("k", builder_that_loses) == "winner"
+        assert (cache.hits, cache.misses) == (1, 1)
+        # the race hit must refresh recency: "other" is now LRU
+        cache.put("c", 3)
+        assert cache.get("other") == (False, None)
+        assert cache.get("k") == (True, "winner")
+
+    def test_build_race_threaded(self):
+        cache = PreparedArtifactCache(capacity=4)
+        builder_entered = threading.Event()
+        winner_done = threading.Event()
+        results = {}
+
+        def slow_builder():
+            builder_entered.set()
+            assert winner_done.wait(5)
+            return "loser"
+
+        def loser():
+            results["loser"] = cache.get_or_build("k", slow_builder)
+
+        thread = threading.Thread(target=loser)
+        thread.start()
+        assert builder_entered.wait(5)
+        results["winner"] = cache.get_or_build("k", lambda: "winner")
+        winner_done.set()
+        thread.join(5)
+        assert results == {"winner": "winner", "loser": "winner"}
+        # loser's lookup missed, then its race resolution counted a hit
+        assert (cache.hits, cache.misses) == (1, 2)
+
+    def test_race_eviction_mirrors_obs_counters(self):
+        from repro import obs
+        from repro.obs import get_registry
+
+        obs.reset()
+        cache = PreparedArtifactCache(capacity=1, name="test.cache")
+        cache.put("a", 1)
+        with obs.enabled_scope(True):
+            cache.get_or_build("a", lambda: "unused-build")  # plain hit
+
+            def builder_that_loses():
+                cache.put("r", "winner")  # another thread wins; evicts a
+                return "loser"
+
+            assert cache.get_or_build("r", builder_that_loses) == "winner"
+            cache.get_or_build("b", lambda: 2)  # miss, insert evicts r
+        snapshot = get_registry().snapshot()["counters"]
+        assert snapshot["test.cache.hits"] == cache.hits == 2
+        assert snapshot["test.cache.misses"] == cache.misses == 2
+        assert snapshot["test.cache.evictions"] == cache.evictions == 2
+        obs.reset()
+
 
 # ----------------------------------------------------------------------
 # retry
