@@ -218,6 +218,26 @@ class Netlist:
                 frontier.append(successor)
         return seen
 
+    def structurally_equal(self, other: "Netlist") -> bool:
+        """True when both netlists describe the same circuit.
+
+        Compares port order, gate names, gate types, and fanin order —
+        everything except the netlist ``name`` and gate insertion order
+        of non-INPUT gates (a round trip through a file format may
+        reorder declarations without changing the circuit).
+        """
+        if self.inputs != other.inputs or self.outputs != other.outputs:
+            return False
+        if set(self.gates) != set(other.gates):
+            return False
+        for name, gate in self.gates.items():
+            theirs = other.gates[name]
+            if gate.gate_type is not theirs.gate_type:
+                return False
+            if gate.fanins != theirs.fanins:
+                return False
+        return True
+
     def stats(self) -> Dict[str, int]:
         """Size summary (used by reports and the generator's self-check)."""
         return {

@@ -275,7 +275,17 @@ def cmd_rtl(args) -> int:
         generate_multiscan_verilog,
     )
 
-    if args.chains > 1:
+    if args.structural:
+        if args.chains > 1:
+            raise SystemExit(
+                "rtl: --structural emits the single-scan gate netlist "
+                "(--chains must be 1)"
+            )
+        from .decompressor.gates import decoder_netlist
+        from .rtl.emit import netlist_to_verilog
+
+        rtl = netlist_to_verilog(decoder_netlist(args.k))
+    elif args.chains > 1:
         rtl = generate_multiscan_verilog(args.k, args.chains)
     else:
         rtl = generate_decoder_verilog(args.k)
@@ -285,6 +295,98 @@ def cmd_rtl(args) -> int:
     else:
         print(rtl)
     return 0
+
+
+def cmd_import_rtl(args) -> int:
+    from pathlib import Path
+
+    from .lint.findings import Severity
+    from .lint.runner import DECODER_NETLIST_WAIVERS
+    from .rtl.elaborate import ElaborationError, elaborate
+    from .rtl.parser import RTLParseError, parse_verilog
+
+    as_json = args.format == "json"
+
+    def operational_error(stage: str, message: str,
+                          line: Optional[int] = None) -> int:
+        if as_json:
+            error: dict = {"command": "import-rtl", "stage": stage,
+                           "message": message}
+            if line is not None:
+                error["line"] = line
+            emit_json({"error": error})
+            return 2
+        where = f"{args.file}:{line}" if line is not None else args.file
+        raise SystemExit(f"import-rtl: {stage}: {where}: {message}")
+
+    try:
+        text = Path(args.file).read_text()
+    except OSError as exc:
+        return operational_error("read", str(exc))
+    try:
+        design = parse_verilog(text)
+    except RTLParseError as exc:
+        return operational_error("parse", exc.reason, exc.line)
+    try:
+        elaboration = elaborate(design, top=args.top)
+    except ElaborationError as exc:
+        line = exc.loc.line if exc.loc is not None else None
+        return operational_error("elaborate", str(exc), line)
+
+    artifact = f"import:{elaboration.top}"
+    payload: dict = {
+        "file": args.file,
+        "top": elaboration.top,
+        "stats": elaboration.stats(),
+        "clocks": list(elaboration.clocks),
+        "implicit_nets": list(elaboration.implicit_nets),
+    }
+    failed = False
+
+    if args.lint:
+        from .lint.netlist import lint_netlist
+
+        findings = lint_netlist(
+            elaboration.raw, artifact=artifact,
+            waive=DECODER_NETLIST_WAIVERS if args.waive_shifter else (),
+        )
+        error_count = sum(
+            1 for f in findings if f.severity is Severity.ERROR
+        )
+        payload["lint"] = {
+            "findings": [f.to_dict() for f in findings],
+            "errors": error_count,
+            "warnings": sum(
+                1 for f in findings if f.severity is Severity.WARNING
+            ),
+        }
+        failed = failed or error_count > 0
+        if not as_json:
+            for finding in findings:
+                print(finding.render())
+
+    if args.equiv:
+        from .rtl.equiv import run_equiv
+
+        try:
+            netlist = elaboration.netlist()
+        except ValueError as exc:
+            return operational_error("netlist", str(exc))
+        equiv_report = run_equiv(
+            args.k, seed=args.seed, vectors=args.vectors,
+            netlist=netlist,
+        )
+        payload["equiv"] = equiv_report.to_dict()
+        failed = failed or not equiv_report.ok
+        if not as_json:
+            print(equiv_report.render())
+
+    if as_json:
+        emit_json(payload)
+    else:
+        stats = " ".join(f"{k}={v}" for k, v in payload["stats"].items())
+        print(f"imported {elaboration.top} from {args.file}: {stats}")
+    return 1 if failed else 0
 
 
 def cmd_adaptive(args) -> int:
@@ -366,7 +468,7 @@ def cmd_resilience(args) -> int:
             circuit_name=args.circuit,
         )
     except ValueError as exc:
-        raise SystemExit(f"resilience: {exc}")
+        raise SystemExit(f"resilience: {exc}") from None
     if args.json:
         return emit_json(report.to_dict())
     print(resilience_table(report).render())
@@ -411,7 +513,7 @@ def cmd_compact(args) -> int:
             circuit_name=args.circuit,
         )
     except ValueError as exc:
-        raise SystemExit(f"compact: {exc}")
+        raise SystemExit(f"compact: {exc}") from None
 
     # Exhaustive (x, e)-property verification of the shipped matrix
     # constructions at small parameters — the combinatorial guarantee
@@ -476,7 +578,7 @@ def cmd_profile(args) -> int:
             decode_fast=not args.reference,
         )
     except ValueError as exc:
-        raise SystemExit(f"profile: {exc}")
+        raise SystemExit(f"profile: {exc}") from None
     path = report.write(args.output)
     if args.json:
         return emit_json(report.to_dict())
@@ -516,9 +618,11 @@ def cmd_stats(args) -> int:
         raise SystemExit(
             f"stats: no baseline at {args.baseline!r}; run "
             "`repro-9c profile` first"
-        )
+        ) from None
     except ValueError as exc:
-        raise SystemExit(f"stats: {args.baseline!r} is not JSON: {exc}")
+        raise SystemExit(
+            f"stats: {args.baseline!r} is not JSON: {exc}"
+        ) from None
     problems = validate_baseline(payload)
     if problems:
         raise SystemExit(
@@ -568,7 +672,7 @@ def cmd_lint(args) -> int:
             circuits=args.circuit,
         )
     except ValueError as exc:
-        raise SystemExit(f"lint: {exc}")
+        raise SystemExit(f"lint: {exc}") from None
     if args.format == "json":
         emit_json(report.to_dict())
     else:
@@ -757,7 +861,7 @@ def cmd_regress(args) -> int:
             trajectory_path=None if args.no_trajectory else args.trajectory,
         )
     except ValueError as exc:
-        raise SystemExit(f"regress: {exc}")
+        raise SystemExit(f"regress: {exc}") from None
     if args.json:
         emit_json(report.to_dict())
     else:
@@ -879,8 +983,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=8)
     p.add_argument("--chains", type=int, default=1,
                    help="> 1 emits the Figure-3 multi-scan wrapper")
+    p.add_argument("--structural", action="store_true",
+                   help="emit the gate-level netlist as structural "
+                        "Verilog instead of the behavioral decoder")
     p.add_argument("-o", "--output")
     p.set_defaults(func=cmd_rtl)
+
+    p = sub.add_parser(
+        "import-rtl",
+        help="import structural Verilog, lint it, and prove decoder "
+             "equivalence (docs/rtl.md)",
+    )
+    p.add_argument("file", help="structural-Verilog source file")
+    p.add_argument("--top", default=None,
+                   help="top module (default: the unique uninstantiated "
+                        "module)")
+    p.add_argument("--k", type=int, default=8,
+                   help="block size the imported decoder implements "
+                        "(used by --equiv)")
+    p.add_argument("--lint", action="store_true",
+                   help="run the NL netlist rules over the import")
+    p.add_argument("--equiv", action="store_true",
+                   help="run the EQ equivalence legs against the 9C "
+                        "decoder specification")
+    p.add_argument("--waive-shifter", action="store_true",
+                   help="waive NL006 (intentional flop-to-flop shift "
+                        "paths, as in the decoder datapath)")
+    p.add_argument("--vectors", type=int, default=10000,
+                   help="random word-level vectors when exhaustive "
+                        "enumeration is too large")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="json emits one structured report (errors become "
+                        "an {\"error\": ...} object, exit 2)")
+    p.set_defaults(func=cmd_import_rtl)
 
     p = sub.add_parser("adaptive", help="adaptive-K vs fixed-K comparison")
     p.add_argument("input", nargs="?")
@@ -984,10 +1120,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
         help="static verification: netlists, decoder FSM, emitted RTL, "
-             "and the Python codebase (docs/lint.md)",
+             "decoder equivalence, and the Python codebase "
+             "(docs/lint.md)",
     )
     p.add_argument("--only", nargs="+", metavar="SECTION",
-                   choices=["netlist", "fsm", "rtl", "python"],
+                   choices=["netlist", "fsm", "rtl", "equiv", "python"],
                    help="subset of lint sections (default: all)")
     p.add_argument("--k", type=int, nargs="+", default=[4, 8, 16, 32],
                    help="block sizes swept for decoder netlists and RTL")

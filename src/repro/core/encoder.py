@@ -158,7 +158,8 @@ class NineCEncoder:
             cost = self.codebook.encoded_size(case, self.k)
             if best_cost is None or cost < best_cost:
                 best_case, best_cost = case, cost
-        assert best_case is not None  # C9 is always feasible
+        if best_case is None:  # C9 is always feasible
+            raise ValueError("no feasible block case; codebook is incomplete")
         return best_case
 
     @staticmethod

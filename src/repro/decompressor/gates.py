@@ -345,15 +345,6 @@ def decoder_netlist(
     # counter: ripple increment under `advance`, done at HALF - 1
     half = k // 2
     count_width = max(1, math.ceil(math.log2(half))) if half > 1 else 1
-    carry = "advance"
-    for bit in range(count_width):
-        builder.add(f"cn{bit}", GateType.XOR, f"c{bit}", carry)
-        if bit + 1 < count_width:
-            carry = builder.add(
-                f"carry{bit + 1}", GateType.AND, carry, f"c{bit}"
-            )
-    for bit in range(count_width):
-        builder.add(f"c{bit}", GateType.DFF, f"cn{bit}")
     target = half - 1
     done_literals = [
         f"c{bit}" if (target >> bit) & 1 else builder.invert(f"c{bit}")
@@ -363,6 +354,22 @@ def decoder_netlist(
         builder.add("done", GateType.BUF, done_literals[0])
     else:
         builder.add("done", GateType.AND, *done_literals)
+    # The advance that completes a half clears the counter (the RTL's
+    # ``count <= done ? 0 : count + 1``).  For power-of-two halves the
+    # ripple increment wraps to zero on its own, but the explicit clear
+    # keeps the netlist correct for every even K.
+    clear = builder.add("count_clear", GateType.AND, "advance", "done")
+    clear_n = builder.invert(clear)
+    carry = "advance"
+    for bit in range(count_width):
+        increment = builder.add(f"cinc{bit}", GateType.XOR, f"c{bit}", carry)
+        builder.add(f"cn{bit}", GateType.AND, increment, clear_n)
+        if bit + 1 < count_width:
+            carry = builder.add(
+                f"carry{bit + 1}", GateType.AND, carry, f"c{bit}"
+            )
+    for bit in range(count_width):
+        builder.add(f"c{bit}", GateType.DFF, f"cn{bit}")
 
     # shifter: K/2-bit serial-in shift register
     previous = "serial_in"

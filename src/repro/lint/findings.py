@@ -9,6 +9,7 @@ decide severity policy.  Rule identifiers are stable and documented in
 * ``NL...`` — netlist structure (:mod:`repro.lint.netlist`);
 * ``FS...`` — decoder FSM / protocol (:mod:`repro.lint.fsm`);
 * ``RT...`` — emitted Verilog (:mod:`repro.lint.rtl`);
+* ``EQ...`` — three-way decoder equivalence legs (:mod:`repro.rtl.equiv`);
 * ``PY...`` — Python codebase invariants (:mod:`repro.lint.pycheck`).
 """
 

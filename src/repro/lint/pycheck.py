@@ -27,7 +27,15 @@ PY002   ``raise`` in ``core/`` outside the documented error contract
 PY003   bare ``except:``
 PY004   mutable default argument value
 PY005   module-level import never used
+PY006   bare ``assert`` used for validation (stripped under -O)
 ======  ==========================================================
+
+PY006 exists because CPython removes ``assert`` statements entirely
+under ``python -O``: an assert guarding an input or an internal
+invariant silently stops guarding in optimized deployments.  Library
+code must raise explicit exceptions instead.  A deliberate,
+performance-motivated assert can be waived by putting the marker
+``lint: allow-assert`` in a comment on the same line.
 """
 
 from __future__ import annotations
@@ -136,6 +144,7 @@ def lint_python_source(
             else stream_error_hierarchy()
         ),
         is_package_init=relative.endswith("__init__.py"),
+        source_lines=source.splitlines(),
     )
     try:
         tree = ast.parse(source, filename=relative)
@@ -172,7 +181,7 @@ def lint_python_file(
 
 
 class _Checker(ast.NodeVisitor):
-    """Single-file AST pass implementing PY001..PY005."""
+    """Single-file AST pass implementing PY001..PY006."""
 
     def __init__(
         self,
@@ -181,12 +190,14 @@ class _Checker(ast.NodeVisitor):
         check_raises: bool,
         allowed_raises: Set[str],
         is_package_init: bool,
+        source_lines: Optional[Sequence[str]] = None,
     ):
         self.artifact = artifact
         self.is_hot = is_hot
         self.check_raises = check_raises
         self.allowed_raises = allowed_raises
         self.is_package_init = is_package_init
+        self.source_lines = list(source_lines or [])
         self.findings: List[LintFinding] = []
         self.obs_aliases: Set[str] = set()
         self._guard_depth = 0
@@ -322,6 +333,24 @@ class _Checker(ast.NodeVisitor):
                     node.lineno,
                 )
         self.generic_visit(node)
+
+    # --- validation asserts (PY006) -----------------------------------
+    def visit_Assert(self, node: ast.Assert) -> None:
+        if not self._assert_waived(node.lineno):
+            self.report(
+                "PY006", Severity.ERROR, "assert",
+                "bare assert is stripped under python -O; raise an "
+                "explicit exception for validation (or mark the line "
+                "with `lint: allow-assert`)", node.lineno,
+            )
+        self.generic_visit(node)
+
+    def _assert_waived(self, lineno: int) -> bool:
+        if not (1 <= lineno <= len(self.source_lines)):
+            return False
+        line = self.source_lines[lineno - 1]
+        comment = line.partition("#")[2]
+        return "lint: allow-assert" in comment
 
     # --- bare except (PY003) ------------------------------------------
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:

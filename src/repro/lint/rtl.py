@@ -88,10 +88,62 @@ class _Module:
     ports: List[str] = field(default_factory=list)
 
 
+class _VerilogInt(int):
+    """Integer with Verilog semantics: ``/`` truncates toward zero.
+
+    Every literal in a constant expression is wrapped in this type before
+    evaluation, so arbitrarily nested expressions (``(K / 2) - 1``,
+    ``$clog2(K / 2) + 1``) stay in integer arithmetic the way a Verilog
+    elaborator computes them, instead of drifting into Python floats.
+    """
+
+    def __truediv__(self, other: int) -> "_VerilogInt":
+        quotient = abs(int(self)) // abs(int(other))
+        negative = (int(self) < 0) != (int(other) < 0)
+        return _VerilogInt(-quotient if negative else quotient)
+
+    def __rtruediv__(self, other: int) -> "_VerilogInt":
+        return _VerilogInt(other).__truediv__(int(self))
+
+    def __add__(self, other: int) -> "_VerilogInt":
+        return _VerilogInt(int(self) + int(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: int) -> "_VerilogInt":
+        return _VerilogInt(int(self) - int(other))
+
+    def __rsub__(self, other: int) -> "_VerilogInt":
+        return _VerilogInt(int(other) - int(self))
+
+    def __mul__(self, other: int) -> "_VerilogInt":
+        return _VerilogInt(int(self) * int(other))
+
+    __rmul__ = __mul__
+
+    def __mod__(self, other: int) -> "_VerilogInt":
+        return _VerilogInt(int(self) % int(other))
+
+    def __rmod__(self, other: int) -> "_VerilogInt":
+        return _VerilogInt(int(other) % int(self))
+
+    def __neg__(self) -> "_VerilogInt":
+        return _VerilogInt(-int(self))
+
+    def __pos__(self) -> "_VerilogInt":
+        return self
+
+
 class _ConstEvaluator:
-    """Resolve integer-constant expressions over the parameter env."""
+    """Resolve integer-constant expressions over the parameter env.
+
+    Supports parenthesized and multi-operand expressions over
+    ``+ - * / %`` and ``$clog2``, with ``/`` truncating like Verilog
+    integer division (``K / 2`` is an int, not a float).
+    """
 
     _SAFE_RE = re.compile(r"^[\d\s+\-*/%()]*$")
+    _INT_RE = re.compile(r"\d+")
 
     def __init__(self, env: Dict[str, int]):
         self.env = env
@@ -99,24 +151,29 @@ class _ConstEvaluator:
     def resolve(self, expr: str) -> Optional[int]:
         """The expression's integer value, or None when not constant."""
         text = _SIZED_LITERAL_RE.sub(self._expand_literal, expr)
-        text = text.replace("$clog2", "__clog2__")
+        text = text.replace("$clog2", "__clogtwo__")
 
         def substitute(match: "re.Match[str]") -> str:
             word = match.group(0)
-            if word == "__clog2__":
+            if word == "__clogtwo__":
                 return word
             if word in self.env:
                 return str(self.env[word])
             return word  # leaves an unsafe token -> unresolvable
 
         text = _IDENT_RE.sub(substitute, text)
-        probe = text.replace("__clog2__", "")
+        probe = text.replace("__clogtwo__", "")
         if not self._SAFE_RE.match(probe):
             return None
+        text = self._INT_RE.sub(lambda m: f"__v__({m.group(0)})", text)
         try:
             value = eval(  # noqa: S307 - token-validated arithmetic only
                 text,
-                {"__builtins__": {}, "__clog2__": _clog2},
+                {
+                    "__builtins__": {},
+                    "__v__": _VerilogInt,
+                    "__clogtwo__": lambda v: _VerilogInt(_clog2(int(v))),
+                },
             )
         except Exception:
             return None

@@ -11,6 +11,9 @@ the CI lint job.  It sweeps:
 * **fsm** — the decoder control FSM for both codebooks, exhaustively
   verified against its own codebook;
 * **rtl** — emitted decoder Verilog per K and the multi-scan wrapper;
+* **equiv** — the EQ001–EQ004 three-way decoder equivalence legs from
+  :mod:`repro.rtl.equiv` (behavioral RTL ≡ FSM table ≡ gate netlist)
+  for each K and codebook;
 * **python** — the AST invariants over ``src/repro`` itself.
 
 The decoder netlists waive NL006: their serial shift register is
@@ -38,7 +41,7 @@ from .pycheck import lint_python_tree
 from .rtl import lint_verilog
 
 #: Lint section names accepted by ``run_lint(only=...)`` and ``--only``.
-SECTIONS: Tuple[str, ...] = ("netlist", "fsm", "rtl", "python")
+SECTIONS: Tuple[str, ...] = ("netlist", "fsm", "rtl", "equiv", "python")
 
 #: Block sizes swept for decoder netlists and emitted RTL.
 DEFAULT_KS: Tuple[int, ...] = (4, 8, 16, 32)
@@ -170,6 +173,21 @@ def run_lint(
             report.findings += lint_verilog(
                 generate_multiscan_verilog(8, chains), artifact=artifact
             )
+
+    if "equiv" in selected:
+        # Imported lazily: repro.rtl.equiv itself imports lint modules
+        # (the same idiom the netlist section uses for the library).
+        from ..rtl.equiv import equiv_findings, run_equiv
+
+        for label, book in books:
+            for k in ks:
+                artifact = f"equiv:decoder_k{k}_{label}"
+                report.artifacts.append(artifact)
+                equiv_report = run_equiv(
+                    k, book, vectors=2048, stream_blocks=4,
+                    codebook_label=label,
+                )
+                report.findings += equiv_findings(equiv_report, artifact)
 
     if "python" in selected:
         report.artifacts.append("py:src/repro")

@@ -307,7 +307,9 @@ def load_trajectory(
     try:
         payload = json.loads(target.read_text())
     except json.JSONDecodeError as exc:
-        raise ValueError(f"trajectory {target} is not valid JSON: {exc}")
+        raise ValueError(
+            f"trajectory {target} is not valid JSON: {exc}"
+        ) from None
     problems = validate_trajectory(payload)
     if problems:
         raise ValueError(

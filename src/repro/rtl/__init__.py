@@ -1,0 +1,85 @@
+"""Structural-Verilog front end and decoder equivalence harness.
+
+``repro.rtl`` closes the loop between the three decoder models the repo
+carries (behavioral RTL, FSM specification, gate-level netlist):
+
+* :mod:`repro.rtl.parser` — tokenizer + recursive-descent parser for a
+  structural-Verilog subset, producing a typed AST with source
+  locations;
+* :mod:`repro.rtl.elaborate` — hierarchy flattening into
+  :class:`repro.circuits.netlist.Netlist` (and a lintable raw form);
+* :mod:`repro.rtl.emit` — the inverse: any netlist out as flat
+  structural Verilog;
+* :mod:`repro.rtl.passes` — dataflow cones, combinational-loop and
+  X-propagation analysis, FSM recovery from gates;
+* :mod:`repro.rtl.equiv` — the EQ001–EQ004 three-way equivalence legs
+  behind ``repro-9c lint --only equiv`` and ``repro-9c import-rtl``.
+
+See ``docs/rtl.md``.
+"""
+
+from .elaborate import (
+    Elaboration,
+    ElaborationError,
+    ScanCell,
+    elaborate,
+    import_verilog,
+)
+from .emit import netlist_to_verilog
+from .equiv import (
+    Counterexample,
+    EquivReport,
+    LegResult,
+    OracleDecoder,
+    TraceStep,
+    equiv_findings,
+    run_equiv,
+)
+from .parser import (
+    Design,
+    ModuleDecl,
+    RTLParseError,
+    SourceLoc,
+    parse_verilog,
+    tokenize,
+)
+from .passes import (
+    RecoveredFSM,
+    cone_inputs,
+    cone_report,
+    detect_fsms,
+    fanin_cone,
+    find_combinational_loops,
+    netlist_loops,
+    x_propagation,
+)
+
+__all__ = [
+    "Design",
+    "ModuleDecl",
+    "RTLParseError",
+    "SourceLoc",
+    "parse_verilog",
+    "tokenize",
+    "Elaboration",
+    "ElaborationError",
+    "ScanCell",
+    "elaborate",
+    "import_verilog",
+    "netlist_to_verilog",
+    "RecoveredFSM",
+    "cone_inputs",
+    "cone_report",
+    "detect_fsms",
+    "fanin_cone",
+    "find_combinational_loops",
+    "netlist_loops",
+    "x_propagation",
+    "Counterexample",
+    "EquivReport",
+    "LegResult",
+    "OracleDecoder",
+    "TraceStep",
+    "equiv_findings",
+    "run_equiv",
+]

@@ -1,0 +1,402 @@
+"""Elaboration: structural-Verilog AST → gate-level netlist.
+
+Takes the :class:`repro.rtl.parser.Design` produced by the front end,
+flattens the module hierarchy, resolves every connection to a flat net
+name, recognises sequential cells, and hands back both a
+:class:`repro.lint.netlist.RawNetlist` (so imports with structural
+defects can still be linted with NL001–NL008) and, when the design is
+well formed, a validated :class:`repro.circuits.netlist.Netlist`.
+
+Conventions:
+
+* **Sequential cells.**  An instance of a module named ``dff`` with no
+  user definition in the file is a D flip-flop: pins ``q`` (output),
+  ``d`` (data), and an optional ``clk``.  ``sdff`` additionally takes
+  ``si``/``se`` scan pins and is recorded as a :class:`ScanCell`.  Its
+  functional behaviour is the plain flop (full-scan semantics: the scan
+  path is test infrastructure, not function).  A user module *named*
+  ``dff`` overrides the cell meaning.
+* **Hierarchy flattening.**  Instance nets get ``inst.net`` global
+  names, matching the hierarchical names the ``.bench`` reader/writer
+  already allows.
+* **Implicit nets.**  An undeclared identifier used in a connection
+  becomes an implicit scalar wire (Verilog-2001 behaviour) and is
+  recorded in :attr:`Elaboration.implicit_nets` — the NL lint then
+  flags it if it is genuinely undriven.
+* **Clocks.**  Single-clock synchronous designs are assumed.  Top-level
+  inputs consumed *only* by ``clk`` pins (or by ``si``/``se`` scan
+  pins) are recorded in :attr:`Elaboration.clocks` and removed from the
+  functional primary inputs — :class:`Netlist` models DFFs without an
+  explicit clock net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..circuits.netlist import Gate, GateType, Netlist
+from ..lint.netlist import RawGate, RawNetlist
+from .parser import Design, ModuleDecl, SourceLoc
+
+#: Verilog primitive keyword -> GateType.
+GATE_TYPE_OF_PRIMITIVE = {
+    "and": GateType.AND,
+    "nand": GateType.NAND,
+    "or": GateType.OR,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+}
+
+#: Pin sets of the recognised sequential cells.
+_DFF_PINS = {"q": "out", "d": "in", "clk": "clock"}
+_SDFF_PINS = {"q": "out", "d": "in", "clk": "clock",
+              "si": "scan", "se": "scan"}
+
+
+class ElaborationError(ValueError):
+    """A semantic error found while flattening the design."""
+
+    def __init__(self, message: str, loc: Optional[SourceLoc] = None):
+        if loc is not None:
+            message = f"line {loc.line}: {message}"
+        super().__init__(message)
+        self.loc = loc
+
+
+@dataclass(frozen=True)
+class ScanCell:
+    """One ``sdff`` instance and its scan wiring (flattened net names)."""
+
+    flop: str
+    scan_in: Optional[str]
+    scan_enable: Optional[str]
+
+
+@dataclass
+class Elaboration:
+    """Result of flattening: raw netlist plus import diagnostics."""
+
+    top: str
+    raw: RawNetlist
+    clocks: List[str] = field(default_factory=list)
+    scan_cells: List[ScanCell] = field(default_factory=list)
+    implicit_nets: List[str] = field(default_factory=list)
+    modules_flattened: int = 0
+    instances_flattened: int = 0
+
+    def netlist(self) -> Netlist:
+        """Build the validated netlist (raises on structural defects)."""
+        return Netlist(
+            self.raw.name,
+            self.raw.inputs,
+            self.raw.outputs,
+            [Gate(g.name, g.gate_type, g.fanins) for g in self.raw.gates],
+        )
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "inputs": len(self.raw.inputs),
+            "outputs": len(self.raw.outputs),
+            "gates": sum(
+                1 for g in self.raw.gates
+                if g.gate_type is not GateType.DFF
+            ),
+            "flip_flops": sum(
+                1 for g in self.raw.gates
+                if g.gate_type is GateType.DFF
+            ),
+            "scan_cells": len(self.scan_cells),
+            "modules_flattened": self.modules_flattened,
+            "instances_flattened": self.instances_flattened,
+            "implicit_nets": len(self.implicit_nets),
+        }
+
+
+class _Flattener:
+    def __init__(self, design: Design):
+        self.design = design
+        self.modules = design.by_name
+        self.raw_gates: List[RawGate] = []
+        self.scan_cells: List[ScanCell] = []
+        self.implicit: List[str] = []
+        self.declared: Set[str] = set()
+        self.clock_reads: Set[str] = set()
+        self.scan_reads: Set[str] = set()
+        self.functional_reads: Set[str] = set()
+        self.instances = 0
+        self.modules_seen: Set[str] = set()
+
+    # -- net bookkeeping ----------------------------------------------
+    def _touch(self, net: str, declared_env: Set[str]) -> None:
+        if net not in declared_env and net not in self.declared:
+            self.declared.add(net)
+            self.implicit.append(net)
+
+    # -- module walk ---------------------------------------------------
+    def flatten(self, top: ModuleDecl) -> Tuple[List[str], List[str]]:
+        self._check_scalar_ports(top)
+        inputs = [p.name for p in top.ports if p.direction == "input"]
+        outputs = [p.name for p in top.ports if p.direction == "output"]
+        env = {p.name: p.name for p in top.ports}
+        self.declared.update(env.values())
+        self._flatten_module(top, prefix="", env=env, path=(top.name,))
+        return inputs, outputs
+
+    def _check_scalar_ports(self, module: ModuleDecl) -> None:
+        for port in module.ports:
+            if port.width != 1:
+                raise ElaborationError(
+                    f"vector port {port.name}[{port.width - 1}:0] of "
+                    f"module {module.name} cannot be elaborated "
+                    "(scalar structural subset)", port.loc,
+                )
+
+    def _flatten_module(
+        self,
+        module: ModuleDecl,
+        prefix: str,
+        env: Dict[str, str],
+        path: Tuple[str, ...],
+    ) -> None:
+        self.modules_seen.add(module.name)
+
+        declared_local: Set[str] = set(env)
+        for net in module.nets:
+            if net.width != 1:
+                raise ElaborationError(
+                    f"vector wire {net.name}[{net.width - 1}:0] cannot "
+                    "be elaborated (scalar structural subset)", net.loc,
+                )
+            if net.name not in env:
+                env[net.name] = prefix + net.name
+            declared_local.add(net.name)
+            self.declared.add(env[net.name])
+
+        def resolve(local: str, loc: SourceLoc) -> str:
+            if local in env:
+                return env[local]
+            if local in self.modules:
+                raise ElaborationError(
+                    f"module name {local} used as a net", loc,
+                )
+            # Verilog-2001 implicit scalar net.
+            flat = prefix + local
+            env[local] = flat
+            self._touch(flat, declared_local)
+            return flat
+
+        for assign in module.assigns:
+            target = resolve(assign.target, assign.loc)
+            source = resolve(assign.source, assign.loc)
+            self.functional_reads.add(source)
+            self.raw_gates.append(RawGate(target, GateType.BUF, (source,)))
+
+        for gate in module.gates:
+            output = resolve(gate.output, gate.loc)
+            fanins = tuple(resolve(i, gate.loc) for i in gate.inputs)
+            self.functional_reads.update(fanins)
+            self.raw_gates.append(
+                RawGate(output, GATE_TYPE_OF_PRIMITIVE[gate.primitive],
+                        fanins)
+            )
+
+        for inst in module.instances:
+            self.instances += 1
+            if inst.module in self.modules:
+                self._flatten_user_instance(inst, prefix, resolve, path)
+            elif inst.module in ("dff", "sdff"):
+                self._flatten_cell(inst, resolve)
+            else:
+                raise ElaborationError(
+                    f"unknown module {inst.module!r} instantiated as "
+                    f"{inst.instance} (not defined in this file, not a "
+                    "dff/sdff cell)", inst.loc,
+                )
+
+    def _flatten_user_instance(self, inst, prefix, resolve, path) -> None:
+        child = self.modules[inst.module]
+        if child.name in path:
+            cycle = " -> ".join(path + (child.name,))
+            raise ElaborationError(
+                f"recursive instantiation: {cycle}", inst.loc,
+            )
+        self._check_scalar_ports(child)
+        bindings: Dict[str, str] = {}
+        if inst.by_name:
+            seen: Set[str] = set()
+            for conn in inst.connections:
+                port_name = conn.port
+                if port_name in seen:
+                    raise ElaborationError(
+                        f"port {port_name} connected twice on instance "
+                        f"{inst.instance}", conn.loc,
+                    )
+                seen.add(str(port_name))
+                if child.port(str(port_name)) is None:
+                    raise ElaborationError(
+                        f"module {child.name} has no port {port_name} "
+                        f"(instance {inst.instance})", conn.loc,
+                    )
+                if conn.net is not None:
+                    bindings[str(port_name)] = resolve(conn.net, conn.loc)
+        else:
+            if len(inst.connections) > len(child.ports):
+                raise ElaborationError(
+                    f"instance {inst.instance} connects "
+                    f"{len(inst.connections)} ports but module "
+                    f"{child.name} has {len(child.ports)}", inst.loc,
+                )
+            for port, conn in zip(child.ports, inst.connections):
+                if conn.net is not None:
+                    bindings[port.name] = resolve(conn.net, conn.loc)
+
+        child_prefix = f"{prefix}{inst.instance}."
+        child_env: Dict[str, str] = {}
+        for port in child.ports:
+            if port.name in bindings:
+                child_env[port.name] = bindings[port.name]
+            else:
+                # Unconnected port: a fresh dangling net inside the
+                # instance scope; NL lint will flag it if it matters.
+                dangling = child_prefix + port.name
+                child_env[port.name] = dangling
+                self._touch(dangling, set())
+        # No blanket read-marking of the bound nets here: recursing into
+        # the child records each read against its resolved flat name, so
+        # a clock threaded through hierarchy ports stays inferrable.
+        self._flatten_module(child, child_prefix, child_env,
+                             path + (child.name,))
+
+    def _flatten_cell(self, inst, resolve) -> None:
+        pins = _DFF_PINS if inst.module == "dff" else _SDFF_PINS
+        bound: Dict[str, str] = {}
+        if inst.by_name:
+            for conn in inst.connections:
+                port_name = str(conn.port)
+                if port_name not in pins:
+                    raise ElaborationError(
+                        f"{inst.module} cell has no pin {port_name} "
+                        f"(instance {inst.instance})", conn.loc,
+                    )
+                if port_name in bound:
+                    raise ElaborationError(
+                        f"pin {port_name} connected twice on instance "
+                        f"{inst.instance}", conn.loc,
+                    )
+                if conn.net is not None:
+                    bound[port_name] = resolve(conn.net, conn.loc)
+        else:
+            order = ("q", "d", "clk") if inst.module == "dff" \
+                else ("q", "d", "clk", "si", "se")
+            if len(inst.connections) > len(order):
+                raise ElaborationError(
+                    f"{inst.module} cell takes at most {len(order)} "
+                    f"positional pins ({', '.join(order)})", inst.loc,
+                )
+            for pin, conn in zip(order, inst.connections):
+                if conn.net is not None:
+                    bound[pin] = resolve(conn.net, conn.loc)
+        if "q" not in bound or "d" not in bound:
+            raise ElaborationError(
+                f"{inst.module} instance {inst.instance} needs both "
+                "q and d connected", inst.loc,
+            )
+        if "clk" in bound:
+            self.clock_reads.add(bound["clk"])
+        for pin in ("si", "se"):
+            if pin in bound:
+                self.scan_reads.add(bound[pin])
+        self.functional_reads.add(bound["d"])
+        self.raw_gates.append(
+            RawGate(bound["q"], GateType.DFF, (bound["d"],))
+        )
+        if inst.module == "sdff":
+            self.scan_cells.append(ScanCell(
+                flop=bound["q"],
+                scan_in=bound.get("si"),
+                scan_enable=bound.get("se"),
+            ))
+
+
+def _pick_top(design: Design, top: Optional[str]) -> ModuleDecl:
+    modules = design.by_name
+    if top is not None:
+        if top not in modules:
+            raise ElaborationError(
+                f"top module {top!r} is not defined "
+                f"(available: {', '.join(sorted(modules))})"
+            )
+        return modules[top]
+    instantiated = {
+        inst.module
+        for module in design.modules
+        for inst in module.instances
+    }
+    roots = [m for m in design.modules if m.name not in instantiated]
+    if len(roots) == 1:
+        return roots[0]
+    if not roots:
+        raise ElaborationError(
+            "no top module: every module is instantiated by another "
+            "(instantiation cycle?); pass top= explicitly"
+        )
+    names = ", ".join(m.name for m in roots)
+    raise ElaborationError(
+        f"ambiguous top module (candidates: {names}); pass top= "
+        "explicitly"
+    )
+
+
+def elaborate(design: Design, top: Optional[str] = None) -> Elaboration:
+    """Flatten ``design`` into a :class:`RawNetlist` under module ``top``.
+
+    ``top`` defaults to the unique module not instantiated by any other.
+    Structural defects (undriven nets, double drivers, loops) survive
+    into the raw netlist so the NL lint can report them;
+    :meth:`Elaboration.netlist` is where they become hard errors.
+    """
+    module = _pick_top(design, top)
+    flattener = _Flattener(design)
+    inputs, outputs = flattener.flatten(module)
+
+    # Drop top-level inputs that are consumed only as clocks (or only
+    # by scan pins): the Netlist model has no explicit clock net.
+    clocks: List[str] = []
+    functional_inputs: List[str] = []
+    infra_reads = flattener.clock_reads | flattener.scan_reads
+    for pi in inputs:
+        if pi in infra_reads and pi not in flattener.functional_reads \
+                and pi not in outputs:
+            clocks.append(pi)
+        else:
+            functional_inputs.append(pi)
+
+    raw = RawNetlist(
+        name=module.name,
+        inputs=functional_inputs,
+        outputs=list(outputs),
+        gates=flattener.raw_gates,
+    )
+    return Elaboration(
+        top=module.name,
+        raw=raw,
+        clocks=clocks,
+        scan_cells=flattener.scan_cells,
+        implicit_nets=flattener.implicit,
+        modules_flattened=len(flattener.modules_seen),
+        instances_flattened=flattener.instances,
+    )
+
+
+def import_verilog(
+    text: str,
+    top: Optional[str] = None,
+) -> Elaboration:
+    """One-call front end: parse + elaborate structural Verilog text."""
+    from .parser import parse_verilog
+
+    return elaborate(parse_verilog(text), top=top)

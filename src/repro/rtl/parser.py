@@ -1,0 +1,672 @@
+"""Tokenizer + recursive-descent parser for structural Verilog.
+
+This is the front half of the ``repro.rtl`` ingestion pipeline
+(ROADMAP: "Real-RTL ingestion and equivalence, veripass-style").  It
+accepts the *structural* subset of Verilog — the gate-level netlists a
+synthesis tool or our own :func:`repro.rtl.emit.netlist_to_verilog`
+produces — and builds a typed AST with source locations, which
+:mod:`repro.rtl.elaborate` flattens into a
+:class:`repro.circuits.netlist.Netlist`.
+
+Accepted subset::
+
+    module <name> ( <ports> );            // ANSI or non-ANSI headers
+    input  [msb:lsb] a, b;                // scalar nets only (width 1)
+    output y;
+    wire   w1, w2;
+    parameter  P = <const expr>;          // resolved at parse time
+    localparam Q = <const expr>;          //   (reuses lint's evaluator)
+    and  g1 (y, a, b);                    // gate primitives, optional
+    not  (w1, a);                         //   instance name
+    assign w2 = w1;                       // simple net aliasing
+    dec  u0 (.clk(clk), .d(w2), .q(y));  // named-port instance
+    dec  u1 (y, w2);                      // positional instance
+    endmodule
+
+Everything behavioral (``always``, ``reg``, ``initial``, ``case``,
+expressions on the right of ``assign``) is **rejected with a targeted
+error** — the behavioral decoder dialect has its own interpreter in
+:mod:`repro.decompressor.rtlsim`; this module is for netlists.
+
+Constant expressions (parameter values, ranges) are resolved with
+:class:`repro.lint.rtl._ConstEvaluator`, so ``localparam HALF = K / 2;``
+and ``[$clog2(M+1)-1:0]`` work exactly as in the emitted RTL.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..lint.rtl import _ConstEvaluator
+
+#: Gate-primitive keywords mapped by the elaborator onto GateType.
+GATE_PRIMITIVES = (
+    "and", "nand", "or", "nor", "xor", "xnor", "not", "buf",
+)
+
+#: Behavioral / unsupported keywords we reject with a targeted message.
+_UNSUPPORTED = frozenset({
+    "always", "initial", "reg", "integer", "real", "time", "task",
+    "function", "generate", "genvar", "specify", "primitive", "begin",
+    "case", "casex", "casez", "if", "else", "for", "while", "repeat",
+    "fork", "join", "defparam", "event", "force", "release", "tri",
+    "supply0", "supply1",
+})
+
+_KEYWORDS = frozenset({
+    "module", "endmodule", "input", "output", "inout", "wire",
+    "parameter", "localparam", "assign",
+}) | frozenset(GATE_PRIMITIVES) | _UNSUPPORTED
+
+
+class RTLParseError(ValueError):
+    """A syntax or subset violation, located in the source text."""
+
+    def __init__(self, message: str, line: int, col: int = 0):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+        self.col = col
+        self.reason = message
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """1-based position of an AST node in the source text."""
+
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "id" | "number" | "sized" | "symbol"
+    value: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class PortDecl:
+    """One port: direction, resolved width, declaration site."""
+
+    name: str
+    direction: str  # "input" | "output"
+    width: int
+    loc: SourceLoc
+
+
+@dataclass(frozen=True)
+class NetDecl:
+    """One ``wire`` declaration."""
+
+    name: str
+    width: int
+    loc: SourceLoc
+
+
+@dataclass(frozen=True)
+class ParamDecl:
+    """A ``parameter``/``localparam`` with its resolved constant value."""
+
+    name: str
+    kind: str  # "parameter" | "localparam"
+    text: str
+    value: int
+    loc: SourceLoc
+
+
+@dataclass(frozen=True)
+class GateInstance:
+    """A gate-primitive instantiation: output first, then inputs."""
+
+    primitive: str
+    instance: Optional[str]
+    output: str
+    inputs: Tuple[str, ...]
+    loc: SourceLoc
+
+
+@dataclass(frozen=True)
+class PortConnection:
+    """One pin binding of a module instance (``port`` None = positional)."""
+
+    port: Optional[str]
+    net: Optional[str]  # None = explicitly unconnected `.p()`
+    loc: SourceLoc
+
+
+@dataclass(frozen=True)
+class ModuleInstance:
+    """Instantiation of a user module or a sequential cell."""
+
+    module: str
+    instance: str
+    connections: Tuple[PortConnection, ...]
+    by_name: bool
+    loc: SourceLoc
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``assign lhs = rhs;`` where rhs is a plain net."""
+
+    target: str
+    source: str
+    loc: SourceLoc
+
+
+@dataclass
+class ModuleDecl:
+    """One parsed module: ports, nets, params, and ordered items."""
+
+    name: str
+    loc: SourceLoc
+    ports: List[PortDecl] = field(default_factory=list)
+    nets: List[NetDecl] = field(default_factory=list)
+    params: List[ParamDecl] = field(default_factory=list)
+    gates: List[GateInstance] = field(default_factory=list)
+    instances: List[ModuleInstance] = field(default_factory=list)
+    assigns: List[Assign] = field(default_factory=list)
+
+    @property
+    def port_names(self) -> List[str]:
+        return [p.name for p in self.ports]
+
+    def port(self, name: str) -> Optional[PortDecl]:
+        for p in self.ports:
+            if p.name == name:
+                return p
+        return None
+
+
+@dataclass(frozen=True)
+class Design:
+    """All modules of one source file, in declaration order."""
+
+    modules: Tuple[ModuleDecl, ...]
+
+    @property
+    def by_name(self) -> Dict[str, ModuleDecl]:
+        return {m.name: m for m in self.modules}
+
+
+# ----------------------------------------------------------------------
+# tokenizer
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"(?P<sized>\d+\s*'\s*[bdhoBDHO][0-9a-fA-F_xzXZ?]+)"
+    r"|(?P<number>\d+)"
+    r"|(?P<id>[A-Za-z_$][A-Za-z0-9_$]*)"
+    r"|(?P<symbol>[()\[\]{},;.:=#*/%+\-])"
+)
+_SKIP_RE = re.compile(r"[ \t\r]+")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split source into located tokens; comments are skipped."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    length = len(text)
+    while position < length:
+        ch = text[position]
+        if ch == "\n":
+            line += 1
+            position += 1
+            line_start = position
+            continue
+        skip = _SKIP_RE.match(text, position)
+        if skip:
+            position = skip.end()
+            continue
+        if text.startswith("//", position):
+            end = text.find("\n", position)
+            position = length if end < 0 else end
+            continue
+        if text.startswith("/*", position):
+            end = text.find("*/", position + 2)
+            if end < 0:
+                raise RTLParseError("unterminated /* comment", line,
+                                    position - line_start + 1)
+            line += text.count("\n", position, end)
+            newline = text.rfind("\n", position, end)
+            if newline >= 0:
+                line_start = newline + 1
+            position = end + 2
+            continue
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            raise RTLParseError(
+                f"cannot tokenize near {text[position:position + 12]!r}",
+                line, position - line_start + 1,
+            )
+        kind = str(match.lastgroup)
+        tokens.append(Token(kind, match.group(0), line,
+                            position - line_start + 1))
+        position = match.end()
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ------------------------------------------------
+    def peek(self, ahead: int = 0) -> Optional[Token]:
+        index = self.position + ahead
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def _eof_error(self) -> RTLParseError:
+        last = self.tokens[-1] if self.tokens else None
+        return RTLParseError(
+            "unexpected end of input",
+            last.line if last else 1, last.col if last else 1,
+        )
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise self._eof_error()
+        self.position += 1
+        return token
+
+    def expect(self, value: str) -> Token:
+        token = self.next()
+        if token.value != value:
+            raise RTLParseError(
+                f"expected {value!r}, got {token.value!r}",
+                token.line, token.col,
+            )
+        return token
+
+    def accept(self, value: str) -> Optional[Token]:
+        token = self.peek()
+        if token is not None and token.value == value:
+            self.position += 1
+            return token
+        return None
+
+    def expect_identifier(self, what: str) -> Token:
+        token = self.next()
+        if token.kind != "id" or token.value in _KEYWORDS:
+            raise RTLParseError(
+                f"expected {what}, got {token.value!r}",
+                token.line, token.col,
+            )
+        return token
+
+    @staticmethod
+    def _loc(token: Token) -> SourceLoc:
+        return SourceLoc(token.line, token.col)
+
+    # -- constant expressions ------------------------------------------
+    def _const_expr_text(self, stop: Tuple[str, ...]) -> Tuple[str, Token]:
+        """Raw text of a constant expression up to an unnested stop token."""
+        parts: List[str] = []
+        depth = 0
+        first = self.peek()
+        if first is None:
+            raise self._eof_error()
+        while True:
+            token = self.peek()
+            if token is None:
+                raise self._eof_error()
+            if depth == 0 and token.value in stop:
+                break
+            if token.value in "([":
+                depth += 1
+            elif token.value in ")]":
+                if depth == 0:
+                    break
+                depth -= 1
+            parts.append(token.value)
+            self.position += 1
+        if not parts:
+            raise RTLParseError("expected a constant expression",
+                                first.line, first.col)
+        return " ".join(parts), first
+
+    def _resolve_const(self, env: Dict[str, int],
+                       stop: Tuple[str, ...]) -> Tuple[int, str, Token]:
+        text, start = self._const_expr_text(stop)
+        value = _ConstEvaluator(env).resolve(text)
+        if value is None:
+            raise RTLParseError(
+                f"cannot resolve constant expression {text!r} "
+                "(undefined parameter or unsupported operator?)",
+                start.line, start.col,
+            )
+        return value, text, start
+
+    def _range_width(self, env: Dict[str, int]) -> int:
+        """``[msb:lsb]`` → bit width (the ``[`` is already consumed)."""
+        msb, _text, start = self._resolve_const(env, (":",))
+        self.expect(":")
+        lsb, _text, _tok = self._resolve_const(env, ("]",))
+        self.expect("]")
+        if msb < lsb:
+            raise RTLParseError(
+                f"descending ranges only: [{msb}:{lsb}]",
+                start.line, start.col,
+            )
+        return msb - lsb + 1
+
+    # -- top level -----------------------------------------------------
+    def parse_design(self) -> Design:
+        modules: List[ModuleDecl] = []
+        seen: Dict[str, int] = {}
+        while self.peek() is not None:
+            token = self.peek()
+            assert token is not None  # lint: allow-assert
+            if token.value != "module":
+                self._reject(token)
+            module = self.parse_module()
+            if module.name in seen:
+                raise RTLParseError(
+                    f"duplicate module {module.name} "
+                    f"(first defined on line {seen[module.name]})",
+                    module.loc.line, module.loc.col,
+                )
+            seen[module.name] = module.loc.line
+            modules.append(module)
+        if not modules:
+            raise RTLParseError("no module definition found", 1, 1)
+        return Design(tuple(modules))
+
+    def _reject(self, token: Token) -> None:
+        if token.value in _UNSUPPORTED:
+            raise RTLParseError(
+                f"{token.value!r} is outside the structural subset "
+                "(gate-level netlists only; behavioral RTL has its own "
+                "interpreter in repro.decompressor.rtlsim)",
+                token.line, token.col,
+            )
+        raise RTLParseError(
+            f"expected a module item, got {token.value!r}",
+            token.line, token.col,
+        )
+
+    # -- modules -------------------------------------------------------
+    def parse_module(self) -> ModuleDecl:
+        loc = self._loc(self.expect("module"))
+        name = self.expect_identifier("module name")
+        module = ModuleDecl(name.value, loc)
+        env: Dict[str, int] = {}
+        header_ports: List[str] = []
+
+        if self.accept("#"):
+            token = self.peek()
+            raise RTLParseError(
+                "parameter overrides (#(...)) are outside the structural "
+                "subset", token.line if token else loc.line,
+                token.col if token else loc.col,
+            )
+        if self.accept("("):
+            if not self.accept(")"):
+                first = self.peek()
+                if first is not None and first.value in (
+                    "input", "output", "inout"
+                ):
+                    self._parse_ansi_ports(module, env)
+                else:
+                    header_ports = self._parse_port_name_list()
+                self.expect(")")
+        self.expect(";")
+
+        declared_header = set(header_ports)
+        declared_dirs: set = set()
+        while True:
+            token = self.peek()
+            if token is None:
+                raise self._eof_error()
+            if token.value == "endmodule":
+                self.next()
+                break
+            if token.value in ("input", "output"):
+                for port in self._parse_port_decl(env):
+                    if header_ports and port.name not in declared_header:
+                        raise RTLParseError(
+                            f"port {port.name} is not in the module "
+                            "header port list", port.loc.line, port.loc.col,
+                        )
+                    self._declare_port(module, port)
+                    declared_dirs.add(port.name)
+                continue
+            if token.value == "inout":
+                raise RTLParseError(
+                    "inout ports are outside the structural subset",
+                    token.line, token.col,
+                )
+            if token.value == "wire":
+                module.nets.extend(self._parse_net_decl(env))
+                continue
+            if token.value in ("parameter", "localparam"):
+                module.params.append(self._parse_param(env))
+                continue
+            if token.value == "assign":
+                module.assigns.append(self._parse_assign())
+                continue
+            if token.value in GATE_PRIMITIVES:
+                module.gates.append(self._parse_gate())
+                continue
+            if token.kind == "id" and token.value not in _KEYWORDS:
+                module.instances.append(self._parse_instance())
+                continue
+            self._reject(token)
+
+        if header_ports:
+            missing = [p for p in header_ports if p not in declared_dirs]
+            if missing:
+                raise RTLParseError(
+                    f"header ports with no input/output declaration: "
+                    f"{', '.join(missing)}", loc.line, loc.col,
+                )
+            # keep header order, not declaration order
+            order = {p: i for i, p in enumerate(header_ports)}
+            module.ports.sort(key=lambda p: order[p.name])
+        return module
+
+    def _declare_port(self, module: ModuleDecl, port: PortDecl) -> None:
+        if module.port(port.name) is not None:
+            raise RTLParseError(
+                f"duplicate port declaration {port.name}",
+                port.loc.line, port.loc.col,
+            )
+        module.ports.append(port)
+
+    def _parse_ansi_ports(self, module: ModuleDecl,
+                          env: Dict[str, int]) -> None:
+        while True:
+            direction = self.next()
+            if direction.value == "inout":
+                raise RTLParseError(
+                    "inout ports are outside the structural subset",
+                    direction.line, direction.col,
+                )
+            if direction.value not in ("input", "output"):
+                raise RTLParseError(
+                    f"expected input/output, got {direction.value!r}",
+                    direction.line, direction.col,
+                )
+            self.accept("wire")
+            width = 1
+            if self.accept("["):
+                width = self._range_width(env)
+            name = self.expect_identifier("port name")
+            self._declare_port(module, PortDecl(
+                name.value, direction.value, width, self._loc(name),
+            ))
+            if not self.accept(","):
+                break
+
+    def _parse_port_name_list(self) -> List[str]:
+        names = [self.expect_identifier("port name").value]
+        while self.accept(","):
+            names.append(self.expect_identifier("port name").value)
+        return names
+
+    def _parse_port_decl(self, env: Dict[str, int]) -> List[PortDecl]:
+        direction = self.next()
+        self.accept("wire")
+        width = 1
+        if self.accept("["):
+            width = self._range_width(env)
+        ports = []
+        while True:
+            name = self.expect_identifier("port name")
+            ports.append(PortDecl(
+                name.value, direction.value, width, self._loc(name),
+            ))
+            if not self.accept(","):
+                break
+        self.expect(";")
+        return ports
+
+    def _parse_net_decl(self, env: Dict[str, int]) -> List[NetDecl]:
+        self.expect("wire")
+        width = 1
+        if self.accept("["):
+            width = self._range_width(env)
+        nets = []
+        while True:
+            name = self.expect_identifier("net name")
+            nets.append(NetDecl(name.value, width, self._loc(name)))
+            if not self.accept(","):
+                break
+        token = self.peek()
+        if token is not None and token.value == "=":
+            raise RTLParseError(
+                "wire initializers are outside the structural subset; "
+                "use `assign`", token.line, token.col,
+            )
+        self.expect(";")
+        return nets
+
+    def _parse_param(self, env: Dict[str, int]) -> ParamDecl:
+        kind = self.next()
+        name = self.expect_identifier("parameter name")
+        self.expect("=")
+        value, text, _tok = self._resolve_const(env, (";",))
+        self.expect(";")
+        env[name.value] = value
+        return ParamDecl(name.value, kind.value, text, value,
+                         self._loc(name))
+
+    def _parse_assign(self) -> Assign:
+        self.expect("assign")
+        target = self.expect_identifier("assignment target")
+        self.expect("=")
+        source = self.peek()
+        if source is None:
+            raise self._eof_error()
+        if source.kind != "id" or source.value in _KEYWORDS:
+            raise RTLParseError(
+                "assign right-hand sides must be a plain net in the "
+                f"structural subset, got {source.value!r}",
+                source.line, source.col,
+            )
+        self.next()
+        self._reject_select()
+        self.expect(";")
+        return Assign(target.value, source.value, self._loc(target))
+
+    def _reject_select(self) -> None:
+        token = self.peek()
+        if token is not None and token.value == "[":
+            raise RTLParseError(
+                "bit/part selects are outside the structural subset "
+                "(scalar nets only)", token.line, token.col,
+            )
+
+    def _parse_gate(self) -> GateInstance:
+        primitive = self.next()
+        instance: Optional[str] = None
+        token = self.peek()
+        if token is not None and token.kind == "id" \
+                and token.value not in _KEYWORDS:
+            instance = self.next().value
+        self.expect("(")
+        terminals = [self._parse_terminal("gate terminal")]
+        while self.accept(","):
+            terminals.append(self._parse_terminal("gate terminal"))
+        self.expect(")")
+        self.expect(";")
+        if len(terminals) < 2:
+            raise RTLParseError(
+                f"gate primitive {primitive.value} needs an output and "
+                "at least one input", primitive.line, primitive.col,
+            )
+        return GateInstance(
+            primitive.value, instance, terminals[0], tuple(terminals[1:]),
+            self._loc(primitive),
+        )
+
+    def _parse_terminal(self, what: str) -> str:
+        token = self.peek()
+        if token is not None and token.kind in ("number", "sized"):
+            raise RTLParseError(
+                f"constant {token.value!r} as a {what} is outside the "
+                "structural subset (connect a net)",
+                token.line, token.col,
+            )
+        name = self.expect_identifier(what)
+        self._reject_select()
+        return name.value
+
+    def _parse_instance(self) -> ModuleInstance:
+        module = self.next()
+        if self.accept("#"):
+            raise RTLParseError(
+                "parameter overrides (#(...)) are outside the structural "
+                "subset", module.line, module.col,
+            )
+        instance = self.expect_identifier("instance name")
+        self.expect("(")
+        connections: List[PortConnection] = []
+        by_name = False
+        token = self.peek()
+        if token is not None and token.value == ".":
+            by_name = True
+            while True:
+                dot = self.expect(".")
+                port = self.expect_identifier("port name")
+                self.expect("(")
+                net: Optional[str] = None
+                if not self.accept(")"):
+                    net = self._parse_terminal("port connection")
+                    self.expect(")")
+                connections.append(PortConnection(
+                    port.value, net, self._loc(dot),
+                ))
+                if not self.accept(","):
+                    break
+        elif token is not None and token.value != ")":
+            while True:
+                start = self.peek()
+                assert start is not None  # lint: allow-assert
+                net = self._parse_terminal("port connection")
+                connections.append(PortConnection(
+                    None, net, self._loc(start),
+                ))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        self.expect(";")
+        return ModuleInstance(
+            module.value, instance.value, tuple(connections), by_name,
+            self._loc(module),
+        )
+
+
+def parse_verilog(text: str) -> Design:
+    """Parse structural-Verilog source text into a :class:`Design`."""
+    return _Parser(tokenize(text)).parse_design()

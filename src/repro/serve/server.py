@@ -64,7 +64,8 @@ class ServeServer:
     async def serve_forever(self) -> None:
         if self._server is None:
             await self.start()
-        assert self._server is not None
+        if self._server is None:
+            raise RuntimeError("server failed to start")
         async with self._server:
             await self._server.serve_forever()
 
@@ -181,7 +182,8 @@ class TCPClient:
                    deadline_ms: Optional[float] = None) -> dict:
         if self._reader is None or self._writer is None:
             await self.connect()
-        assert self._reader is not None and self._writer is not None
+        if self._reader is None or self._writer is None:
+            raise RuntimeError("client connection was not established")
         request_id = f"t{next(self._ids)}"
         frame: dict = {"id": request_id, "op": op, "params": params or {}}
         if deadline_ms is not None:
@@ -203,7 +205,8 @@ class TCPClient:
         """Send raw bytes (chaos: malformed frames) and read one reply."""
         if self._reader is None or self._writer is None:
             await self.connect()
-        assert self._reader is not None and self._writer is not None
+        if self._reader is None or self._writer is None:
+            raise RuntimeError("client connection was not established")
         async with self._lock:
             self._writer.write(payload)
             await self._writer.drain()

@@ -4,9 +4,17 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import settings
 from hypothesis import strategies as st
 
 from repro.core import TernaryVector
+
+# Wall-clock deadlines make property tests flaky under full-suite load
+# (first-example numpy warm-up, CI contention); correctness here never
+# depends on per-example timing, so disable them globally instead of
+# sprinkling ``deadline=None`` on each slow test.
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")
 
 
 @st.composite

@@ -499,7 +499,7 @@ class TestRtlCleanTree:
 
 
 # ---------------------------------------------------------------------------
-# Python rules (PY000..PY005)
+# Python rules (PY000..PY006)
 # ---------------------------------------------------------------------------
 
 def lint_py(source, path="core/encoder.py"):
@@ -679,6 +679,77 @@ class TestPycheckRules:
         source = "from json import dumps\n"
         assert not lint_python_source(source, "analysis/__init__.py")
 
+    def test_py006_bare_assert(self):
+        source = """
+        def check(value):
+            assert value > 0, "must be positive"
+            return value
+        """
+        findings = [
+            f for f in lint_py(source, path="analysis/x.py")
+            if f.rule == "PY006"
+        ]
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert "python -O" in findings[0].message
+
+    def test_py006_waiver_marker(self):
+        source = """
+        def check(value):
+            assert value > 0  # lint: allow-assert
+            return value
+        """
+        assert not [
+            f for f in lint_py(source, path="analysis/x.py")
+            if f.rule == "PY006"
+        ]
+
+    def test_py006_waiver_is_per_line(self):
+        source = """
+        def check(a, b):
+            assert a  # lint: allow-assert
+            assert b
+        """
+        findings = [
+            f for f in lint_py(source, path="analysis/x.py")
+            if f.rule == "PY006"
+        ]
+        assert len(findings) == 1
+
+
+# ---------------------------------------------------------------------------
+# Verilog constant evaluator (shared by RT rules and the rtl parser)
+# ---------------------------------------------------------------------------
+
+class TestConstEvaluator:
+    def evaluate(self, text, **env):
+        from repro.lint.rtl import _ConstEvaluator
+
+        return _ConstEvaluator(dict(env)).resolve(text)
+
+    def test_clog2_forms(self):
+        assert self.evaluate("$clog2(8)") == 3
+        assert self.evaluate("$clog2(M + 1)", M=3) == 2
+        assert self.evaluate("$clog2(K / 2) + $clog2(M)", K=16, M=4) == 5
+
+    def test_division_truncates_every_intermediate(self):
+        assert self.evaluate("K / 2", K=8) == 4
+        assert self.evaluate("(K / 2) - 1", K=8) == 3
+        # 7/2 must truncate *before* the multiply (Verilog: 3*2 = 6)
+        assert self.evaluate("(7 / 2) * 2") == 6
+        assert self.evaluate("2 * (K - 2) / 4", K=8) == 3
+
+    def test_negative_division_truncates_toward_zero(self):
+        assert self.evaluate("-7 / 2") == -3
+
+    def test_parenthesized_multi_operand(self):
+        assert self.evaluate("((A + B) * 2) % 5", A=3, B=4) == 4
+
+    def test_unresolvable_forms_return_none(self):
+        assert self.evaluate("K / 0", K=4) is None
+        assert self.evaluate("K + Q", K=4) is None
+        assert self.evaluate("4'bxx") is None
+
 
 # ---------------------------------------------------------------------------
 # runner + CLI
@@ -695,6 +766,13 @@ class TestRunner:
         report = run_lint(only=["fsm"])
         assert report.sections == ["fsm"]
         assert report.artifacts == ["fsm:default", "fsm:reassigned"]
+
+    def test_equiv_section_artifacts(self):
+        report = run_lint(only=["equiv"], ks=(4,))
+        assert report.findings == [], report.render()
+        assert report.artifacts == [
+            "equiv:decoder_k4_default", "equiv:decoder_k4_reassigned",
+        ]
 
     def test_unknown_section_rejected(self):
         with pytest.raises(ValueError):
@@ -748,3 +826,59 @@ class TestCli:
         ]) == 0
         out = capsys.readouterr().out
         assert "0 errors" in out
+
+    def test_lint_subcommand_equiv_section(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "lint", "--only", "equiv", "--k", "4", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["artifacts"] == [
+            "equiv:decoder_k4_default", "equiv:decoder_k4_reassigned",
+        ]
+
+    def test_import_rtl_subcommand_roundtrip(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "decoder.v"
+        assert main([
+            "rtl", "--k", "8", "--structural", "-o", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "import-rtl", str(path), "--k", "8", "--lint", "--equiv",
+            "--waive-shifter", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["top"] == "ninec_decoder_gates"
+        assert payload["lint"]["errors"] == 0
+        assert payload["equiv"]["ok"] is True
+
+    def test_import_rtl_parse_error_contract(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "broken.v"
+        path.write_text("module m (a;\n")
+        assert main([
+            "import-rtl", str(path), "--format", "json",
+        ]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["stage"] == "parse"
+        assert payload["error"]["command"] == "import-rtl"
+        assert isinstance(payload["error"]["line"], int)
+
+    def test_import_rtl_lint_errors_exit_nonzero(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "dup.v"
+        path.write_text(
+            "module m (a, y);\n input a;\n output y;\n"
+            " buf (y, a);\n buf (y, a);\nendmodule\n"
+        )
+        assert main([
+            "import-rtl", str(path), "--lint", "--format", "json",
+        ]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["lint"]["errors"] >= 1

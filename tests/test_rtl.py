@@ -1,0 +1,601 @@
+"""repro.rtl front end: parser, elaborator, emitter, analysis passes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.bench import parse_bench, write_bench
+from repro.circuits.netlist import Gate, GateType, Netlist
+from repro.decompressor.gates import decoder_netlist
+from repro.lint.netlist import lint_netlist
+from repro.lint.findings import Severity
+from repro.rtl import (
+    ElaborationError,
+    RTLParseError,
+    cone_inputs,
+    detect_fsms,
+    elaborate,
+    fanin_cone,
+    find_combinational_loops,
+    import_verilog,
+    netlist_loops,
+    netlist_to_verilog,
+    parse_verilog,
+    tokenize,
+    x_propagation,
+)
+
+
+def lint_errors(netlist, waive=()):
+    return [
+        f for f in lint_netlist(netlist, waive=waive)
+        if f.severity is Severity.ERROR
+    ]
+
+
+# ---------------------------------------------------------------------------
+# tokenizer
+# ---------------------------------------------------------------------------
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("module m (a);")
+        assert [t.value for t in tokens] == ["module", "m", "(", "a", ")", ";"]
+        assert tokens[0].line == 1 and tokens[0].col == 1
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // line\nb /* block\nstill */ c")
+        assert [t.value for t in tokens] == ["a", "b", "c"]
+        assert tokens[2].line == 3
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(RTLParseError, match="unterminated"):
+            tokenize("a /* never closed")
+
+    def test_sized_literal_is_one_token(self):
+        tokens = tokenize("1'b0 4'hF")
+        assert [t.kind for t in tokens] == ["sized", "sized"]
+
+    def test_garbage_rejected_with_line(self):
+        with pytest.raises(RTLParseError, match="line 2"):
+            tokenize("a\n@@@")
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+class TestParser:
+    def test_non_ansi_header(self):
+        design = parse_verilog(
+            "module m (a, y);\n input a;\n output y;\n buf (y, a);\n"
+            "endmodule\n"
+        )
+        module = design.modules[0]
+        assert module.port_names == ["a", "y"]
+        assert module.gates[0].primitive == "buf"
+        assert module.gates[0].loc.line == 4
+
+    def test_ansi_header(self):
+        design = parse_verilog(
+            "module m (input wire a, input b, output y);\n"
+            " and g1 (y, a, b);\nendmodule\n"
+        )
+        module = design.modules[0]
+        assert [p.direction for p in module.ports] == \
+            ["input", "input", "output"]
+        assert module.gates[0].instance == "g1"
+
+    def test_header_order_preserved(self):
+        design = parse_verilog(
+            "module m (y, a);\n input a;\n output y;\n buf (y, a);\n"
+            "endmodule\n"
+        )
+        assert design.modules[0].port_names == ["y", "a"]
+
+    def test_undeclared_header_port_rejected(self):
+        with pytest.raises(RTLParseError, match="no input/output"):
+            parse_verilog("module m (a, ghost);\n input a;\nendmodule\n")
+
+    def test_parameters_resolve_clog2_and_division(self):
+        design = parse_verilog(
+            "module m (a);\n input a;\n"
+            " parameter K = 16;\n"
+            " localparam HALF = K / 2;\n"
+            " localparam W = $clog2(K / 2) + 1;\n"
+            "endmodule\n"
+        )
+        values = {p.name: p.value for p in design.modules[0].params}
+        assert values == {"K": 16, "HALF": 8, "W": 4}
+
+    def test_range_uses_parameters(self):
+        design = parse_verilog(
+            "module m (input [($clog2(8)) - 1:0] a, output y);\n"
+            " buf (y, a);\nendmodule\n"
+        )
+        assert design.modules[0].ports[0].width == 3
+
+    def test_unresolvable_constant_rejected(self):
+        with pytest.raises(RTLParseError, match="cannot resolve"):
+            parse_verilog(
+                "module m (a);\n input a;\n localparam P = NOPE + 1;\n"
+                "endmodule\n"
+            )
+
+    def test_assign_simple_net(self):
+        design = parse_verilog(
+            "module m (a, y);\n input a;\n output y;\n assign y = a;\n"
+            "endmodule\n"
+        )
+        assign = design.modules[0].assigns[0]
+        assert (assign.target, assign.source) == ("y", "a")
+
+    def test_assign_expression_rejected(self):
+        with pytest.raises(RTLParseError, match="plain net"):
+            parse_verilog(
+                "module m (a, y);\n input a;\n output y;\n"
+                " assign y = 1'b0;\nendmodule\n"
+            )
+
+    def test_behavioral_keyword_rejected_with_pointer(self):
+        with pytest.raises(RTLParseError, match="structural subset"):
+            parse_verilog(
+                "module m (a);\n input a;\n reg r;\nendmodule\n"
+            )
+        with pytest.raises(RTLParseError, match="rtlsim"):
+            parse_verilog(
+                "module m (clk);\n input clk;\n"
+                " always begin end\nendmodule\n"
+            )
+
+    def test_inout_rejected(self):
+        with pytest.raises(RTLParseError, match="inout"):
+            parse_verilog("module m (a);\n inout a;\nendmodule\n")
+
+    def test_parameter_override_rejected(self):
+        with pytest.raises(RTLParseError, match="parameter overrides"):
+            parse_verilog(
+                "module m (a, y);\n input a;\n output y;\n"
+                " sub #(4) u0 (y, a);\nendmodule\n"
+                "module sub (y, a);\n input a;\n output y;\n"
+                " buf (y, a);\nendmodule\n"
+            )
+
+    def test_constant_gate_terminal_rejected(self):
+        with pytest.raises(RTLParseError, match="constant"):
+            parse_verilog(
+                "module m (y);\n output y;\n buf (y, 1'b1);\nendmodule\n"
+            )
+
+    def test_bit_select_rejected(self):
+        with pytest.raises(RTLParseError, match="selects"):
+            parse_verilog(
+                "module m (a, y);\n input [1:0] a;\n output y;\n"
+                " buf (y, a[0]);\nendmodule\n"
+            )
+
+    def test_named_and_positional_connections(self):
+        design = parse_verilog(
+            "module m (a, y);\n input a;\n output y;\n"
+            " dff u0 (.clk(), .d(a), .q(y));\n dff u1 (y, a);\n"
+            "endmodule\n"
+        )
+        named, positional = design.modules[0].instances
+        assert named.by_name and not positional.by_name
+        assert named.connections[0].net is None  # explicitly unconnected
+
+    def test_duplicate_module_rejected(self):
+        source = "module m (a);\n input a;\nendmodule\n" * 2
+        with pytest.raises(RTLParseError, match="duplicate module"):
+            parse_verilog(source)
+
+    def test_gate_needs_two_terminals(self):
+        with pytest.raises(RTLParseError, match="at least one input"):
+            parse_verilog(
+                "module m (y);\n output y;\n not (y);\nendmodule\n"
+            )
+
+
+# ---------------------------------------------------------------------------
+# elaboration
+# ---------------------------------------------------------------------------
+
+HALF_ADDER_HIER = """
+module half_adder (input a, input b, output s, output c);
+  xor (s, a, b);
+  and (c, a, b);
+endmodule
+module full_adder (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  wire s1, c1, c2;
+  half_adder u1 (.a(a), .b(b), .s(s1), .c(c1));
+  half_adder u2 (s1, cin, sum, c2);
+  or (cout, c1, c2);
+endmodule
+"""
+
+
+class TestElaborate:
+    def test_hierarchy_flattens_to_gates(self):
+        elaboration = import_verilog(HALF_ADDER_HIER)
+        assert elaboration.top == "full_adder"
+        netlist = elaboration.netlist()
+        assert netlist.inputs == ["a", "b", "cin"]
+        assert netlist.num_gates == 5
+        assert elaboration.stats()["instances_flattened"] == 2
+        assert not lint_errors(netlist)
+
+    def test_internal_nets_get_hierarchical_names(self):
+        source = (
+            "module inv2 (input a, output y);\n"
+            " wire mid;\n not (mid, a);\n not (y, mid);\nendmodule\n"
+            "module top (input a, output y);\n"
+            " inv2 u0 (.a(a), .y(y));\nendmodule\n"
+        )
+        netlist = import_verilog(source).netlist()
+        assert "u0.mid" in netlist.gates
+
+    def test_explicit_top_selection(self):
+        elaboration = import_verilog(HALF_ADDER_HIER, top="half_adder")
+        assert elaboration.top == "half_adder"
+        assert elaboration.netlist().num_gates == 2
+
+    def test_ambiguous_top_rejected(self):
+        source = (
+            "module a (input x, output y);\n buf (y, x);\nendmodule\n"
+            "module b (input x, output y);\n not (y, x);\nendmodule\n"
+        )
+        with pytest.raises(ElaborationError, match="ambiguous top"):
+            import_verilog(source)
+        assert import_verilog(source, top="b").top == "b"
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(ElaborationError, match="unknown module"):
+            import_verilog(
+                "module m (a, y);\n input a;\n output y;\n"
+                " mystery u0 (y, a);\nendmodule\n"
+            )
+
+    def test_recursive_instantiation_rejected(self):
+        source = (
+            "module a (input x, output y);\n b u0 (.x(x), .y(y));\n"
+            "endmodule\n"
+            "module b (input x, output y);\n a u0 (.x(x), .y(y));\n"
+            "endmodule\n"
+        )
+        with pytest.raises(ElaborationError, match="recursive"):
+            import_verilog(source, top="a")
+
+    def test_dff_cell_named_and_positional(self):
+        source = (
+            "module m (input clk, input d, output q, output q2);\n"
+            " dff u0 (.clk(clk), .d(d), .q(q));\n"
+            " dff u1 (q2, q, clk);\n"
+            "endmodule\n"
+        )
+        elaboration = import_verilog(source)
+        netlist = elaboration.netlist()
+        assert netlist.flip_flops == ["q", "q2"]
+        assert elaboration.clocks == ["clk"]
+        assert netlist.inputs == ["d"]  # clk inferred away
+
+    def test_clock_also_used_functionally_stays_an_input(self):
+        source = (
+            "module m (input clk, input d, output q, output y);\n"
+            " dff u0 (.clk(clk), .d(d), .q(q));\n"
+            " and (y, q, clk);\n"
+            "endmodule\n"
+        )
+        elaboration = import_verilog(source)
+        assert elaboration.clocks == []
+        assert "clk" in elaboration.netlist().inputs
+
+    def test_clock_threaded_through_hierarchy_is_inferred(self):
+        source = (
+            "module cell (input clk, input d, output q);\n"
+            " dff f (.clk(clk), .d(d), .q(q));\n"
+            "endmodule\n"
+            "module top (input clk, input a, output y);\n"
+            " cell u0 (.clk(clk), .d(a), .q(y));\n"
+            "endmodule\n"
+        )
+        elaboration = import_verilog(source)
+        assert elaboration.clocks == ["clk"]
+        assert elaboration.netlist().inputs == ["a"]
+
+    def test_hierarchical_clock_used_functionally_stays_an_input(self):
+        source = (
+            "module cell (input clk, input d, output q);\n"
+            " dff f (.clk(clk), .d(d), .q(q));\n"
+            "endmodule\n"
+            "module top (input clk, input a, output y, output z);\n"
+            " cell u0 (.clk(clk), .d(a), .q(y));\n"
+            " and (z, y, clk);\n"
+            "endmodule\n"
+        )
+        elaboration = import_verilog(source)
+        assert elaboration.clocks == []
+        assert "clk" in elaboration.netlist().inputs
+
+    def test_sdff_records_scan_wiring(self):
+        source = (
+            "module m (input clk, input se, input si, input d, output q);\n"
+            " sdff u0 (.clk(clk), .d(d), .q(q), .si(si), .se(se));\n"
+            "endmodule\n"
+        )
+        elaboration = import_verilog(source)
+        cell = elaboration.scan_cells[0]
+        assert (cell.flop, cell.scan_in, cell.scan_enable) == \
+            ("q", "si", "se")
+        # scan-only pins are infrastructure, not functional inputs
+        assert elaboration.netlist().inputs == ["d"]
+
+    def test_user_module_overrides_dff_cell(self):
+        source = (
+            "module dff (input d, output q);\n not (q, d);\nendmodule\n"
+            "module top (input d, output q);\n"
+            " dff u0 (.d(d), .q(q));\nendmodule\n"
+        )
+        netlist = import_verilog(source, top="top").netlist()
+        assert netlist.flip_flops == []
+        assert netlist.gates["q"].gate_type is GateType.NOT
+
+    def test_dff_missing_data_pin_rejected(self):
+        with pytest.raises(ElaborationError, match="q and d"):
+            import_verilog(
+                "module m (input clk, output q);\n"
+                " dff u0 (.clk(clk), .q(q));\nendmodule\n"
+            )
+
+    def test_implicit_nets_surface_in_lint(self):
+        source = (
+            "module m (input a, output y);\n"
+            " and (y, a, ghost);\nendmodule\n"
+        )
+        elaboration = import_verilog(source)
+        assert elaboration.implicit_nets == ["ghost"]
+        findings = lint_netlist(elaboration.raw)
+        assert any(
+            f.rule == "NL001" and f.location == "ghost" for f in findings
+        )
+
+    def test_vector_wire_rejected(self):
+        with pytest.raises(ElaborationError, match="vector"):
+            import_verilog(
+                "module m (input a, output y);\n wire [3:0] bus;\n"
+                " buf (y, a);\nendmodule\n"
+            )
+
+    def test_structural_defects_survive_to_raw(self):
+        source = (
+            "module m (input a, output y);\n"
+            " buf (y, a);\n not (y, a);\nendmodule\n"
+        )
+        elaboration = import_verilog(source)
+        findings = lint_netlist(elaboration.raw)
+        assert any(f.rule == "NL002" for f in findings)
+        with pytest.raises(ValueError):
+            elaboration.netlist()
+
+
+# ---------------------------------------------------------------------------
+# emission + round trips
+# ---------------------------------------------------------------------------
+
+class TestEmit:
+    def test_combinational_module_shape(self):
+        netlist = Netlist("mini", ["a", "b"], ["y"],
+                          [Gate("y", GateType.AND, ("a", "b"))])
+        text = netlist_to_verilog(netlist)
+        assert "module mini (" in text
+        assert "input clk" not in text  # no flops, no clock port
+        assert "and u0 (y, a, b);" in text
+
+    def test_sequential_module_gets_clock(self):
+        netlist = Netlist("seq", ["d"], ["q"],
+                          [Gate("q", GateType.DFF, ("d",))])
+        text = netlist_to_verilog(netlist)
+        assert "input clk;" in text
+        assert "dff u0 (.clk(clk), .d(d), .q(q));" in text
+
+    def test_instance_names_avoid_net_collisions(self):
+        netlist = Netlist("m", ["a", "u0"], ["y"],
+                          [Gate("y", GateType.AND, ("a", "u0"))])
+        text = netlist_to_verilog(netlist)
+        assert "and u1 (y, a, u0);" in text
+
+    def test_bad_identifier_rejected(self):
+        netlist = Netlist("m", ["a.b"], ["y"],
+                          [Gate("y", GateType.BUF, ("a.b",))])
+        with pytest.raises(ValueError, match="identifier"):
+            netlist_to_verilog(netlist)
+
+    def test_clock_collision_rejected(self):
+        netlist = Netlist("m", ["clk", "d"], ["q"], [
+            Gate("q", GateType.DFF, ("d",)),
+        ])
+        with pytest.raises(ValueError, match="clock"):
+            netlist_to_verilog(netlist)
+
+    @pytest.mark.parametrize("k", [4, 8, 16, 32])
+    def test_decoder_roundtrip_identity_and_lint_clean(self, k):
+        original = decoder_netlist(k)
+        elaboration = import_verilog(netlist_to_verilog(original))
+        reimported = elaboration.netlist()
+        assert original.structurally_equal(reimported)
+        assert elaboration.clocks == ["clk"]
+        assert not lint_errors(reimported, waive=("NL006",))
+
+
+def netlists(draw):
+    """Build a random DAG netlist: every fanin predates its gate."""
+    num_inputs = draw(st.integers(1, 4))
+    inputs = [f"i{n}" for n in range(num_inputs)]
+    nets = list(inputs)
+    gates = []
+    binary = [GateType.AND, GateType.OR, GateType.XOR,
+              GateType.NAND, GateType.NOR, GateType.XNOR]
+    for index in range(draw(st.integers(1, 12))):
+        name = f"g{index}"
+        kind = draw(st.sampled_from(binary + [GateType.NOT, GateType.BUF,
+                                              GateType.DFF]))
+        if kind in (GateType.NOT, GateType.BUF, GateType.DFF):
+            fanins = (draw(st.sampled_from(nets)),)
+        else:
+            count = draw(st.integers(2, 3))
+            fanins = tuple(
+                draw(st.sampled_from(nets)) for _ in range(count)
+            )
+        gates.append(Gate(name, kind, fanins))
+        nets.append(name)
+    non_input = [g.name for g in gates]
+    outputs = draw(
+        st.lists(st.sampled_from(non_input), min_size=1,
+                 max_size=3, unique=True)
+    )
+    return Netlist("random", inputs, outputs, gates)
+
+
+random_netlists = st.composite(netlists)()
+
+
+class TestRoundTripProperties:
+    @given(random_netlists)
+    @settings(max_examples=40, deadline=None)
+    def test_verilog_roundtrip_is_identity(self, netlist):
+        reimported = import_verilog(netlist_to_verilog(netlist)).netlist()
+        assert netlist.structurally_equal(reimported)
+
+    @given(random_netlists)
+    @settings(max_examples=40, deadline=None)
+    def test_bench_roundtrip_is_identity(self, netlist):
+        reparsed = parse_bench(write_bench(netlist))
+        assert netlist.structurally_equal(reparsed)
+
+    def test_structurally_equal_discriminates(self):
+        base = Netlist("m", ["a", "b"], ["y"],
+                       [Gate("y", GateType.AND, ("a", "b"))])
+        same = Netlist("other_name", ["a", "b"], ["y"],
+                       [Gate("y", GateType.AND, ("a", "b"))])
+        swapped = Netlist("m", ["a", "b"], ["y"],
+                          [Gate("y", GateType.AND, ("b", "a"))])
+        retyped = Netlist("m", ["a", "b"], ["y"],
+                          [Gate("y", GateType.OR, ("a", "b"))])
+        assert base.structurally_equal(same)  # name is not structure
+        assert not base.structurally_equal(swapped)
+        assert not base.structurally_equal(retyped)
+
+
+# ---------------------------------------------------------------------------
+# analysis passes
+# ---------------------------------------------------------------------------
+
+class TestPasses:
+    def test_fanin_cone_and_inputs(self):
+        netlist = import_verilog(HALF_ADDER_HIER, top="full_adder") \
+            .netlist()
+        assert cone_inputs(netlist, "cout") == {"a", "b", "cin"}
+        assert cone_inputs(netlist, "s1") == {"a", "b"}
+        assert "c2" not in fanin_cone(netlist, "s1")
+
+    def test_cone_of_unknown_net_raises(self):
+        netlist = decoder_netlist(4)
+        with pytest.raises(KeyError):
+            fanin_cone(netlist, "nonexistent")
+
+    def test_find_combinational_loops(self):
+        gates = {"x": ("y", "a"), "y": ("x",), "z": ("a",)}
+        loops = find_combinational_loops(gates, sources={"a"})
+        assert len(loops) == 1
+        assert set(loops[0]) == {"x", "y"}
+
+    def test_netlist_loops_clean_and_dirty(self):
+        assert netlist_loops(decoder_netlist(8)) == []
+        looped = Netlist("loop", ["a"], ["x"], [
+            Gate("x", GateType.AND, ("a", "y")),
+            Gate("y", GateType.BUF, ("x",)),
+        ])
+        assert netlist_loops(looped)
+
+    def test_x_propagation_extremes(self):
+        netlist = Netlist("xp", ["a", "b"], ["thru", "blocked"], [
+            Gate("thru", GateType.BUF, ("a",)),
+            Gate("a_n", GateType.NOT, ("a",)),
+            Gate("zero", GateType.AND, ("a", "a_n")),
+            Gate("blocked", GateType.AND, ("b", "zero")),
+        ])
+        rates = x_propagation(netlist, "a", trials=16)
+        assert rates["thru"] == 1.0
+        assert rates["blocked"] == 0.0
+
+    def test_x_propagation_unknown_source(self):
+        with pytest.raises(KeyError):
+            x_propagation(decoder_netlist(4), "nope")
+
+    def test_detect_fsms_recovers_decoder_controller(self):
+        netlist = decoder_netlist(8)
+        recovered = detect_fsms(netlist)
+        by_registers = {fsm.registers: fsm for fsm in recovered}
+        controller = by_registers[("q0", "q1", "q2")]
+        assert controller.inputs == ("data_in",)
+        assert set(controller.outputs) == {"sel0", "sel1"}
+        # reset state reaches the whole trie
+        assert len(controller.reachable_states()) == 8
+        counter = by_registers[("c0", "c1")]
+        assert counter.inputs == ("advance",)
+        # the counter counts 0..3 and wraps under advance
+        assert counter.transitions[(0, 1)] == 1
+        assert counter.transitions[(3, 1)] == 0
+        assert counter.transitions[(2, 0)] == 2
+
+    def test_detect_fsms_survives_renaming(self):
+        base = decoder_netlist(8)
+        mapping = {name: f"n{i}" for i, name in enumerate(base.gates)}
+        renamed = Netlist(
+            "renamed",
+            [mapping[i] for i in base.inputs],
+            [mapping[o] for o in base.outputs],
+            [
+                Gate(mapping[g.name], g.gate_type,
+                     tuple(mapping[f] for f in g.fanins))
+                for g in base.gates.values()
+                if g.gate_type is not GateType.INPUT
+            ],
+        )
+        recovered = detect_fsms(renamed)
+        assert {len(fsm.registers) for fsm in recovered} == {3, 2}
+
+    def test_shift_register_is_not_an_fsm(self):
+        # pure feed-forward shifter: no dependency SCC, no FSM
+        netlist = Netlist("shift", ["si"], ["q1"], [
+            Gate("q0", GateType.DFF, ("si",)),
+            Gate("q1", GateType.DFF, ("q0",)),
+        ])
+        assert detect_fsms(netlist) == []
+
+
+# ---------------------------------------------------------------------------
+# imported designs feed the rest of the toolchain
+# ---------------------------------------------------------------------------
+
+class TestImportIntegration:
+    def test_imported_decoder_simulates_like_the_original(self):
+        from repro.circuits.simulator import simulate_patterns
+
+        original = decoder_netlist(8)
+        reimported = import_verilog(netlist_to_verilog(original)) \
+            .netlist()
+        rng = np.random.default_rng(7)
+        patterns = rng.integers(
+            0, 2, size=(64, original.scan_length)
+        ).astype(np.uint8)
+        before = simulate_patterns(original, patterns)
+        after = simulate_patterns(reimported, patterns)
+        for net in original.scan_outputs:
+            assert (before[net] == after[net]).all()

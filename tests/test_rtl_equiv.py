@@ -1,0 +1,195 @@
+"""Three-way decoder equivalence harness (EQ001-EQ004).
+
+The positive direction pins all four legs green for every supported K;
+the negative direction proves the harness actually *catches* injected
+defects — a single-gate netlist mutation and a one-token RTL mutation
+both produce failing legs with concrete counterexamples.
+"""
+
+import json
+
+import pytest
+
+from repro.circuits.netlist import Gate, GateType, Netlist
+from repro.core.codewords import Codebook
+from repro.decompressor.gates import decoder_netlist
+from repro.decompressor.verilog import generate_decoder_verilog
+from repro.lint.findings import Severity
+from repro.lint.runner import reassigned_codebook
+from repro.rtl import equiv_findings, run_equiv
+from repro.rtl.equiv import OracleDecoder
+from repro.decompressor.fsm import NineCDecoderFSM
+
+
+def leg(report, name):
+    matches = [entry for entry in report.legs if entry.leg == name]
+    assert len(matches) == 1
+    return matches[0]
+
+
+def rename_nets(netlist, prefix="n"):
+    mapping = {name: f"{prefix}{i}" for i, name in
+               enumerate(netlist.gates)}
+    return Netlist(
+        "renamed",
+        [mapping[i] for i in netlist.inputs],
+        [mapping[o] for o in netlist.outputs],
+        [
+            Gate(mapping[g.name], g.gate_type,
+                 tuple(mapping[f] for f in g.fanins))
+            for g in netlist.gates.values()
+            if g.gate_type is not GateType.INPUT
+        ],
+    )
+
+
+def mutate_one_gate(netlist):
+    """Flip the first FSM cover AND term to OR (single-gate defect)."""
+    gates = []
+    mutated = None
+    for gate in netlist.gates.values():
+        if gate.gate_type is GateType.INPUT:
+            continue
+        if (
+            mutated is None
+            and gate.name.startswith("ns")
+            and "_t" in gate.name
+            and gate.gate_type is GateType.AND
+        ):
+            gates.append(Gate(gate.name, GateType.OR, gate.fanins))
+            mutated = gate.name
+        else:
+            gates.append(gate)
+    assert mutated is not None
+    return Netlist("mutant", netlist.inputs, netlist.outputs, gates), \
+        mutated
+
+
+class TestAllLegsPass:
+    @pytest.mark.parametrize("k", [4, 8, 16])
+    def test_exhaustive_for_small_k(self, k):
+        report = run_equiv(k, stream_blocks=2)
+        assert report.ok, report.render()
+        assert all(entry.status == "pass" for entry in report.legs)
+        # EQ002 is genuinely exhaustive at these sizes
+        assert "exhaustive" in leg(report, "EQ002").detail
+        # EQ001 explored the full reachable product machine
+        assert leg(report, "EQ001").checked > 100
+
+    def test_k32_randomized_vector_budget(self):
+        report = run_equiv(32, vectors=10000, stream_blocks=2)
+        assert report.ok, report.render()
+        eq002 = leg(report, "EQ002")
+        assert eq002.status == "pass"
+        assert eq002.checked == 10000  # the promised budget, verbatim
+
+    def test_reassigned_codebook(self):
+        report = run_equiv(
+            8, reassigned_codebook(), stream_blocks=2,
+            codebook_label="reassigned",
+        )
+        assert report.ok, report.render()
+        assert report.codebook_label == "reassigned"
+
+    def test_report_dict_roundtrips_through_json(self):
+        report = run_equiv(4, stream_blocks=1)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert [entry["leg"] for entry in payload["legs"]] == \
+            ["EQ001", "EQ002", "EQ003", "EQ004"]
+
+
+class TestHarnessCatchesDefects:
+    def test_single_gate_mutation_is_caught(self):
+        mutant, mutated = mutate_one_gate(decoder_netlist(8))
+        report = run_equiv(8, netlist=mutant, stream_blocks=1)
+        assert not report.ok
+        # the word-level leg names the defective net...
+        eq002 = leg(report, "EQ002")
+        assert eq002.status == "fail"
+        counterexample = eq002.counterexample
+        assert counterexample is not None
+        assert mutated.split("_")[0] in counterexample.message
+        # ...with a concrete input assignment in the trace
+        assert counterexample.trace
+        step = counterexample.trace[0]
+        assert set(step.inputs) == set(mutant.scan_inputs)
+        # and the name-independent bisimulation leg agrees
+        assert leg(report, "EQ003").status == "fail"
+        # structural legs are unaffected by a functional mutation
+        assert leg(report, "EQ004").status == "pass"
+
+    def test_behavioral_rtl_mutation_is_caught_with_trace(self):
+        rtl = generate_decoder_verilog(8)
+        broken = rtl.replace(
+            "wire done = count == HALF - 1;",
+            "wire done = count == HALF - 2;",
+        )
+        assert broken != rtl
+        report = run_equiv(8, rtl_text=broken, stream_blocks=0)
+        eq001 = leg(report, "EQ001")
+        assert eq001.status == "fail"
+        counterexample = eq001.counterexample
+        assert counterexample is not None
+        assert counterexample.trace  # replayable input sequence
+        rendered = counterexample.render()
+        assert "cycle" in rendered and "EQ001" in rendered
+
+    def test_failed_legs_become_lint_errors(self):
+        mutant, _ = mutate_one_gate(decoder_netlist(8))
+        report = run_equiv(8, netlist=mutant, stream_blocks=1)
+        findings = equiv_findings(report, "equiv:mutant")
+        assert findings
+        assert {f.rule for f in findings} <= {"EQ001", "EQ002", "EQ003",
+                                              "EQ004"}
+        assert all(f.severity is Severity.ERROR for f in findings)
+        assert all(f.artifact == "equiv:mutant" for f in findings)
+
+    def test_clean_report_produces_no_findings(self):
+        report = run_equiv(4, stream_blocks=1)
+        assert equiv_findings(report, "equiv:clean") == []
+
+
+class TestImportedNetlists:
+    def test_renamed_netlist_skips_eq002_but_still_proves_eq003(self):
+        renamed = rename_nets(decoder_netlist(8))
+        report = run_equiv(8, netlist=renamed, stream_blocks=1)
+        assert leg(report, "EQ002").status == "skipped"
+        assert leg(report, "EQ003").status == "pass"
+        assert leg(report, "EQ004").status == "pass"
+        assert report.ok  # skipped legs do not fail the report
+
+    def test_renamed_mutant_still_caught_by_eq003(self):
+        mutant, _ = mutate_one_gate(decoder_netlist(8))
+        report = run_equiv(8, netlist=rename_nets(mutant),
+                           stream_blocks=1)
+        assert leg(report, "EQ002").status == "skipped"
+        assert leg(report, "EQ003").status == "fail"
+        assert not report.ok
+
+
+class TestOracle:
+    """The EQ001 oracle honors the documented handshake contract."""
+
+    def test_codeword_then_halves_then_ack(self):
+        fsm = NineCDecoderFSM()
+        oracle = OracleDecoder(fsm, k=4)
+        bits = Codebook.default().codeword(
+            next(iter(dict(Codebook.default().items())))
+        )
+        for bit in bits:
+            assert oracle.ready(1)
+            oracle.step(1, 1, bit)
+        # case latched: the decoder now drives halves
+        assert oracle.case_valid
+        cycles = 0
+        while oracle.case_valid and cycles < 64:
+            dec_en, ate_tick = 1, 1
+            oracle.step(dec_en, ate_tick, 0)
+            cycles += 1
+        assert oracle.ack  # block completion pulses ack
+        assert cycles == 4  # K bits driven, one per cycle
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            run_equiv(7)
